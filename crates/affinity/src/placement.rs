@@ -1,0 +1,390 @@
+//! Placement plans for the experiment configurations.
+//!
+//! The evaluation section runs the same benchmark under several different
+//! thread placements:
+//!
+//! * **CPHash default** (§6.1): 80 client threads and 80 server threads,
+//!   "the client and server threads run on the first and second hardware
+//!   threads of each of the 80 cores, respectively".
+//! * **LockHash default** (§6.1): 160 client threads, one per hardware
+//!   thread.
+//! * **Socket scaling** (Figure 11): only the hardware threads of the first
+//!   *k* sockets are used.
+//! * **SMT configurations** (Figure 12): 160 threads on 80 cores, 80 threads
+//!   on 80 cores (one per core), 80 threads on 40 cores (SMT pairs on half
+//!   the sockets).
+//!
+//! A [`PlacementPlan`] is a list of [`ThreadAssignment`]s — (role, index,
+//! hardware thread) triples — that the benchmark drivers materialize into
+//! pinned OS threads.  Plans are pure data, so they are unit-testable
+//! against the paper topology without starting any threads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{HwThreadId, Topology};
+
+/// What a placed thread does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// A CPHash server thread owning one partition.
+    Server,
+    /// A client thread issuing operations (CPHash client or LockHash worker).
+    Client,
+}
+
+/// One thread of a placement plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadAssignment {
+    /// Role of the thread.
+    pub role: Role,
+    /// Index within its role (server 0..S, client 0..C).
+    pub index: usize,
+    /// Hardware thread the thread should be pinned to.
+    pub hw_thread: HwThreadId,
+}
+
+/// A full placement: which hardware threads run servers and which run
+/// clients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Human-readable description, used in benchmark reports.
+    pub label: String,
+    /// All thread assignments.
+    pub assignments: Vec<ThreadAssignment>,
+}
+
+impl PlacementPlan {
+    /// The CPHash placement from §6.1: for every core in `hw_subset`'s core
+    /// set, the client runs on the first SMT thread and the server on the
+    /// second.  When the topology has no SMT (1 thread/core), servers take
+    /// the odd cores and clients the even cores so both still exist.
+    pub fn cphash_paired(topo: &Topology, cores: &[usize]) -> Self {
+        let mut assignments = Vec::with_capacity(cores.len() * 2);
+        if topo.threads_per_core >= 2 {
+            for (i, &core) in cores.iter().enumerate() {
+                let core = crate::topology::CoreId(core);
+                assignments.push(ThreadAssignment {
+                    role: Role::Client,
+                    index: i,
+                    hw_thread: topo.hw_thread(core, 0),
+                });
+                assignments.push(ThreadAssignment {
+                    role: Role::Server,
+                    index: i,
+                    hw_thread: topo.hw_thread(core, 1),
+                });
+            }
+        } else {
+            // No SMT: split the cores between clients and servers.
+            let half = cores.len().div_ceil(2);
+            for (i, &core) in cores.iter().enumerate() {
+                let core = crate::topology::CoreId(core);
+                let hw = topo.hw_thread(core, 0);
+                if i < half {
+                    assignments.push(ThreadAssignment {
+                        role: Role::Server,
+                        index: i,
+                        hw_thread: hw,
+                    });
+                } else {
+                    assignments.push(ThreadAssignment {
+                        role: Role::Client,
+                        index: i - half,
+                        hw_thread: hw,
+                    });
+                }
+            }
+        }
+        PlacementPlan {
+            label: format!("cphash-paired-{}-cores", cores.len()),
+            assignments,
+        }
+    }
+
+    /// The LockHash placement from §6.1: one client thread on every hardware
+    /// thread in `hw_threads`.
+    pub fn lockhash_flat(hw_threads: &[HwThreadId]) -> Self {
+        let assignments = hw_threads
+            .iter()
+            .enumerate()
+            .map(|(i, &hw)| ThreadAssignment {
+                role: Role::Client,
+                index: i,
+                hw_thread: hw,
+            })
+            .collect();
+        PlacementPlan {
+            label: format!("lockhash-flat-{}-threads", hw_threads.len()),
+            assignments,
+        }
+    }
+
+    /// Figure 11: both designs restricted to the first `sockets` sockets.
+    /// For CPHash this pairs client/server on each core of those sockets;
+    /// for LockHash (`paired == false`) it uses every hardware thread.
+    pub fn socket_subset(topo: &Topology, sockets: usize, paired: bool) -> Self {
+        if paired {
+            let cores: Vec<usize> = (0..sockets)
+                .flat_map(|s| {
+                    topo.cores_of_socket(crate::topology::SocketId(s))
+                        .map(|c| c.0)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let mut plan = Self::cphash_paired(topo, &cores);
+            plan.label = format!("cphash-{sockets}-sockets");
+            plan
+        } else {
+            let hw = topo.hw_threads_of_first_sockets(sockets);
+            let mut plan = Self::lockhash_flat(&hw);
+            plan.label = format!("lockhash-{sockets}-sockets");
+            plan
+        }
+    }
+
+    /// Figure 12's three configurations, by name:
+    /// `"160t-80c"`, `"80t-80c"`, `"80t-40c"` on the paper machine, scaled
+    /// proportionally on smaller topologies (all threads / one per core /
+    /// SMT pairs on half the sockets).
+    pub fn smt_config(topo: &Topology, config: SmtConfig, paired: bool) -> Self {
+        let hw: Vec<HwThreadId> = match config {
+            SmtConfig::AllThreadsAllCores => topo.all_hw_threads().collect(),
+            SmtConfig::OneThreadPerCore => topo.primary_hw_threads(),
+            SmtConfig::AllThreadsHalfSockets => {
+                let half = (topo.sockets / 2).max(1);
+                topo.smt_pairs_of_first_sockets(half)
+            }
+        };
+        if paired {
+            // Use the cores underlying `hw`, pairing client/server per core
+            // when both siblings are present, otherwise splitting cores.
+            let mut cores: Vec<usize> = hw.iter().map(|h| topo.core_of_hw_thread(*h).0).collect();
+            cores.sort_unstable();
+            cores.dedup();
+            let mut plan = if matches!(config, SmtConfig::OneThreadPerCore) {
+                // Only one thread per core available: split cores.
+                let single = Topology {
+                    sockets: topo.sockets,
+                    cores_per_socket: topo.cores_per_socket,
+                    threads_per_core: 1,
+                };
+                Self::cphash_paired(&single, &cores)
+            } else {
+                Self::cphash_paired(topo, &cores)
+            };
+            plan.label = format!("cphash-{}", config.label());
+            plan
+        } else {
+            let mut plan = Self::lockhash_flat(&hw);
+            plan.label = format!("lockhash-{}", config.label());
+            plan
+        }
+    }
+
+    /// Number of server assignments in the plan.
+    pub fn server_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.role == Role::Server)
+            .count()
+    }
+
+    /// Number of client assignments in the plan.
+    pub fn client_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.role == Role::Client)
+            .count()
+    }
+
+    /// All hardware threads used by the plan (deduplicated, sorted).
+    pub fn hw_threads_used(&self) -> Vec<HwThreadId> {
+        let mut v: Vec<HwThreadId> = self.assignments.iter().map(|a| a.hw_thread).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Remap the plan onto a machine with only `available` hardware threads
+    /// by taking every assignment modulo `available`.  Used when replaying a
+    /// paper-machine plan on a smaller host: relative structure (which
+    /// threads share a core) degrades gracefully while the thread *counts*
+    /// stay the same.
+    pub fn clamp_to(&self, available: usize) -> PlacementPlan {
+        assert!(available > 0);
+        PlacementPlan {
+            label: format!("{}-clamped-{available}", self.label),
+            assignments: self
+                .assignments
+                .iter()
+                .map(|a| ThreadAssignment {
+                    role: a.role,
+                    index: a.index,
+                    hw_thread: HwThreadId(a.hw_thread.0 % available),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The three hardware-thread configurations of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SmtConfig {
+    /// Both SMT threads of every core (paper: 160 threads on 80 cores).
+    AllThreadsAllCores,
+    /// One SMT thread per core (paper: 80 threads on 80 cores).
+    OneThreadPerCore,
+    /// Both SMT threads, half the sockets (paper: 80 threads on 40 cores).
+    AllThreadsHalfSockets,
+}
+
+impl SmtConfig {
+    /// All configurations in the order Figure 12 plots them.
+    pub const ALL: [SmtConfig; 3] = [
+        SmtConfig::AllThreadsAllCores,
+        SmtConfig::OneThreadPerCore,
+        SmtConfig::AllThreadsHalfSockets,
+    ];
+
+    /// Figure 12's x-axis label for this configuration (paper machine).
+    pub fn label(self) -> &'static str {
+        match self {
+            SmtConfig::AllThreadsAllCores => "160t-80c",
+            SmtConfig::OneThreadPerCore => "80t-80c",
+            SmtConfig::AllThreadsHalfSockets => "80t-40c",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CoreId;
+
+    #[test]
+    fn paper_default_cphash_placement() {
+        let topo = Topology::paper_machine();
+        let cores: Vec<usize> = (0..80).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        assert_eq!(plan.server_count(), 80);
+        assert_eq!(plan.client_count(), 80);
+        assert_eq!(plan.hw_threads_used().len(), 160);
+        // Client of core i is on CPU i, server on CPU 80+i.
+        for a in &plan.assignments {
+            match a.role {
+                Role::Client => assert_eq!(a.hw_thread.0, a.index),
+                Role::Server => assert_eq!(a.hw_thread.0, 80 + a.index),
+            }
+        }
+    }
+
+    #[test]
+    fn client_and_server_of_same_index_share_a_core() {
+        let topo = Topology::paper_machine();
+        let cores: Vec<usize> = (0..80).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        for i in 0..80 {
+            let client = plan
+                .assignments
+                .iter()
+                .find(|a| a.role == Role::Client && a.index == i)
+                .unwrap();
+            let server = plan
+                .assignments
+                .iter()
+                .find(|a| a.role == Role::Server && a.index == i)
+                .unwrap();
+            assert_eq!(
+                topo.core_of_hw_thread(client.hw_thread),
+                topo.core_of_hw_thread(server.hw_thread)
+            );
+        }
+    }
+
+    #[test]
+    fn no_smt_split_places_servers_and_clients_on_distinct_cores() {
+        let topo = Topology::single_socket(8, 1);
+        let cores: Vec<usize> = (0..8).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        assert_eq!(plan.server_count(), 4);
+        assert_eq!(plan.client_count(), 4);
+        assert_eq!(plan.hw_threads_used().len(), 8);
+    }
+
+    #[test]
+    fn lockhash_flat_uses_every_thread_once() {
+        let topo = Topology::paper_machine();
+        let hw: Vec<_> = topo.all_hw_threads().collect();
+        let plan = PlacementPlan::lockhash_flat(&hw);
+        assert_eq!(plan.client_count(), 160);
+        assert_eq!(plan.server_count(), 0);
+        assert_eq!(plan.hw_threads_used().len(), 160);
+    }
+
+    #[test]
+    fn socket_subsets_scale_thread_counts() {
+        let topo = Topology::paper_machine();
+        for sockets in 1..=8 {
+            let cp = PlacementPlan::socket_subset(&topo, sockets, true);
+            let lh = PlacementPlan::socket_subset(&topo, sockets, false);
+            assert_eq!(cp.server_count(), sockets * 10);
+            assert_eq!(cp.client_count(), sockets * 10);
+            assert_eq!(lh.client_count(), sockets * 20);
+            // Every thread stays within the first `sockets` sockets.
+            for a in cp.assignments.iter().chain(lh.assignments.iter()) {
+                assert!(topo.socket_of_hw_thread(a.hw_thread).0 < sockets);
+            }
+        }
+    }
+
+    #[test]
+    fn smt_configs_match_figure_12() {
+        let topo = Topology::paper_machine();
+        let all = PlacementPlan::smt_config(&topo, SmtConfig::AllThreadsAllCores, false);
+        assert_eq!(all.client_count(), 160);
+        let one = PlacementPlan::smt_config(&topo, SmtConfig::OneThreadPerCore, false);
+        assert_eq!(one.client_count(), 80);
+        let half = PlacementPlan::smt_config(&topo, SmtConfig::AllThreadsHalfSockets, false);
+        assert_eq!(half.client_count(), 80);
+        // The half-socket config really only touches sockets 0..3.
+        for a in &half.assignments {
+            assert!(topo.socket_of_hw_thread(a.hw_thread).0 < 4);
+        }
+        // Paired variants split the same hardware threads between roles.
+        let paired_all = PlacementPlan::smt_config(&topo, SmtConfig::AllThreadsAllCores, true);
+        assert_eq!(paired_all.server_count(), 80);
+        assert_eq!(paired_all.client_count(), 80);
+        let paired_one = PlacementPlan::smt_config(&topo, SmtConfig::OneThreadPerCore, true);
+        assert_eq!(
+            paired_one.server_count() + paired_one.client_count(),
+            80
+        );
+    }
+
+    #[test]
+    fn clamp_to_reduces_hw_thread_ids() {
+        let topo = Topology::paper_machine();
+        let plan = PlacementPlan::socket_subset(&topo, 8, true).clamp_to(16);
+        assert!(plan.hw_threads_used().iter().all(|hw| hw.0 < 16));
+        assert_eq!(plan.server_count(), 80);
+    }
+
+    #[test]
+    fn smt_labels_are_stable() {
+        assert_eq!(SmtConfig::AllThreadsAllCores.label(), "160t-80c");
+        assert_eq!(SmtConfig::OneThreadPerCore.label(), "80t-80c");
+        assert_eq!(SmtConfig::AllThreadsHalfSockets.label(), "80t-40c");
+    }
+
+    #[test]
+    fn hw_thread_helper_is_consistent_with_core_helper() {
+        let topo = Topology::paper_machine();
+        for core in 0..topo.total_cores() {
+            for smt in 0..topo.threads_per_core {
+                let hw = topo.hw_thread(CoreId(core), smt);
+                assert_eq!(topo.core_of_hw_thread(hw), CoreId(core));
+                assert_eq!(topo.smt_index(hw), smt);
+            }
+        }
+    }
+}

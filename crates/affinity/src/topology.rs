@@ -1,0 +1,316 @@
+//! Machine topology model: sockets × cores × hardware threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical processor package (socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SocketId(pub usize);
+
+/// Identifier of a physical core, unique across the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+/// Identifier of a hardware thread (what the OS calls a "CPU"), unique
+/// across the machine.  This is the value passed to `sched_setaffinity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HwThreadId(pub usize);
+
+/// A declarative model of the machine: `sockets` packages, each with
+/// `cores_per_socket` cores, each core exposing `threads_per_core` hardware
+/// threads (SMT siblings).
+///
+/// Hardware-thread numbering follows the common Linux convention the paper's
+/// machine also used: hw thread `t` of core `c` has id
+/// `t * total_cores + c`, i.e. CPUs `0..N-1` are the first hyperthread of
+/// every core and CPUs `N..2N-1` are the SMT siblings.  The placement
+/// helpers only rely on this model's own numbering, so even if the physical
+/// machine numbers CPUs differently the *relative* placement (client and
+/// server share a core, servers spread across sockets) is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of processor packages.
+    pub sockets: usize,
+    /// Physical cores per package.
+    pub cores_per_socket: usize,
+    /// SMT threads per core (2 on the paper's machine).
+    pub threads_per_core: usize,
+}
+
+impl Topology {
+    /// The paper's evaluation machine: eight 10-core Intel E7-8870 sockets,
+    /// two hardware threads per core (80 cores, 160 hardware threads).
+    pub const fn paper_machine() -> Self {
+        Topology {
+            sockets: 8,
+            cores_per_socket: 10,
+            threads_per_core: 2,
+        }
+    }
+
+    /// A single-socket model handy for tests.
+    pub const fn single_socket(cores: usize, threads_per_core: usize) -> Self {
+        Topology {
+            sockets: 1,
+            cores_per_socket: cores,
+            threads_per_core,
+        }
+    }
+
+    /// Build a best-effort model of the current machine.
+    ///
+    /// Reads `/sys/devices/system/cpu` when available (Linux) to count
+    /// packages and SMT siblings; otherwise falls back to a flat model with
+    /// `std::thread::available_parallelism()` single-thread cores on one
+    /// socket.  The model is intentionally conservative: if sysfs parsing
+    /// fails half-way we fall back rather than guess.
+    pub fn detect() -> Self {
+        Self::detect_from_sysfs().unwrap_or_else(Self::fallback)
+    }
+
+    fn fallback() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Topology {
+            sockets: 1,
+            cores_per_socket: n,
+            threads_per_core: 1,
+        }
+    }
+
+    fn detect_from_sysfs() -> Option<Self> {
+        use std::collections::BTreeSet;
+        let cpu_dir = std::path::Path::new("/sys/devices/system/cpu");
+        if !cpu_dir.exists() {
+            return None;
+        }
+        let mut packages: BTreeSet<usize> = BTreeSet::new();
+        let mut cores: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut hw_threads = 0usize;
+        for entry in std::fs::read_dir(cpu_dir).ok()? {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(id) = name
+                .strip_prefix("cpu")
+                .and_then(|rest| rest.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let topo = entry.path().join("topology");
+            let pkg = std::fs::read_to_string(topo.join("physical_package_id"))
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok());
+            let core = std::fs::read_to_string(topo.join("core_id"))
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok());
+            match (pkg, core) {
+                (Some(p), Some(c)) => {
+                    packages.insert(p);
+                    cores.insert((p, c));
+                    hw_threads += 1;
+                    let _ = id;
+                }
+                _ => return None,
+            }
+        }
+        if packages.is_empty() || cores.is_empty() || hw_threads == 0 {
+            return None;
+        }
+        let sockets = packages.len();
+        let total_cores = cores.len();
+        if total_cores % sockets != 0 || hw_threads % total_cores != 0 {
+            // Asymmetric machine (e.g. some cores offline); use the flat
+            // fallback rather than a wrong rectangular model.
+            return None;
+        }
+        Some(Topology {
+            sockets,
+            cores_per_socket: total_cores / sockets,
+            threads_per_core: hw_threads / total_cores,
+        })
+    }
+
+    /// Total number of physical cores.
+    pub const fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total number of hardware threads.
+    pub const fn total_hw_threads(&self) -> usize {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// The socket a core belongs to.
+    pub const fn socket_of_core(&self, core: CoreId) -> SocketId {
+        SocketId(core.0 / self.cores_per_socket)
+    }
+
+    /// The core a hardware thread belongs to.
+    pub const fn core_of_hw_thread(&self, hw: HwThreadId) -> CoreId {
+        CoreId(hw.0 % self.total_cores())
+    }
+
+    /// The socket a hardware thread belongs to.
+    pub const fn socket_of_hw_thread(&self, hw: HwThreadId) -> SocketId {
+        self.socket_of_core(self.core_of_hw_thread(hw))
+    }
+
+    /// The SMT sibling index (0-based) of a hardware thread within its core.
+    pub const fn smt_index(&self, hw: HwThreadId) -> usize {
+        hw.0 / self.total_cores()
+    }
+
+    /// The `smt`-th hardware thread of a core.
+    pub const fn hw_thread(&self, core: CoreId, smt: usize) -> HwThreadId {
+        HwThreadId(smt * self.total_cores() + core.0)
+    }
+
+    /// All cores of one socket, in id order.
+    pub fn cores_of_socket(&self, socket: SocketId) -> impl Iterator<Item = CoreId> + '_ {
+        let start = socket.0 * self.cores_per_socket;
+        (start..start + self.cores_per_socket).map(CoreId)
+    }
+
+    /// All cores of the machine, in id order.
+    pub fn all_cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.total_cores()).map(CoreId)
+    }
+
+    /// All hardware threads of the machine, in id order.
+    pub fn all_hw_threads(&self) -> impl Iterator<Item = HwThreadId> {
+        (0..self.total_hw_threads()).map(HwThreadId)
+    }
+
+    /// All hardware threads of the first `sockets` sockets — the
+    /// socket-granularity subsets Figure 11 sweeps over.
+    pub fn hw_threads_of_first_sockets(&self, sockets: usize) -> Vec<HwThreadId> {
+        assert!(sockets <= self.sockets, "asked for more sockets than exist");
+        let mut out = Vec::new();
+        for smt in 0..self.threads_per_core {
+            for s in 0..sockets {
+                for core in self.cores_of_socket(SocketId(s)) {
+                    out.push(self.hw_thread(core, smt));
+                }
+            }
+        }
+        out
+    }
+
+    /// The first SMT thread of every core — the "one hardware thread per
+    /// core" configuration of Figures 12 and 14.
+    pub fn primary_hw_threads(&self) -> Vec<HwThreadId> {
+        self.all_cores().map(|c| self.hw_thread(c, 0)).collect()
+    }
+
+    /// Both SMT threads of the cores in the first `sockets` sockets — the
+    /// "both hardware threads on fewer sockets" configuration of Figure 12.
+    pub fn smt_pairs_of_first_sockets(&self, sockets: usize) -> Vec<HwThreadId> {
+        assert!(sockets <= self.sockets);
+        let mut out = Vec::new();
+        for s in 0..sockets {
+            for core in self.cores_of_socket(SocketId(s)) {
+                for smt in 0..self.threads_per_core {
+                    out.push(self.hw_thread(core, smt));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_dimensions() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.total_cores(), 80);
+        assert_eq!(t.total_hw_threads(), 160);
+    }
+
+    #[test]
+    fn socket_and_core_mapping() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.socket_of_core(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of_core(CoreId(9)), SocketId(0));
+        assert_eq!(t.socket_of_core(CoreId(10)), SocketId(1));
+        assert_eq!(t.socket_of_core(CoreId(79)), SocketId(7));
+    }
+
+    #[test]
+    fn hw_thread_numbering_is_sibling_major() {
+        let t = Topology::paper_machine();
+        // First hyperthread of core 5 is CPU 5; its sibling is CPU 85.
+        assert_eq!(t.hw_thread(CoreId(5), 0), HwThreadId(5));
+        assert_eq!(t.hw_thread(CoreId(5), 1), HwThreadId(85));
+        assert_eq!(t.core_of_hw_thread(HwThreadId(85)), CoreId(5));
+        assert_eq!(t.smt_index(HwThreadId(85)), 1);
+        assert_eq!(t.smt_index(HwThreadId(5)), 0);
+        assert_eq!(t.socket_of_hw_thread(HwThreadId(85)), SocketId(0));
+    }
+
+    #[test]
+    fn cores_of_socket_enumerates_contiguously() {
+        let t = Topology::paper_machine();
+        let s1: Vec<_> = t.cores_of_socket(SocketId(1)).map(|c| c.0).collect();
+        assert_eq!(s1, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_sockets_subsets_have_expected_sizes() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.hw_threads_of_first_sockets(1).len(), 20);
+        assert_eq!(t.hw_threads_of_first_sockets(4).len(), 80);
+        assert_eq!(t.hw_threads_of_first_sockets(8).len(), 160);
+        // All from the requested sockets.
+        for hw in t.hw_threads_of_first_sockets(2) {
+            assert!(t.socket_of_hw_thread(hw).0 < 2);
+        }
+    }
+
+    #[test]
+    fn primary_hw_threads_one_per_core() {
+        let t = Topology::paper_machine();
+        let primaries = t.primary_hw_threads();
+        assert_eq!(primaries.len(), 80);
+        for hw in primaries {
+            assert_eq!(t.smt_index(hw), 0);
+        }
+    }
+
+    #[test]
+    fn smt_pairs_cover_both_siblings() {
+        let t = Topology::paper_machine();
+        let pairs = t.smt_pairs_of_first_sockets(4);
+        assert_eq!(pairs.len(), 80);
+        let siblings: usize = pairs.iter().filter(|hw| t.smt_index(**hw) == 1).count();
+        assert_eq!(siblings, 40);
+    }
+
+    #[test]
+    fn detect_produces_a_consistent_model() {
+        let t = Topology::detect();
+        assert!(t.sockets >= 1);
+        assert!(t.cores_per_socket >= 1);
+        assert!(t.threads_per_core >= 1);
+        assert_eq!(
+            t.total_hw_threads(),
+            t.sockets * t.cores_per_socket * t.threads_per_core
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more sockets")]
+    fn too_many_sockets_panics() {
+        let t = Topology::single_socket(4, 2);
+        let _ = t.hw_threads_of_first_sockets(2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for topology arithmetic and placement plans: for
+//! arbitrary (sockets × cores × SMT) machine shapes, the §6.1 placement
+//! invariants must hold — paired client/server threads share a core, socket
+//! subsets stay within their sockets, and no plan ever double-books a
+//! hardware thread.
+
+use proptest::prelude::*;
+
+use cphash_affinity::{PlacementPlan, Role, SmtConfig, Topology};
+
+fn topology() -> impl Strategy<Value = Topology> {
+    (1usize..8, 1usize..12, 1usize..3).prop_map(|(sockets, cores, smt)| Topology {
+        sockets,
+        cores_per_socket: cores,
+        threads_per_core: smt,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hw_thread_mapping_is_a_bijection(topo in topology()) {
+        let mut seen = std::collections::HashSet::new();
+        for core in topo.all_cores() {
+            for smt in 0..topo.threads_per_core {
+                let hw = topo.hw_thread(core, smt);
+                prop_assert!(hw.0 < topo.total_hw_threads());
+                prop_assert!(seen.insert(hw), "hardware thread assigned twice");
+                prop_assert_eq!(topo.core_of_hw_thread(hw), core);
+                prop_assert_eq!(topo.smt_index(hw), smt);
+                prop_assert_eq!(
+                    topo.socket_of_hw_thread(hw),
+                    topo.socket_of_core(core)
+                );
+            }
+        }
+        prop_assert_eq!(seen.len(), topo.total_hw_threads());
+    }
+
+    #[test]
+    fn paired_placement_keeps_each_pair_on_one_core(topo in topology()) {
+        let cores: Vec<usize> = topo.all_cores().map(|c| c.0).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        // No hardware thread is used twice.
+        let used = plan.hw_threads_used();
+        prop_assert_eq!(used.len(), plan.assignments.len());
+        // With SMT, every index pairs a client and a server on the same core.
+        if topo.threads_per_core >= 2 {
+            prop_assert_eq!(plan.server_count(), cores.len());
+            prop_assert_eq!(plan.client_count(), cores.len());
+            for index in 0..cores.len() {
+                let client = plan
+                    .assignments
+                    .iter()
+                    .find(|a| a.role == Role::Client && a.index == index)
+                    .expect("client exists");
+                let server = plan
+                    .assignments
+                    .iter()
+                    .find(|a| a.role == Role::Server && a.index == index)
+                    .expect("server exists");
+                prop_assert_eq!(
+                    topo.core_of_hw_thread(client.hw_thread),
+                    topo.core_of_hw_thread(server.hw_thread)
+                );
+            }
+        } else {
+            // Without SMT the cores are split between the two roles.
+            prop_assert_eq!(plan.server_count() + plan.client_count(), cores.len());
+        }
+    }
+
+    #[test]
+    fn socket_subsets_stay_within_their_sockets(topo in topology(), fraction in 1usize..=8) {
+        let sockets = (topo.sockets * fraction / 8).max(1).min(topo.sockets);
+        for paired in [true, false] {
+            let plan = PlacementPlan::socket_subset(&topo, sockets, paired);
+            for a in &plan.assignments {
+                prop_assert!(
+                    topo.socket_of_hw_thread(a.hw_thread).0 < sockets,
+                    "assignment escaped the first {} sockets", sockets
+                );
+            }
+            // The number of hardware threads used scales with the socket count.
+            let expected_threads = sockets * topo.cores_per_socket
+                * if paired { 2.min(topo.threads_per_core).max(1) } else { topo.threads_per_core };
+            if paired && topo.threads_per_core >= 2 {
+                prop_assert_eq!(plan.hw_threads_used().len(), expected_threads);
+            }
+        }
+    }
+
+    #[test]
+    fn smt_configurations_use_the_expected_thread_counts(topo in topology()) {
+        let all = PlacementPlan::smt_config(&topo, SmtConfig::AllThreadsAllCores, false);
+        prop_assert_eq!(all.client_count(), topo.total_hw_threads());
+        let one = PlacementPlan::smt_config(&topo, SmtConfig::OneThreadPerCore, false);
+        prop_assert_eq!(one.client_count(), topo.total_cores());
+        let half = PlacementPlan::smt_config(&topo, SmtConfig::AllThreadsHalfSockets, false);
+        let expected = (topo.sockets / 2).max(1) * topo.cores_per_socket * topo.threads_per_core;
+        prop_assert_eq!(half.client_count(), expected);
+        // The half-socket configuration never leaves its socket range.
+        for a in &half.assignments {
+            prop_assert!(topo.socket_of_hw_thread(a.hw_thread).0 < (topo.sockets / 2).max(1));
+        }
+    }
+
+    #[test]
+    fn clamped_plans_fit_small_hosts(topo in topology(), available in 1usize..64) {
+        let plan = PlacementPlan::socket_subset(&topo, topo.sockets, false).clamp_to(available);
+        for a in &plan.assignments {
+            prop_assert!(a.hw_thread.0 < available);
+        }
+        // Thread count (and therefore the experiment's parallelism) is
+        // preserved even when hardware threads are shared.
+        prop_assert_eq!(plan.client_count(), topo.total_hw_threads());
+    }
+}

@@ -1,0 +1,116 @@
+//! Power-of-two size classes.
+//!
+//! Allocation requests are rounded up to the next power of two (minimum 8
+//! bytes).  Classes above [`MAX_CLASS_BYTES`] are "huge" and served by a
+//! dedicated allocation per value rather than a slab chunk.
+
+/// Smallest block handed out, in bytes (one 64-bit word — the microbenchmark
+/// values are exactly this size).
+pub const MIN_CLASS_BYTES: usize = 8;
+
+/// Largest slab-managed block, in bytes. Larger requests become huge
+/// allocations with their own backing chunk.
+pub const MAX_CLASS_BYTES: usize = 1 << 20;
+
+/// Number of slab size classes (8, 16, 32, …, 1 MiB).
+pub const NUM_CLASSES: usize = (MAX_CLASS_BYTES.trailing_zeros() - MIN_CLASS_BYTES.trailing_zeros()) as usize + 1;
+
+/// Index of a size class. `SizeClass(NUM_CLASSES)` is used internally to tag
+/// huge allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SizeClass(pub usize);
+
+impl SizeClass {
+    /// Marker class for huge (non-slab) allocations.
+    pub const HUGE: SizeClass = SizeClass(NUM_CLASSES);
+
+    /// Is this the huge-allocation marker?
+    pub fn is_huge(self) -> bool {
+        self.0 >= NUM_CLASSES
+    }
+}
+
+/// The size class for a request of `size` bytes, or [`SizeClass::HUGE`] if
+/// the request exceeds [`MAX_CLASS_BYTES`].
+///
+/// Zero-byte requests map to the smallest class so every element value has a
+/// distinct, non-null address (the CPHash protocol passes value pointers
+/// around even for empty values).
+#[inline]
+pub fn class_for_size(size: usize) -> SizeClass {
+    let size = size.max(MIN_CLASS_BYTES);
+    if size > MAX_CLASS_BYTES {
+        return SizeClass::HUGE;
+    }
+    let class = size
+        .next_power_of_two()
+        .trailing_zeros()
+        .saturating_sub(MIN_CLASS_BYTES.trailing_zeros()) as usize;
+    SizeClass(class)
+}
+
+/// Number of usable bytes in a block of the given class.
+///
+/// For [`SizeClass::HUGE`] the block size equals the request, so callers
+/// must track it themselves; this function panics to catch misuse.
+#[inline]
+pub fn class_size(class: SizeClass) -> usize {
+    assert!(!class.is_huge(), "huge allocations have no fixed class size");
+    MIN_CLASS_BYTES << class.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_count_matches_range() {
+        // 8 = 2^3, 1 MiB = 2^20 → 18 classes.
+        assert_eq!(NUM_CLASSES, 18);
+    }
+
+    #[test]
+    fn small_requests_round_up_to_min() {
+        assert_eq!(class_for_size(0), SizeClass(0));
+        assert_eq!(class_for_size(1), SizeClass(0));
+        assert_eq!(class_for_size(8), SizeClass(0));
+        assert_eq!(class_size(SizeClass(0)), 8);
+    }
+
+    #[test]
+    fn powers_of_two_map_to_their_own_class() {
+        assert_eq!(class_for_size(16), SizeClass(1));
+        assert_eq!(class_for_size(64), SizeClass(3));
+        assert_eq!(class_for_size(4096), SizeClass(9));
+        assert_eq!(class_size(class_for_size(4096)), 4096);
+    }
+
+    #[test]
+    fn non_powers_round_up() {
+        assert_eq!(class_for_size(9), SizeClass(1));
+        assert_eq!(class_size(class_for_size(9)), 16);
+        assert_eq!(class_size(class_for_size(100)), 128);
+        assert_eq!(class_size(class_for_size(1500)), 2048);
+    }
+
+    #[test]
+    fn huge_requests_are_tagged() {
+        assert_eq!(class_for_size(MAX_CLASS_BYTES), SizeClass(NUM_CLASSES - 1));
+        assert!(class_for_size(MAX_CLASS_BYTES + 1).is_huge());
+        assert!(SizeClass::HUGE.is_huge());
+    }
+
+    #[test]
+    #[should_panic(expected = "huge")]
+    fn class_size_of_huge_panics() {
+        let _ = class_size(SizeClass::HUGE);
+    }
+
+    #[test]
+    fn every_class_size_fits_its_requests() {
+        for size in 1..=4096usize {
+            let class = class_for_size(size);
+            assert!(class_size(class) >= size, "size={size}");
+        }
+    }
+}

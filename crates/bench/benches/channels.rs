@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the message-passing substrate: the batched
+//! ring buffer against the single-slot channel (§3.4's two designs), plus
+//! the raw cost of the packing-aware producer path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cphash_channel::{duplex, ring, RingConfig, SingleSlotChannel};
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    const BATCH: u64 = 8_192;
+    let mut group = c.benchmark_group("channel_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH));
+
+    group.bench_function("ring_same_thread_push_pop", |b| {
+        let (mut tx, mut rx) = ring::<u64>(RingConfig::with_capacity(16_384));
+        let mut out = Vec::with_capacity(BATCH as usize);
+        b.iter(|| {
+            for i in 0..BATCH {
+                tx.try_push(i).unwrap();
+            }
+            tx.flush();
+            out.clear();
+            rx.pop_batch(&mut out, BATCH as usize);
+            assert_eq!(out.len(), BATCH as usize);
+        });
+    });
+
+    group.bench_function("ring_cross_thread_round_trip", |b| {
+        b.iter(|| {
+            let (mut client, mut server) = duplex::<u64, u64>(RingConfig::with_capacity(4096));
+            let handle = std::thread::spawn(move || {
+                let mut batch = Vec::with_capacity(512);
+                let mut served = 0u64;
+                while served < BATCH {
+                    batch.clear();
+                    if server.recv_batch(&mut batch, 512) == 0 {
+                        core::hint::spin_loop();
+                        continue;
+                    }
+                    for m in &batch {
+                        server.send_blocking(*m);
+                    }
+                    server.flush();
+                    served += batch.len() as u64;
+                }
+            });
+            let mut sent = 0u64;
+            let mut got = 0u64;
+            let mut resp = Vec::with_capacity(512);
+            while got < BATCH {
+                while sent < BATCH && client.try_send(sent).is_ok() {
+                    sent += 1;
+                }
+                client.flush();
+                resp.clear();
+                got += client.recv_batch(&mut resp, 512) as u64;
+            }
+            handle.join().unwrap();
+        });
+    });
+
+    group.bench_function("single_slot_round_trip", |b| {
+        // One outstanding exchange at a time, same thread serving.
+        let channel = SingleSlotChannel::<u64, u64>::new();
+        b.iter(|| {
+            for i in 0..256u64 {
+                channel.send_request(i);
+                assert!(channel.try_serve(|x| x + 1));
+                assert_eq!(channel.wait_response(), i + 1);
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_throughput);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks comparing CPHash and LockHash end to end on a
+//! small version of the paper's §6.1 workload (1 MB working set is scaled to
+//! 256 KB and the operation count kept small so `cargo bench` stays quick;
+//! the figure binaries run the full-scale sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cphash_bench::figures::{cphash_options, lockhash_options};
+use cphash_bench::MachineScale;
+use cphash_loadgen::{run_cphash, run_lockhash, WorkloadSpec};
+
+fn spec(ops: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        working_set_bytes: 256 << 10,
+        capacity_bytes: 256 << 10,
+        operations: ops,
+        batch: 512,
+        ..Default::default()
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = MachineScale::detect(Some(2));
+    let ops: u64 = 60_000;
+    let mut group = c.benchmark_group("hash_tables_mixed_workload");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops));
+
+    group.bench_function(BenchmarkId::new("cphash", ops), |b| {
+        b.iter(|| run_cphash(&spec(ops), &cphash_options(&scale)).operations)
+    });
+    group.bench_function(BenchmarkId::new("lockhash", ops), |b| {
+        b.iter(|| run_lockhash(&spec(ops), &lockhash_options(&scale)).operations)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the lock algorithms (§6.2's discussion of
+//! spinlocks vs scalable locks): uncontended acquire/release cost and a
+//! 4-thread contended counter.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cphash_sync::{ArrayLock, RawLock, RawSpinLock, TicketLock};
+
+fn bench_uncontended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("lock_uncontended_{name}"), |b| {
+        let lock = L::default();
+        b.iter(|| {
+            for _ in 0..1_000 {
+                lock.raw_lock();
+                lock.raw_unlock();
+            }
+        });
+    });
+}
+
+fn bench_contended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("lock_contended4_{name}"), |b| {
+        b.iter(|| {
+            let lock = Arc::new(L::default());
+            let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let lock = Arc::clone(&lock);
+                    let counter = Arc::clone(&counter);
+                    std::thread::spawn(move || {
+                        for _ in 0..2_000 {
+                            lock.raw_lock();
+                            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            lock.raw_unlock();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 8_000);
+        });
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    bench_uncontended::<RawSpinLock>(c, "spin");
+    bench_uncontended::<TicketLock>(c, "ticket");
+    bench_uncontended::<ArrayLock>(c, "anderson");
+    bench_contended::<RawSpinLock>(c, "spin");
+    bench_contended::<TicketLock>(c, "ticket");
+    bench_contended::<ArrayLock>(c, "anderson");
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

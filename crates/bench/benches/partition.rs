@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the shared partition data structure
+//! (bucket chains, LRU list, allocator): the per-operation cost floor that
+//! both CPHash and LockHash build on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cphash_hashcore::{EvictionPolicy, Partition, PartitionConfig};
+
+fn prefilled(n: u64, capacity: Option<usize>, eviction: EvictionPolicy) -> Partition {
+    let mut p = Partition::new(PartitionConfig::new(n as usize, capacity).with_eviction(eviction));
+    for key in 0..n {
+        p.insert_copy(key, &key.to_le_bytes()).unwrap();
+    }
+    p
+}
+
+fn bench_partition(c: &mut Criterion) {
+    const KEYS: u64 = 16_384;
+    let mut group = c.benchmark_group("partition_ops");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(KEYS));
+
+    group.bench_function("lookup_hit_lru", |b| {
+        let mut p = prefilled(KEYS, None, EvictionPolicy::Lru);
+        let mut buf = Vec::with_capacity(8);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for key in 0..KEYS {
+                if p.lookup_copy(key, &mut buf) {
+                    hits += 1;
+                }
+            }
+            assert_eq!(hits, KEYS);
+        });
+    });
+
+    group.bench_function("insert_overwrite_lru", |b| {
+        let mut p = prefilled(KEYS, None, EvictionPolicy::Lru);
+        b.iter(|| {
+            for key in 0..KEYS {
+                p.insert_copy(key, &key.to_le_bytes()).unwrap();
+            }
+        });
+    });
+
+    group.bench_function("insert_with_eviction_lru", |b| {
+        // Capacity for only a quarter of the keys: every insert evicts.
+        let mut p = prefilled(KEYS / 4, Some((KEYS as usize / 4) * 8), EvictionPolicy::Lru);
+        b.iter(|| {
+            for key in 0..KEYS {
+                p.insert_copy(key, &key.to_le_bytes()).unwrap();
+            }
+        });
+    });
+
+    group.bench_function("insert_with_eviction_random", |b| {
+        let mut p = prefilled(KEYS / 4, Some((KEYS as usize / 4) * 8), EvictionPolicy::Random);
+        b.iter(|| {
+            for key in 0..KEYS {
+                p.insert_copy(key, &key.to_le_bytes()).unwrap();
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation (§6.1): CPHash throughput as a function of the outstanding-
+//! request window ("batch size"). The paper reports similar throughput for
+//! 512–8,192 outstanding requests, degradation below, and queue overflow
+//! above.
+
+use cphash_bench::{emit_report, figures, paper, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(1_000_000);
+    let report = figures::batching_sweep(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!(
+        "paper: batch sizes between {} and {} give similar throughput; smaller batches leave clients waiting on servers",
+        paper::BATCH_SWEET_SPOT.0,
+        paper::BATCH_SWEET_SPOT.1
+    );
+}

@@ -1,0 +1,15 @@
+//! Ablation (§8.1, future work): throughput and server utilization across
+//! static server-thread counts, with the dynamic controller's recommendation
+//! printed at each point.
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(1_000_000);
+    let report = figures::dynamic_servers_ablation(&scale, ops);
+    emit_report(&report, &args);
+    println!("paper (§8.1): dynamically choosing the client/server split is future work; the controller here implements the decision rule and this sweep shows the static optimum it converges to");
+}

@@ -1,0 +1,25 @@
+//! Figure 5: throughput of CPHash and LockHash over a range of working-set
+//! sizes (LRU eviction, 30 % INSERT).
+//!
+//! Run with `cargo run --release -p cphash-bench --bin fig05_working_set --
+//! [--quick] [--ops N] [--threads N] [--csv PATH]`.
+
+use cphash::EvictionPolicy;
+use cphash_bench::{emit_report, figures, paper, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::working_set_sweep(&scale, EvictionPolicy::Lru, ops, args.quick);
+    emit_report(&report, &args);
+
+    // Headline comparison at the 1 MB point (the Figure 6/7 configuration).
+    if let (Some(cp), Some(lh)) = (
+        report.series_named("CPHash").and_then(|s| s.y_at(1_048_576.0)),
+        report.series_named("LockHash").and_then(|s| s.y_at(1_048_576.0)),
+    ) {
+        println!("1 MB working set: {}", paper::verdict_fig5(cp / lh.max(1.0)));
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 8: the Figure 5 working-set sweep repeated with a random eviction
+//! policy instead of LRU (§6.3).
+
+use cphash::EvictionPolicy;
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::working_set_sweep(&scale, EvictionPolicy::Random, ops, args.quick);
+    emit_report(&report, &args);
+    println!(
+        "paper: with random eviction the CPHash advantage shrinks (to ~{:.2}x at 4 MB) but remains",
+        cphash_bench::paper::FIG8_SPEEDUP_AT_4MB
+    );
+}

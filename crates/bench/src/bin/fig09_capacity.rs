@@ -1,0 +1,14 @@
+//! Figure 9: throughput over a range of total hash-table capacities for a
+//! fixed working set (LRU, 30 % INSERT).
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::capacity_sweep(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!("paper: throughput rises as capacity shrinks (more lookups miss / fit in cache); CPHash stays ahead throughout");
+}

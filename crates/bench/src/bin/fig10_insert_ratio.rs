@@ -1,0 +1,14 @@
+//! Figure 10: throughput over a range of INSERT fractions at a fixed
+//! working set and capacity.
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::insert_ratio_sweep(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!("paper: higher INSERT fractions reduce throughput for both tables; CPHash's advantage is not sensitive to the ratio");
+}

@@ -1,0 +1,14 @@
+//! Figure 11: per-hardware-thread throughput as the number of hardware
+//! threads grows (socket granularity in the paper, pair granularity here).
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::thread_scaling_sweep(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!("paper: LockHash's per-thread throughput degrades as threads span more sockets; CPHash stays near-flat (near-linear total scaling)");
+}

@@ -1,0 +1,15 @@
+//! Figure 12: throughput under three hardware-thread configurations
+//! (all threads / one thread per core / all threads on half the cores).
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    println!("note: on hosts without SMT or without permission to set CPU affinity, the three configurations differ only in thread count\n");
+    let ops = args.ops_or(scale.default_ops());
+    let report = figures::smt_configurations(&scale, ops);
+    emit_report(&report, &args);
+    println!("paper: both tables do best with SMT siblings sharing cores on fewer sockets; CPHash gains more from the extra hardware threads");
+}

@@ -1,0 +1,17 @@
+//! Figure 13: CPSERVER vs LOCKSERVER throughput over a range of working-set
+//! sizes, driven over loopback TCP with the paper's binary protocol.
+
+use cphash_bench::{emit_report, figures, paper, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(400_000);
+    let report = figures::server_working_set_sweep(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!(
+        "paper: CPSERVER is ~{:.0}% faster than LOCKSERVER (hash-table work is only ~30% of each request)",
+        (paper::FIG13_SERVER_SPEEDUP - 1.0) * 100.0
+    );
+}

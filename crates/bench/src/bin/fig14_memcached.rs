@@ -1,0 +1,15 @@
+//! Figure 14: per-core throughput of CPSERVER, LOCKSERVER and a
+//! memcached-style cluster (one single-lock instance per core, client-side
+//! key partitioning) as the number of cores grows.
+
+use cphash_bench::{emit_report, figures, HarnessArgs, MachineScale};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = MachineScale::detect(args.threads);
+    println!("{}\n", scale.describe());
+    let ops = args.ops_or(300_000);
+    let report = figures::memcached_comparison(&scale, ops, args.quick);
+    emit_report(&report, &args);
+    println!("paper: CPSERVER and LOCKSERVER both clearly out-perform the per-core memcached deployment; LockServer leads at low core counts, CPServer at high");
+}

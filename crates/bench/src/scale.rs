@@ -1,0 +1,135 @@
+//! Mapping the paper's 80-core machine onto the current host.
+//!
+//! The paper's default configuration (§6.1) is 80 client threads + 80 server
+//! threads for CPHash (one pair per core) and 160 client threads for
+//! LockHash, with a 4,096-way partitioned LockHash.  This reproduction runs
+//! on whatever machine it finds; [`MachineScale`] derives proportional
+//! thread and partition counts and scaled working-set sweeps, and prints the
+//! mapping so results are interpretable.
+
+use cphash_affinity::Topology;
+
+/// The scaled experiment shape for this host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineScale {
+    /// Client/server *pairs* for CPHash (the paper uses 80).
+    pub pairs: usize,
+    /// LockHash client threads (the paper uses 160).
+    pub lockhash_threads: usize,
+    /// LockHash partition count (the paper uses 4,096).
+    pub lockhash_partitions: usize,
+    /// Hardware threads the host exposes.
+    pub hw_threads: usize,
+    /// Detected topology model.
+    pub topology: Topology,
+}
+
+impl MachineScale {
+    /// Derive a scale from the detected topology, optionally overriding the
+    /// pair count.
+    pub fn detect(pair_override: Option<usize>) -> Self {
+        let topology = Topology::detect();
+        Self::for_hw_threads(topology, pair_override)
+    }
+
+    /// Derive a scale for a given topology (used by tests).
+    pub fn for_hw_threads(topology: Topology, pair_override: Option<usize>) -> Self {
+        let hw = topology.total_hw_threads().max(2);
+        // One client/server pair per two hardware threads, as in the paper's
+        // placement; cap to keep laptop runs snappy.
+        let pairs = pair_override.unwrap_or_else(|| (hw / 2).clamp(1, 16));
+        let lockhash_threads = (pairs * 2).max(2);
+        // Keep roughly the paper's 4096/160 ≈ 25.6 partitions-per-thread
+        // ratio, capped at the paper's 4,096 ("a larger number of partitions
+        // does not increase throughput", §6.1).
+        let lockhash_partitions = (lockhash_threads * 25).next_power_of_two().clamp(64, 4096);
+        MachineScale {
+            pairs,
+            lockhash_threads,
+            lockhash_partitions,
+            hw_threads: hw,
+            topology,
+        }
+    }
+
+    /// The working-set sweep (bytes) for Figures 5, 8 and 13, scaled down
+    /// from the paper's 100 KB – 10 GB range so the largest point clearly
+    /// exceeds this machine's last-level cache without taking minutes.
+    pub fn working_set_sweep(&self, quick: bool) -> Vec<usize> {
+        if quick {
+            vec![64 << 10, 1 << 20, 8 << 20]
+        } else {
+            vec![
+                64 << 10,
+                256 << 10,
+                1 << 20,
+                4 << 20,
+                16 << 20,
+                64 << 20,
+            ]
+        }
+    }
+
+    /// Default operations per measured point.
+    pub fn default_ops(&self) -> u64 {
+        2_000_000
+    }
+
+    /// The Figure 9/10 working-set size (the paper uses 128 MB; scaled to
+    /// 16 MB here so each point stays in the seconds range).
+    pub fn large_working_set(&self) -> usize {
+        16 << 20
+    }
+
+    /// Human-readable description of the paper → host mapping.
+    pub fn describe(&self) -> String {
+        format!(
+            "paper: 80 client + 80 server threads, 160 LockHash threads, 4096 LockHash partitions\n\
+             host : {} client + {} server threads, {} LockHash threads, {} LockHash partitions \
+             ({} hardware threads detected)",
+            self.pairs, self.pairs, self.lockhash_threads, self.lockhash_partitions, self.hw_threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_scales_to_paper_counts_when_uncapped() {
+        let scale = MachineScale::for_hw_threads(Topology::paper_machine(), Some(80));
+        assert_eq!(scale.pairs, 80);
+        assert_eq!(scale.lockhash_threads, 160);
+        assert_eq!(scale.lockhash_partitions, 4096);
+    }
+
+    #[test]
+    fn small_hosts_get_proportional_counts() {
+        let scale = MachineScale::for_hw_threads(Topology::single_socket(4, 2), None);
+        assert_eq!(scale.hw_threads, 8);
+        assert_eq!(scale.pairs, 4);
+        assert_eq!(scale.lockhash_threads, 8);
+        assert!(scale.lockhash_partitions >= 128);
+        assert!(scale.describe().contains("host"));
+    }
+
+    #[test]
+    fn sweeps_are_monotonic() {
+        let scale = MachineScale::for_hw_threads(Topology::single_socket(8, 2), None);
+        for quick in [true, false] {
+            let sweep = scale.working_set_sweep(quick);
+            assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+            assert!(!sweep.is_empty());
+        }
+        assert!(scale.default_ops() > 0);
+        assert!(scale.large_working_set() > 1 << 20);
+    }
+
+    #[test]
+    fn overrides_are_respected() {
+        let scale = MachineScale::for_hw_threads(Topology::single_socket(16, 2), Some(3));
+        assert_eq!(scale.pairs, 3);
+        assert_eq!(scale.lockhash_threads, 6);
+    }
+}

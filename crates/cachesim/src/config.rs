@@ -1,0 +1,127 @@
+//! Cache hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the modelled memory hierarchy.
+///
+/// The defaults describe the paper's evaluation machine (§6): Intel E7-8870,
+/// 256 KB L2 per core, 30 MB L3 shared by the 10 cores of a socket, 8
+/// sockets, 2 hardware threads per core.  The model folds L1 into the
+/// private-cache capacity since the paper's counters only distinguish
+/// "local L2" from "shared L3" from "remote".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Bytes of private cache per hardware thread (L1+L2 combined).
+    pub private_bytes: usize,
+    /// Bytes of shared last-level cache per socket.
+    pub l3_bytes: usize,
+    /// Number of hardware threads being modelled.
+    pub hw_threads: usize,
+    /// Hardware threads that share one socket (and therefore one L3).
+    pub threads_per_socket: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper_machine()
+    }
+}
+
+impl CacheConfig {
+    /// The paper machine: 80 cores / 160 hardware threads, 256 KB L2 per
+    /// core, 30 MB L3 per 10-core socket.
+    pub const fn paper_machine() -> Self {
+        CacheConfig {
+            private_bytes: 256 * 1024,
+            l3_bytes: 30 * 1024 * 1024,
+            hw_threads: 160,
+            threads_per_socket: 20,
+        }
+    }
+
+    /// A small configuration for fast unit tests: 4 KB private caches,
+    /// 64 KB L3, four threads per socket.
+    pub const fn tiny(hw_threads: usize) -> Self {
+        CacheConfig {
+            private_bytes: 4 * 1024,
+            l3_bytes: 64 * 1024,
+            hw_threads,
+            threads_per_socket: 4,
+        }
+    }
+
+    /// A scaled-down machine for laptop-scale experiments: keeps the paper's
+    /// per-level ratios but with `hw_threads` threads and `sockets` sockets.
+    pub fn scaled(hw_threads: usize, sockets: usize) -> Self {
+        let sockets = sockets.max(1);
+        CacheConfig {
+            private_bytes: 256 * 1024,
+            l3_bytes: 30 * 1024 * 1024,
+            hw_threads,
+            threads_per_socket: hw_threads.div_ceil(sockets),
+        }
+    }
+
+    /// Number of sockets implied by the thread counts.
+    pub fn sockets(&self) -> usize {
+        self.hw_threads.div_ceil(self.threads_per_socket)
+    }
+
+    /// Socket of a hardware thread.
+    pub fn socket_of(&self, thread: usize) -> usize {
+        thread / self.threads_per_socket
+    }
+
+    /// Private cache capacity in lines.
+    pub fn private_lines(&self) -> usize {
+        (self.private_bytes / cphash_cacheline::CACHE_LINE_SIZE).max(1)
+    }
+
+    /// L3 capacity in lines.
+    pub fn l3_lines(&self) -> usize {
+        (self.l3_bytes / cphash_cacheline::CACHE_LINE_SIZE).max(1)
+    }
+
+    /// Aggregate private-cache capacity across all threads, in bytes —
+    /// the quantity the paper compares working sets against ("hash table
+    /// sizes up to about 80 × 256 KB + 8 × 30 MB = 260 MB see the best
+    /// performance improvement", §3.1).
+    pub fn aggregate_cache_bytes(&self) -> usize {
+        self.private_bytes * self.hw_threads / 2 + self.l3_bytes * self.sockets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_figures() {
+        let c = CacheConfig::paper_machine();
+        assert_eq!(c.sockets(), 8);
+        assert_eq!(c.private_lines(), 4096);
+        assert_eq!(c.l3_lines(), 491_520);
+        // ~260 MB aggregate, the §3.1 number.
+        let mb = c.aggregate_cache_bytes() / (1024 * 1024);
+        assert!((255..=265).contains(&mb), "aggregate = {mb} MB");
+    }
+
+    #[test]
+    fn socket_mapping() {
+        let c = CacheConfig::paper_machine();
+        assert_eq!(c.socket_of(0), 0);
+        assert_eq!(c.socket_of(19), 0);
+        assert_eq!(c.socket_of(20), 1);
+        assert_eq!(c.socket_of(159), 7);
+    }
+
+    #[test]
+    fn scaled_configs_are_consistent() {
+        let c = CacheConfig::scaled(16, 2);
+        assert_eq!(c.sockets(), 2);
+        assert_eq!(c.threads_per_socket, 8);
+        let t = CacheConfig::tiny(4);
+        assert_eq!(t.sockets(), 1);
+        assert!(t.private_lines() >= 1);
+    }
+}

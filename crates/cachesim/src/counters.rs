@@ -1,0 +1,186 @@
+//! Per-tag miss accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tag::AccessTag;
+
+/// Accesses and misses attributed to one tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissCounts {
+    /// Simulated memory accesses.
+    pub accesses: u64,
+    /// Accesses that hit the thread's own private cache.
+    pub private_hits: u64,
+    /// Accesses that missed the private cache but were satisfied on-socket
+    /// (shared L3 or a neighbouring private cache) — the paper's "L2 miss".
+    pub l2_misses: u64,
+    /// Subset of `l2_misses` that were served by a *peer's private cache*
+    /// (a dirty cache-to-cache transfer, more expensive than an L3 hit).
+    pub l2_from_peer: u64,
+    /// Accesses that had to leave the socket (another socket's cache or
+    /// DRAM) — the paper's "L3 miss".
+    pub l3_misses: u64,
+    /// Subset of `l3_misses` that went all the way to DRAM.
+    pub l3_from_dram: u64,
+}
+
+impl MissCounts {
+    /// Merge another counter block into this one.
+    pub fn merge(&mut self, other: &MissCounts) {
+        self.accesses += other.accesses;
+        self.private_hits += other.private_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_from_peer += other.l2_from_peer;
+        self.l3_misses += other.l3_misses;
+        self.l3_from_dram += other.l3_from_dram;
+    }
+}
+
+/// A full per-tag breakdown for one logical thread role (e.g. "CPHash
+/// client", "CPHash server", "LockHash").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Counter block per [`AccessTag`], indexed by `AccessTag::index()`.
+    rows: Vec<MissCounts>,
+    /// Number of hash-table operations the counters cover (for per-op
+    /// averages).
+    pub operations: u64,
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Breakdown {
+            rows: vec![MissCounts::default(); AccessTag::ALL.len()],
+            operations: 0,
+        }
+    }
+
+    /// Counter block for one tag.
+    pub fn row(&self, tag: AccessTag) -> &MissCounts {
+        &self.rows[tag.index()]
+    }
+
+    /// Mutable counter block for one tag.
+    pub fn row_mut(&mut self, tag: AccessTag) -> &mut MissCounts {
+        &mut self.rows[tag.index()]
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for tag in AccessTag::ALL {
+            self.rows[tag.index()].merge(other.row(tag));
+        }
+        self.operations += other.operations;
+    }
+
+    /// Totals over every tag.
+    pub fn total(&self) -> MissCounts {
+        let mut total = MissCounts::default();
+        for row in &self.rows {
+            total.merge(row);
+        }
+        total
+    }
+
+    /// Average L2 misses per operation for one tag.
+    pub fn l2_per_op(&self, tag: AccessTag) -> f64 {
+        Self::per_op(self.row(tag).l2_misses, self.operations)
+    }
+
+    /// Average L3 misses per operation for one tag.
+    pub fn l3_per_op(&self, tag: AccessTag) -> f64 {
+        Self::per_op(self.row(tag).l3_misses, self.operations)
+    }
+
+    /// Average total L2 misses per operation.
+    pub fn total_l2_per_op(&self) -> f64 {
+        Self::per_op(self.total().l2_misses, self.operations)
+    }
+
+    /// Average total L3 misses per operation.
+    pub fn total_l3_per_op(&self) -> f64 {
+        Self::per_op(self.total().l3_misses, self.operations)
+    }
+
+    fn per_op(count: u64, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            count as f64 / ops as f64
+        }
+    }
+
+    /// Render the breakdown as aligned text rows (tag, L2/op, L3/op),
+    /// skipping tags with no recorded accesses — the Figure 7 style table.
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{title:<28} {:>12} {:>12}\n",
+            "L2 miss/op", "L3 miss/op"
+        ));
+        for tag in AccessTag::ALL {
+            let row = self.row(tag);
+            if row.accesses == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<26} {:>12.2} {:>12.2}\n",
+                tag.label(),
+                self.l2_per_op(tag),
+                self.l3_per_op(tag)
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<26} {:>12.2} {:>12.2}\n",
+            "Total",
+            self.total_l2_per_op(),
+            self.total_l3_per_op()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate_and_merge() {
+        let mut b = Breakdown::new();
+        b.operations = 10;
+        b.row_mut(AccessTag::HashTraversal).accesses = 20;
+        b.row_mut(AccessTag::HashTraversal).l2_misses = 10;
+        b.row_mut(AccessTag::HashTraversal).l3_misses = 5;
+        assert_eq!(b.l2_per_op(AccessTag::HashTraversal), 1.0);
+        assert_eq!(b.l3_per_op(AccessTag::HashTraversal), 0.5);
+
+        let mut b2 = Breakdown::new();
+        b2.operations = 10;
+        b2.row_mut(AccessTag::SpinlockAcquire).l3_misses = 20;
+        b2.row_mut(AccessTag::SpinlockAcquire).accesses = 20;
+        b.merge(&b2);
+        assert_eq!(b.operations, 20);
+        assert_eq!(b.total().l3_misses, 25);
+        assert!((b.total_l3_per_op() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_divides_safely() {
+        let b = Breakdown::new();
+        assert_eq!(b.total_l2_per_op(), 0.0);
+        assert_eq!(b.l3_per_op(AccessTag::Other), 0.0);
+    }
+
+    #[test]
+    fn table_includes_only_active_rows() {
+        let mut b = Breakdown::new();
+        b.operations = 4;
+        b.row_mut(AccessTag::SendMessage).accesses = 4;
+        b.row_mut(AccessTag::SendMessage).l2_misses = 2;
+        let table = b.to_table("client");
+        assert!(table.contains("Send messages"));
+        assert!(!table.contains("Spinlock acquire"));
+        assert!(table.contains("Total"));
+    }
+}

@@ -1,0 +1,457 @@
+//! The cache-hierarchy simulator proper.
+//!
+//! A [`CacheHierarchy`] models, at cache-line granularity:
+//!
+//! * one private cache per hardware thread (the paper's per-core L1+L2),
+//! * one shared last-level cache per socket (the paper's 30 MB L3),
+//! * an ownership directory tracking which private caches currently hold
+//!   each line, so writes invalidate remote copies the way a MESI-style
+//!   protocol would.
+//!
+//! Every [`CacheHierarchy::access_line`] is classified into the same
+//! categories the paper's performance counters report: a private-cache hit,
+//! an "L2 miss" satisfied on-socket (from the shared L3 or a peer's private
+//! cache), or an "L3 miss" that leaves the socket (remote cache or DRAM).
+//! The caller attributes each access to an [`AccessTag`] and accumulates the
+//! outcome in a [`Breakdown`].
+
+use std::collections::HashMap;
+
+use cphash_cacheline::geometry::{lines_touched, LineId};
+
+use crate::config::CacheConfig;
+use crate::counters::Breakdown;
+use crate::lru::LruSet;
+use crate::tag::AccessTag;
+
+/// Read or write. Writes invalidate other private copies of the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (obtains exclusive ownership of the line).
+    Write,
+}
+
+/// Where a simulated access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the thread's own private cache (no coherence traffic).
+    PrivateHit,
+    /// Missed privately, served by the socket's shared L3 — paper "L2 miss".
+    L2MissSharedL3,
+    /// Missed privately, served by a peer private cache on the same socket
+    /// (cache-to-cache transfer) — paper "L2 miss", but more expensive.
+    L2MissPeerCache,
+    /// Served by a cache on another socket — paper "L3 miss".
+    L3MissRemoteSocket,
+    /// Served by DRAM — paper "L3 miss".
+    L3MissDram,
+}
+
+impl AccessOutcome {
+    /// Is this one of the paper's "L2 miss" events?
+    pub fn is_l2_miss(self) -> bool {
+        matches!(self, AccessOutcome::L2MissSharedL3 | AccessOutcome::L2MissPeerCache)
+    }
+
+    /// Is this one of the paper's "L3 miss" events?
+    pub fn is_l3_miss(self) -> bool {
+        matches!(self, AccessOutcome::L3MissRemoteSocket | AccessOutcome::L3MissDram)
+    }
+}
+
+/// Trace-driven model of private caches + per-socket L3 + coherence
+/// directory.
+pub struct CacheHierarchy {
+    config: CacheConfig,
+    private: Vec<LruSet>,
+    l3: Vec<LruSet>,
+    /// Which private caches hold each line. Small vectors: a hash-table line
+    /// is rarely shared by more than a handful of threads at once.
+    owners: HashMap<LineId, Vec<usize>>,
+    accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Build an empty (cold) hierarchy for the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.hw_threads > 0, "need at least one hardware thread");
+        assert!(config.threads_per_socket > 0, "need at least one thread per socket");
+        let private = (0..config.hw_threads)
+            .map(|_| LruSet::new(config.private_lines()))
+            .collect();
+        let l3 = (0..config.sockets())
+            .map(|_| LruSet::new(config.l3_lines()))
+            .collect();
+        CacheHierarchy {
+            config,
+            private,
+            l3,
+            owners: HashMap::new(),
+            accesses: 0,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Total simulated accesses so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Simulate one access by `thread` to the single cache line `line`.
+    pub fn access_line(&mut self, thread: usize, line: LineId, kind: AccessKind) -> AccessOutcome {
+        assert!(thread < self.config.hw_threads, "thread id out of range");
+        self.accesses += 1;
+        let socket = self.config.socket_of(thread);
+
+        let in_private = self.private[thread].contains(line);
+        let outcome = if in_private {
+            match kind {
+                AccessKind::Read => {
+                    self.private[thread].touch(line);
+                    AccessOutcome::PrivateHit
+                }
+                AccessKind::Write => {
+                    // Upgrade: if other private caches hold the line, they
+                    // must be invalidated; the cost is equivalent to
+                    // fetching the line from wherever the farthest copy is.
+                    let outcome = self.classify_upgrade(thread, socket, line);
+                    self.invalidate_others(thread, line);
+                    self.private[thread].touch(line);
+                    outcome
+                }
+            }
+        } else {
+            let outcome = self.classify_fetch(thread, socket, line);
+            if kind == AccessKind::Write {
+                self.invalidate_others(thread, line);
+            }
+            self.fill_private(thread, line);
+            outcome
+        };
+
+        // Any access allocates/refreshes the line in the local socket's L3
+        // (a non-inclusive but allocating last-level cache).
+        self.l3[socket].insert(line);
+        outcome
+    }
+
+    /// Simulate an access to an object of `len` bytes starting at `addr`,
+    /// recording each touched line's outcome under `tag` in `breakdown`.
+    pub fn access(
+        &mut self,
+        thread: usize,
+        addr: u64,
+        len: usize,
+        kind: AccessKind,
+        tag: AccessTag,
+        breakdown: &mut Breakdown,
+    ) {
+        let lines: Vec<LineId> = lines_touched(addr, len).collect();
+        for line in lines {
+            let outcome = self.access_line(thread, line, kind);
+            Self::record(breakdown, tag, outcome);
+        }
+    }
+
+    /// Record one outcome under `tag`.
+    pub fn record(breakdown: &mut Breakdown, tag: AccessTag, outcome: AccessOutcome) {
+        let row = breakdown.row_mut(tag);
+        row.accesses += 1;
+        match outcome {
+            AccessOutcome::PrivateHit => row.private_hits += 1,
+            AccessOutcome::L2MissSharedL3 => row.l2_misses += 1,
+            AccessOutcome::L2MissPeerCache => {
+                row.l2_misses += 1;
+                row.l2_from_peer += 1;
+            }
+            AccessOutcome::L3MissRemoteSocket => row.l3_misses += 1,
+            AccessOutcome::L3MissDram => {
+                row.l3_misses += 1;
+                row.l3_from_dram += 1;
+            }
+        }
+    }
+
+    /// Pre-load a range of addresses into a thread's private cache and its
+    /// socket's L3 without counting the accesses (used to model warmed-up
+    /// steady state before measurement starts).
+    pub fn warm(&mut self, thread: usize, addr: u64, len: usize) {
+        let socket = self.config.socket_of(thread);
+        for line in lines_touched(addr, len) {
+            self.fill_private(thread, line);
+            self.l3[socket].insert(line);
+        }
+    }
+
+    /// Drop every cached line (cold caches).
+    pub fn flush_all(&mut self) {
+        for p in &mut self.private {
+            p.clear();
+        }
+        for l3 in &mut self.l3 {
+            l3.clear();
+        }
+        self.owners.clear();
+    }
+
+    fn classify_upgrade(&self, me: usize, my_socket: usize, line: LineId) -> AccessOutcome {
+        let Some(owners) = self.owners.get(&line) else {
+            return AccessOutcome::PrivateHit;
+        };
+        let mut worst = AccessOutcome::PrivateHit;
+        for &owner in owners {
+            if owner == me {
+                continue;
+            }
+            let outcome = if self.config.socket_of(owner) == my_socket {
+                AccessOutcome::L2MissPeerCache
+            } else {
+                AccessOutcome::L3MissRemoteSocket
+            };
+            worst = Self::worse(worst, outcome);
+        }
+        worst
+    }
+
+    fn classify_fetch(&self, me: usize, my_socket: usize, line: LineId) -> AccessOutcome {
+        // A peer's private copy is preferred over the L3 only for
+        // classification of *cost*: an on-socket peer means the data never
+        // leaves the socket either way, so both count as the paper's
+        // "L2 miss"; the peer transfer is just more expensive.
+        let mut on_socket_peer = false;
+        let mut off_socket_peer = false;
+        if let Some(owners) = self.owners.get(&line) {
+            for &owner in owners {
+                if owner == me {
+                    continue;
+                }
+                if self.config.socket_of(owner) == my_socket {
+                    on_socket_peer = true;
+                } else {
+                    off_socket_peer = true;
+                }
+            }
+        }
+        if on_socket_peer {
+            return AccessOutcome::L2MissPeerCache;
+        }
+        if self.l3[my_socket].contains(line) {
+            return AccessOutcome::L2MissSharedL3;
+        }
+        if off_socket_peer {
+            return AccessOutcome::L3MissRemoteSocket;
+        }
+        // Another socket's L3 also counts as a remote-socket transfer.
+        for (socket, l3) in self.l3.iter().enumerate() {
+            if socket != my_socket && l3.contains(line) {
+                return AccessOutcome::L3MissRemoteSocket;
+            }
+        }
+        AccessOutcome::L3MissDram
+    }
+
+    fn worse(a: AccessOutcome, b: AccessOutcome) -> AccessOutcome {
+        fn rank(o: AccessOutcome) -> u8 {
+            match o {
+                AccessOutcome::PrivateHit => 0,
+                AccessOutcome::L2MissSharedL3 => 1,
+                AccessOutcome::L2MissPeerCache => 2,
+                AccessOutcome::L3MissRemoteSocket => 3,
+                AccessOutcome::L3MissDram => 4,
+            }
+        }
+        if rank(a) >= rank(b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn invalidate_others(&mut self, me: usize, line: LineId) {
+        if let Some(owners) = self.owners.get_mut(&line) {
+            for &owner in owners.iter() {
+                if owner != me {
+                    self.private[owner].remove(line);
+                }
+            }
+            owners.clear();
+            owners.push(me);
+        }
+        // A store makes every copy outside the writer's socket stale,
+        // including ones sitting in other sockets' L3 caches.
+        let my_socket = self.config.socket_of(me);
+        for (socket, l3) in self.l3.iter_mut().enumerate() {
+            if socket != my_socket {
+                l3.remove(line);
+            }
+        }
+    }
+
+    fn fill_private(&mut self, thread: usize, line: LineId) {
+        if let Some(evicted) = self.private[thread].insert(line) {
+            if let Some(owners) = self.owners.get_mut(&evicted) {
+                owners.retain(|&o| o != thread);
+                if owners.is_empty() {
+                    self.owners.remove(&evicted);
+                }
+            }
+        }
+        let owners = self.owners.entry(line).or_default();
+        if !owners.contains(&thread) {
+            owners.push(thread);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineId {
+        LineId(n)
+    }
+
+    fn tiny() -> CacheHierarchy {
+        // 2 sockets × 4 threads, 4 KB private (64 lines), 64 KB L3.
+        CacheHierarchy::new(CacheConfig {
+            private_bytes: 4 * 1024,
+            l3_bytes: 64 * 1024,
+            hw_threads: 8,
+            threads_per_socket: 4,
+        })
+    }
+
+    #[test]
+    fn cold_read_is_a_dram_miss_then_a_hit() {
+        let mut h = tiny();
+        assert_eq!(h.access_line(0, line(10), AccessKind::Read), AccessOutcome::L3MissDram);
+        assert_eq!(h.access_line(0, line(10), AccessKind::Read), AccessOutcome::PrivateHit);
+        assert_eq!(h.total_accesses(), 2);
+    }
+
+    #[test]
+    fn same_socket_sharing_is_an_l2_class_miss() {
+        let mut h = tiny();
+        h.access_line(0, line(7), AccessKind::Read);
+        // Thread 1 (same socket) reads the line thread 0 holds.
+        let outcome = h.access_line(1, line(7), AccessKind::Read);
+        assert!(outcome.is_l2_miss(), "outcome = {outcome:?}");
+        assert_eq!(outcome, AccessOutcome::L2MissPeerCache);
+    }
+
+    #[test]
+    fn cross_socket_sharing_is_an_l3_class_miss() {
+        let mut h = tiny();
+        h.access_line(0, line(7), AccessKind::Read);
+        // Thread 4 lives on socket 1.
+        let outcome = h.access_line(4, line(7), AccessKind::Read);
+        assert!(outcome.is_l3_miss(), "outcome = {outcome:?}");
+        assert_eq!(outcome, AccessOutcome::L3MissRemoteSocket);
+    }
+
+    #[test]
+    fn l3_hit_after_private_eviction() {
+        let mut h = tiny();
+        // Fill thread 0's private cache (64 lines) far beyond capacity.
+        for i in 0..200u64 {
+            h.access_line(0, line(i), AccessKind::Read);
+        }
+        // Line 0 fell out of the private cache but stays in the socket L3.
+        let outcome = h.access_line(0, line(0), AccessKind::Read);
+        assert_eq!(outcome, AccessOutcome::L2MissSharedL3);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut h = tiny();
+        h.access_line(0, line(3), AccessKind::Read);
+        h.access_line(1, line(3), AccessKind::Read);
+        // Thread 1 writes: thread 0 loses its copy.
+        let w = h.access_line(1, line(3), AccessKind::Write);
+        assert!(w.is_l2_miss(), "upgrade over a shared line costs coherence traffic");
+        // Thread 0's next read must go back to the socket (peer or L3).
+        let r = h.access_line(0, line(3), AccessKind::Read);
+        assert!(r.is_l2_miss(), "outcome = {r:?}");
+    }
+
+    #[test]
+    fn exclusive_write_after_private_fill_is_a_hit() {
+        let mut h = tiny();
+        h.access_line(2, line(9), AccessKind::Write);
+        assert_eq!(h.access_line(2, line(9), AccessKind::Write), AccessOutcome::PrivateHit);
+        assert_eq!(h.access_line(2, line(9), AccessKind::Read), AccessOutcome::PrivateHit);
+    }
+
+    #[test]
+    fn lock_ping_pong_costs_misses_every_time() {
+        // The LockHash pathology: two threads on different sockets
+        // alternately write the same lock line; every access is a miss.
+        let mut h = tiny();
+        h.access_line(0, line(42), AccessKind::Write);
+        for _ in 0..10 {
+            assert!(h.access_line(4, line(42), AccessKind::Write).is_l3_miss());
+            assert!(h.access_line(0, line(42), AccessKind::Write).is_l3_miss());
+        }
+    }
+
+    #[test]
+    fn partition_locality_keeps_hits_local() {
+        // The CPHash property: a server thread that repeatedly touches its
+        // own partition's lines hits its private cache every time after the
+        // first touch.
+        let mut h = tiny();
+        let mut misses = 0;
+        for round in 0..50 {
+            for i in 0..32u64 {
+                let outcome = h.access_line(3, line(1000 + i), AccessKind::Write);
+                if round > 0 && outcome != AccessOutcome::PrivateHit {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 0, "partition working set fits and stays private");
+    }
+
+    #[test]
+    fn warm_preloads_without_counting() {
+        let mut h = tiny();
+        h.warm(0, 0, 4096);
+        assert_eq!(h.total_accesses(), 0);
+        assert_eq!(h.access_line(0, line(0), AccessKind::Read), AccessOutcome::PrivateHit);
+    }
+
+    #[test]
+    fn access_records_into_breakdown() {
+        let mut h = tiny();
+        let mut b = Breakdown::new();
+        b.operations = 1;
+        // A 128-byte object touches two lines, both cold.
+        h.access(0, 0, 128, AccessKind::Read, AccessTag::HashTraversal, &mut b);
+        let row = b.row(AccessTag::HashTraversal);
+        assert_eq!(row.accesses, 2);
+        assert_eq!(row.l3_misses, 2);
+        assert_eq!(row.l3_from_dram, 2);
+        assert_eq!(b.total_l3_per_op(), 2.0);
+    }
+
+    #[test]
+    fn flush_all_forgets_everything() {
+        let mut h = tiny();
+        h.access_line(0, line(5), AccessKind::Read);
+        h.flush_all();
+        assert_eq!(h.access_line(0, line(5), AccessKind::Read), AccessOutcome::L3MissDram);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_thread_id_panics() {
+        let mut h = tiny();
+        h.access_line(99, line(0), AccessKind::Read);
+    }
+}

@@ -1,0 +1,180 @@
+//! A bounded LRU set of cache lines.
+//!
+//! Each modelled cache (private or L3) is a capacity-bounded set of
+//! [`LineId`]s with least-recently-used replacement.  Implemented as a
+//! hash map from line to timestamp plus an ordered map from timestamp to
+//! line, giving `O(log n)` touch/evict without unsafe code.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cphash_cacheline::geometry::LineId;
+
+/// A fixed-capacity set of cache lines with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    capacity: usize,
+    stamp: u64,
+    by_line: HashMap<LineId, u64>,
+    by_stamp: BTreeMap<u64, LineId>,
+}
+
+impl LruSet {
+    /// Create a set holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruSet {
+            capacity,
+            stamp: 0,
+            by_line: HashMap::with_capacity(capacity.min(1 << 20)),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.by_line.len()
+    }
+
+    /// Returns `true` when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Is `line` resident? Does not update recency.
+    pub fn contains(&self, line: LineId) -> bool {
+        self.by_line.contains_key(&line)
+    }
+
+    /// Mark `line` as most recently used if resident. Returns whether it was
+    /// resident.
+    pub fn touch(&mut self, line: LineId) -> bool {
+        if let Some(old) = self.by_line.get_mut(&line) {
+            self.by_stamp.remove(old);
+            self.stamp += 1;
+            *old = self.stamp;
+            self.by_stamp.insert(self.stamp, line);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert `line` as most recently used, evicting the least recently used
+    /// line if the set is full. Returns the evicted line, if any.
+    pub fn insert(&mut self, line: LineId) -> Option<LineId> {
+        if self.touch(line) {
+            return None;
+        }
+        let mut evicted = None;
+        if self.by_line.len() >= self.capacity {
+            if let Some((&oldest_stamp, &oldest_line)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&oldest_stamp);
+                self.by_line.remove(&oldest_line);
+                evicted = Some(oldest_line);
+            }
+        }
+        self.stamp += 1;
+        self.by_line.insert(line, self.stamp);
+        self.by_stamp.insert(self.stamp, line);
+        evicted
+    }
+
+    /// Remove `line` from the set (invalidation). Returns whether it was
+    /// resident.
+    pub fn remove(&mut self, line: LineId) -> bool {
+        if let Some(stamp) = self.by_line.remove(&line) {
+            self.by_stamp.remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every resident line.
+    pub fn clear(&mut self) {
+        self.by_line.clear();
+        self.by_stamp.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineId {
+        LineId(n)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = LruSet::new(2);
+        assert!(s.is_empty());
+        assert_eq!(s.insert(l(1)), None);
+        assert_eq!(s.insert(l(2)), None);
+        assert!(s.contains(l(1)));
+        assert!(s.contains(l(2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.insert(l(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(s.touch(l(1)));
+        assert_eq!(s.insert(l(3)), Some(l(2)));
+        assert!(s.contains(l(1)));
+        assert!(s.contains(l(3)));
+        assert!(!s.contains(l(2)));
+    }
+
+    #[test]
+    fn reinserting_resident_line_evicts_nothing() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.insert(l(2));
+        assert_eq!(s.insert(l(1)), None);
+        assert_eq!(s.len(), 2);
+        // And line 2 is now the LRU victim.
+        assert_eq!(s.insert(l(3)), Some(l(2)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = LruSet::new(4);
+        s.insert(l(1));
+        s.insert(l(2));
+        assert!(s.remove(l(1)));
+        assert!(!s.remove(l(1)));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.touch(l(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+
+    #[test]
+    fn heavy_use_respects_capacity() {
+        let mut s = LruSet::new(64);
+        for i in 0..10_000u64 {
+            s.insert(l(i));
+            assert!(s.len() <= 64);
+        }
+        // The most recent 64 lines are resident.
+        for i in 10_000 - 64..10_000 {
+            assert!(s.contains(l(i)), "line {i} should be resident");
+        }
+    }
+}

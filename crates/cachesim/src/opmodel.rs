@@ -1,0 +1,722 @@
+//! Operation-level access models for CPHash and LockHash.
+//!
+//! These models replay, through the [`CacheHierarchy`], the logical memory
+//! accesses that one hash-table operation performs under each design:
+//! which lock words, bucket heads, element headers, LRU pointers, message
+//! lines and value bytes it touches, and from which hardware thread.  The
+//! result is a per-function miss breakdown in the same shape as the paper's
+//! Figures 6 and 7.
+//!
+//! The models intentionally mirror the descriptions in §3 and §6.2:
+//!
+//! * **LockHash** (per operation, executed entirely on the issuing client's
+//!   hardware thread): acquire the partition spinlock, walk the bucket
+//!   (bucket head + element header), update the LRU list (head pointer +
+//!   neighbouring element headers), read or write the value, optionally
+//!   insert (header + bucket head + allocator state), release the lock.
+//! * **CPHash** (split between the client and the partition's server
+//!   thread): the client writes request messages into the per-server ring
+//!   (packed 8 per cache line), the server reads them, executes the
+//!   operation against *its own* partition (whose metadata stays in its
+//!   private cache), writes responses, and the client reads the responses
+//!   and then touches the value bytes directly.
+//!
+//! Key placement, bucket counts and partition sizes are all derived from the
+//! same workload parameters the real benchmark uses, so the model and the
+//! measured throughput runs describe the same experiment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+use crate::counters::Breakdown;
+use crate::hierarchy::{AccessKind, CacheHierarchy};
+use crate::tag::AccessTag;
+use cphash_cacheline::CACHE_LINE_SIZE;
+
+/// Base addresses of the synthetic address-space regions. Spaced far apart
+/// so regions never alias.
+mod region {
+    pub const LOCKS: u64 = 0x0100_0000_0000;
+    pub const BUCKETS: u64 = 0x0200_0000_0000;
+    pub const HEADERS: u64 = 0x0300_0000_0000;
+    pub const VALUES: u64 = 0x0400_0000_0000;
+    pub const PARTITION_META: u64 = 0x0500_0000_0000;
+    pub const REQUEST_RINGS: u64 = 0x0600_0000_0000;
+    pub const RESPONSE_RINGS: u64 = 0x0700_0000_0000;
+    pub const ALLOC_META: u64 = 0x0800_0000_0000;
+}
+
+/// Workload / machine parameters shared by both models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpModelParams {
+    /// Cache geometry to simulate.
+    pub cache: CacheConfig,
+    /// Number of client hardware threads issuing operations.
+    pub clients: usize,
+    /// Number of CPHash server threads / partitions.
+    pub servers: usize,
+    /// Number of LockHash partitions (the paper uses 4,096).
+    pub lock_partitions: usize,
+    /// Total bytes of distinct values in the working set.
+    pub working_set_bytes: usize,
+    /// Bytes per value (8 in the microbenchmark).
+    pub value_bytes: usize,
+    /// Fraction of operations that are INSERTs.
+    pub insert_ratio: f64,
+    /// Whether the LRU list is maintained (vs. random eviction).
+    pub lru: bool,
+    /// Operations to simulate (split round-robin over clients).
+    pub operations: u64,
+    /// Ring capacity, in messages, of each client↔server lane.
+    pub ring_capacity: usize,
+    /// Seed for the deterministic key stream.
+    pub seed: u64,
+}
+
+impl Default for OpModelParams {
+    fn default() -> Self {
+        // The Figure 6/7 configuration: 1 MB working set, 8-byte values,
+        // 30% inserts, LRU, paper-machine thread counts.
+        OpModelParams {
+            cache: CacheConfig::paper_machine(),
+            clients: 80,
+            servers: 80,
+            lock_partitions: 4096,
+            working_set_bytes: 1024 * 1024,
+            value_bytes: 8,
+            insert_ratio: 0.3,
+            lru: true,
+            operations: 200_000,
+            ring_capacity: 4096,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl OpModelParams {
+    /// Number of distinct keys implied by the working set and value size.
+    pub fn distinct_keys(&self) -> u64 {
+        (self.working_set_bytes / self.value_bytes.max(1)).max(1) as u64
+    }
+
+    /// Buckets per design: the paper configures "an average of one element
+    /// per bucket", so the bucket count equals the key count.
+    pub fn total_buckets(&self) -> u64 {
+        self.distinct_keys()
+    }
+
+    fn validate(&self) {
+        assert!(self.clients > 0, "need at least one client");
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.lock_partitions > 0, "need at least one lock partition");
+        assert!(self.value_bytes > 0, "values must have at least one byte");
+        assert!(
+            (0.0..=1.0).contains(&self.insert_ratio),
+            "insert ratio must be a fraction"
+        );
+    }
+}
+
+/// Output of the CPHash model: the client-side and server-side breakdowns
+/// (the two CPHash columns of Figure 6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpHashModelOutput {
+    /// Misses attributed to client threads.
+    pub client: Breakdown,
+    /// Misses attributed to server threads.
+    pub server: Breakdown,
+}
+
+/// Deterministic xorshift key stream so the model needs no external RNG and
+/// runs identically everywhere.
+#[derive(Debug, Clone)]
+struct KeyStream {
+    state: u64,
+    distinct: u64,
+}
+
+impl KeyStream {
+    fn new(seed: u64, distinct: u64) -> Self {
+        KeyStream {
+            state: seed.max(1),
+            distinct: distinct.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Next key in `[0, distinct)`.
+    fn next_key(&mut self) -> u64 {
+        self.next_u64() % self.distinct
+    }
+
+    /// Next uniform fraction in `[0, 1)`.
+    fn next_fraction(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Simple 64-bit mix used to spread keys over partitions and buckets — the
+/// same role as the paper's "simple hash function".
+fn mix(key: u64) -> u64 {
+    let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    x
+}
+
+fn key_addr_header(key: u64) -> u64 {
+    region::HEADERS + key * CACHE_LINE_SIZE as u64
+}
+
+fn key_addr_value(key: u64, value_bytes: usize) -> u64 {
+    region::VALUES + key * value_bytes as u64
+}
+
+fn bucket_addr(bucket: u64) -> u64 {
+    // Bucket heads are 8-byte pointers, packed 8 per line.
+    region::BUCKETS + bucket * 8
+}
+
+fn lock_addr(partition: u64) -> u64 {
+    // Each lock padded to its own line (see cphash-sync::LockTable).
+    region::LOCKS + partition * CACHE_LINE_SIZE as u64
+}
+
+fn partition_meta_addr(partition: u64) -> u64 {
+    // Per-partition metadata (LRU head/tail, counts) in its own line.
+    region::PARTITION_META + partition * CACHE_LINE_SIZE as u64
+}
+
+fn alloc_meta_addr(partition: u64) -> u64 {
+    region::ALLOC_META + partition * CACHE_LINE_SIZE as u64
+}
+
+/// Simulate the LockHash design and return its per-function breakdown
+/// (the right-hand column block of Figure 7).
+pub fn simulate_lockhash(params: &OpModelParams) -> Breakdown {
+    params.validate();
+    let mut hierarchy = CacheHierarchy::new(params.cache);
+    let mut breakdown = Breakdown::new();
+    let mut keys = KeyStream::new(params.seed, params.distinct_keys());
+    let buckets = params.total_buckets();
+    let clients = params.clients.min(params.cache.hw_threads);
+
+    // Track the most-recently-used key per partition so LRU updates touch a
+    // realistic "previous head" element header.
+    let mut lru_head: Vec<u64> = vec![u64::MAX; params.lock_partitions];
+
+    for op in 0..params.operations {
+        let client = (op % clients as u64) as usize;
+        let key = keys.next_key();
+        let is_insert = keys.next_fraction() < params.insert_ratio;
+        let hashed = mix(key);
+        let partition = (hashed % params.lock_partitions as u64) as usize;
+        let bucket = hashed % buckets;
+
+        // Acquire the partition spinlock (write: the lock word bounces).
+        hierarchy.access(
+            client,
+            lock_addr(partition as u64),
+            8,
+            AccessKind::Write,
+            AccessTag::SpinlockAcquire,
+            &mut breakdown,
+        );
+
+        // Hash-table traversal: bucket head, then the element header.
+        hierarchy.access(
+            client,
+            bucket_addr(bucket),
+            8,
+            AccessKind::Read,
+            AccessTag::HashTraversal,
+            &mut breakdown,
+        );
+        hierarchy.access(
+            client,
+            key_addr_header(key),
+            CACHE_LINE_SIZE,
+            AccessKind::Read,
+            AccessTag::HashTraversal,
+            &mut breakdown,
+        );
+
+        if params.lru {
+            // LRU update: write this element's list pointers, the partition
+            // LRU head, and the previous head's back pointer.
+            hierarchy.access(
+                client,
+                key_addr_header(key),
+                CACHE_LINE_SIZE,
+                AccessKind::Write,
+                AccessTag::LruUpdate,
+                &mut breakdown,
+            );
+            hierarchy.access(
+                client,
+                partition_meta_addr(partition as u64),
+                CACHE_LINE_SIZE,
+                AccessKind::Write,
+                AccessTag::LruUpdate,
+                &mut breakdown,
+            );
+            let prev = lru_head[partition];
+            if prev != u64::MAX && prev != key {
+                hierarchy.access(
+                    client,
+                    key_addr_header(prev),
+                    CACHE_LINE_SIZE,
+                    AccessKind::Write,
+                    AccessTag::LruUpdate,
+                    &mut breakdown,
+                );
+            }
+            lru_head[partition] = key;
+        }
+
+        if is_insert {
+            // Insert: rewrite the element header, link it into the bucket,
+            // touch the partition's allocator metadata, copy the value.
+            hierarchy.access(
+                client,
+                key_addr_header(key),
+                CACHE_LINE_SIZE,
+                AccessKind::Write,
+                AccessTag::HashInsert,
+                &mut breakdown,
+            );
+            hierarchy.access(
+                client,
+                bucket_addr(bucket),
+                8,
+                AccessKind::Write,
+                AccessTag::HashInsert,
+                &mut breakdown,
+            );
+            hierarchy.access(
+                client,
+                alloc_meta_addr(partition as u64),
+                CACHE_LINE_SIZE,
+                AccessKind::Write,
+                AccessTag::HashInsert,
+                &mut breakdown,
+            );
+            hierarchy.access(
+                client,
+                key_addr_value(key, params.value_bytes),
+                params.value_bytes,
+                AccessKind::Write,
+                AccessTag::AccessData,
+                &mut breakdown,
+            );
+        } else {
+            // Lookup: read the value.
+            hierarchy.access(
+                client,
+                key_addr_value(key, params.value_bytes),
+                params.value_bytes,
+                AccessKind::Read,
+                AccessTag::AccessData,
+                &mut breakdown,
+            );
+        }
+
+        // Release the lock: the line is already exclusive in our cache, so
+        // this is a private hit; modelled for completeness.
+        hierarchy.access(
+            client,
+            lock_addr(partition as u64),
+            8,
+            AccessKind::Write,
+            AccessTag::SpinlockAcquire,
+            &mut breakdown,
+        );
+
+        breakdown.operations += 1;
+    }
+    breakdown
+}
+
+/// Simulate the CPHash design and return client-side and server-side
+/// breakdowns (the two left column blocks of Figure 7).
+pub fn simulate_cphash(params: &OpModelParams) -> CpHashModelOutput {
+    params.validate();
+    let mut hierarchy = CacheHierarchy::new(params.cache);
+    let mut client_bd = Breakdown::new();
+    let mut server_bd = Breakdown::new();
+    let mut keys = KeyStream::new(params.seed ^ 0xABCD, params.distinct_keys());
+    let buckets_per_partition = (params.total_buckets() / params.servers as u64).max(1);
+
+    let hw = params.cache.hw_threads;
+    let clients = params.clients.min(hw);
+    // Server threads occupy the SMT siblings of the client threads when the
+    // modelled machine has enough hardware threads (the §6.1 placement);
+    // otherwise they share the clients' thread ids, which only makes the
+    // model pessimistic for CPHash.
+    let server_thread = |s: usize| -> usize {
+        let candidate = hw / 2 + (s % (hw / 2).max(1));
+        if candidate < hw {
+            candidate
+        } else {
+            s % hw
+        }
+    };
+
+    // Per (client, server) ring cursors, in messages.
+    let lanes = clients * params.servers;
+    let mut req_cursor: Vec<u64> = vec![0; lanes];
+    let mut resp_cursor: Vec<u64> = vec![0; lanes];
+    let ring_bytes = (params.ring_capacity * 8) as u64;
+    let lane_stride = cphash_cacheline::round_up_to_line(ring_bytes as usize) as u64 * 2;
+
+    let req_addr = |client: usize, server: usize, cursor: u64| -> u64 {
+        let lane = (client * params.servers + server) as u64;
+        region::REQUEST_RINGS + lane * lane_stride + (cursor * 8) % ring_bytes
+    };
+    let resp_addr = |client: usize, server: usize, cursor: u64| -> u64 {
+        let lane = (client * params.servers + server) as u64;
+        region::RESPONSE_RINGS + lane * lane_stride + (cursor * 8) % ring_bytes
+    };
+
+    // Per-partition LRU head key (lives in the server's partition metadata).
+    let mut lru_head: Vec<u64> = vec![u64::MAX; params.servers];
+
+    // One pending operation, after the client has generated it and before
+    // the phase that consumes it.
+    struct PendingOp {
+        client: usize,
+        server: usize,
+        lane: usize,
+        key: u64,
+        is_insert: bool,
+        req_slot: u64,
+        resp_slot: u64,
+    }
+
+    // The client pipelines a batch of requests before the server runs —
+    // that asynchrony is exactly what lets consecutive messages to the same
+    // server pack into shared cache lines (paper §3.4).  Each round, every
+    // client queues `ops_per_client_round` operations, then servers drain
+    // them, then clients collect responses and send the follow-up
+    // (Ready/Decref) messages, which servers drain at the start of the next
+    // round.
+    let ops_per_client_round: u64 = 64;
+    let round_ops = ops_per_client_round * clients as u64;
+    let mut remaining = params.operations;
+    let mut followups: Vec<(usize, usize, u64)> = Vec::new(); // (sthread, lane-client, slot) reads pending
+
+    while remaining > 0 {
+        let this_round = remaining.min(round_ops);
+        let mut pending: Vec<PendingOp> = Vec::with_capacity(this_round as usize);
+
+        // --- Phase A: clients queue request messages (batched, packed).
+        for i in 0..this_round {
+            let client = (i % clients as u64) as usize;
+            let key = keys.next_key();
+            let is_insert = keys.next_fraction() < params.insert_ratio;
+            let hashed = mix(key);
+            let server = (hashed % params.servers as u64) as usize;
+            let lane = client * params.servers + server;
+            let msg_bytes = if is_insert { 16 } else { 8 };
+            let req_slot = req_cursor[lane];
+            hierarchy.access(
+                client,
+                req_addr(client, server, req_slot),
+                msg_bytes,
+                AccessKind::Write,
+                AccessTag::SendMessage,
+                &mut client_bd,
+            );
+            req_cursor[lane] += if is_insert { 2 } else { 1 };
+            let resp_slot = resp_cursor[lane];
+            resp_cursor[lane] += 1;
+            pending.push(PendingOp {
+                client,
+                server,
+                lane,
+                key,
+                is_insert,
+                req_slot,
+                resp_slot,
+            });
+        }
+
+        // --- Phase B: servers drain requests, execute, queue responses.
+        // First finish off the previous round's follow-up messages.
+        for (sthread, lane, slot) in followups.drain(..) {
+            hierarchy.access(
+                sthread,
+                region::REQUEST_RINGS + (lane as u64) * lane_stride + (slot * 8) % ring_bytes,
+                8,
+                AccessKind::Read,
+                AccessTag::ReceiveMessage,
+                &mut server_bd,
+            );
+        }
+        for op in &pending {
+            let sthread = server_thread(op.server);
+            let msg_bytes = if op.is_insert { 16 } else { 8 };
+            hierarchy.access(
+                sthread,
+                req_addr(op.client, op.server, op.req_slot),
+                msg_bytes,
+                AccessKind::Read,
+                AccessTag::ReceiveMessage,
+                &mut server_bd,
+            );
+
+            let hashed = mix(op.key);
+            let bucket_in_partition = (hashed / params.servers as u64) % buckets_per_partition;
+            // Partition-local bucket array lives with the partition's
+            // metadata so it belongs to the server's working set.
+            let bucket_address = region::PARTITION_META
+                + (params.servers as u64 + op.server as u64) * 1_048_576
+                + bucket_in_partition * 8;
+            hierarchy.access(
+                sthread,
+                bucket_address,
+                8,
+                AccessKind::Read,
+                AccessTag::ExecuteMessage,
+                &mut server_bd,
+            );
+            hierarchy.access(
+                sthread,
+                key_addr_header(op.key),
+                CACHE_LINE_SIZE,
+                if op.is_insert { AccessKind::Write } else { AccessKind::Read },
+                AccessTag::ExecuteMessage,
+                &mut server_bd,
+            );
+            if params.lru {
+                hierarchy.access(
+                    sthread,
+                    partition_meta_addr(op.server as u64),
+                    CACHE_LINE_SIZE,
+                    AccessKind::Write,
+                    AccessTag::ExecuteMessage,
+                    &mut server_bd,
+                );
+                let prev = lru_head[op.server];
+                if prev != u64::MAX && prev != op.key {
+                    hierarchy.access(
+                        sthread,
+                        key_addr_header(prev),
+                        CACHE_LINE_SIZE,
+                        AccessKind::Write,
+                        AccessTag::ExecuteMessage,
+                        &mut server_bd,
+                    );
+                }
+                lru_head[op.server] = op.key;
+            }
+            if op.is_insert {
+                hierarchy.access(
+                    sthread,
+                    alloc_meta_addr(op.server as u64),
+                    CACHE_LINE_SIZE,
+                    AccessKind::Write,
+                    AccessTag::ExecuteMessage,
+                    &mut server_bd,
+                );
+            }
+
+            hierarchy.access(
+                sthread,
+                resp_addr(op.client, op.server, op.resp_slot),
+                8,
+                AccessKind::Write,
+                AccessTag::SendResponse,
+                &mut server_bd,
+            );
+            server_bd.operations += 1;
+        }
+
+        // --- Phase C: clients drain responses, touch the data, and queue
+        // the follow-up message (Ready for inserts, Decref for lookups).
+        for op in &pending {
+            hierarchy.access(
+                op.client,
+                resp_addr(op.client, op.server, op.resp_slot),
+                8,
+                AccessKind::Read,
+                AccessTag::ReceiveResponse,
+                &mut client_bd,
+            );
+            hierarchy.access(
+                op.client,
+                key_addr_value(op.key, params.value_bytes),
+                params.value_bytes,
+                if op.is_insert { AccessKind::Write } else { AccessKind::Read },
+                AccessTag::AccessData,
+                &mut client_bd,
+            );
+            let follow_slot = req_cursor[op.lane];
+            hierarchy.access(
+                op.client,
+                req_addr(op.client, op.server, follow_slot),
+                8,
+                AccessKind::Write,
+                AccessTag::SendMessage,
+                &mut client_bd,
+            );
+            req_cursor[op.lane] += 1;
+            followups.push((
+                server_thread(op.server),
+                op.client * params.servers + op.server,
+                follow_slot,
+            ));
+            client_bd.operations += 1;
+        }
+
+        remaining -= this_round;
+    }
+
+    // Servers drain the final round's follow-ups so every message is
+    // accounted for.
+    for (sthread, lane, slot) in followups.drain(..) {
+        hierarchy.access(
+            sthread,
+            region::REQUEST_RINGS + (lane as u64) * lane_stride + (slot * 8) % ring_bytes,
+            8,
+            AccessKind::Read,
+            AccessTag::ReceiveMessage,
+            &mut server_bd,
+        );
+    }
+
+    CpHashModelOutput {
+        client: client_bd,
+        server: server_bd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::AccessTag;
+
+    fn small_params() -> OpModelParams {
+        OpModelParams {
+            cache: CacheConfig::scaled(16, 2),
+            clients: 8,
+            servers: 8,
+            lock_partitions: 256,
+            working_set_bytes: 64 * 1024,
+            value_bytes: 8,
+            insert_ratio: 0.3,
+            lru: true,
+            operations: 20_000,
+            ring_capacity: 1024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn distinct_keys_follow_working_set() {
+        let p = small_params();
+        assert_eq!(p.distinct_keys(), 8192);
+        assert_eq!(p.total_buckets(), 8192);
+    }
+
+    #[test]
+    fn lockhash_breakdown_has_the_expected_rows() {
+        let b = simulate_lockhash(&small_params());
+        assert_eq!(b.operations, 20_000);
+        for tag in [
+            AccessTag::SpinlockAcquire,
+            AccessTag::HashTraversal,
+            AccessTag::LruUpdate,
+            AccessTag::AccessData,
+            AccessTag::HashInsert,
+        ] {
+            assert!(b.row(tag).accesses > 0, "missing accesses for {tag:?}");
+        }
+        // No message-passing rows in the lock-based design.
+        assert_eq!(b.row(AccessTag::SendMessage).accesses, 0);
+        assert_eq!(b.row(AccessTag::ReceiveMessage).accesses, 0);
+    }
+
+    #[test]
+    fn cphash_breakdowns_have_the_expected_rows() {
+        let out = simulate_cphash(&small_params());
+        assert_eq!(out.client.operations, 20_000);
+        for tag in [AccessTag::SendMessage, AccessTag::ReceiveResponse, AccessTag::AccessData] {
+            assert!(out.client.row(tag).accesses > 0, "client missing {tag:?}");
+        }
+        for tag in [AccessTag::ReceiveMessage, AccessTag::ExecuteMessage, AccessTag::SendResponse] {
+            assert!(out.server.row(tag).accesses > 0, "server missing {tag:?}");
+        }
+        // The client never touches partition metadata, and the server never
+        // spins on locks.
+        assert_eq!(out.client.row(AccessTag::SpinlockAcquire).accesses, 0);
+        assert_eq!(out.server.row(AccessTag::SpinlockAcquire).accesses, 0);
+    }
+
+    #[test]
+    fn cphash_misses_fewer_lines_than_lockhash() {
+        // The paper's headline: ~3.1 combined misses per op for CPHash
+        // (client+server) vs ~7 for LockHash at 1 MB working set.  The
+        // model only has to reproduce the ordering and a clear gap.
+        let p = small_params();
+        let lock = simulate_lockhash(&p);
+        let cp = simulate_cphash(&p);
+        let lock_total = lock.total_l2_per_op() + lock.total_l3_per_op();
+        let cp_total = cp.client.total_l2_per_op()
+            + cp.client.total_l3_per_op()
+            + cp.server.total_l2_per_op()
+            + cp.server.total_l3_per_op();
+        assert!(
+            lock_total > cp_total,
+            "lockhash {lock_total:.2} misses/op should exceed cphash {cp_total:.2}"
+        );
+    }
+
+    #[test]
+    fn cphash_server_execution_is_mostly_local() {
+        // The partition metadata belongs to one server thread, so execute-
+        // message accesses should overwhelmingly hit the private cache.
+        let out = simulate_cphash(&small_params());
+        let row = out.server.row(AccessTag::ExecuteMessage);
+        let hit_rate = row.private_hits as f64 / row.accesses as f64;
+        assert!(hit_rate > 0.5, "server locality too low: {hit_rate:.2}");
+    }
+
+    #[test]
+    fn message_batching_amortizes_send_misses() {
+        // Eight 8-byte messages share a line, so per-op send misses must be
+        // well below 1.
+        let out = simulate_cphash(&small_params());
+        let sends = out.client.row(AccessTag::SendMessage);
+        let miss_per_op = (sends.l2_misses + sends.l3_misses) as f64 / out.client.operations as f64;
+        assert!(miss_per_op < 1.0, "send misses per op = {miss_per_op:.2}");
+    }
+
+    #[test]
+    fn lru_flag_controls_lru_traffic() {
+        let mut p = small_params();
+        p.lru = false;
+        let b = simulate_lockhash(&p);
+        assert_eq!(b.row(AccessTag::LruUpdate).accesses, 0);
+        let out = simulate_cphash(&p);
+        // Without LRU the server still executes, just with fewer accesses.
+        assert!(out.server.row(AccessTag::ExecuteMessage).accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let mut p = small_params();
+        p.clients = 0;
+        let _ = simulate_lockhash(&p);
+    }
+}

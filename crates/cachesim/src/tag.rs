@@ -1,0 +1,110 @@
+//! Attribution tags for simulated memory accesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Which function of the hash-table implementation an access belongs to.
+///
+/// These are exactly the rows of the paper's Figure 7 breakdown, plus a few
+/// extra tags (`LruUpdate`, `ValueCopy`, `Other`) that the harness folds
+/// into the closest paper row when printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessTag {
+    // LockHash rows.
+    /// Acquiring/releasing the partition (or bucket) spinlock.
+    SpinlockAcquire,
+    /// Walking the bucket chain: bucket head plus element headers.
+    HashTraversal,
+    /// Inserting a new element: header writes, free-list, allocator state.
+    HashInsert,
+    /// Maintaining the LRU list (shared-memory table only; CPHash servers
+    /// fold this into `ExecuteMessage` locality).
+    LruUpdate,
+
+    // CPHash client rows.
+    /// Writing request messages into the client→server ring.
+    SendMessage,
+    /// Reading response messages from the server→client ring.
+    ReceiveResponse,
+    /// Touching the value bytes (read for LOOKUP, write for INSERT).
+    AccessData,
+
+    // CPHash server rows.
+    /// Reading request messages from the client→server ring.
+    ReceiveMessage,
+    /// Writing response messages into the server→client ring.
+    SendResponse,
+    /// Executing the operation against the partition (buckets, headers,
+    /// LRU, allocator) — all local to the server core by design.
+    ExecuteMessage,
+
+    /// Copying value bytes during INSERT (client side).
+    ValueCopy,
+    /// Anything else.
+    Other,
+}
+
+impl AccessTag {
+    /// All tags, in the order the Figure 7 table prints them.
+    pub const ALL: [AccessTag; 12] = [
+        AccessTag::SpinlockAcquire,
+        AccessTag::HashTraversal,
+        AccessTag::HashInsert,
+        AccessTag::LruUpdate,
+        AccessTag::SendMessage,
+        AccessTag::ReceiveResponse,
+        AccessTag::AccessData,
+        AccessTag::ReceiveMessage,
+        AccessTag::SendResponse,
+        AccessTag::ExecuteMessage,
+        AccessTag::ValueCopy,
+        AccessTag::Other,
+    ];
+
+    /// Human-readable row label (matches the paper's Figure 7 wording).
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessTag::SpinlockAcquire => "Spinlock acquire",
+            AccessTag::HashTraversal => "Hash table traversal",
+            AccessTag::HashInsert => "Hash table insert",
+            AccessTag::LruUpdate => "LRU update",
+            AccessTag::SendMessage => "Send messages",
+            AccessTag::ReceiveResponse => "Receive responses",
+            AccessTag::AccessData => "Access data",
+            AccessTag::ReceiveMessage => "Receive messages",
+            AccessTag::SendResponse => "Send responses",
+            AccessTag::ExecuteMessage => "Execute message",
+            AccessTag::ValueCopy => "Value copy",
+            AccessTag::Other => "Other",
+        }
+    }
+
+    /// Dense index used by the counter arrays.
+    pub fn index(self) -> usize {
+        AccessTag::ALL
+            .iter()
+            .position(|t| *t == self)
+            .expect("tag present in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut labels: Vec<&str> = AccessTag::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, tag) in AccessTag::ALL.iter().enumerate() {
+            assert_eq!(tag.index(), i);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Shape tests for the cache model at (scaled-down) paper configurations:
+//! the qualitative claims behind Figures 6 and 7 must fall out of the model
+//! for a range of machine shapes and workload parameters, not just the one
+//! configuration the unit tests pin down.
+
+use cphash_cachesim::opmodel::{simulate_cphash, simulate_lockhash, OpModelParams};
+use cphash_cachesim::{AccessTag, CacheConfig, CostModel};
+
+fn params(hw_threads: usize, sockets: usize, working_set_kb: usize) -> OpModelParams {
+    OpModelParams {
+        cache: CacheConfig::scaled(hw_threads, sockets),
+        clients: hw_threads / 2,
+        servers: hw_threads / 2,
+        lock_partitions: 1024,
+        working_set_bytes: working_set_kb * 1024,
+        value_bytes: 8,
+        insert_ratio: 0.3,
+        lru: true,
+        operations: 30_000,
+        ring_capacity: 1024,
+        seed: 11,
+    }
+}
+
+#[test]
+fn lockhash_pays_for_locks_and_lru_on_every_machine_shape() {
+    for (hw, sockets) in [(8, 1), (16, 2), (32, 4)] {
+        let breakdown = simulate_lockhash(&params(hw, sockets, 1024));
+        // The lock line bounces: roughly one coherence miss per operation
+        // split between the acquire and the (private-hit) release.
+        let lock_row = breakdown.row(AccessTag::SpinlockAcquire);
+        let lock_misses =
+            (lock_row.l2_misses + lock_row.l3_misses) as f64 / breakdown.operations as f64;
+        assert!(
+            lock_misses > 0.3,
+            "({hw},{sockets}): lock misses/op {lock_misses:.2} too low — the lock should bounce"
+        );
+        // LRU maintenance and traversal are the dominant cost, as in Fig. 7.
+        let lru = breakdown.row(AccessTag::LruUpdate);
+        let traversal = breakdown.row(AccessTag::HashTraversal);
+        assert!(lru.l3_misses + traversal.l3_misses > lock_row.l3_misses);
+    }
+}
+
+#[test]
+fn cphash_beats_lockhash_when_partitions_fit_in_private_caches() {
+    // 1 MB working set spread over the servers' private caches — the Fig. 5
+    // sweet spot.
+    for (hw, sockets) in [(16, 2), (32, 4)] {
+        let p = params(hw, sockets, 1024);
+        let lock = simulate_lockhash(&p);
+        let cp = simulate_cphash(&p);
+        let lock_total = lock.total_l2_per_op() + lock.total_l3_per_op();
+        let cp_total = cp.client.total_l2_per_op()
+            + cp.client.total_l3_per_op()
+            + cp.server.total_l2_per_op()
+            + cp.server.total_l3_per_op();
+        assert!(
+            lock_total > cp_total,
+            "({hw},{sockets}): lockhash {lock_total:.2} vs cphash {cp_total:.2} misses/op"
+        );
+        // And the server side is the locality story: most of its partition
+        // accesses hit its own cache.
+        let exec = cp.server.row(AccessTag::ExecuteMessage);
+        assert!(exec.private_hits as f64 / exec.accesses as f64 > 0.4);
+    }
+}
+
+#[test]
+fn cphash_advantage_shrinks_without_lru() {
+    let with_lru = params(16, 2, 1024);
+    let without_lru = OpModelParams {
+        lru: false,
+        ..with_lru
+    };
+    let gap = |p: &OpModelParams| {
+        let lock = simulate_lockhash(p);
+        let cp = simulate_cphash(p);
+        let lock_total = lock.total_l2_per_op() + lock.total_l3_per_op();
+        let cp_total = cp.client.total_l2_per_op()
+            + cp.client.total_l3_per_op()
+            + cp.server.total_l2_per_op()
+            + cp.server.total_l3_per_op();
+        lock_total - cp_total
+    };
+    let gap_lru = gap(&with_lru);
+    let gap_random = gap(&without_lru);
+    assert!(
+        gap_lru > gap_random,
+        "removing LRU maintenance should narrow the miss gap (Fig. 8): {gap_lru:.2} vs {gap_random:.2}"
+    );
+}
+
+#[test]
+fn bigger_working_sets_mean_more_misses_for_both_designs() {
+    let small = params(16, 2, 256);
+    let large = params(16, 2, 16 * 1024);
+    let lock_small = simulate_lockhash(&small).total_l3_per_op();
+    let lock_large = simulate_lockhash(&large).total_l3_per_op();
+    assert!(lock_large >= lock_small);
+    let cp_small = simulate_cphash(&small);
+    let cp_large = simulate_cphash(&large);
+    assert!(
+        cp_large.server.total_l3_per_op() >= cp_small.server.total_l3_per_op(),
+        "a working set that overflows the private caches must cost the servers more"
+    );
+}
+
+#[test]
+fn cost_model_scales_miss_cost_with_offsocket_load() {
+    let p = params(32, 4, 1024);
+    let lock = simulate_lockhash(&p);
+    let cp = simulate_cphash(&p);
+    let cost = CostModel::default();
+    let lock_est = cost.estimate(&lock.total(), lock.operations, 32);
+    let cp_est = cost.estimate(&cp.client.total(), cp.client.operations, 16);
+    assert!(lock_est.cycles_per_op > cp_est.cycles_per_op);
+    assert!(lock_est.l3_miss_cost > cp_est.l3_miss_cost,
+        "LockHash's heavier off-socket traffic must make each of its misses dearer");
+}

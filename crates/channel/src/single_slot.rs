@@ -1,0 +1,208 @@
+//! The single-value channel design (Figure 3, top).
+//!
+//! > "In the single buffer implementation, space is allocated for each
+//! > client/server pair and when a client want to send a request to a
+//! > server, it writes the message to the buffer and waits for the server to
+//! > respond. When the server is done processing the message, it updates the
+//! > shared location with the result."  (§3.4)
+//!
+//! The paper keeps this design around as the comparison point: it has lower
+//! per-message overhead (no index maintenance) but provides no batching or
+//! pipelining, so it loses as soon as clients have a backlog of requests.
+//! `ablate_channel` reproduces that crossover.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use cphash_cacheline::CacheAligned;
+
+/// Channel state machine values.
+const EMPTY: u8 = 0;
+const REQUEST: u8 = 1;
+const RESPONSE: u8 = 2;
+
+struct Shared<Req, Resp> {
+    state: CacheAligned<AtomicU8>,
+    request: UnsafeCell<MaybeUninit<Req>>,
+    response: UnsafeCell<MaybeUninit<Resp>>,
+}
+
+// SAFETY: access to the two slots is serialized by the `state` machine:
+// only the client writes `request` (in EMPTY state) and reads `response`
+// (in RESPONSE state); only the server reads `request` and writes
+// `response` (in REQUEST state).
+unsafe impl<Req: Send, Resp: Send> Send for Shared<Req, Resp> {}
+unsafe impl<Req: Send, Resp: Send> Sync for Shared<Req, Resp> {}
+
+/// One request/response slot shared by a single client and a single server.
+///
+/// Cloning yields another handle to the same slot; exactly one thread must
+/// play the client role and one the server role at a time (the CPHash code
+/// hands one clone to each side).
+pub struct SingleSlotChannel<Req, Resp> {
+    shared: Arc<Shared<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for SingleSlotChannel<Req, Resp> {
+    fn clone(&self) -> Self {
+        SingleSlotChannel {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
+    /// Create an empty channel.
+    pub fn new() -> Self {
+        SingleSlotChannel {
+            shared: Arc::new(Shared {
+                state: CacheAligned::new(AtomicU8::new(EMPTY)),
+                request: UnsafeCell::new(MaybeUninit::uninit()),
+                response: UnsafeCell::new(MaybeUninit::uninit()),
+            }),
+        }
+    }
+
+    /// Client side: publish a request. Spins while a previous exchange is
+    /// still in flight (with a well-behaved client this never happens —
+    /// the single-slot protocol is strictly one outstanding request).
+    pub fn send_request(&self, request: Req) {
+        loop {
+            if self.shared.state.load(Ordering::Acquire) == EMPTY {
+                // SAFETY: state is EMPTY, so the server is not reading the
+                // request slot and no response is pending; only the client
+                // writes in this state.
+                unsafe { (*self.shared.request.get()).write(request) };
+                self.shared.state.store(REQUEST, Ordering::Release);
+                return;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Client side: try to publish a request without spinning.
+    /// Returns `false` if an exchange is already in flight.
+    pub fn try_send_request(&self, request: Req) -> bool {
+        if self.shared.state.load(Ordering::Acquire) != EMPTY {
+            return false;
+        }
+        // SAFETY: as in `send_request`.
+        unsafe { (*self.shared.request.get()).write(request) };
+        self.shared.state.store(REQUEST, Ordering::Release);
+        true
+    }
+
+    /// Client side: spin until the server has responded and take the
+    /// response, returning the slot to EMPTY.
+    pub fn wait_response(&self) -> Resp {
+        loop {
+            if let Some(resp) = self.try_take_response() {
+                return resp;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Client side: take the response if the server has produced one.
+    pub fn try_take_response(&self) -> Option<Resp> {
+        if self.shared.state.load(Ordering::Acquire) != RESPONSE {
+            return None;
+        }
+        // SAFETY: state RESPONSE means the server finished writing the
+        // response slot (release store) and will not touch it again until
+        // the next REQUEST.
+        let resp = unsafe { (*self.shared.response.get()).assume_init() };
+        self.shared.state.store(EMPTY, Ordering::Release);
+        Some(resp)
+    }
+
+    /// Server side: if a request is pending, run `f` on it and publish the
+    /// response. Returns `true` if a request was served.
+    pub fn try_serve(&self, f: impl FnOnce(Req) -> Resp) -> bool {
+        if self.shared.state.load(Ordering::Acquire) != REQUEST {
+            return false;
+        }
+        // SAFETY: state REQUEST means the client finished writing the
+        // request slot and is now waiting; only the server reads it here.
+        let req = unsafe { (*self.shared.request.get()).assume_init() };
+        let resp = f(req);
+        // SAFETY: only the server writes the response slot in REQUEST state.
+        unsafe { (*self.shared.response.get()).write(resp) };
+        self.shared.state.store(RESPONSE, Ordering::Release);
+        true
+    }
+
+    /// A complete client-side round trip: send and wait.
+    pub fn call(&self, request: Req) -> Resp {
+        self.send_request(request);
+        self.wait_response()
+    }
+
+    /// Whether a request is currently waiting for the server.
+    pub fn has_pending_request(&self) -> bool {
+        self.shared.state.load(Ordering::Acquire) == REQUEST
+    }
+}
+
+impl<Req: Copy + Send, Resp: Copy + Send> Default for SingleSlotChannel<Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_round_trip() {
+        let ch = SingleSlotChannel::<u64, u64>::new();
+        assert!(!ch.has_pending_request());
+        ch.send_request(21);
+        assert!(ch.has_pending_request());
+        assert!(ch.try_take_response().is_none());
+        assert!(ch.try_serve(|x| x * 2));
+        assert!(!ch.try_serve(|x| x * 2), "no second pending request");
+        assert_eq!(ch.try_take_response(), Some(42));
+        assert!(ch.try_take_response().is_none());
+    }
+
+    #[test]
+    fn try_send_fails_while_in_flight() {
+        let ch = SingleSlotChannel::<u8, u8>::new();
+        assert!(ch.try_send_request(1));
+        assert!(!ch.try_send_request(2));
+        assert!(ch.try_serve(|x| x));
+        assert!(!ch.try_send_request(3), "response still unconsumed");
+        assert_eq!(ch.wait_response(), 1);
+        assert!(ch.try_send_request(3));
+    }
+
+    #[test]
+    fn cross_thread_request_response() {
+        let ch = SingleSlotChannel::<u64, u64>::new();
+        let server = ch.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let server_thread = thread::spawn(move || {
+            let mut served = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                if server.try_serve(|x| x + 1) {
+                    served += 1;
+                }
+            }
+            served
+        });
+        let mut expected_served = 0;
+        for i in 0..10_000u64 {
+            assert_eq!(ch.call(i), i + 1);
+            expected_served += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let served = server_thread.join().unwrap();
+        assert_eq!(served, expected_served);
+    }
+}

@@ -1,0 +1,132 @@
+//! Arbitrary-length keys on top of 60-bit hash keys (paper §8.2).
+//!
+//! The paper's extension plan: "use on INSERT the 60-bit hash of the given
+//! key as a hash key and store both the key and the value together as a
+//! value. Then to perform the LOOKUP … compare the key string to the actual
+//! key that the client wanted to look up, and, if there is a match, return
+//! the value. If the key strings do not match, this would mean a hash
+//! collision … In this case, CPHASH would just return that the value was
+//! not found; since CPHASH is a cache, this doesn't violate correctness."
+//!
+//! [`AnyKeyClient`] implements exactly that envelope encoding over any
+//! [`ClientHandle`].
+
+use cphash_hashcore::{hash64, MAX_KEY};
+
+use crate::client::{ClientHandle, TableError};
+
+/// Adapter giving a [`ClientHandle`] a byte-string key API.
+pub struct AnyKeyClient<'a> {
+    client: &'a mut ClientHandle,
+}
+
+impl<'a> AnyKeyClient<'a> {
+    /// Wrap a client handle.
+    pub fn new(client: &'a mut ClientHandle) -> Self {
+        AnyKeyClient { client }
+    }
+
+    /// The 60-bit hash key used for a byte-string key.
+    pub fn hash_key(key: &[u8]) -> u64 {
+        // Hash the bytes 8 at a time through the same mixer the table uses.
+        let mut acc: u64 = 0x9E37_79B9_97F4_A7C1 ^ (key.len() as u64);
+        for chunk in key.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = hash64(acc ^ u64::from_le_bytes(word));
+        }
+        acc & MAX_KEY
+    }
+
+    /// Insert `value` under a byte-string `key`.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<bool, TableError> {
+        let envelope = encode_envelope(key, value);
+        self.client.insert(Self::hash_key(key), &envelope)
+    }
+
+    /// Look up a byte-string `key`. Returns `None` on a miss *or* on a hash
+    /// collision with a different key (the cache semantics of §8.2).
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, TableError> {
+        let Some(stored) = self.client.get(Self::hash_key(key))? else {
+            return Ok(None);
+        };
+        Ok(decode_envelope(stored.as_slice()).and_then(|(stored_key, value)| {
+            if stored_key == key {
+                Some(value.to_vec())
+            } else {
+                None
+            }
+        }))
+    }
+
+    /// Remove a byte-string `key`. Returns whether the hash key was present
+    /// (a collision could, rarely, remove a different key — acceptable for a
+    /// cache, as the paper argues).
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, TableError> {
+        self.client.delete(Self::hash_key(key))
+    }
+}
+
+/// `[key_len: u32 LE][key bytes][value bytes]`.
+fn encode_envelope(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + key.len() + value.len());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    out
+}
+
+/// Split an envelope back into key and value.
+fn decode_envelope(envelope: &[u8]) -> Option<(&[u8], &[u8])> {
+    if envelope.len() < 4 {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(envelope[..4].try_into().ok()?) as usize;
+    if envelope.len() < 4 + key_len {
+        return None;
+    }
+    Some((&envelope[4..4 + key_len], &envelope[4 + key_len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::CpHash;
+
+    #[test]
+    fn envelope_round_trips() {
+        let e = encode_envelope(b"key", b"value bytes");
+        assert_eq!(decode_envelope(&e), Some((&b"key"[..], &b"value bytes"[..])));
+        assert_eq!(decode_envelope(&[1, 2]), None);
+        assert_eq!(decode_envelope(&[200, 0, 0, 0, 1]), None);
+    }
+
+    #[test]
+    fn hash_keys_are_60_bit_and_deterministic() {
+        let a = AnyKeyClient::hash_key(b"hello");
+        let b = AnyKeyClient::hash_key(b"hello");
+        let c = AnyKeyClient::hash_key(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a <= MAX_KEY);
+    }
+
+    #[test]
+    fn string_keys_round_trip_through_the_table() {
+        let (mut table, mut clients) = CpHash::with_partitions(2, 1);
+        {
+            let mut any = AnyKeyClient::new(&mut clients[0]);
+            assert!(any.insert(b"user:1234:name", b"Ada Lovelace").unwrap());
+            assert!(any.insert(b"user:1234:email", b"ada@example.com").unwrap());
+            assert_eq!(
+                any.get(b"user:1234:name").unwrap().as_deref(),
+                Some(&b"Ada Lovelace"[..])
+            );
+            assert_eq!(any.get(b"user:9999:name").unwrap(), None);
+            assert!(any.delete(b"user:1234:name").unwrap());
+            assert_eq!(any.get(b"user:1234:name").unwrap(), None);
+        }
+        drop(clients);
+        table.shutdown();
+    }
+}

@@ -1,0 +1,562 @@
+//! The client handle: routes operations to the owning server thread and
+//! manages the asynchronous request pipeline.
+//!
+//! "Applications use CPHASH by having client threads that communicate with
+//! the server threads and send operations using message passing" (§3).  The
+//! key to CPHash's throughput is that this communication is *asynchronous*:
+//! a client queues batches of requests to many servers and keeps working
+//! while they are served (§3.4), which both hides communication latency and
+//! lets several messages share each cache-line transfer.
+//!
+//! [`ClientHandle`] exposes both styles:
+//!
+//! * a **pipelined API** — [`ClientHandle::submit_lookup`] /
+//!   [`ClientHandle::submit_insert`] / [`ClientHandle::submit_delete`] queue
+//!   operations and [`ClientHandle::poll`] collects [`Completion`]s as
+//!   servers answer; this is what the benchmarks and CPSERVER use;
+//! * a **synchronous API** — [`ClientHandle::get`], [`ClientHandle::insert`],
+//!   [`ClientHandle::delete`] — implemented on top of the pipeline, for
+//!   straightforward callers (the quickstart example, tests).
+
+use std::collections::VecDeque;
+
+use cphash_channel::DuplexClient;
+use cphash_hashcore::{partition_for_key, MAX_KEY};
+
+use crate::protocol::{encode, Request, Response};
+
+/// Upper bound on outstanding response-bearing operations per lane, as a
+/// fraction of the ring capacity.  Keeping this below the response-ring
+/// capacity guarantees the client/server pair can never deadlock with both
+/// rings full.
+const OUTSTANDING_FRACTION_OF_RING: usize = 4;
+
+/// Errors surfaced by the client API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The server thread for the key's partition has shut down.
+    ServerGone,
+    /// The key uses more than 60 bits.
+    KeyTooLarge,
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::ServerGone => f.write_str("server thread has shut down"),
+            TableError::KeyTooLarge => f.write_str("keys are limited to 60 bits"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Value bytes returned by a completed lookup.  Values up to 16 bytes are
+/// stored inline (the microbenchmark's 8-byte values never allocate);
+/// larger values are heap-allocated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueBytes {
+    /// Small value stored inline.
+    Inline {
+        /// Number of valid bytes in `data`.
+        len: u8,
+        /// The bytes (only the first `len` are meaningful).
+        data: [u8; 16],
+    },
+    /// Larger value on the heap.
+    Heap(Vec<u8>),
+}
+
+impl ValueBytes {
+    /// Build from a byte slice.
+    pub fn from_slice(bytes: &[u8]) -> ValueBytes {
+        if bytes.len() <= 16 {
+            let mut data = [0u8; 16];
+            data[..bytes.len()].copy_from_slice(bytes);
+            ValueBytes::Inline {
+                len: bytes.len() as u8,
+                data,
+            }
+        } else {
+            ValueBytes::Heap(bytes.to_vec())
+        }
+    }
+
+    /// View the bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ValueBytes::Inline { len, data } => &data[..*len as usize],
+            ValueBytes::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Is the value empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of one pipelined operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Lookup found the key; the value bytes were copied out.
+    LookupHit(ValueBytes),
+    /// Lookup did not find the key.
+    LookupMiss,
+    /// Insert completed (value copied and published).
+    Inserted,
+    /// Insert failed (value larger than the partition, or the partition is
+    /// full of referenced elements).
+    InsertFailed,
+    /// Delete completed; the payload says whether the key was present.
+    Deleted(bool),
+}
+
+/// A completed pipelined operation: the token returned by the submit call
+/// plus its outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Token returned by the corresponding `submit_*` call.
+    pub token: u64,
+    /// What happened.
+    pub kind: CompletionKind,
+}
+
+/// One queued operation awaiting its response (per lane, FIFO).
+enum Pending {
+    Lookup { token: u64 },
+    Insert { token: u64, value: ValueBytes },
+    Delete { token: u64 },
+}
+
+/// Per-server communication lane and its bookkeeping.
+struct Lane {
+    channel: DuplexClient<u64, Response>,
+    /// Request words not yet accepted by the ring.
+    outgoing: VecDeque<u64>,
+    /// Response-bearing operations in flight, in request order.
+    pending: VecDeque<Pending>,
+}
+
+impl Lane {
+    fn new(channel: DuplexClient<u64, Response>) -> Self {
+        Lane {
+            channel,
+            outgoing: VecDeque::new(),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// A client handle bound to one CPHash table.
+///
+/// Handles are independent (each owns its own message lanes), `Send`, and
+/// intended to be used by exactly one application thread at a time — in the
+/// paper's deployment, one per client hardware thread.
+pub struct ClientHandle {
+    lanes: Vec<Lane>,
+    partitions: usize,
+    next_token: u64,
+    outstanding: usize,
+    max_outstanding_per_lane: usize,
+    /// Completions produced while waiting inside the synchronous API, kept
+    /// for the next `poll`.
+    stashed: VecDeque<Completion>,
+    /// Scratch buffer for draining responses.
+    resp_buf: Vec<Response>,
+}
+
+impl ClientHandle {
+    pub(crate) fn new(lanes: Vec<DuplexClient<u64, Response>>, ring_capacity: usize) -> Self {
+        let partitions = lanes.len();
+        ClientHandle {
+            lanes: lanes.into_iter().map(Lane::new).collect(),
+            partitions,
+            next_token: 1,
+            outstanding: 0,
+            max_outstanding_per_lane: (ring_capacity / OUTSTANDING_FRACTION_OF_RING).max(8),
+            stashed: VecDeque::new(),
+            resp_buf: Vec::with_capacity(256),
+        }
+    }
+
+    /// Number of partitions (server threads) in the table.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The partition that owns `key` — exposed so applications (CPSERVER)
+    /// can group work by destination server.
+    pub fn partition_of(&self, key: u64) -> usize {
+        partition_for_key(key & MAX_KEY, self.partitions)
+    }
+
+    /// Number of submitted operations whose completion has not yet been
+    /// returned by [`ClientHandle::poll`].
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// A soft bound on how many operations should be left outstanding before
+    /// calling [`ClientHandle::poll`]; derived from the ring capacity
+    /// (the paper uses ~1,000 outstanding requests per client, §6.1).
+    pub fn recommended_window(&self) -> usize {
+        self.max_outstanding_per_lane * self.partitions / 2
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined API
+    // ------------------------------------------------------------------
+
+    /// Queue a lookup. Returns the token its [`Completion`] will carry.
+    pub fn submit_lookup(&mut self, key: u64) -> u64 {
+        let key = key & MAX_KEY;
+        let token = self.take_token();
+        let lane_idx = self.partition_of(key);
+        let (w0, _) = encode(&Request::Lookup { key });
+        let lane = &mut self.lanes[lane_idx];
+        lane.pending.push_back(Pending::Lookup { token });
+        lane.outgoing.push_back(w0);
+        self.outstanding += 1;
+        self.make_progress_if_backlogged(lane_idx);
+        token
+    }
+
+    /// Queue an insert of `value` under `key`.
+    pub fn submit_insert(&mut self, key: u64, value: &[u8]) -> u64 {
+        let key = key & MAX_KEY;
+        let token = self.take_token();
+        let lane_idx = self.partition_of(key);
+        let (w0, w1) = encode(&Request::Insert {
+            key,
+            size: value.len() as u64,
+        });
+        let lane = &mut self.lanes[lane_idx];
+        lane.pending.push_back(Pending::Insert {
+            token,
+            value: ValueBytes::from_slice(value),
+        });
+        lane.outgoing.push_back(w0);
+        lane.outgoing.push_back(w1.expect("insert encodes two words"));
+        self.outstanding += 1;
+        self.make_progress_if_backlogged(lane_idx);
+        token
+    }
+
+    /// Queue a delete.
+    pub fn submit_delete(&mut self, key: u64) -> u64 {
+        let key = key & MAX_KEY;
+        let token = self.take_token();
+        let lane_idx = self.partition_of(key);
+        let (w0, _) = encode(&Request::Delete { key });
+        let lane = &mut self.lanes[lane_idx];
+        lane.pending.push_back(Pending::Delete { token });
+        lane.outgoing.push_back(w0);
+        self.outstanding += 1;
+        self.make_progress_if_backlogged(lane_idx);
+        token
+    }
+
+    /// Push queued requests towards the servers and collect any completions
+    /// into `out`.  Returns the number of completions appended.
+    ///
+    /// This is non-blocking: if no responses have arrived yet it simply
+    /// returns 0.
+    pub fn poll(&mut self, out: &mut Vec<Completion>) -> usize {
+        let before = out.len();
+        while let Some(c) = self.stashed.pop_front() {
+            out.push(c);
+        }
+        for lane_idx in 0..self.lanes.len() {
+            Self::pump_lane(
+                &mut self.lanes[lane_idx],
+                &mut self.resp_buf,
+                &mut self.outstanding,
+                out,
+            );
+        }
+        out.len() - before
+    }
+
+    /// Publish every queued request to the servers immediately (partial
+    /// cache lines included).  `poll` does this as part of pumping; an
+    /// explicit flush is useful right before a quiet period.
+    pub fn flush(&mut self) {
+        for lane in &mut self.lanes {
+            Self::push_outgoing(lane);
+            lane.channel.flush();
+        }
+    }
+
+    /// Block (spinning) until every outstanding operation has completed,
+    /// appending completions to `out` (including any completions stashed by
+    /// earlier synchronous calls).
+    pub fn drain(&mut self, out: &mut Vec<Completion>) -> Result<(), TableError> {
+        loop {
+            let produced = self.poll(out);
+            if self.outstanding == 0 {
+                return Ok(());
+            }
+            if produced == 0 {
+                if self.lanes.iter().any(|l| !l.channel.is_server_alive()) {
+                    return Err(TableError::ServerGone);
+                }
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous convenience API (built on the pipeline)
+    // ------------------------------------------------------------------
+
+    /// Look up `key`, returning its value bytes if present.
+    pub fn get(&mut self, key: u64) -> Result<Option<ValueBytes>, TableError> {
+        let token = self.submit_lookup(key);
+        match self.wait_for(token)? {
+            CompletionKind::LookupHit(v) => Ok(Some(v)),
+            CompletionKind::LookupMiss => Ok(None),
+            other => unreachable!("lookup completed as {other:?}"),
+        }
+    }
+
+    /// Look up `key` and copy its value into `out`. Returns `true` on a hit.
+    pub fn lookup(&mut self, key: u64, out: &mut Vec<u8>) -> Result<bool, TableError> {
+        match self.get(key)? {
+            Some(v) => {
+                out.clear();
+                out.extend_from_slice(v.as_slice());
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Insert `value` under `key`. Returns `false` if the table could not
+    /// make room (value larger than a partition, or everything pinned).
+    pub fn insert(&mut self, key: u64, value: &[u8]) -> Result<bool, TableError> {
+        let token = self.submit_insert(key, value);
+        match self.wait_for(token)? {
+            CompletionKind::Inserted => Ok(true),
+            CompletionKind::InsertFailed => Ok(false),
+            other => unreachable!("insert completed as {other:?}"),
+        }
+    }
+
+    /// Remove `key`. Returns whether it was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool, TableError> {
+        let token = self.submit_delete(key);
+        match self.wait_for(token)? {
+            CompletionKind::Deleted(found) => Ok(found),
+            other => unreachable!("delete completed as {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn take_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// If a lane has accumulated a deep backlog, push requests and drain
+    /// responses so the rings never overflow no matter how many operations
+    /// the caller queues between polls.
+    fn make_progress_if_backlogged(&mut self, lane_idx: usize) {
+        if self.lanes[lane_idx].pending.len() < self.max_outstanding_per_lane {
+            return;
+        }
+        let mut spill = Vec::new();
+        Self::pump_lane(
+            &mut self.lanes[lane_idx],
+            &mut self.resp_buf,
+            &mut self.outstanding,
+            &mut spill,
+        );
+        self.stashed.extend(spill);
+    }
+
+    /// Wait (spinning) for a specific token, stashing every other completion
+    /// for later `poll` calls.
+    fn wait_for(&mut self, token: u64) -> Result<CompletionKind, TableError> {
+        // The wanted completion may already have been stashed by an earlier
+        // synchronous call.
+        if let Some(pos) = self.stashed.iter().position(|c| c.token == token) {
+            return Ok(self.stashed.remove(pos).expect("position valid").kind);
+        }
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            self.poll(&mut buf);
+            let mut found = None;
+            for c in buf.drain(..) {
+                if c.token == token {
+                    found = Some(c.kind);
+                } else {
+                    self.stashed.push_back(c);
+                }
+            }
+            if let Some(kind) = found {
+                return Ok(kind);
+            }
+            if self.lanes.iter().any(|l| !l.channel.is_server_alive()) {
+                return Err(TableError::ServerGone);
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Move outgoing words into the ring (stopping when it is full) and
+    /// publish them.
+    fn push_outgoing(lane: &mut Lane) {
+        while let Some(&word) = lane.outgoing.front() {
+            match lane.channel.try_send(word) {
+                Ok(()) => {
+                    lane.outgoing.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// One round of progress on one lane: send queued requests, flush, drain
+    /// responses, process them (which may queue follow-up Ready/Decref
+    /// messages), and send those too.
+    fn pump_lane(
+        lane: &mut Lane,
+        resp_buf: &mut Vec<Response>,
+        outstanding: &mut usize,
+        out: &mut Vec<Completion>,
+    ) {
+        Self::push_outgoing(lane);
+        lane.channel.flush();
+
+        resp_buf.clear();
+        if lane.channel.recv_batch(resp_buf, usize::MAX) == 0 {
+            return;
+        }
+        for response in resp_buf.drain(..) {
+            let pending = lane
+                .pending
+                .pop_front()
+                .expect("server sent a response with nothing pending");
+            let completion = Self::complete(lane, pending, response);
+            *outstanding -= 1;
+            out.push(completion);
+        }
+        // Follow-up messages (Ready/Decref) generated above.
+        Self::push_outgoing(lane);
+        lane.channel.flush();
+    }
+
+    /// Apply a response to its pending operation, producing the completion
+    /// and queueing any follow-up protocol message.
+    fn complete(lane: &mut Lane, pending: Pending, response: Response) -> Completion {
+        match pending {
+            Pending::Lookup { token } => {
+                if response.has_value() {
+                    // SAFETY: the server incremented the element's reference
+                    // count before responding, and READY values are never
+                    // written again, so reading `value_size` bytes at `addr`
+                    // is valid until we send the Decref below.
+                    let bytes = unsafe {
+                        core::slice::from_raw_parts(
+                            response.addr as *const u8,
+                            response.value_size(),
+                        )
+                    };
+                    let value = ValueBytes::from_slice(bytes);
+                    let (w0, _) = encode(&Request::Decref {
+                        id: response.element_id(),
+                    });
+                    lane.outgoing.push_back(w0);
+                    Completion {
+                        token,
+                        kind: CompletionKind::LookupHit(value),
+                    }
+                } else {
+                    Completion {
+                        token,
+                        kind: CompletionKind::LookupMiss,
+                    }
+                }
+            }
+            Pending::Insert { token, value } => {
+                if response.has_value() {
+                    // SAFETY: the server allocated `value_size` bytes at
+                    // `addr` for this reservation and will not read or free
+                    // them until it processes the Ready message we queue
+                    // below; we are the only writer.
+                    unsafe {
+                        core::ptr::copy_nonoverlapping(
+                            value.as_slice().as_ptr(),
+                            response.addr as *mut u8,
+                            value.len().min(response.value_size()),
+                        );
+                    }
+                    let (w0, _) = encode(&Request::Ready {
+                        id: response.element_id(),
+                    });
+                    lane.outgoing.push_back(w0);
+                    Completion {
+                        token,
+                        kind: CompletionKind::Inserted,
+                    }
+                } else {
+                    Completion {
+                        token,
+                        kind: CompletionKind::InsertFailed,
+                    }
+                }
+            }
+            Pending::Delete { token } => Completion {
+                token,
+                kind: CompletionKind::Deleted(response.is_hit()),
+            },
+        }
+    }
+}
+
+impl core::fmt::Debug for ClientHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ClientHandle")
+            .field("partitions", &self.partitions)
+            .field("outstanding", &self.outstanding)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bytes_inline_and_heap() {
+        let small = ValueBytes::from_slice(&[1, 2, 3]);
+        assert!(matches!(small, ValueBytes::Inline { len: 3, .. }));
+        assert_eq!(small.as_slice(), &[1, 2, 3]);
+        assert_eq!(small.len(), 3);
+        assert!(!small.is_empty());
+
+        let empty = ValueBytes::from_slice(&[]);
+        assert!(empty.is_empty());
+
+        let big = ValueBytes::from_slice(&[7u8; 100]);
+        assert!(matches!(big, ValueBytes::Heap(_)));
+        assert_eq!(big.len(), 100);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(format!("{}", TableError::ServerGone).contains("shut down"));
+        assert!(format!("{}", TableError::KeyTooLarge).contains("60 bits"));
+    }
+}

@@ -1,0 +1,154 @@
+//! CPHash table configuration.
+
+use cphash_affinity::{HwThreadId, Topology};
+use cphash_hashcore::EvictionPolicy;
+
+/// Configuration for a [`crate::CpHash`] table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpHashConfig {
+    /// Number of partitions = number of server threads (§3.1: "one partition
+    /// for each hardware thread that runs a server thread").
+    pub partitions: usize,
+    /// Number of client handles the table creates.
+    pub clients: usize,
+    /// Total byte budget across all partitions (`None` = unbounded). Each
+    /// partition gets an equal share — "In CPHASH all partitions are of
+    /// equal size for simplicity" (§3.1).
+    pub capacity_bytes: Option<usize>,
+    /// Buckets per partition. Default sizes the table for roughly one
+    /// element per bucket given 8-byte values and the byte budget.
+    pub buckets_per_partition: usize,
+    /// Eviction policy (LRU by default, Random for the §6.3 variant).
+    pub eviction: EvictionPolicy,
+    /// Message-ring capacity per client/server lane, in 8-byte words.
+    pub ring_capacity: usize,
+    /// Hardware threads to pin server threads to, one per partition.
+    /// Empty = do not pin (tests, small machines).
+    pub server_pins: Vec<HwThreadId>,
+    /// Seed used for partition-local randomness (random eviction).
+    pub seed: u64,
+}
+
+impl Default for CpHashConfig {
+    fn default() -> Self {
+        CpHashConfig {
+            partitions: 4,
+            clients: 1,
+            capacity_bytes: None,
+            buckets_per_partition: 1024,
+            eviction: EvictionPolicy::Lru,
+            ring_capacity: 4096,
+            server_pins: Vec::new(),
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+impl CpHashConfig {
+    /// A config with `partitions` server threads and `clients` client
+    /// handles, unbounded capacity.
+    pub fn new(partitions: usize, clients: usize) -> Self {
+        CpHashConfig {
+            partitions,
+            clients,
+            ..Default::default()
+        }
+    }
+
+    /// Set the total capacity budget (split evenly across partitions) and
+    /// derive a bucket count targeting ~1 element per bucket for 8-byte
+    /// values, as the paper's benchmark does.
+    pub fn with_capacity(mut self, capacity_bytes: usize, typical_value_bytes: usize) -> Self {
+        self.capacity_bytes = Some(capacity_bytes);
+        let elements = capacity_bytes / typical_value_bytes.max(1);
+        self.buckets_per_partition = (elements / self.partitions.max(1)).next_power_of_two().max(8);
+        self
+    }
+
+    /// Set the eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Pin server threads to the second hardware thread of each core, as in
+    /// the paper's §6.1 placement, using the given topology.
+    pub fn with_paper_placement(mut self, topo: &Topology) -> Self {
+        self.server_pins = (0..self.partitions)
+            .map(|i| {
+                let core = cphash_affinity::CoreId(i % topo.total_cores());
+                topo.hw_thread(core, (topo.threads_per_core - 1).min(1))
+            })
+            .collect();
+        self
+    }
+
+    /// Per-partition byte budget.
+    pub fn partition_capacity(&self) -> Option<usize> {
+        self.capacity_bytes
+            .map(|total| (total / self.partitions.max(1)).max(64))
+    }
+
+    /// Validate the configuration, panicking with a clear message on
+    /// nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.partitions > 0, "CPHash needs at least one partition");
+        assert!(self.clients > 0, "CPHash needs at least one client");
+        assert!(self.ring_capacity >= 64, "ring capacity unreasonably small");
+        assert!(
+            self.server_pins.is_empty() || self.server_pins.len() == self.partitions,
+            "server_pins must be empty or provide one hardware thread per partition"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        CpHashConfig::default().validate();
+    }
+
+    #[test]
+    fn capacity_splits_evenly() {
+        let c = CpHashConfig::new(8, 2).with_capacity(1 << 20, 8);
+        assert_eq!(c.partition_capacity(), Some(131_072));
+        // 1 MiB / 8 B = 131072 elements over 8 partitions → 16384 buckets.
+        assert_eq!(c.buckets_per_partition, 16_384);
+        c.validate();
+    }
+
+    #[test]
+    fn paper_placement_pins_one_server_per_core_sibling() {
+        let topo = Topology::paper_machine();
+        let c = CpHashConfig::new(80, 80).with_paper_placement(&topo);
+        assert_eq!(c.server_pins.len(), 80);
+        // Server i is pinned to the SMT sibling of core i (CPU 80+i).
+        assert_eq!(c.server_pins[0], HwThreadId(80));
+        assert_eq!(c.server_pins[79], HwThreadId(159));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        CpHashConfig {
+            partitions: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one hardware thread per partition")]
+    fn wrong_pin_count_rejected() {
+        CpHashConfig {
+            partitions: 4,
+            server_pins: vec![HwThreadId(0)],
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,266 @@
+//! The CPHash wire protocol between client and server threads.
+//!
+//! Requests travel client → server as packed 64-bit words so that eight of
+//! them fit in one cache line (§6.2: "CPHASH can place eight lookup messages
+//! (consisting of an 8-byte key) … into a single 64-byte cache line").
+//! Because keys are limited to 60 bits (§3.1), the top four bits of each
+//! word carry the opcode:
+//!
+//! | opcode | payload word 0 (low 60 bits) | extra word |
+//! |--------|------------------------------|------------|
+//! | `Lookup` | key                        | —          |
+//! | `Insert` | key                        | value size in bytes |
+//! | `Ready`  | element id                 | —          |
+//! | `Decref` | element id                 | —          |
+//! | `Delete` | key                        | —          |
+//!
+//! Responses travel server → client as 16-byte [`Response`] structs (a value
+//! address plus element id and size), four per cache line — the same
+//! packing the paper uses for insert messages.
+
+use cphash_hashcore::{ElementId, MAX_KEY};
+
+/// Operation codes carried in the top four bits of a request word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Look up a key; the server responds with the value location.
+    Lookup = 1,
+    /// Insert a key with a value of a given size; the server allocates space
+    /// and responds with where the client must copy the bytes.
+    Insert = 2,
+    /// The client finished copying an inserted value; publish it.
+    Ready = 3,
+    /// The client finished reading a looked-up value; release the reference.
+    Decref = 4,
+    /// Remove a key; the server responds with whether it was present.
+    Delete = 5,
+}
+
+impl OpCode {
+    fn from_bits(bits: u64) -> Option<OpCode> {
+        match bits {
+            1 => Some(OpCode::Lookup),
+            2 => Some(OpCode::Insert),
+            3 => Some(OpCode::Ready),
+            4 => Some(OpCode::Decref),
+            5 => Some(OpCode::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Look up `key`.
+    Lookup {
+        /// The 60-bit key.
+        key: u64,
+    },
+    /// Insert `key` with a value of `size` bytes.
+    Insert {
+        /// The 60-bit key.
+        key: u64,
+        /// Value size in bytes.
+        size: u64,
+    },
+    /// Publish a previously reserved element.
+    Ready {
+        /// Element id returned by the insert response.
+        id: ElementId,
+    },
+    /// Release a reference obtained by a lookup.
+    Decref {
+        /// Element id returned by the lookup response.
+        id: ElementId,
+    },
+    /// Remove `key` from the table.
+    Delete {
+        /// The 60-bit key.
+        key: u64,
+    },
+}
+
+/// Number of ring words a request occupies.
+pub fn request_words(request: &Request) -> usize {
+    match request {
+        Request::Insert { .. } => 2,
+        _ => 1,
+    }
+}
+
+const OP_SHIFT: u32 = 60;
+const PAYLOAD_MASK: u64 = (1 << OP_SHIFT) - 1;
+
+/// Encode a request into one or two ring words (the second word is `None`
+/// for single-word requests).
+pub fn encode(request: &Request) -> (u64, Option<u64>) {
+    match *request {
+        Request::Lookup { key } => {
+            debug_assert!(key <= MAX_KEY);
+            (((OpCode::Lookup as u64) << OP_SHIFT) | key, None)
+        }
+        Request::Insert { key, size } => {
+            debug_assert!(key <= MAX_KEY);
+            (((OpCode::Insert as u64) << OP_SHIFT) | key, Some(size))
+        }
+        Request::Ready { id } => (((OpCode::Ready as u64) << OP_SHIFT) | id.0 as u64, None),
+        Request::Decref { id } => (((OpCode::Decref as u64) << OP_SHIFT) | id.0 as u64, None),
+        Request::Delete { key } => {
+            debug_assert!(key <= MAX_KEY);
+            (((OpCode::Delete as u64) << OP_SHIFT) | key, None)
+        }
+    }
+}
+
+/// The opcode and payload of a request word. Returns `None` for a word whose
+/// opcode bits are invalid (which would indicate ring corruption).
+pub fn decode_word(word: u64) -> Option<(OpCode, u64)> {
+    let op = OpCode::from_bits(word >> OP_SHIFT)?;
+    Some((op, word & PAYLOAD_MASK))
+}
+
+/// Reassemble a full request from its first word and (for inserts) the
+/// extra word.
+pub fn decode(word: u64, extra: Option<u64>) -> Option<Request> {
+    let (op, payload) = decode_word(word)?;
+    Some(match op {
+        OpCode::Lookup => Request::Lookup { key: payload },
+        OpCode::Insert => Request::Insert {
+            key: payload,
+            size: extra?,
+        },
+        OpCode::Ready => Request::Ready {
+            id: ElementId(payload as u32),
+        },
+        OpCode::Decref => Request::Decref {
+            id: ElementId(payload as u32),
+        },
+        OpCode::Delete => Request::Delete { key: payload },
+    })
+}
+
+/// A response from a server thread: where the value lives plus the element
+/// id the client must hand back (`Ready`/`Decref`) and the value size.
+///
+/// Exactly 16 bytes so four responses pack into one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Response {
+    /// Address of the value bytes; 0 means "not found" (for lookups) or
+    /// "failed" (for inserts), 1 means "found/deleted" for responses that
+    /// carry no data pointer.
+    pub addr: u64,
+    /// Low 32 bits: element id. High 32 bits: value size in bytes.
+    pub meta: u64,
+}
+
+impl Response {
+    /// The miss/failure response.
+    pub const MISS: Response = Response { addr: 0, meta: 0 };
+
+    /// Response indicating success without a data pointer (delete-found).
+    pub const FOUND: Response = Response { addr: 1, meta: 0 };
+
+    /// Build a response carrying a value location.
+    pub fn with_value(addr: u64, id: ElementId, size: usize) -> Response {
+        debug_assert!(addr > 1, "value addresses never alias the sentinel values");
+        Response {
+            addr,
+            meta: ((size as u64) << 32) | id.0 as u64,
+        }
+    }
+
+    /// Does this response indicate a hit / success?
+    pub fn is_hit(&self) -> bool {
+        self.addr != 0
+    }
+
+    /// Does this response carry a usable value pointer?
+    pub fn has_value(&self) -> bool {
+        self.addr > 1
+    }
+
+    /// The element id encoded in the response.
+    pub fn element_id(&self) -> ElementId {
+        ElementId((self.meta & 0xFFFF_FFFF) as u32)
+    }
+
+    /// The value size encoded in the response.
+    pub fn value_size(&self) -> usize {
+        (self.meta >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_words_match_paper_packing() {
+        // Lookups are one 8-byte word → 8 per cache line; inserts are two
+        // words (16 bytes) → 4 per cache line.
+        assert_eq!(request_words(&Request::Lookup { key: 1 }), 1);
+        assert_eq!(request_words(&Request::Insert { key: 1, size: 8 }), 2);
+        assert_eq!(request_words(&Request::Decref { id: ElementId(3) }), 1);
+        assert_eq!(core::mem::size_of::<Response>(), 16);
+        assert_eq!(cphash_cacheline::packing::messages_per_line(8), 8);
+        assert_eq!(cphash_cacheline::packing::messages_per_line(16), 4);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cases = [
+            Request::Lookup { key: 0 },
+            Request::Lookup { key: MAX_KEY },
+            Request::Insert { key: 42, size: 0 },
+            Request::Insert { key: 42, size: u64::MAX },
+            Request::Ready { id: ElementId(7) },
+            Request::Decref { id: ElementId(u32::MAX - 1) },
+            Request::Delete { key: 99 },
+        ];
+        for case in cases {
+            let (w0, w1) = encode(&case);
+            assert_eq!(decode(w0, w1), Some(case), "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_is_rejected() {
+        assert_eq!(decode_word(0), None);
+        assert_eq!(decode_word(0xF << 60), None);
+        assert_eq!(decode(0, None), None);
+    }
+
+    #[test]
+    fn insert_without_extra_word_is_incomplete() {
+        let (w0, _) = encode(&Request::Insert { key: 5, size: 100 });
+        assert_eq!(decode(w0, None), None);
+        let (op, payload) = decode_word(w0).unwrap();
+        assert_eq!(op, OpCode::Insert);
+        assert_eq!(payload, 5);
+    }
+
+    #[test]
+    fn response_encoding_round_trips() {
+        let r = Response::with_value(0xDEAD_BEEF_00, ElementId(77), 4096);
+        assert!(r.is_hit());
+        assert!(r.has_value());
+        assert_eq!(r.element_id(), ElementId(77));
+        assert_eq!(r.value_size(), 4096);
+        assert!(!Response::MISS.is_hit());
+        assert!(Response::FOUND.is_hit());
+        assert!(!Response::FOUND.has_value());
+    }
+
+    #[test]
+    fn keys_with_high_bits_are_a_debug_error() {
+        // In release builds the encode would silently mask; the public API
+        // (`CpHash` / `ClientHandle`) masks keys to 60 bits before building
+        // requests, so this is only reachable through the raw protocol.
+        let key = MAX_KEY; // largest legal key round-trips fine
+        let (w0, _) = encode(&Request::Lookup { key });
+        assert_eq!(decode(w0, None), Some(Request::Lookup { key }));
+    }
+}

@@ -1,0 +1,302 @@
+//! The server thread: owns one partition and serves requests from every
+//! client's message lane.
+//!
+//! "Each server thread performs the operations for its partition. The server
+//! thread continuously loops over the message queues of each client checking
+//! for new requests. When a request arrives, the server thread performs the
+//! requested operation and sends its result back to the client." (§3.2)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cphash_affinity::{pin_to_hw_thread, HwThreadId};
+use cphash_channel::DuplexServer;
+use cphash_hashcore::{Partition, PartitionStats};
+use parking_lot::Mutex;
+
+use crate::protocol::{decode_word, OpCode, Response};
+use crate::stats::ServerStats;
+
+/// Maximum request words a server drains from one lane before moving on to
+/// the next lane, so a single busy client cannot starve the others.
+const LANE_BATCH: usize = 256;
+
+/// Everything one server thread needs.
+pub(crate) struct ServerThread {
+    /// Index of this server / partition (kept for diagnostics and panics).
+    #[allow(dead_code)]
+    pub index: usize,
+    /// The partition this server owns.
+    pub partition: Partition,
+    /// One lane per client, in client order.
+    pub lanes: Vec<DuplexServer<u64, Response>>,
+    /// Hardware thread to pin to, if any.
+    pub pin: Option<HwThreadId>,
+    /// Set by the table handle to stop the loop.
+    pub stop: Arc<AtomicBool>,
+    /// Shared runtime counters.
+    pub stats: Arc<ServerStats>,
+    /// Where the final (and periodically refreshed) partition statistics are
+    /// published for the table handle.
+    pub partition_stats: Arc<Mutex<PartitionStats>>,
+}
+
+impl ServerThread {
+    /// Run the server loop until the stop flag is raised.
+    pub(crate) fn run(mut self) {
+        if let Some(hw) = self.pin {
+            self.stats.record_pin(pin_to_hw_thread(hw));
+        }
+        let mut words: Vec<u64> = Vec::with_capacity(LANE_BATCH);
+        let mut idle_streak: u32 = 0;
+        let mut iterations: u64 = 0;
+
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut did_work = false;
+            for lane_idx in 0..self.lanes.len() {
+                let drained = {
+                    let lane = &mut self.lanes[lane_idx];
+                    words.clear();
+                    lane.recv_batch(&mut words, LANE_BATCH)
+                };
+                if drained == 0 {
+                    continue;
+                }
+                did_work = true;
+                self.process_lane_batch(lane_idx, &words);
+                self.lanes[lane_idx].flush();
+            }
+
+            iterations += 1;
+            if did_work {
+                self.stats.busy_iterations.fetch_add(1, Ordering::Relaxed);
+                idle_streak = 0;
+            } else {
+                self.stats.idle_iterations.fetch_add(1, Ordering::Relaxed);
+                idle_streak = idle_streak.saturating_add(1);
+                if idle_streak > 1024 {
+                    // Be a good citizen on oversubscribed test machines; the
+                    // paper's dedicated cores would just keep polling.
+                    std::thread::yield_now();
+                }
+            }
+            // Refresh the shared partition statistics occasionally so the
+            // table handle can report hit rates mid-run.
+            if iterations % 4096 == 0 {
+                *self.partition_stats.lock() = self.partition.stats();
+            }
+        }
+
+        *self.partition_stats.lock() = self.partition.stats();
+        self.stats.stopped.store(true, Ordering::Release);
+    }
+
+    /// Process one batch of request words from one client lane.
+    fn process_lane_batch(&mut self, lane_idx: usize, words: &[u64]) {
+        let mut i = 0usize;
+        while i < len_of(words) {
+            let word = words[i];
+            i += 1;
+            let Some((op, payload)) = decode_word(word) else {
+                // Corrupt word: skip it. This cannot happen with the
+                // provided client, but a malformed word must not take the
+                // whole server down.
+                continue;
+            };
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+            match op {
+                OpCode::Lookup => {
+                    let response = match self.partition.lookup(payload) {
+                        Some(hit) => Response::with_value(hit.value.addr(), hit.id, hit.value.len()),
+                        None => Response::MISS,
+                    };
+                    self.respond(lane_idx, response);
+                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
+                }
+                OpCode::Insert => {
+                    // The size travels in the next word, which may still be
+                    // in flight if it crossed a cache-line flush boundary.
+                    let size = match words.get(i) {
+                        Some(&w) => {
+                            i += 1;
+                            w
+                        }
+                        None => self.wait_for_extra_word(lane_idx),
+                    };
+                    let response = match self.partition.insert(payload, size as usize) {
+                        Ok(reservation) => Response::with_value(
+                            reservation.value.addr(),
+                            reservation.id,
+                            size as usize,
+                        ),
+                        Err(_) => Response::MISS,
+                    };
+                    self.respond(lane_idx, response);
+                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
+                }
+                OpCode::Ready => {
+                    self.partition.mark_ready(cphash_hashcore::ElementId(payload as u32));
+                }
+                OpCode::Decref => {
+                    self.partition.decref(cphash_hashcore::ElementId(payload as u32));
+                }
+                OpCode::Delete => {
+                    let response = if self.partition.delete(payload) {
+                        Response::FOUND
+                    } else {
+                        Response::MISS
+                    };
+                    self.respond(lane_idx, response);
+                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Spin until the second word of an insert message becomes visible.
+    /// The client always flushes after queueing a batch, so this terminates
+    /// unless the client vanishes — in which case we bail out with a size of
+    /// zero (the insert degenerates to an empty value).
+    fn wait_for_extra_word(&mut self, lane_idx: usize) -> u64 {
+        loop {
+            if let Some(w) = self.lanes[lane_idx].try_recv() {
+                self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                return w;
+            }
+            if !self.lanes[lane_idx].is_client_alive() {
+                return 0;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Queue a response on a lane, spinning if the response ring is
+    /// momentarily full (the client bounds its outstanding requests below
+    /// the ring capacity, so this never spins in practice).
+    fn respond(&mut self, lane_idx: usize, response: Response) {
+        let lane = &mut self.lanes[lane_idx];
+        let mut r = response;
+        loop {
+            match lane.try_send(r) {
+                Ok(()) => return,
+                Err(full) => {
+                    r = full.message;
+                    lane.flush();
+                    if !lane.is_client_alive() {
+                        return;
+                    }
+                    core::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn len_of(words: &[u64]) -> usize {
+    words.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode, Request};
+    use cphash_channel::{duplex, RingConfig};
+    use cphash_hashcore::PartitionConfig;
+
+    /// Drive a server thread object synchronously on the current thread by
+    /// feeding it requests and then raising the stop flag.
+    fn run_one_exchange(requests: Vec<Request>) -> Vec<Response> {
+        let (mut client, server_end) = duplex::<u64, Response>(RingConfig::with_capacity(1024));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::new());
+        let pstats = Arc::new(Mutex::new(PartitionStats::default()));
+        let server = ServerThread {
+            index: 0,
+            partition: Partition::new(PartitionConfig::new(64, None)),
+            lanes: vec![server_end],
+            pin: None,
+            stop: Arc::clone(&stop),
+            stats,
+            partition_stats: pstats,
+        };
+
+        for r in &requests {
+            let (w0, w1) = encode(r);
+            client.send_blocking(w0);
+            if let Some(w1) = w1 {
+                client.send_blocking(w1);
+            }
+        }
+        client.flush();
+
+        let expected_responses = requests
+            .iter()
+            .filter(|r| matches!(r, Request::Lookup { .. } | Request::Insert { .. } | Request::Delete { .. }))
+            .count();
+
+        let handle = std::thread::spawn(move || server.run());
+        let mut responses = Vec::new();
+        while responses.len() < expected_responses {
+            if let Some(r) = client.try_recv() {
+                responses.push(r);
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+        responses
+    }
+
+    #[test]
+    fn lookup_on_empty_table_misses() {
+        let responses = run_one_exchange(vec![Request::Lookup { key: 7 }]);
+        assert_eq!(responses, vec![Response::MISS]);
+    }
+
+    #[test]
+    fn insert_reserves_space_and_returns_location() {
+        let responses = run_one_exchange(vec![Request::Insert { key: 9, size: 8 }]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].has_value());
+        assert_eq!(responses[0].value_size(), 8);
+    }
+
+    #[test]
+    fn delete_reports_absence() {
+        let responses = run_one_exchange(vec![Request::Delete { key: 3 }]);
+        assert_eq!(responses, vec![Response::MISS]);
+    }
+
+    #[test]
+    fn corrupt_words_are_skipped() {
+        // A zero word has no valid opcode; the following lookup must still
+        // be processed.
+        let (mut client, server_end) = duplex::<u64, Response>(RingConfig::with_capacity(256));
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = ServerThread {
+            index: 0,
+            partition: Partition::new(PartitionConfig::new(64, None)),
+            lanes: vec![server_end],
+            pin: None,
+            stop: Arc::clone(&stop),
+            stats: Arc::new(ServerStats::new()),
+            partition_stats: Arc::new(Mutex::new(PartitionStats::default())),
+        };
+        client.send_blocking(0);
+        let (w0, _) = encode(&Request::Lookup { key: 1 });
+        client.send_blocking(w0);
+        client.flush();
+        let handle = std::thread::spawn(move || server.run());
+        let resp = loop {
+            if let Some(r) = client.try_recv() {
+                break r;
+            }
+            core::hint::spin_loop();
+        };
+        assert_eq!(resp, Response::MISS);
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

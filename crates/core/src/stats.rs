@@ -1,0 +1,152 @@
+//! Shared runtime statistics for a CPHash table.
+
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use cphash_affinity::PinOutcome;
+
+/// Counters one server thread updates while running; read by the table
+/// handle, the dynamic-server controller and the benchmark reports.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests (protocol messages) processed.
+    pub messages: AtomicU64,
+    /// Hash-table operations completed (lookup/insert/delete).
+    pub operations: AtomicU64,
+    /// Loop iterations that found at least one message.
+    pub busy_iterations: AtomicU64,
+    /// Loop iterations that found every queue empty ("the rest of the time
+    /// is spent polling idle buffers", §6.2).
+    pub idle_iterations: AtomicU64,
+    /// Whether the server thread managed to pin itself to its assigned
+    /// hardware thread.
+    pub pinned: AtomicBool,
+    /// Whether the server thread has exited its loop.
+    pub stopped: AtomicBool,
+}
+
+impl ServerStats {
+    /// New zeroed stats block.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    pub(crate) fn record_pin(&self, outcome: PinOutcome) {
+        self.pinned.store(outcome.is_pinned(), Ordering::Relaxed);
+    }
+
+    /// Fraction of loop iterations that found work, in `[0, 1]` — the
+    /// utilization figure §6.2 reports as "server threads spend 59% of the
+    /// time processing … the rest is spent polling idle buffers".
+    pub fn utilization(&self) -> f64 {
+        let busy = self.busy_iterations.load(Ordering::Relaxed) as f64;
+        let idle = self.idle_iterations.load(Ordering::Relaxed) as f64;
+        if busy + idle == 0.0 {
+            0.0
+        } else {
+            busy / (busy + idle)
+        }
+    }
+
+    /// Messages processed so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Operations completed so far.
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// Whether the server pinned successfully.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Whether the server has exited.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+}
+
+/// A snapshot of the whole table's activity, aggregated over servers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TableSnapshot {
+    /// Total protocol messages processed by all servers.
+    pub messages: u64,
+    /// Total hash-table operations completed by all servers.
+    pub operations: u64,
+    /// Mean server utilization in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Number of server threads that are actually pinned.
+    pub pinned_servers: usize,
+    /// Number of server threads.
+    pub servers: usize,
+}
+
+impl TableSnapshot {
+    /// Aggregate a set of per-server stats blocks.
+    pub fn aggregate(stats: &[std::sync::Arc<ServerStats>]) -> TableSnapshot {
+        let mut snap = TableSnapshot {
+            servers: stats.len(),
+            ..Default::default()
+        };
+        let mut util_sum = 0.0;
+        for s in stats {
+            snap.messages += s.messages();
+            snap.operations += s.operations();
+            util_sum += s.utilization();
+            if s.is_pinned() {
+                snap.pinned_servers += 1;
+            }
+        }
+        if !stats.is_empty() {
+            snap.mean_utilization = util_sum / stats.len() as f64;
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn utilization_math() {
+        let s = ServerStats::new();
+        assert_eq!(s.utilization(), 0.0);
+        s.busy_iterations.store(59, Ordering::Relaxed);
+        s.idle_iterations.store(41, Ordering::Relaxed);
+        assert!((s.utilization() - 0.59).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_sums_and_averages() {
+        let a = Arc::new(ServerStats::new());
+        let b = Arc::new(ServerStats::new());
+        a.messages.store(10, Ordering::Relaxed);
+        b.messages.store(30, Ordering::Relaxed);
+        a.operations.store(5, Ordering::Relaxed);
+        b.operations.store(15, Ordering::Relaxed);
+        a.busy_iterations.store(1, Ordering::Relaxed);
+        a.idle_iterations.store(1, Ordering::Relaxed);
+        b.busy_iterations.store(3, Ordering::Relaxed);
+        b.idle_iterations.store(1, Ordering::Relaxed);
+        a.pinned.store(true, Ordering::Relaxed);
+        let snap = TableSnapshot::aggregate(&[a, b]);
+        assert_eq!(snap.messages, 40);
+        assert_eq!(snap.operations, 20);
+        assert_eq!(snap.servers, 2);
+        assert_eq!(snap.pinned_servers, 1);
+        assert!((snap.mean_utilization - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_pin_reflects_outcome() {
+        let s = ServerStats::new();
+        s.record_pin(PinOutcome::Refused);
+        assert!(!s.is_pinned());
+        s.record_pin(PinOutcome::Pinned(cphash_affinity::HwThreadId(0)));
+        assert!(s.is_pinned());
+    }
+}

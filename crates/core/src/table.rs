@@ -1,0 +1,347 @@
+//! The CPHash table handle: spawns server threads, wires up message lanes,
+//! and hands out client handles.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cphash_channel::{duplex, RingConfig};
+use cphash_hashcore::{Partition, PartitionConfig, PartitionStats};
+use parking_lot::Mutex;
+
+use crate::client::ClientHandle;
+use crate::config::CpHashConfig;
+use crate::server::ServerThread;
+use crate::stats::{ServerStats, TableSnapshot};
+
+/// A running CPHash table: one pinned server thread per partition, plus the
+/// shared-memory message lanes connecting them to the client handles.
+///
+/// Dropping the table (or calling [`CpHash::shutdown`]) stops the server
+/// threads and releases the partitions.  Client handles created from this
+/// table become inert once the servers stop (operations return
+/// [`crate::TableError::ServerGone`]).
+pub struct CpHash {
+    config: CpHashConfig,
+    stop: Arc<AtomicBool>,
+    servers: Vec<JoinHandle<()>>,
+    server_stats: Vec<Arc<ServerStats>>,
+    partition_stats: Vec<Arc<Mutex<PartitionStats>>>,
+}
+
+impl CpHash {
+    /// Build the table and its client handles.
+    ///
+    /// The number of client handles is fixed at construction time (as in the
+    /// paper, where the client thread count is a benchmark parameter): every
+    /// client/server pair gets its own pair of message rings, so servers
+    /// need to know all their clients up front.
+    pub fn new(config: CpHashConfig) -> (CpHash, Vec<ClientHandle>) {
+        config.validate();
+        let ring = RingConfig::with_capacity(config.ring_capacity);
+
+        // lane_matrix[s][c] = server s's endpoint for client c.
+        let mut server_lanes: Vec<Vec<_>> = (0..config.partitions).map(|_| Vec::new()).collect();
+        let mut client_lanes: Vec<Vec<_>> = (0..config.clients).map(|_| Vec::new()).collect();
+        for (c, client_lane_list) in client_lanes.iter_mut().enumerate() {
+            for server_lane_list in server_lanes.iter_mut() {
+                let (client_end, server_end) = duplex(ring);
+                client_lane_list.push(client_end);
+                server_lane_list.push(server_end);
+                let _ = c;
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut servers = Vec::with_capacity(config.partitions);
+        let mut server_stats = Vec::with_capacity(config.partitions);
+        let mut partition_stats = Vec::with_capacity(config.partitions);
+
+        for (index, lanes) in server_lanes.into_iter().enumerate() {
+            let stats = Arc::new(ServerStats::new());
+            let pstats = Arc::new(Mutex::new(PartitionStats::default()));
+            let partition = Partition::new(
+                PartitionConfig {
+                    buckets: config.buckets_per_partition,
+                    capacity_bytes: config.partition_capacity(),
+                    eviction: config.eviction,
+                    seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+                },
+            );
+            let thread = ServerThread {
+                index,
+                partition,
+                lanes,
+                pin: config.server_pins.get(index).copied(),
+                stop: Arc::clone(&stop),
+                stats: Arc::clone(&stats),
+                partition_stats: Arc::clone(&pstats),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("cphash-server-{index}"))
+                .spawn(move || thread.run())
+                .expect("spawning a server thread");
+            servers.push(handle);
+            server_stats.push(stats);
+            partition_stats.push(pstats);
+        }
+
+        let clients = client_lanes
+            .into_iter()
+            .map(|lanes| ClientHandle::new(lanes, config.ring_capacity))
+            .collect();
+
+        (
+            CpHash {
+                config,
+                stop,
+                servers,
+                server_stats,
+                partition_stats,
+            },
+            clients,
+        )
+    }
+
+    /// Convenience constructor for the common case.
+    pub fn with_partitions(partitions: usize, clients: usize) -> (CpHash, Vec<ClientHandle>) {
+        Self::new(CpHashConfig::new(partitions, clients))
+    }
+
+    /// The configuration the table was built with.
+    pub fn config(&self) -> &CpHashConfig {
+        &self.config
+    }
+
+    /// Number of partitions / server threads.
+    pub fn partitions(&self) -> usize {
+        self.config.partitions
+    }
+
+    /// Per-server runtime statistics (live, lock-free).
+    pub fn server_stats(&self) -> &[Arc<ServerStats>] {
+        &self.server_stats
+    }
+
+    /// Aggregate runtime snapshot across all servers.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot::aggregate(&self.server_stats)
+    }
+
+    /// Aggregate partition statistics (hits, evictions, …).  Refreshed
+    /// periodically by the server threads and finally at shutdown.
+    pub fn partition_stats(&self) -> PartitionStats {
+        let mut total = PartitionStats::default();
+        for p in &self.partition_stats {
+            total.merge(&p.lock());
+        }
+        total
+    }
+
+    /// Stop all server threads and wait for them to exit.  Safe to call
+    /// more than once; dropping the table calls it implicitly.
+    pub fn shutdown(&mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for handle in self.servers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CpHash {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl core::fmt::Debug for CpHash {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CpHash")
+            .field("partitions", &self.config.partitions)
+            .field("clients", &self.config.clients)
+            .field("capacity_bytes", &self.config.capacity_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{CompletionKind, TableError};
+    use cphash_hashcore::EvictionPolicy;
+
+    #[test]
+    fn basic_insert_lookup_delete() {
+        let (mut table, mut clients) = CpHash::with_partitions(2, 1);
+        let client = &mut clients[0];
+        assert!(client.insert(1, b"hello").unwrap());
+        assert!(client.insert(2, b"world").unwrap());
+        assert_eq!(client.get(1).unwrap().unwrap().as_slice(), b"hello");
+        assert_eq!(client.get(2).unwrap().unwrap().as_slice(), b"world");
+        assert!(client.get(3).unwrap().is_none());
+        assert!(client.delete(1).unwrap());
+        assert!(!client.delete(1).unwrap());
+        assert!(client.get(1).unwrap().is_none());
+        let snap = table.snapshot();
+        assert!(snap.operations >= 7);
+        table.shutdown();
+    }
+
+    #[test]
+    fn values_larger_than_inline_threshold() {
+        let (mut table, mut clients) = CpHash::with_partitions(2, 1);
+        let client = &mut clients[0];
+        let big = vec![0xABu8; 1000];
+        assert!(client.insert(42, &big).unwrap());
+        let got = client.get(42).unwrap().unwrap();
+        assert_eq!(got.as_slice(), big.as_slice());
+        drop(clients);
+        table.shutdown();
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let (mut table, mut clients) = CpHash::with_partitions(4, 1);
+        let client = &mut clients[0];
+        client.insert(9, b"first").unwrap();
+        client.insert(9, b"second").unwrap();
+        assert_eq!(client.get(9).unwrap().unwrap().as_slice(), b"second");
+        drop(clients);
+        table.shutdown();
+        // Partition statistics are published (at the latest) at shutdown.
+        let stats = table.partition_stats();
+        assert!(stats.inserts >= 2);
+        assert_eq!(stats.replacements, 1);
+    }
+
+    #[test]
+    fn pipelined_batch_of_operations() {
+        let (mut table, mut clients) = CpHash::with_partitions(4, 1);
+        let client = &mut clients[0];
+        const N: u64 = 2_000;
+        let mut insert_tokens = Vec::new();
+        for key in 0..N {
+            insert_tokens.push(client.submit_insert(key, &key.to_le_bytes()));
+        }
+        let mut completions = Vec::new();
+        client.drain(&mut completions).unwrap();
+        assert_eq!(completions.len(), N as usize);
+        assert!(completions
+            .iter()
+            .all(|c| c.kind == CompletionKind::Inserted));
+
+        let mut lookup_tokens = Vec::new();
+        for key in 0..N {
+            lookup_tokens.push((key, client.submit_lookup(key)));
+        }
+        completions.clear();
+        client.drain(&mut completions).unwrap();
+        assert_eq!(completions.len(), N as usize);
+        // Every lookup must hit and return its own key as the value.
+        for (key, token) in lookup_tokens {
+            let c = completions
+                .iter()
+                .find(|c| c.token == token)
+                .expect("completion for token");
+            match &c.kind {
+                CompletionKind::LookupHit(v) => {
+                    assert_eq!(v.as_slice(), key.to_le_bytes());
+                }
+                other => panic!("key {key} completed as {other:?}"),
+            }
+        }
+        drop(clients);
+        table.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_the_table() {
+        let (mut table, clients) = CpHash::with_partitions(2, 4);
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut client)| {
+                std::thread::spawn(move || {
+                    let base = (i as u64) * 10_000;
+                    for key in base..base + 500 {
+                        assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+                    }
+                    for key in base..base + 500 {
+                        let v = client.get(key).unwrap().expect("own key present");
+                        assert_eq!(v.as_slice(), key.to_le_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Partition statistics are guaranteed up to date after shutdown.
+        table.shutdown();
+        let stats = table.partition_stats();
+        assert!(stats.inserts >= 2_000);
+    }
+
+    #[test]
+    fn capacity_bound_triggers_eviction() {
+        let config = CpHashConfig::new(2, 1).with_capacity(1024, 8);
+        let (mut table, mut clients) = CpHash::new(config);
+        let client = &mut clients[0];
+        for key in 0..1_000u64 {
+            assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+        }
+        // The table holds at most 1024 bytes of values; old keys are gone.
+        let stats_hits_possible: usize = (0..1_000u64)
+            .filter(|&k| client.get(k).unwrap().is_some())
+            .count();
+        assert!(stats_hits_possible <= 128, "at most capacity/value_size keys survive");
+        assert!(stats_hits_possible > 0, "the most recent keys survive");
+        let pstats = table.partition_stats();
+        assert!(pstats.evictions > 0);
+        drop(clients);
+        table.shutdown();
+    }
+
+    #[test]
+    fn random_eviction_policy_works_end_to_end() {
+        let config = CpHashConfig::new(2, 1)
+            .with_capacity(512, 8)
+            .with_eviction(EvictionPolicy::Random);
+        let (mut table, mut clients) = CpHash::new(config);
+        let client = &mut clients[0];
+        for key in 0..500u64 {
+            assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+        }
+        let survivors = (0..500u64)
+            .filter(|&k| client.get(k).unwrap().is_some())
+            .count();
+        assert!(survivors <= 64);
+        drop(clients);
+        table.shutdown();
+    }
+
+    #[test]
+    fn operations_after_shutdown_report_server_gone() {
+        let (mut table, mut clients) = CpHash::with_partitions(1, 1);
+        table.shutdown();
+        let client = &mut clients[0];
+        assert_eq!(client.get(5).unwrap_err(), TableError::ServerGone);
+    }
+
+    #[test]
+    fn snapshot_reports_utilization_and_pinning() {
+        let (mut table, mut clients) = CpHash::with_partitions(2, 1);
+        clients[0].insert(1, b"x").unwrap();
+        // Give the servers a moment to accumulate idle iterations.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let snap = table.snapshot();
+        assert_eq!(snap.servers, 2);
+        assert!(snap.mean_utilization >= 0.0 && snap.mean_utilization <= 1.0);
+        drop(clients);
+        table.shutdown();
+    }
+}

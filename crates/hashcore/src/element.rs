@@ -1,0 +1,130 @@
+//! Element headers and their intrusive list links.
+
+use cphash_alloc::ValueHandle;
+
+/// Index of an element slot within its partition.
+///
+/// Element ids are partition-local; the CPHash protocol always pairs an id
+/// with the partition (server) it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub u32);
+
+/// Sentinel "null" link used by the intrusive lists.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Publication state of an element's value (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementState {
+    /// Space has been allocated but the client has not yet copied the value;
+    /// lookups must not return it.
+    NotReady,
+    /// The value is fully written and visible to lookups.
+    Ready,
+}
+
+/// One element header: "the key, the reference count, the size of the value
+/// (in bytes), and doubly-linked-list pointers for the bucket and for the
+/// LRU list" (§3.1), plus the allocator handle for the value bytes.
+#[derive(Debug)]
+pub(crate) struct Element {
+    pub key: u64,
+    pub value: ValueHandle,
+    pub refcount: u32,
+    pub state: ElementState,
+    /// Still linked into the bucket/LRU lists?  An element that has been
+    /// evicted or deleted while clients still hold references is unlinked
+    /// but not yet freed.
+    pub linked: bool,
+    pub bucket: u32,
+    pub bucket_next: u32,
+    pub bucket_prev: u32,
+    pub lru_next: u32,
+    pub lru_prev: u32,
+}
+
+impl Element {
+    pub(crate) fn new(key: u64, value: ValueHandle, bucket: u32) -> Self {
+        Element {
+            key,
+            value,
+            refcount: 0,
+            state: ElementState::NotReady,
+            linked: true,
+            bucket,
+            bucket_next: NIL,
+            bucket_prev: NIL,
+            lru_next: NIL,
+            lru_prev: NIL,
+        }
+    }
+}
+
+/// A slot in the partition's element arena: either occupied or a free-list
+/// link to the next free slot.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    Occupied(Element),
+    Free { next_free: u32 },
+}
+
+impl Slot {
+    pub(crate) fn element(&self) -> &Element {
+        match self {
+            Slot::Occupied(e) => e,
+            Slot::Free { .. } => panic!("accessed a free element slot"),
+        }
+    }
+
+    pub(crate) fn element_mut(&mut self) -> &mut Element {
+        match self {
+            Slot::Occupied(e) => e,
+            Slot::Free { .. } => panic!("accessed a free element slot"),
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_occupied(&self) -> bool {
+        matches!(self, Slot::Occupied(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cphash_alloc::SlabAllocator;
+
+    #[test]
+    fn new_elements_start_not_ready_and_linked() {
+        let mut a = SlabAllocator::unbounded();
+        let v = a.allocate(8).unwrap();
+        let e = Element::new(7, v, 3);
+        assert_eq!(e.key, 7);
+        assert_eq!(e.bucket, 3);
+        assert_eq!(e.state, ElementState::NotReady);
+        assert!(e.linked);
+        assert_eq!(e.refcount, 0);
+        assert_eq!(e.bucket_next, NIL);
+        a.free(v);
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let mut a = SlabAllocator::unbounded();
+        let v = a.allocate(8).unwrap();
+        let mut slot = Slot::Occupied(Element::new(1, v, 0));
+        assert!(slot.is_occupied());
+        assert_eq!(slot.element().key, 1);
+        slot.element_mut().refcount += 1;
+        assert_eq!(slot.element().refcount, 1);
+        let free = Slot::Free { next_free: NIL };
+        assert!(!free.is_occupied());
+        a.free(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "free element slot")]
+    fn accessing_free_slot_panics() {
+        let slot = Slot::Free { next_free: 4 };
+        let _ = slot.element();
+    }
+}

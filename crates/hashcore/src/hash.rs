@@ -1,0 +1,103 @@
+//! Key hashing and key → partition assignment.
+//!
+//! "CPHASH uses a simple hash function to assign each possible key to a
+//! partition" (§3).  Keys are 60-bit integers (§3.1); the top four bits are
+//! reserved so a key never collides with the protocol's message tags.
+
+/// Largest legal key: keys are 60-bit integers in the paper's design.
+pub const MAX_KEY: u64 = (1 << 60) - 1;
+
+/// A fast 64-bit mixing function (splitmix64 finalizer).  Used both to
+/// spread keys over buckets and to assign keys to partitions; it is "simple"
+/// in the paper's sense — stateless and a handful of arithmetic ops — while
+/// still spreading adjacent keys to unrelated buckets.
+#[inline]
+pub fn hash64(key: u64) -> u64 {
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The partition responsible for `key`, out of `partitions` total.
+///
+/// Both tables use this same assignment so a given key lands in the same
+/// partition under CPHash and LockHash, which keeps comparisons fair.
+#[inline]
+pub fn partition_for_key(key: u64, partitions: usize) -> usize {
+    debug_assert!(partitions > 0);
+    (hash64(key) % partitions as u64) as usize
+}
+
+/// The bucket within a partition for `key`, out of `buckets` buckets
+/// (a power of two).
+#[inline]
+pub fn bucket_for_key(key: u64, buckets: usize) -> usize {
+    debug_assert!(buckets.is_power_of_two());
+    // Use the upper bits so that partition selection (modulo) and bucket
+    // selection stay decorrelated.
+    ((hash64(key) >> 17) & (buckets as u64 - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(hash64(42), hash64(42));
+        let distinct: HashSet<u64> = (0..10_000u64).map(hash64).collect();
+        assert_eq!(distinct.len(), 10_000, "no collisions on small sequential keys");
+    }
+
+    #[test]
+    fn partition_assignment_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let p = partition_for_key(key, 80);
+            assert!(p < 80);
+            assert_eq!(p, partition_for_key(key, 80));
+        }
+    }
+
+    #[test]
+    fn partition_assignment_is_roughly_balanced() {
+        let partitions = 16;
+        let mut counts = vec![0usize; partitions];
+        let n = 100_000u64;
+        for key in 0..n {
+            counts[partition_for_key(key, partitions)] += 1;
+        }
+        let expected = n as usize / partitions;
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected * 8 / 10 && c < expected * 12 / 10,
+                "partition {p} got {c} of ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_selection_respects_power_of_two() {
+        for key in 0..1000u64 {
+            assert!(bucket_for_key(key, 1024) < 1024);
+        }
+    }
+
+    #[test]
+    fn bucket_and_partition_are_decorrelated() {
+        // Keys that share a partition should still spread over buckets.
+        let mut buckets = HashSet::new();
+        for key in 0..100_000u64 {
+            if partition_for_key(key, 80) == 0 {
+                buckets.insert(bucket_for_key(key, 256));
+            }
+        }
+        assert!(buckets.len() > 200, "only {} distinct buckets", buckets.len());
+    }
+
+    #[test]
+    fn max_key_is_60_bits() {
+        assert_eq!(MAX_KEY, 0x0FFF_FFFF_FFFF_FFFF);
+    }
+}

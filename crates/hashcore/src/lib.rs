@@ -1,0 +1,40 @@
+//! The partition data structure shared by CPHash and LockHash.
+//!
+//! §5 of the paper: "both CPHASH and LOCKHASH use the same code for
+//! implementing a single hash table partition; the only difference is that
+//! LOCKHASH acquires a lock to perform an operation on a partition, and
+//! CPHASH uses message-passing to send the request to the appropriate
+//! server thread."  This crate is that shared code.
+//!
+//! A [`Partition`] is a single-threaded, fixed-capacity hash table with
+//! (per §3.1):
+//!
+//! * a bucket array of intrusive doubly-linked chains,
+//! * an LRU list threaded through the same element headers (or no list at
+//!   all under the random-eviction policy of §6.3),
+//! * an element header holding the key, value size, reference count and the
+//!   four list pointers,
+//! * values allocated out of a per-partition [`cphash_alloc::SlabAllocator`]
+//!   whose byte budget is the partition's share of the table capacity,
+//! * reference counting with deferred frees, so a value returned to a
+//!   client is never recycled while the client may still be reading it.
+//!
+//! The structure is deliberately *not* thread-safe: CPHash gives each
+//! partition to exactly one server thread; LockHash wraps each partition in
+//! a spinlock.  That asymmetry — same data structure, different concurrency
+//! discipline — is the whole experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod element;
+pub mod hash;
+pub mod partition;
+pub mod policy;
+pub mod stats;
+
+pub use element::{ElementId, ElementState};
+pub use hash::{hash64, partition_for_key, MAX_KEY};
+pub use partition::{InsertError, InsertReservation, LookupHit, Partition, PartitionConfig};
+pub use policy::EvictionPolicy;
+pub use stats::PartitionStats;

@@ -1,0 +1,910 @@
+//! The partition: a single-threaded hash table with LRU eviction,
+//! reference counting and deferred frees.
+
+use cphash_alloc::{SlabAllocator, SlabConfig, ValueHandle};
+
+use crate::element::{Element, ElementId, ElementState, Slot, NIL};
+use crate::hash::bucket_for_key;
+use crate::policy::EvictionPolicy;
+use crate::stats::PartitionStats;
+
+/// Configuration of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Number of buckets (rounded up to a power of two). The paper sizes the
+    /// table for "an average of one element per bucket".
+    pub buckets: usize,
+    /// Byte budget for the values stored in this partition; `None` disables
+    /// eviction-by-capacity (the table only grows).
+    pub capacity_bytes: Option<usize>,
+    /// Eviction policy (LRU by default, random for the §6.3 variant).
+    pub eviction: EvictionPolicy,
+    /// Seed for the random-eviction PRNG (ignored under LRU).
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            buckets: 1024,
+            capacity_bytes: None,
+            eviction: EvictionPolicy::Lru,
+            seed: 0x1234_5678,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A config with the given bucket count and byte budget.
+    pub fn new(buckets: usize, capacity_bytes: Option<usize>) -> Self {
+        PartitionConfig {
+            buckets,
+            capacity_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Same config with a different eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+}
+
+/// A successful lookup: the element id (for the later `Decref`) and the
+/// handle through which the caller may read the value bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct LookupHit {
+    /// Id to pass back to [`Partition::decref`] when done reading.
+    pub id: ElementId,
+    /// Handle to the value bytes (valid until the matching `decref`).
+    pub value: ValueHandle,
+}
+
+/// A successful insert reservation: space has been allocated and the element
+/// linked in NOT-READY state; the caller copies the value bytes through
+/// `value` and then calls [`Partition::mark_ready`].
+#[derive(Debug, Clone, Copy)]
+pub struct InsertReservation {
+    /// Id to pass to [`Partition::mark_ready`] once the value is copied.
+    pub id: ElementId,
+    /// Handle the value bytes must be written through.
+    pub value: ValueHandle,
+}
+
+/// Why an insert could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The value is larger than the partition's entire byte budget.
+    ValueTooLarge,
+    /// Every remaining element is pinned by outstanding references, so
+    /// nothing can be evicted to make room right now.
+    OutOfMemory,
+}
+
+impl core::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InsertError::ValueTooLarge => f.write_str("value larger than partition capacity"),
+            InsertError::OutOfMemory => f.write_str("partition full of referenced elements"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A single-threaded hash-table partition (see the crate docs).
+pub struct Partition {
+    buckets: Vec<u32>,
+    bucket_mask: usize,
+    slots: Vec<Slot>,
+    free_head: u32,
+    lru_head: u32,
+    lru_tail: u32,
+    /// Dense pool of linked element ids, maintained only under random
+    /// eviction so victims can be drawn uniformly in O(1).
+    random_pool: Vec<u32>,
+    /// For each slot, its index in `random_pool` (only meaningful while
+    /// linked and under random eviction).
+    pool_index: Vec<u32>,
+    len: usize,
+    eviction: EvictionPolicy,
+    allocator: SlabAllocator,
+    stats: PartitionStats,
+    rng_state: u64,
+}
+
+impl Partition {
+    /// Create an empty partition.
+    pub fn new(config: PartitionConfig) -> Self {
+        let buckets = config.buckets.next_power_of_two().max(1);
+        let alloc_config = SlabConfig {
+            capacity_bytes: config.capacity_bytes,
+            ..SlabConfig::default()
+        };
+        Partition {
+            buckets: vec![NIL; buckets],
+            bucket_mask: buckets - 1,
+            slots: Vec::new(),
+            free_head: NIL,
+            lru_head: NIL,
+            lru_tail: NIL,
+            random_pool: Vec::new(),
+            pool_index: Vec::new(),
+            len: 0,
+            eviction: config.eviction,
+            allocator: SlabAllocator::new(alloc_config),
+            stats: PartitionStats::default(),
+            rng_state: config.seed | 1,
+        }
+    }
+
+    /// Number of elements currently linked into the table.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no element is linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of value storage currently allocated (including elements whose
+    /// free has been deferred by outstanding references).
+    pub fn bytes_in_use(&self) -> usize {
+        self.allocator.bytes_in_use()
+    }
+
+    /// The partition's byte budget, if bounded.
+    pub fn capacity_bytes(&self) -> Option<usize> {
+        self.allocator.capacity()
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Eviction policy in force.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    /// Zero the operation statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Core operations
+    // ------------------------------------------------------------------
+
+    /// Look up `key`.  On a hit the element's reference count is
+    /// incremented; the caller must eventually call [`Partition::decref`]
+    /// with the returned id (this is the `Decref` message of the CPHash
+    /// protocol).  Under LRU the element moves to the head of the LRU list.
+    pub fn lookup(&mut self, key: u64) -> Option<LookupHit> {
+        self.stats.lookups += 1;
+        let idx = self.find_linked(key)?;
+        if self.slots[idx as usize].element().state != ElementState::Ready {
+            // NOT-READY elements are invisible to lookups (§3.2).
+            return None;
+        }
+        if self.eviction.maintains_lru() {
+            self.lru_move_to_head(idx);
+        }
+        let e = self.slots[idx as usize].element_mut();
+        e.refcount += 1;
+        self.stats.hits += 1;
+        Some(LookupHit {
+            id: ElementId(idx),
+            value: e.value,
+        })
+    }
+
+    /// Check whether a READY element with `key` is present, without touching
+    /// reference counts or the LRU list.
+    pub fn contains(&self, key: u64) -> bool {
+        self.find_linked(key)
+            .map(|idx| self.slots[idx as usize].element().state == ElementState::Ready)
+            .unwrap_or(false)
+    }
+
+    /// Reserve space for inserting `key` with a `size`-byte value.
+    ///
+    /// Mirrors the paper's INSERT path (§3.2): any existing element with the
+    /// same key is removed first (so the table never holds duplicate keys),
+    /// then memory is allocated — evicting victims as needed — and the new
+    /// element is linked in NOT-READY state.  The caller copies the value
+    /// through the returned handle and then calls [`Partition::mark_ready`].
+    pub fn insert(&mut self, key: u64, size: usize) -> Result<InsertReservation, InsertError> {
+        self.stats.inserts += 1;
+        // Remove any existing element with this key to avoid duplicates.
+        if let Some(existing) = self.find_linked(key) {
+            self.unlink(existing);
+            self.stats.replacements += 1;
+        }
+
+        // Allocate, evicting until the value fits (or nothing is left to
+        // evict).
+        let value = loop {
+            match self.allocator.allocate(size) {
+                Some(v) => break v,
+                None => {
+                    if !self.evict_one() {
+                        self.stats.failed_inserts += 1;
+                        let budget = self.allocator.capacity().unwrap_or(usize::MAX);
+                        return Err(if SlabAllocator::block_bytes_for(size) > budget {
+                            InsertError::ValueTooLarge
+                        } else {
+                            InsertError::OutOfMemory
+                        });
+                    }
+                }
+            }
+        };
+
+        let bucket = self.bucket_of(key);
+        let idx = self.alloc_slot(Element::new(key, value, bucket as u32));
+        // The new element holds one reference on behalf of the inserting
+        // client until `mark_ready` releases it, so it cannot be freed out
+        // from under the client while the value bytes are being copied.
+        self.slots[idx as usize].element_mut().refcount = 1;
+        self.link_into_bucket(idx, bucket);
+        self.link_into_recency(idx);
+        self.len += 1;
+        Ok(InsertReservation {
+            id: ElementId(idx),
+            value,
+        })
+    }
+
+    /// Publish an element inserted via [`Partition::insert`]: mark the value
+    /// READY (visible to lookups) and release the insertion reference.
+    pub fn mark_ready(&mut self, id: ElementId) {
+        let e = self.slots[id.0 as usize].element_mut();
+        assert_eq!(e.state, ElementState::NotReady, "mark_ready on a READY element");
+        e.state = ElementState::Ready;
+        self.decref(id);
+    }
+
+    /// Release one reference on an element (the CPHash `Decref` message).
+    /// Frees the element's memory if it has been unlinked and this was the
+    /// last reference.
+    pub fn decref(&mut self, id: ElementId) {
+        let e = self.slots[id.0 as usize].element_mut();
+        assert!(e.refcount > 0, "decref without a matching reference");
+        e.refcount -= 1;
+        if e.refcount == 0 && !e.linked {
+            self.release_slot(id.0);
+        }
+    }
+
+    /// Remove `key` from the table. Returns `true` if an element was
+    /// removed. Memory is freed immediately unless references are
+    /// outstanding, in which case the free is deferred to the last
+    /// [`Partition::decref`].
+    pub fn delete(&mut self, key: u64) -> bool {
+        match self.find_linked(key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.stats.deletes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evict one element according to the eviction policy. Returns `false`
+    /// when nothing is left to evict.
+    pub fn evict_one(&mut self) -> bool {
+        let victim = match self.eviction {
+            EvictionPolicy::Lru => self.lru_tail,
+            EvictionPolicy::Random => self.random_victim(),
+        };
+        if victim == NIL {
+            return false;
+        }
+        self.unlink(victim);
+        self.stats.evictions += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Safe value access helpers (used by LockHash, tests and the servers)
+    // ------------------------------------------------------------------
+
+    /// Copy `data` into a NOT-READY reservation and publish it.
+    ///
+    /// Safe because NOT-READY elements are invisible to lookups, so the only
+    /// handle to the bytes is the reservation the caller got from
+    /// [`Partition::insert`], and `&mut self` proves no other thread is
+    /// inside this partition.
+    pub fn fill_and_ready(&mut self, id: ElementId, data: &[u8]) {
+        let e = self.slots[id.0 as usize].element();
+        assert_eq!(e.state, ElementState::NotReady, "fill_and_ready on a READY element");
+        assert!(data.len() <= e.value.len(), "value larger than reservation");
+        // SAFETY: see doc comment — the element is NOT-READY so no reader
+        // holds the handle, and the partition is exclusively borrowed.
+        unsafe { e.value.copy_from(data) };
+        self.mark_ready(id);
+    }
+
+    /// Copy the value of a previously looked-up element into `out`.
+    ///
+    /// Safe because the caller's [`LookupHit`] holds a reference (the
+    /// element cannot have been freed) and READY values are never written
+    /// again (§3.2's protocol only writes values before `Ready`).
+    pub fn read_value(&self, hit: &LookupHit, out: &mut Vec<u8>) {
+        let e = self.slots[hit.id.0 as usize].element();
+        assert!(e.refcount > 0, "read_value without a live reference");
+        // SAFETY: see doc comment.
+        let bytes = unsafe { e.value.as_slice() };
+        out.clear();
+        out.extend_from_slice(bytes);
+    }
+
+    /// Convenience for lock-based callers: look up `key`, copy its value
+    /// into `out`, and release the reference before returning.
+    /// Returns `true` on a hit.
+    pub fn lookup_copy(&mut self, key: u64, out: &mut Vec<u8>) -> bool {
+        match self.lookup(key) {
+            Some(hit) => {
+                self.read_value(&hit, out);
+                self.decref(hit.id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Convenience for lock-based callers: insert `key` with `value` bytes,
+    /// copying and publishing in one step.
+    pub fn insert_copy(&mut self, key: u64, value: &[u8]) -> Result<(), InsertError> {
+        let reservation = self.insert(key, value.len())?;
+        self.fill_and_ready(reservation.id, value);
+        Ok(())
+    }
+
+    /// Iterate over the keys of all READY elements (test/debug helper).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.len);
+        for slot in &self.slots {
+            if let Slot::Occupied(e) = slot {
+                if e.linked && e.state == ElementState::Ready {
+                    keys.push(e.key);
+                }
+            }
+        }
+        keys
+    }
+
+    /// Keys in least-recently-used → most-recently-used order (LRU policy
+    /// only; test/debug helper).
+    pub fn lru_order(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = self.lru_tail;
+        while cur != NIL {
+            let e = self.slots[cur as usize].element();
+            keys.push(e.key);
+            cur = e.lru_prev;
+        }
+        keys
+    }
+
+    /// Verify every internal invariant; used by tests and debug assertions.
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        // Every bucket chain is consistent and contains only linked elements
+        // hashed to that bucket.
+        let mut linked_seen = 0usize;
+        for (b, &head) in self.buckets.iter().enumerate() {
+            let mut cur = head;
+            let mut prev = NIL;
+            while cur != NIL {
+                let e = self.slots[cur as usize].element();
+                assert!(e.linked, "unlinked element in bucket chain");
+                assert_eq!(e.bucket as usize, b, "element in wrong bucket");
+                assert_eq!(e.bucket_prev, prev, "broken bucket back-pointer");
+                assert_eq!(self.bucket_of(e.key), b, "element hashed to wrong bucket");
+                linked_seen += 1;
+                prev = cur;
+                cur = e.bucket_next;
+            }
+        }
+        assert_eq!(linked_seen, self.len, "len does not match bucket contents");
+
+        match self.eviction {
+            EvictionPolicy::Lru => {
+                // The LRU list contains exactly the linked elements.
+                let mut count = 0usize;
+                let mut cur = self.lru_head;
+                let mut prev = NIL;
+                while cur != NIL {
+                    let e = self.slots[cur as usize].element();
+                    assert!(e.linked, "unlinked element in LRU list");
+                    assert_eq!(e.lru_prev, prev, "broken LRU back-pointer");
+                    count += 1;
+                    prev = cur;
+                    cur = e.lru_next;
+                }
+                assert_eq!(prev, self.lru_tail, "LRU tail does not terminate the list");
+                assert_eq!(count, self.len, "LRU list length mismatch");
+            }
+            EvictionPolicy::Random => {
+                assert_eq!(self.random_pool.len(), self.len, "random pool length mismatch");
+                for (i, &idx) in self.random_pool.iter().enumerate() {
+                    assert_eq!(self.pool_index[idx as usize] as usize, i, "pool back-index broken");
+                    assert!(self.slots[idx as usize].element().linked);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    fn bucket_of(&self, key: u64) -> usize {
+        bucket_for_key(key, self.bucket_mask + 1)
+    }
+
+    fn find_linked(&self, key: u64) -> Option<u32> {
+        let mut cur = self.buckets[self.bucket_of(key)];
+        while cur != NIL {
+            let e = self.slots[cur as usize].element();
+            if e.key == key {
+                return Some(cur);
+            }
+            cur = e.bucket_next;
+        }
+        None
+    }
+
+    fn alloc_slot(&mut self, element: Element) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let next = match &self.slots[idx as usize] {
+                Slot::Free { next_free } => *next_free,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next;
+            self.slots[idx as usize] = Slot::Occupied(element);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "partition slot space exhausted");
+            self.slots.push(Slot::Occupied(element));
+            self.pool_index.push(NIL);
+            idx
+        }
+    }
+
+    /// Free an element slot and its value memory. The element must already
+    /// be unlinked and unreferenced.
+    fn release_slot(&mut self, idx: u32) {
+        let value = {
+            let e = self.slots[idx as usize].element();
+            debug_assert!(!e.linked);
+            debug_assert_eq!(e.refcount, 0);
+            e.value
+        };
+        self.allocator.free(value);
+        self.slots[idx as usize] = Slot::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = idx;
+    }
+
+    fn link_into_bucket(&mut self, idx: u32, bucket: usize) {
+        let head = self.buckets[bucket];
+        {
+            let e = self.slots[idx as usize].element_mut();
+            e.bucket_next = head;
+            e.bucket_prev = NIL;
+            e.bucket = bucket as u32;
+        }
+        if head != NIL {
+            self.slots[head as usize].element_mut().bucket_prev = idx;
+        }
+        self.buckets[bucket] = idx;
+    }
+
+    fn unlink_from_bucket(&mut self, idx: u32) {
+        let (prev, next, bucket) = {
+            let e = self.slots[idx as usize].element();
+            (e.bucket_prev, e.bucket_next, e.bucket as usize)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].element_mut().bucket_next = next;
+        } else {
+            self.buckets[bucket] = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].element_mut().bucket_prev = prev;
+        }
+    }
+
+    fn link_into_recency(&mut self, idx: u32) {
+        match self.eviction {
+            EvictionPolicy::Lru => self.lru_push_head(idx),
+            EvictionPolicy::Random => {
+                self.pool_index[idx as usize] = self.random_pool.len() as u32;
+                self.random_pool.push(idx);
+            }
+        }
+    }
+
+    fn unlink_from_recency(&mut self, idx: u32) {
+        match self.eviction {
+            EvictionPolicy::Lru => self.lru_remove(idx),
+            EvictionPolicy::Random => {
+                let pool_idx = self.pool_index[idx as usize] as usize;
+                let last = *self.random_pool.last().expect("pool not empty");
+                self.random_pool.swap_remove(pool_idx);
+                if last != idx {
+                    self.pool_index[last as usize] = pool_idx as u32;
+                }
+                self.pool_index[idx as usize] = NIL;
+            }
+        }
+    }
+
+    /// Unlink an element from the table (bucket + recency structures).
+    /// Frees it immediately if unreferenced, otherwise defers.
+    fn unlink(&mut self, idx: u32) {
+        self.unlink_from_bucket(idx);
+        self.unlink_from_recency(idx);
+        self.len -= 1;
+        let refcount = {
+            let e = self.slots[idx as usize].element_mut();
+            e.linked = false;
+            e.refcount
+        };
+        if refcount == 0 {
+            self.release_slot(idx);
+        } else {
+            self.stats.deferred_frees += 1;
+        }
+    }
+
+    fn lru_push_head(&mut self, idx: u32) {
+        let old_head = self.lru_head;
+        {
+            let e = self.slots[idx as usize].element_mut();
+            e.lru_next = old_head;
+            e.lru_prev = NIL;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].element_mut().lru_prev = idx;
+        }
+        self.lru_head = idx;
+        if self.lru_tail == NIL {
+            self.lru_tail = idx;
+        }
+    }
+
+    fn lru_remove(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = self.slots[idx as usize].element();
+            (e.lru_prev, e.lru_next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].element_mut().lru_next = next;
+        } else {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].element_mut().lru_prev = prev;
+        } else {
+            self.lru_tail = prev;
+        }
+        let e = self.slots[idx as usize].element_mut();
+        e.lru_prev = NIL;
+        e.lru_next = NIL;
+    }
+
+    fn lru_move_to_head(&mut self, idx: u32) {
+        if self.lru_head == idx {
+            return;
+        }
+        self.lru_remove(idx);
+        self.lru_push_head(idx);
+    }
+
+    fn random_victim(&mut self) -> u32 {
+        if self.random_pool.is_empty() {
+            // Under LRU policy the pool is unused; fall back to the tail.
+            return self.lru_tail;
+        }
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        self.random_pool[(r % self.random_pool.len() as u64) as usize]
+    }
+}
+
+impl Drop for Partition {
+    fn drop(&mut self) {
+        // Return every outstanding value to the allocator (including
+        // deferred-free elements still pinned by references — at partition
+        // teardown those references are by definition dead).
+        for slot in &mut self.slots {
+            if let Slot::Occupied(e) = slot {
+                self.allocator.free(e.value);
+            }
+        }
+        self.slots.clear();
+    }
+}
+
+impl core::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Partition")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("bytes_in_use", &self.bytes_in_use())
+            .field("eviction", &self.eviction)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(capacity: Option<usize>) -> Partition {
+        Partition::new(PartitionConfig::new(64, capacity))
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trip() {
+        let mut p = small(None);
+        let r = p.insert(7, 8).unwrap();
+        p.fill_and_ready(r.id, &77u64.to_le_bytes());
+        let hit = p.lookup(7).expect("key present");
+        let mut buf = Vec::new();
+        p.read_value(&hit, &mut buf);
+        assert_eq!(buf, 77u64.to_le_bytes());
+        p.decref(hit.id);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(7));
+        assert!(!p.contains(8));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn not_ready_elements_are_invisible() {
+        let mut p = small(None);
+        let r = p.insert(1, 8).unwrap();
+        assert!(p.lookup(1).is_none(), "NOT-READY element must not be returned");
+        assert!(!p.contains(1));
+        p.fill_and_ready(r.id, &[1; 8]);
+        let first = p.lookup(1).expect("READY element is visible");
+        let second = p.lookup(1).expect("repeat lookup also hits");
+        p.decref(first.id);
+        p.decref(second.id);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_old_value() {
+        let mut p = small(None);
+        p.insert_copy(5, &1u64.to_le_bytes()).unwrap();
+        p.insert_copy(5, &2u64.to_le_bytes()).unwrap();
+        assert_eq!(p.len(), 1);
+        let mut buf = Vec::new();
+        assert!(p.lookup_copy(5, &mut buf));
+        assert_eq!(buf, 2u64.to_le_bytes());
+        assert_eq!(p.stats().replacements, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let mut p = small(None);
+        p.insert_copy(9, &[0; 16]).unwrap();
+        assert!(p.delete(9));
+        assert!(!p.delete(9));
+        assert!(!p.contains(9));
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.bytes_in_use(), 0, "memory reclaimed on delete");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn lru_eviction_follows_recency() {
+        // Capacity of exactly 4 × 8-byte values.
+        let mut p = small(Some(32));
+        for key in 0..4u64 {
+            p.insert_copy(key, &key.to_le_bytes()).unwrap();
+        }
+        assert_eq!(p.len(), 4);
+        // Touch key 0 so it becomes most-recently used.
+        let mut buf = Vec::new();
+        assert!(p.lookup_copy(0, &mut buf));
+        // Inserting a 5th value evicts key 1 (the least recently used).
+        p.insert_copy(100, &[9; 8]).unwrap();
+        assert!(p.contains(0), "recently used key survives");
+        assert!(!p.contains(1), "LRU victim evicted");
+        assert!(p.contains(2) && p.contains(3) && p.contains(100));
+        assert_eq!(p.stats().evictions, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn lru_order_is_observable() {
+        let mut p = small(None);
+        for key in 0..3u64 {
+            p.insert_copy(key, &[0; 8]).unwrap();
+        }
+        // Order (LRU → MRU): 0, 1, 2.
+        assert_eq!(p.lru_order(), vec![0, 1, 2]);
+        let mut buf = Vec::new();
+        p.lookup_copy(0, &mut buf);
+        assert_eq!(p.lru_order(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn random_eviction_keeps_count_bounded() {
+        let mut p = Partition::new(
+            PartitionConfig::new(64, Some(64)).with_eviction(EvictionPolicy::Random),
+        );
+        for key in 0..100u64 {
+            p.insert_copy(key, &key.to_le_bytes()).unwrap();
+            assert!(p.len() <= 8, "capacity 64 B / 8 B values = at most 8 elements");
+            p.check_invariants();
+        }
+        assert!(p.stats().evictions >= 92);
+        assert_eq!(p.eviction_policy(), EvictionPolicy::Random);
+    }
+
+    #[test]
+    fn deferred_free_protects_referenced_values() {
+        let mut p = small(Some(16));
+        p.insert_copy(1, &11u64.to_le_bytes()).unwrap();
+        p.insert_copy(2, &22u64.to_le_bytes()).unwrap();
+        // Hold a reference to key 1's value, then touch key 2 so that key 1
+        // becomes the LRU victim.
+        let hit = p.lookup(1).unwrap();
+        let mut buf = Vec::new();
+        assert!(p.lookup_copy(2, &mut buf));
+        // Inserting key 3 forces eviction of key 1 (referenced → deferred)
+        // and then key 2 (freed immediately).
+        p.insert_copy(3, &[7; 8]).unwrap();
+        assert!(!p.contains(1) && !p.contains(2));
+        assert!(p.contains(3));
+        // The referenced value's memory must still be intact.
+        p.read_value(&hit, &mut buf);
+        assert_eq!(buf, 11u64.to_le_bytes());
+        assert_eq!(p.stats().deferred_frees, 1);
+        // Dropping the reference releases the memory.
+        let before = p.bytes_in_use();
+        p.decref(hit.id);
+        assert!(p.bytes_in_use() < before);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn insert_fails_when_everything_is_pinned() {
+        let mut p = small(Some(16));
+        p.insert_copy(1, &[1; 8]).unwrap();
+        p.insert_copy(2, &[2; 8]).unwrap();
+        let _hold1 = p.lookup(1).unwrap();
+        let _hold2 = p.lookup(2).unwrap();
+        // Evicting the pinned elements unlinks them but releases no bytes,
+        // so a big insert cannot succeed.
+        let err = p.insert(3, 16).unwrap_err();
+        assert_eq!(err, InsertError::OutOfMemory);
+        assert_eq!(p.stats().failed_inserts, 1);
+    }
+
+    #[test]
+    fn value_larger_than_capacity_is_rejected() {
+        let mut p = small(Some(64));
+        let err = p.insert(1, 1024).unwrap_err();
+        assert_eq!(err, InsertError::ValueTooLarge);
+        assert!(format!("{err}").contains("capacity"));
+    }
+
+    #[test]
+    fn unbounded_partition_never_evicts() {
+        let mut p = small(None);
+        for key in 0..1000u64 {
+            p.insert_copy(key, &key.to_le_bytes()).unwrap();
+        }
+        assert_eq!(p.len(), 1000);
+        assert_eq!(p.stats().evictions, 0);
+        assert_eq!(p.capacity_bytes(), None);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut p = small(None);
+        p.insert_copy(1, &[0; 8]).unwrap();
+        let mut buf = Vec::new();
+        assert!(p.lookup_copy(1, &mut buf));
+        assert!(!p.lookup_copy(2, &mut buf));
+        let s = p.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.inserts, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        p.reset_stats();
+        assert_eq!(p.stats().lookups, 0);
+    }
+
+    #[test]
+    fn slot_reuse_after_delete() {
+        let mut p = small(None);
+        for round in 0..10 {
+            for key in 0..50u64 {
+                p.insert_copy(key + round * 1000, &[0; 8]).unwrap();
+            }
+            for key in 0..50u64 {
+                assert!(p.delete(key + round * 1000));
+            }
+        }
+        assert!(p.is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn evicting_a_not_ready_reservation_defers_until_ready() {
+        let mut p = small(Some(16));
+        // Reserve space for key 2 but do not fill it yet; it is the oldest
+        // element and therefore the first LRU victim.
+        let r = p.insert(2, 8).unwrap();
+        p.insert_copy(1, &[1; 8]).unwrap();
+        // Inserting key 3 forces eviction of the NOT-READY reservation
+        // (whose memory is pinned by the insertion reference) and of key 1.
+        p.insert_copy(3, &[3; 8]).unwrap();
+        assert!(!p.contains(2));
+        assert!(p.contains(3));
+        let bytes_before = p.bytes_in_use();
+        // Completing the insert on the now-unlinked element must not crash
+        // and must release its deferred memory.
+        p.fill_and_ready(r.id, &[2; 8]);
+        assert!(!p.contains(2), "element was evicted before it became ready");
+        assert!(p.bytes_in_use() < bytes_before);
+        p.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching reference")]
+    fn double_decref_is_caught() {
+        let mut p = small(None);
+        p.insert_copy(1, &[0; 8]).unwrap();
+        let hit = p.lookup(1).unwrap();
+        p.decref(hit.id);
+        p.decref(hit.id);
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let p = Partition::new(PartitionConfig::new(100, None));
+        assert_eq!(p.bucket_count(), 128);
+    }
+
+    #[test]
+    fn many_keys_spread_over_buckets() {
+        let mut p = Partition::new(PartitionConfig::new(256, None));
+        for key in 0..5_000u64 {
+            p.insert_copy(key * 31 + 7, &[0; 8]).unwrap();
+        }
+        assert_eq!(p.len(), 5_000);
+        assert_eq!(p.keys().len(), 5_000);
+        p.check_invariants();
+    }
+}

@@ -1,0 +1,45 @@
+//! Eviction policies.
+
+/// How a partition chooses a victim when an insert does not fit.
+///
+/// The paper evaluates both: LRU is the default (§3.1, Figure 5) and random
+/// eviction is the §6.3 / Figure 8 variant, which "avoids maintaining any
+/// LRU data structures" — under it the partition skips all LRU bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used element; every lookup/insert moves the
+    /// touched element to the head of the LRU list.
+    #[default]
+    Lru,
+    /// Evict a (pseudo-)randomly chosen element; no LRU list is maintained.
+    Random,
+}
+
+impl EvictionPolicy {
+    /// Whether the policy requires maintaining the LRU list.
+    pub fn maintains_lru(self) -> bool {
+        matches!(self, EvictionPolicy::Lru)
+    }
+
+    /// Short name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Random => "random",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_properties() {
+        assert!(EvictionPolicy::Lru.maintains_lru());
+        assert!(!EvictionPolicy::Random.maintains_lru());
+        assert_eq!(EvictionPolicy::Lru.name(), "lru");
+        assert_eq!(EvictionPolicy::Random.name(), "random");
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based tests of the partition's LRU behaviour: the partition must
+//! evict exactly the keys a reference LRU cache model would evict, for
+//! arbitrary operation sequences, because the paper's Figure 5/8 comparison
+//! hinges on the LRU list being maintained correctly and cheaply.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use cphash_hashcore::{EvictionPolicy, Partition, PartitionConfig};
+
+/// A straightforward reference LRU cache holding `capacity` fixed-size
+/// entries (8-byte values, so capacity_bytes / 8 entries).
+struct ModelLru {
+    capacity: usize,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<u64>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru {
+            capacity,
+            order: VecDeque::new(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+        } else if self.order.len() == self.capacity {
+            self.order.pop_front();
+        }
+        self.order.push_back(key);
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.order.contains(&key)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LruOp {
+    Insert(u64),
+    Lookup(u64),
+}
+
+fn lru_op(keys: u64) -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0..keys).prop_map(LruOp::Insert),
+        (0..keys).prop_map(LruOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a single bucket... no — with the full bucket array, the
+    /// partition's *global* LRU order must match the model exactly: the
+    /// same keys survive, in the same recency order.
+    #[test]
+    fn partition_lru_matches_reference_model(
+        ops in prop::collection::vec(lru_op(32), 1..400),
+        capacity_entries in 2usize..12,
+    ) {
+        let mut partition = Partition::new(PartitionConfig::new(
+            64,
+            Some(capacity_entries * 8),
+        ));
+        let mut model = ModelLru::new(capacity_entries);
+        let mut buf = Vec::new();
+        for op in ops {
+            match op {
+                LruOp::Insert(key) => {
+                    partition.insert_copy(key, &key.to_le_bytes()).unwrap();
+                    model.insert(key);
+                }
+                LruOp::Lookup(key) => {
+                    let hit = partition.lookup_copy(key, &mut buf);
+                    prop_assert_eq!(hit, model.contains(key), "hit/miss mismatch for key {}", key);
+                    if hit {
+                        prop_assert_eq!(&buf, &key.to_le_bytes());
+                        model.touch(key);
+                    }
+                }
+            }
+            partition.check_invariants();
+        }
+        // Same survivors…
+        let mut surviving: Vec<u64> = partition.keys();
+        surviving.sort_unstable();
+        let mut expected: Vec<u64> = model.order.iter().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(surviving, expected);
+        // …and the same least-to-most-recent order.
+        let lru_order = partition.lru_order();
+        let model_order: Vec<u64> = model.order.iter().copied().collect();
+        prop_assert_eq!(lru_order, model_order);
+    }
+
+    /// Under random eviction the exact victims differ, but the capacity
+    /// bound and the "most recent insert always survives" property must
+    /// still hold.
+    #[test]
+    fn random_eviction_respects_capacity_and_keeps_latest(
+        keys in prop::collection::vec(0u64..1000, 1..300),
+        capacity_entries in 2usize..16,
+    ) {
+        let mut partition = Partition::new(
+            PartitionConfig::new(32, Some(capacity_entries * 8))
+                .with_eviction(EvictionPolicy::Random),
+        );
+        for &key in &keys {
+            partition.insert_copy(key, &key.to_le_bytes()).unwrap();
+            prop_assert!(partition.bytes_in_use() <= capacity_entries * 8);
+            prop_assert!(partition.contains(key), "the key just inserted must be present");
+            partition.check_invariants();
+        }
+        prop_assert!(partition.len() <= capacity_entries);
+    }
+}
+
+/// A long alternating scan/drain workload (the classic LRU pathological
+/// pattern) must keep memory exactly at the budget and never corrupt the
+/// list.
+#[test]
+fn scan_heavy_workload_stays_at_budget() {
+    let capacity = 256 * 8;
+    let mut partition = Partition::new(PartitionConfig::new(512, Some(capacity)));
+    for round in 0..50u64 {
+        for key in 0..1000u64 {
+            partition.insert_copy(key + round, &(key + round).to_le_bytes()).unwrap();
+        }
+        assert!(partition.bytes_in_use() <= capacity);
+        assert_eq!(partition.len(), 256);
+        partition.check_invariants();
+    }
+    let stats = partition.stats();
+    assert!(stats.evictions >= 50 * 1000 - 256);
+}

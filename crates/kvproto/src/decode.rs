@@ -1,0 +1,213 @@
+//! Incremental decoders for streamed frames.
+//!
+//! CPSERVER's client threads "gather as many requests as possible to perform
+//! them in a single batch" (§4.1), which means they read whatever bytes TCP
+//! delivers and must handle frames that arrive split across reads.  The
+//! decoders here consume from a growable byte buffer and yield complete
+//! frames as they become available.
+
+use bytes::{Buf, BytesMut};
+
+use crate::frame::{Request, RequestKind, Response, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES};
+use crate::MAX_VALUE_BYTES;
+
+/// Why decoding failed (the connection should be dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Value size field exceeds [`MAX_VALUE_BYTES`].
+    ValueTooLarge(u64),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds the protocol limit"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Streaming decoder for request frames (server side).
+#[derive(Debug, Default)]
+pub struct RequestDecoder {
+    buffer: BytesMut,
+}
+
+impl RequestDecoder {
+    /// New empty decoder.
+    pub fn new() -> Self {
+        RequestDecoder {
+            buffer: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Feed freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Try to decode the next complete request.  `Ok(None)` means more bytes
+    /// are needed.
+    pub fn next_request(&mut self) -> Result<Option<Request>, DecodeError> {
+        if self.buffer.len() < REQUEST_HEADER_BYTES {
+            return Ok(None);
+        }
+        let opcode = self.buffer[0];
+        let kind = RequestKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
+        let key = u64::from_le_bytes(self.buffer[1..9].try_into().expect("header present"));
+        let size = u32::from_le_bytes(self.buffer[9..13].try_into().expect("header present")) as usize;
+        if size > MAX_VALUE_BYTES {
+            return Err(DecodeError::ValueTooLarge(size as u64));
+        }
+        let body = if kind == RequestKind::Insert { size } else { 0 };
+        if self.buffer.len() < REQUEST_HEADER_BYTES + body {
+            return Ok(None);
+        }
+        self.buffer.advance(REQUEST_HEADER_BYTES);
+        let value = self.buffer.split_to(body).to_vec();
+        Ok(Some(Request { kind, key, value }))
+    }
+
+    /// Decode every complete request currently buffered.
+    pub fn drain(&mut self, out: &mut Vec<Request>) -> Result<usize, DecodeError> {
+        let before = out.len();
+        while let Some(req) = self.next_request()? {
+            out.push(req);
+        }
+        Ok(out.len() - before)
+    }
+}
+
+/// Streaming decoder for response frames (client side).
+#[derive(Debug, Default)]
+pub struct ResponseDecoder {
+    buffer: BytesMut,
+}
+
+impl ResponseDecoder {
+    /// New empty decoder.
+    pub fn new() -> Self {
+        ResponseDecoder {
+            buffer: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Feed freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Try to decode the next complete response.  `Ok(None)` means more
+    /// bytes are needed.
+    pub fn next_response(&mut self) -> Result<Option<Response>, DecodeError> {
+        if self.buffer.len() < RESPONSE_HEADER_BYTES {
+            return Ok(None);
+        }
+        let size = u32::from_le_bytes(self.buffer[0..4].try_into().expect("header present")) as usize;
+        if size > MAX_VALUE_BYTES {
+            return Err(DecodeError::ValueTooLarge(size as u64));
+        }
+        if self.buffer.len() < RESPONSE_HEADER_BYTES + size {
+            return Ok(None);
+        }
+        self.buffer.advance(RESPONSE_HEADER_BYTES);
+        let value = self.buffer.split_to(size).to_vec();
+        Ok(Some(Response {
+            value: if size == 0 { None } else { Some(value) },
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_insert, encode_lookup, encode_response};
+    use bytes::BytesMut;
+
+    #[test]
+    fn decodes_back_to_back_requests() {
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, 11);
+        encode_insert(&mut wire, 22, b"hello");
+        encode_lookup(&mut wire, 33);
+
+        let mut dec = RequestDecoder::new();
+        dec.feed(&wire);
+        let mut out = Vec::new();
+        assert_eq!(dec.drain(&mut out).unwrap(), 3);
+        assert_eq!(out[0], Request::lookup(11));
+        assert_eq!(out[1], Request::insert(22, b"hello".to_vec()));
+        assert_eq!(out[2], Request::lookup(33));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn handles_bytes_arriving_one_at_a_time() {
+        let mut wire = BytesMut::new();
+        encode_insert(&mut wire, 7, b"split-value");
+        let mut dec = RequestDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in wire.iter() {
+            dec.feed(&[b]);
+            dec.drain(&mut decoded).unwrap();
+        }
+        assert_eq!(decoded, vec![Request::insert(7, b"split-value".to_vec())]);
+    }
+
+    #[test]
+    fn rejects_bad_opcode_and_oversized_values() {
+        let mut dec = RequestDecoder::new();
+        dec.feed(&[0xFFu8; REQUEST_HEADER_BYTES]);
+        assert_eq!(dec.next_request(), Err(DecodeError::BadOpcode(0xFF)));
+
+        let mut dec = RequestDecoder::new();
+        let mut frame = vec![2u8];
+        frame.extend_from_slice(&5u64.to_le_bytes());
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        dec.feed(&frame);
+        assert!(matches!(dec.next_request(), Err(DecodeError::ValueTooLarge(_))));
+        assert!(format!("{}", DecodeError::BadOpcode(3)).contains("opcode"));
+    }
+
+    #[test]
+    fn response_round_trip_hit_and_miss() {
+        let mut wire = BytesMut::new();
+        encode_response(&mut wire, Some(b"v1"));
+        encode_response(&mut wire, None);
+        encode_response(&mut wire, Some(b""));
+        let mut dec = ResponseDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(
+            dec.next_response().unwrap(),
+            Some(Response { value: Some(b"v1".to_vec()) })
+        );
+        assert_eq!(dec.next_response().unwrap(), Some(Response { value: None }));
+        // A present-but-empty value is indistinguishable from a miss in this
+        // protocol (size 0), exactly as in the paper's description.
+        assert_eq!(dec.next_response().unwrap(), Some(Response { value: None }));
+        assert_eq!(dec.next_response().unwrap(), None);
+    }
+
+    #[test]
+    fn partial_response_waits_for_more_bytes() {
+        let mut wire = BytesMut::new();
+        encode_response(&mut wire, Some(b"abcdef"));
+        let mut dec = ResponseDecoder::new();
+        dec.feed(&wire[..5]);
+        assert_eq!(dec.next_response().unwrap(), None);
+        dec.feed(&wire[5..]);
+        assert_eq!(
+            dec.next_response().unwrap(),
+            Some(Response { value: Some(b"abcdef".to_vec()) })
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Message framing and encoding.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::MAX_KEY;
+
+/// Request opcodes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RequestKind {
+    /// Fetch the value stored under a key.
+    Lookup = 1,
+    /// Store a value under a key (no response).
+    Insert = 2,
+}
+
+impl RequestKind {
+    /// Parse an opcode byte.
+    pub fn from_byte(b: u8) -> Option<RequestKind> {
+        match b {
+            1 => Some(RequestKind::Lookup),
+            2 => Some(RequestKind::Insert),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub kind: RequestKind,
+    /// The 60-bit hash key.
+    pub key: u64,
+    /// Value bytes (empty for lookups).
+    pub value: Vec<u8>,
+}
+
+impl Request {
+    /// Build a lookup request.
+    pub fn lookup(key: u64) -> Request {
+        Request {
+            kind: RequestKind::Lookup,
+            key: key & MAX_KEY,
+            value: Vec::new(),
+        }
+    }
+
+    /// Build an insert request.
+    pub fn insert(key: u64, value: impl Into<Vec<u8>>) -> Request {
+        Request {
+            kind: RequestKind::Insert,
+            key: key & MAX_KEY,
+            value: value.into(),
+        }
+    }
+}
+
+/// A decoded response frame (only lookups get responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The value, or `None` when the key was absent (size field of zero).
+    pub value: Option<Vec<u8>>,
+}
+
+/// Size of a request header on the wire: opcode + key + size.
+pub const REQUEST_HEADER_BYTES: usize = 1 + 8 + 4;
+
+/// Size of a response header on the wire: size.
+pub const RESPONSE_HEADER_BYTES: usize = 4;
+
+/// Append an encoded LOOKUP request to `out`.
+pub fn encode_lookup(out: &mut BytesMut, key: u64) {
+    out.reserve(REQUEST_HEADER_BYTES);
+    out.put_u8(RequestKind::Lookup as u8);
+    out.put_u64_le(key & MAX_KEY);
+    out.put_u32_le(0);
+}
+
+/// Append an encoded INSERT request to `out`.
+pub fn encode_insert(out: &mut BytesMut, key: u64, value: &[u8]) {
+    out.reserve(REQUEST_HEADER_BYTES + value.len());
+    out.put_u8(RequestKind::Insert as u8);
+    out.put_u64_le(key & MAX_KEY);
+    out.put_u32_le(value.len() as u32);
+    out.put_slice(value);
+}
+
+/// Append an encoded request (either kind) to `out`.
+pub fn encode_request(out: &mut BytesMut, request: &Request) {
+    match request.kind {
+        RequestKind::Lookup => encode_lookup(out, request.key),
+        RequestKind::Insert => encode_insert(out, request.key, &request.value),
+    }
+}
+
+/// Append an encoded LOOKUP response to `out`. `None` encodes a miss
+/// (size 0), per §4.1.
+pub fn encode_response(out: &mut BytesMut, value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            out.reserve(RESPONSE_HEADER_BYTES + v.len());
+            out.put_u32_le(v.len() as u32);
+            out.put_slice(v);
+        }
+        None => {
+            out.reserve(RESPONSE_HEADER_BYTES);
+            out.put_u32_le(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_encoding_layout() {
+        let mut buf = BytesMut::new();
+        encode_lookup(&mut buf, 0x1234);
+        assert_eq!(buf.len(), REQUEST_HEADER_BYTES);
+        assert_eq!(buf[0], 1);
+        assert_eq!(u64::from_le_bytes(buf[1..9].try_into().unwrap()), 0x1234);
+        assert_eq!(u32::from_le_bytes(buf[9..13].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn insert_encoding_layout() {
+        let mut buf = BytesMut::new();
+        encode_insert(&mut buf, 7, b"abc");
+        assert_eq!(buf.len(), REQUEST_HEADER_BYTES + 3);
+        assert_eq!(buf[0], 2);
+        assert_eq!(u32::from_le_bytes(buf[9..13].try_into().unwrap()), 3);
+        assert_eq!(&buf[13..], b"abc");
+    }
+
+    #[test]
+    fn keys_are_masked_to_60_bits() {
+        let mut buf = BytesMut::new();
+        encode_lookup(&mut buf, u64::MAX);
+        let key = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+        assert_eq!(key, MAX_KEY);
+        assert_eq!(Request::lookup(u64::MAX).key, MAX_KEY);
+    }
+
+    #[test]
+    fn response_encoding_hit_and_miss() {
+        let mut buf = BytesMut::new();
+        encode_response(&mut buf, Some(b"value"));
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 5);
+        assert_eq!(&buf[4..9], b"value");
+        buf.clear();
+        encode_response(&mut buf, None);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn request_constructors() {
+        let l = Request::lookup(5);
+        assert_eq!(l.kind, RequestKind::Lookup);
+        assert!(l.value.is_empty());
+        let i = Request::insert(5, b"x".to_vec());
+        assert_eq!(i.kind, RequestKind::Insert);
+        assert_eq!(i.value, b"x");
+        assert_eq!(RequestKind::from_byte(1), Some(RequestKind::Lookup));
+        assert_eq!(RequestKind::from_byte(2), Some(RequestKind::Insert));
+        assert_eq!(RequestKind::from_byte(9), None);
+    }
+}

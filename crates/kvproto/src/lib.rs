@@ -1,0 +1,39 @@
+//! The CPSERVER / LOCKSERVER binary wire protocol.
+//!
+//! §4.1 of the paper: "CPSERVER uses a simple binary protocol with two
+//! message types":
+//!
+//! * **LOOKUP** — the client sends a hash key; the server replies with the
+//!   size of the value followed by that many bytes, or a size of zero if
+//!   the key is absent.
+//! * **INSERT** — the client sends a hash key, a size, and `size` bytes of
+//!   value; "the server silently performs INSERT requests and returns no
+//!   response".
+//!
+//! The concrete framing (the paper does not spell out byte offsets) is:
+//!
+//! ```text
+//! request  := opcode:u8  key:u64le  size:u32le  value[size]      (size = 0 for LOOKUP)
+//! response := size:u32le value[size]                             (LOOKUP only)
+//! ```
+//!
+//! Keys are 60-bit integers like everywhere else in the system.  The crate
+//! provides zero-copy-ish encoding into reusable buffers plus an
+//! incremental [`RequestDecoder`]/[`ResponseDecoder`] pair that handle
+//! partial reads from a TCP stream.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod decode;
+pub mod frame;
+
+pub use decode::{DecodeError, RequestDecoder, ResponseDecoder};
+pub use frame::{encode_insert, encode_lookup, encode_response, Request, RequestKind, Response};
+
+/// Largest value size the servers accept, to bound memory per request
+/// (16 MiB; memcached's default limit is 1 MiB).
+pub const MAX_VALUE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Largest legal key (60 bits), mirroring the table's key width.
+pub const MAX_KEY: u64 = (1 << 60) - 1;

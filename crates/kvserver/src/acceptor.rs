@@ -1,0 +1,130 @@
+//! Connection acceptance and least-connections load balancing.
+//!
+//! "The CPSERVER also has an additional thread that accepts new connections.
+//! When a connection is made, it is assigned to a client thread with the
+//! smallest number of current active connections." (§4.1)
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The acceptor's handle to one worker: where to send new connections and
+/// how loaded that worker currently is.
+pub struct WorkerSlot {
+    /// Channel delivering accepted streams to the worker.
+    pub sender: Sender<TcpStream>,
+    /// Number of connections the worker currently services; the worker
+    /// decrements it when a connection closes.
+    pub active: Arc<AtomicUsize>,
+}
+
+/// Receiving side handed to each worker thread.
+pub struct WorkerInbox {
+    /// New connections assigned to this worker.
+    pub receiver: Receiver<TcpStream>,
+    /// Shared active-connection counter (decrement on close).
+    pub active: Arc<AtomicUsize>,
+}
+
+/// Create `workers` connected slot/inbox pairs.
+pub fn worker_channels(workers: usize) -> (Vec<WorkerSlot>, Vec<WorkerInbox>) {
+    let mut slots = Vec::with_capacity(workers);
+    let mut inboxes = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let active = Arc::new(AtomicUsize::new(0));
+        slots.push(WorkerSlot {
+            sender,
+            active: Arc::clone(&active),
+        });
+        inboxes.push(WorkerInbox { receiver, active });
+    }
+    (slots, inboxes)
+}
+
+/// Pick the least-loaded worker.
+pub fn least_loaded(slots: &[WorkerSlot]) -> usize {
+    slots
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.active.load(Ordering::Relaxed))
+        .map(|(i, _)| i)
+        .expect("at least one worker")
+}
+
+/// Spawn the acceptor thread.  Returns the bound address and the thread's
+/// join handle; the thread exits when `stop` is raised.
+pub fn spawn_acceptor(
+    listener: TcpListener,
+    slots: Vec<WorkerSlot>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
+        .name("kv-acceptor".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let target = least_loaded(&slots);
+                        slots[target].active.fetch_add(1, Ordering::Relaxed);
+                        // If the worker is gone the server is shutting down;
+                        // dropping the stream closes the connection.
+                        let _ = slots[target].sender.send(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        })
+        .expect("spawning the acceptor thread");
+    Ok((addr, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn least_loaded_picks_the_emptiest_worker() {
+        let (slots, _inboxes) = worker_channels(3);
+        slots[0].active.store(5, Ordering::Relaxed);
+        slots[1].active.store(2, Ordering::Relaxed);
+        slots[2].active.store(9, Ordering::Relaxed);
+        assert_eq!(least_loaded(&slots), 1);
+    }
+
+    #[test]
+    fn acceptor_balances_connections_across_workers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (slots, inboxes) = worker_channels(2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr, handle) = spawn_acceptor(listener, slots, Arc::clone(&stop)).unwrap();
+
+        // Open four connections; with least-connections balancing and no
+        // closes, each worker ends up with two.
+        let _conns: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+        let mut received = [0usize; 2];
+        while received.iter().sum::<usize>() < 4 && std::time::Instant::now() < deadline {
+            for (i, inbox) in inboxes.iter().enumerate() {
+                while inbox.receiver.try_recv().is_ok() {
+                    received[i] += 1;
+                }
+            }
+        }
+        assert_eq!(received.iter().sum::<usize>(), 4);
+        assert_eq!(received[0], 2);
+        assert_eq!(received[1], 2);
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-connection state shared by all three servers.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use bytes::BytesMut;
+use cphash_kvproto::{Request, RequestDecoder};
+
+/// A non-blocking TCP connection with streaming request decoding and a
+/// buffered response path.
+///
+/// Worker threads own a set of these and poll them round-robin, which is
+/// how the paper's client threads "monitor TCP connections assigned to
+/// [them] and gather as many requests as possible".
+pub struct Connection {
+    stream: TcpStream,
+    decoder: RequestDecoder,
+    outgoing: BytesMut,
+    closed: bool,
+    read_buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Wrap an accepted stream (switched to non-blocking mode).
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            decoder: RequestDecoder::new(),
+            outgoing: BytesMut::with_capacity(16 * 1024),
+            closed: false,
+            read_buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Has the peer closed the connection (or a protocol error occurred)?
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Read whatever bytes are available and decode complete requests into
+    /// `out`. Returns the number of bytes read.
+    pub fn poll_requests(&mut self, out: &mut Vec<Request>) -> usize {
+        if self.closed {
+            return 0;
+        }
+        let mut total = 0usize;
+        loop {
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    total += n;
+                    self.decoder.feed(&self.read_buf[..n]);
+                    // Keep reading until the socket would block so a batch
+                    // arrives in as few syscalls as possible.
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        if self.decoder.drain(out).is_err() {
+            // Protocol violation: drop the connection.
+            self.closed = true;
+        }
+        total
+    }
+
+    /// Queue response bytes to be written.
+    pub fn queue_response(&mut self) -> &mut BytesMut {
+        &mut self.outgoing
+    }
+
+    /// Attempt to flush queued response bytes. Returns bytes written.
+    pub fn flush(&mut self) -> usize {
+        if self.closed || self.outgoing.is_empty() {
+            return 0;
+        }
+        let mut written = 0usize;
+        while !self.outgoing.is_empty() {
+            match self.stream.write(&self.outgoing) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    written += n;
+                    let _ = self.outgoing.split_to(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        written
+    }
+
+    /// Bytes currently waiting to be written.
+    pub fn pending_output(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use cphash_kvproto::{encode_insert, encode_lookup, encode_response, RequestKind};
+    use std::net::TcpListener;
+
+    #[test]
+    fn decodes_requests_and_writes_responses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(server_side).unwrap();
+
+        // Client sends two requests in one write.
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, 10);
+        encode_insert(&mut wire, 20, b"abc");
+        client.write_all(&wire).unwrap();
+
+        let mut requests = Vec::new();
+        // Non-blocking read may need a moment for the bytes to arrive.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while requests.len() < 2 && std::time::Instant::now() < deadline {
+            conn.poll_requests(&mut requests);
+        }
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].kind, RequestKind::Lookup);
+        assert_eq!(requests[1].kind, RequestKind::Insert);
+        assert!(!conn.is_closed());
+
+        // Server responds to the lookup.
+        encode_response(conn.queue_response(), Some(b"value"));
+        assert!(conn.pending_output() > 0);
+        while conn.pending_output() > 0 {
+            conn.flush();
+        }
+        let mut buf = [0u8; 16];
+        client.read_exact(&mut buf[..9]).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 5);
+        assert_eq!(&buf[4..9], b"value");
+    }
+
+    #[test]
+    fn peer_close_is_detected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(server_side).unwrap();
+        drop(client);
+        let mut requests = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while !conn.is_closed() && std::time::Instant::now() < deadline {
+            conn.poll_requests(&mut requests);
+        }
+        assert!(conn.is_closed());
+        assert!(requests.is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! CPSERVER: the CPHash-backed key/value cache server (paper §4.1).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy};
+use cphash_affinity::HwThreadId;
+use cphash_kvproto::{encode_response, RequestKind};
+
+use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
+use crate::connection::Connection;
+use crate::metrics::ServerMetrics;
+
+/// Configuration for [`CpServer`].
+#[derive(Debug, Clone)]
+pub struct CpServerConfig {
+    /// Address to bind ("127.0.0.1:0" picks a free port).
+    pub bind: SocketAddr,
+    /// Client threads gathering requests from TCP connections.
+    pub client_threads: usize,
+    /// CPHash partitions / server threads.
+    pub partitions: usize,
+    /// Total hash-table byte budget.
+    pub capacity_bytes: Option<usize>,
+    /// Typical value size, used to size the bucket arrays.
+    pub typical_value_bytes: usize,
+    /// Eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Hardware threads to pin CPHash server threads to.
+    pub server_pins: Vec<HwThreadId>,
+    /// Outstanding-request window per client thread.
+    pub batch: usize,
+}
+
+impl Default for CpServerConfig {
+    fn default() -> Self {
+        CpServerConfig {
+            bind: "127.0.0.1:0".parse().expect("literal address"),
+            client_threads: 2,
+            partitions: 2,
+            capacity_bytes: None,
+            typical_value_bytes: 64,
+            eviction: EvictionPolicy::Lru,
+            server_pins: Vec::new(),
+            batch: 1024,
+        }
+    }
+}
+
+/// A running CPSERVER.
+pub struct CpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    table: Option<CpHash>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl CpServer {
+    /// Start the server: binds the listener, spawns the acceptor, the client
+    /// threads and the CPHash server threads.
+    pub fn start(config: CpServerConfig) -> std::io::Result<CpServer> {
+        let mut table_config = CpHashConfig::new(config.partitions, config.client_threads);
+        if let Some(capacity) = config.capacity_bytes {
+            table_config = table_config.with_capacity(capacity, config.typical_value_bytes.max(1));
+        }
+        table_config.eviction = config.eviction;
+        table_config.server_pins = config.server_pins.clone();
+        let (table, handles) = CpHash::new(table_config);
+
+        let listener = TcpListener::bind(config.bind)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let (slots, inboxes) = worker_channels(config.client_threads);
+        let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
+
+        let mut threads = vec![acceptor];
+        for (index, (handle, inbox)) in handles.into_iter().zip(inboxes).enumerate() {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let batch = config.batch;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cpserver-client-{index}"))
+                    .spawn(move || client_worker(handle, inbox, stop, metrics, batch))
+                    .expect("spawning a client thread"),
+            );
+        }
+
+        Ok(CpServer {
+            addr,
+            stop,
+            threads,
+            table: Some(table),
+            metrics,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Aggregate hash-table statistics.
+    pub fn table_stats(&self) -> cphash::PartitionStats {
+        self.table
+            .as_ref()
+            .map(|t| t.partition_stats())
+            .unwrap_or_default()
+    }
+
+    /// Stop every thread and shut the table down.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(mut table) = self.table.take() {
+            table.shutdown();
+        }
+    }
+}
+
+impl Drop for CpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Book-keeping for inserts whose two-phase protocol is still in flight.
+#[derive(Default)]
+struct InflightInsert {
+    /// Outstanding inserts for this key.
+    count: usize,
+    /// Lookups for this key waiting for the insert to finish, identified by
+    /// (connection slot, per-connection sequence number).
+    deferred: Vec<(usize, u64)>,
+}
+
+/// State of one LOOKUP awaiting its response, kept in arrival order so the
+/// connection's responses go out in request order (the wire protocol has no
+/// request ids, so ordering is the correlation mechanism).
+enum LookupState {
+    /// Deferred behind an in-flight insert of the same key; not submitted.
+    WaitingInsert,
+    /// Submitted to the hash table; result not yet known.
+    Submitted,
+    /// Result known; ready to be written once it reaches the queue head.
+    Done(Option<cphash::ValueBytes>),
+}
+
+/// One queued LOOKUP on a connection.
+struct PendingLookup {
+    seq: u64,
+    state: LookupState,
+}
+
+/// One connection plus its ordered queue of unanswered lookups.
+struct ConnState {
+    conn: Connection,
+    next_seq: u64,
+    lookups: std::collections::VecDeque<PendingLookup>,
+}
+
+impl ConnState {
+    fn new(conn: Connection) -> Self {
+        ConnState {
+            conn,
+            next_seq: 0,
+            lookups: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn enqueue_lookup(&mut self, state: LookupState) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lookups.push_back(PendingLookup { seq, state });
+        seq
+    }
+
+    /// Mark a deferred lookup as submitted (its insert finished and the
+    /// lookup has now been sent to the hash table).
+    fn resolve_waiting(&mut self, seq: u64) {
+        if let Some(entry) = self.lookups.iter_mut().find(|p| p.seq == seq) {
+            if matches!(entry.state, LookupState::WaitingInsert) {
+                entry.state = LookupState::Submitted;
+            }
+        }
+    }
+
+    fn resolve(&mut self, seq: u64, value: Option<cphash::ValueBytes>) {
+        if let Some(entry) = self.lookups.iter_mut().find(|p| p.seq == seq) {
+            entry.state = LookupState::Done(value);
+        }
+    }
+
+    /// Write out every response whose predecessors have all been written.
+    fn flush_ready_responses(&mut self) -> bool {
+        let mut wrote = false;
+        while matches!(self.lookups.front(), Some(PendingLookup { state: LookupState::Done(_), .. })) {
+            let entry = self.lookups.pop_front().expect("front checked");
+            let LookupState::Done(value) = entry.state else { unreachable!() };
+            encode_response(self.conn.queue_response(), value.as_ref().map(|v| v.as_slice()));
+            wrote = true;
+        }
+        wrote
+    }
+}
+
+/// One CPSERVER client thread: gathers requests from its connections, ships
+/// them to the CPHash servers, and writes responses back.
+fn client_worker(
+    mut handle: ClientHandle,
+    inbox: WorkerInbox,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    batch: usize,
+) {
+    // Connection slab: indices stay stable so in-flight tokens can refer to
+    // their connection even as others close.
+    let mut connections: Vec<Option<ConnState>> = Vec::new();
+    // Lookup token -> (connection slot, sequence number).
+    let mut lookup_tokens: HashMap<u64, (usize, u64)> = HashMap::new();
+    // Insert token -> key, plus per-key in-flight accounting, to provide
+    // read-your-writes ordering on a connection: the CPHash insert is a
+    // two-phase protocol (allocate, then copy + Ready), so a lookup for a
+    // key whose insert is still in flight is deferred until the insert
+    // completes rather than racing it to the server thread.
+    let mut insert_token_key: HashMap<u64, u64> = HashMap::new();
+    let mut inflight_inserts: HashMap<u64, InflightInsert> = HashMap::new();
+    let mut requests = Vec::with_capacity(256);
+    let mut completions = Vec::with_capacity(256);
+    let mut idle_streak = 0u32;
+
+    while !stop.load(Ordering::Relaxed) {
+        let mut did_work = false;
+
+        // Adopt newly assigned connections.
+        while let Ok(stream) = inbox.receiver.try_recv() {
+            match Connection::new(stream) {
+                Ok(conn) => {
+                    metrics.note_connection();
+                    let state = ConnState::new(conn);
+                    if let Some(slot) = connections.iter_mut().position(|c| c.is_none()) {
+                        connections[slot] = Some(state);
+                    } else {
+                        connections.push(Some(state));
+                    }
+                    did_work = true;
+                }
+                Err(_) => {
+                    inbox.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Gather a batch of requests from every connection and forward them
+        // to the hash-table servers without waiting for answers.
+        for idx in 0..connections.len() {
+            let Some(state) = connections[idx].as_mut() else {
+                continue;
+            };
+            if handle.outstanding() >= batch {
+                break;
+            }
+            requests.clear();
+            let read = state.conn.poll_requests(&mut requests);
+            metrics.note_io(read, 0);
+            for request in requests.drain(..) {
+                did_work = true;
+                match request.kind {
+                    RequestKind::Lookup => {
+                        if let Some(pending) = inflight_inserts.get_mut(&request.key) {
+                            let seq = state.enqueue_lookup(LookupState::WaitingInsert);
+                            pending.deferred.push((idx, seq));
+                        } else {
+                            let seq = state.enqueue_lookup(LookupState::Submitted);
+                            let token = handle.submit_lookup(request.key);
+                            lookup_tokens.insert(token, (idx, seq));
+                        }
+                    }
+                    RequestKind::Insert => {
+                        let token = handle.submit_insert(request.key, &request.value);
+                        insert_token_key.insert(token, request.key);
+                        inflight_inserts.entry(request.key).or_default().count += 1;
+                        metrics.note_insert();
+                    }
+                }
+            }
+        }
+
+        // Collect hash-table completions and resolve them against the
+        // per-connection ordered lookup queues.
+        completions.clear();
+        handle.poll(&mut completions);
+        for completion in completions.drain(..) {
+            match completion.kind {
+                CompletionKind::LookupHit(value) => {
+                    metrics.note_lookup(true);
+                    if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
+                        if let Some(state) = connections[idx].as_mut() {
+                            state.resolve(seq, Some(value));
+                        }
+                    }
+                    did_work = true;
+                }
+                CompletionKind::LookupMiss => {
+                    metrics.note_lookup(false);
+                    if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
+                        if let Some(state) = connections[idx].as_mut() {
+                            state.resolve(seq, None);
+                        }
+                    }
+                    did_work = true;
+                }
+                // Inserts and deletes carry no TCP response (§4.1), but a
+                // completed insert releases any lookups for the same key
+                // that were deferred to preserve read-your-writes ordering.
+                CompletionKind::Inserted | CompletionKind::InsertFailed => {
+                    if let Some(key) = insert_token_key.remove(&completion.token) {
+                        let finished = match inflight_inserts.get_mut(&key) {
+                            Some(pending) => {
+                                pending.count -= 1;
+                                pending.count == 0
+                            }
+                            None => false,
+                        };
+                        if finished {
+                            if let Some(pending) = inflight_inserts.remove(&key) {
+                                for (conn_idx, seq) in pending.deferred {
+                                    if connections.get(conn_idx).map(|c| c.is_some()).unwrap_or(false) {
+                                        let token = handle.submit_lookup(key);
+                                        lookup_tokens.insert(token, (conn_idx, seq));
+                                        if let Some(state) = connections[conn_idx].as_mut() {
+                                            state.resolve_waiting(seq);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    did_work = true;
+                }
+                CompletionKind::Deleted(_) => {}
+            }
+        }
+
+        // Write out in-order responses and retire closed connections.
+        for idx in 0..connections.len() {
+            let Some(state) = connections[idx].as_mut() else {
+                continue;
+            };
+            if state.flush_ready_responses() {
+                did_work = true;
+            }
+            let written = state.conn.flush();
+            metrics.note_io(0, written);
+            if state.conn.is_closed() && state.conn.pending_output() == 0 {
+                connections[idx] = None;
+                inbox.active.fetch_sub(1, Ordering::Relaxed);
+                lookup_tokens.retain(|_, (c, _)| *c != idx);
+                for pending in inflight_inserts.values_mut() {
+                    pending.deferred.retain(|(c, _)| *c != idx);
+                }
+            }
+        }
+
+        if did_work {
+            idle_streak = 0;
+        } else {
+            idle_streak = idle_streak.saturating_add(1);
+            if idle_streak > 256 {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use cphash_kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn lookup_roundtrip(stream: &mut TcpStream, decoder: &mut ResponseDecoder, key: u64) -> Option<Vec<u8>> {
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, key);
+        stream.write_all(&wire).unwrap();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(resp) = decoder.next_response().unwrap() {
+                return resp.value;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed the connection");
+            decoder.feed(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn serves_inserts_and_lookups_over_tcp() {
+        let mut server = CpServer::start(CpServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+
+        // Miss first.
+        assert_eq!(lookup_roundtrip(&mut stream, &mut decoder, 99), None);
+        // Insert then hit.
+        let mut wire = BytesMut::new();
+        encode_insert(&mut wire, 99, b"cached value");
+        stream.write_all(&wire).unwrap();
+        // Inserts have no response; a subsequent lookup must observe the
+        // value (it travels the same connection, so ordering holds).
+        let got = lookup_roundtrip(&mut stream, &mut decoder, 99);
+        assert_eq!(got.as_deref(), Some(&b"cached value"[..]));
+
+        assert!(server.metrics().requests() >= 3);
+        assert!(server.table_stats().inserts >= 1 || server.metrics().requests() >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_connections_and_interleaved_clients() {
+        let mut server = CpServer::start(CpServerConfig {
+            client_threads: 2,
+            partitions: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream.set_nodelay(true).unwrap();
+                    let mut decoder = ResponseDecoder::new();
+                    for i in 0..200u64 {
+                        let key = t * 1_000 + i;
+                        let mut wire = BytesMut::new();
+                        encode_insert(&mut wire, key, &key.to_le_bytes());
+                        stream.write_all(&wire).unwrap();
+                    }
+                    for i in 0..200u64 {
+                        let key = t * 1_000 + i;
+                        let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+                        assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(server.metrics().hit_rate() > 0.99);
+        server.shutdown();
+    }
+}

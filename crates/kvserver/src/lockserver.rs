@@ -1,0 +1,283 @@
+//! LOCKSERVER: the LockHash-backed key/value cache server (paper §4.2).
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cphash_kvproto::{encode_response, RequestKind};
+use cphash_lockhash::{EvictionPolicy, LockHash, LockHashConfig, LockKind};
+
+use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
+use crate::connection::Connection;
+use crate::metrics::ServerMetrics;
+
+/// Configuration for [`LockServer`].
+#[derive(Debug, Clone)]
+pub struct LockServerConfig {
+    /// Address to bind ("127.0.0.1:0" picks a free port).
+    pub bind: SocketAddr,
+    /// Worker threads processing TCP connections (the paper uses one per
+    /// hardware thread).
+    pub worker_threads: usize,
+    /// LockHash partitions (4,096 in the paper).
+    pub partitions: usize,
+    /// Total hash-table byte budget.
+    pub capacity_bytes: Option<usize>,
+    /// Typical value size, used to size the bucket arrays.
+    pub typical_value_bytes: usize,
+    /// Eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Lock algorithm.
+    pub lock_kind: LockKind,
+}
+
+impl Default for LockServerConfig {
+    fn default() -> Self {
+        LockServerConfig {
+            bind: "127.0.0.1:0".parse().expect("literal address"),
+            worker_threads: 2,
+            partitions: 256,
+            capacity_bytes: None,
+            typical_value_bytes: 64,
+            eviction: EvictionPolicy::Lru,
+            lock_kind: LockKind::Spin,
+        }
+    }
+}
+
+/// A running LOCKSERVER.
+pub struct LockServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    table: Arc<LockHash>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl LockServer {
+    /// Start the server.
+    pub fn start(config: LockServerConfig) -> std::io::Result<LockServer> {
+        let mut table_config = LockHashConfig::new(config.partitions)
+            .with_eviction(config.eviction)
+            .with_lock_kind(config.lock_kind);
+        if let Some(capacity) = config.capacity_bytes {
+            table_config = table_config.with_capacity(capacity, config.typical_value_bytes.max(1));
+        }
+        let table = Arc::new(LockHash::new(table_config));
+
+        let listener = TcpListener::bind(config.bind)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let (slots, inboxes) = worker_channels(config.worker_threads);
+        let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
+
+        let mut threads = vec![acceptor];
+        for (index, inbox) in inboxes.into_iter().enumerate() {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let table = Arc::clone(&table);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("lockserver-worker-{index}"))
+                    .spawn(move || lock_worker(table, inbox, stop, metrics))
+                    .expect("spawning a worker thread"),
+            );
+        }
+
+        Ok(LockServer {
+            addr,
+            stop,
+            threads,
+            table,
+            metrics,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Aggregate hash-table statistics.
+    pub fn table_stats(&self) -> cphash_lockhash::PartitionStats {
+        self.table.stats()
+    }
+
+    /// Stop every thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LockServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One LOCKSERVER worker thread: reads requests from its connections and
+/// executes them directly against the lock-based table ("first acquiring the
+/// lock for the appropriate partition, then performing the query, updating
+/// the LRU list and, finally, releasing the lock", §4.2).
+fn lock_worker(
+    table: Arc<LockHash>,
+    inbox: WorkerInbox,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+) {
+    let mut connections: Vec<Option<Connection>> = Vec::new();
+    let mut requests = Vec::with_capacity(256);
+    let mut value_buf = Vec::with_capacity(256);
+    let mut idle_streak = 0u32;
+
+    while !stop.load(Ordering::Relaxed) {
+        let mut did_work = false;
+
+        while let Ok(stream) = inbox.receiver.try_recv() {
+            match Connection::new(stream) {
+                Ok(conn) => {
+                    metrics.note_connection();
+                    if let Some(slot) = connections.iter_mut().position(|c| c.is_none()) {
+                        connections[slot] = Some(conn);
+                    } else {
+                        connections.push(Some(conn));
+                    }
+                    did_work = true;
+                }
+                Err(_) => {
+                    inbox.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        for idx in 0..connections.len() {
+            let Some(conn) = connections[idx].as_mut() else {
+                continue;
+            };
+            requests.clear();
+            let read = conn.poll_requests(&mut requests);
+            metrics.note_io(read, 0);
+            for request in requests.drain(..) {
+                did_work = true;
+                match request.kind {
+                    RequestKind::Lookup => {
+                        let hit = table.lookup(request.key, &mut value_buf);
+                        metrics.note_lookup(hit);
+                        encode_response(
+                            conn.queue_response(),
+                            if hit { Some(value_buf.as_slice()) } else { None },
+                        );
+                    }
+                    RequestKind::Insert => {
+                        table.insert(request.key, &request.value);
+                        metrics.note_insert();
+                    }
+                }
+            }
+            let written = conn.flush();
+            metrics.note_io(0, written);
+            if conn.is_closed() && conn.pending_output() == 0 {
+                connections[idx] = None;
+                inbox.active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        if did_work {
+            idle_streak = 0;
+        } else {
+            idle_streak = idle_streak.saturating_add(1);
+            if idle_streak > 256 {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use cphash_kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn lookup(stream: &mut TcpStream, decoder: &mut ResponseDecoder, key: u64) -> Option<Vec<u8>> {
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, key);
+        stream.write_all(&wire).unwrap();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(resp) = decoder.next_response().unwrap() {
+                return resp.value;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0);
+            decoder.feed(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn serves_the_same_protocol_as_cpserver() {
+        let mut server = LockServer::start(LockServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        assert_eq!(lookup(&mut stream, &mut decoder, 7), None);
+        let mut wire = BytesMut::new();
+        encode_insert(&mut wire, 7, b"locked value");
+        stream.write_all(&wire).unwrap();
+        assert_eq!(
+            lookup(&mut stream, &mut decoder, 7).as_deref(),
+            Some(&b"locked value"[..])
+        );
+        assert!(server.table_stats().inserts >= 1);
+        assert!(server.metrics().requests() >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_with_disjoint_keys() {
+        let mut server = LockServer::start(LockServerConfig {
+            worker_threads: 2,
+            partitions: 64,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut decoder = ResponseDecoder::new();
+                    for i in 0..100u64 {
+                        let key = t * 500 + i;
+                        let mut wire = BytesMut::new();
+                        encode_insert(&mut wire, key, &key.to_le_bytes());
+                        stream.write_all(&wire).unwrap();
+                    }
+                    for i in 0..100u64 {
+                        let key = t * 500 + i;
+                        assert_eq!(
+                            lookup(&mut stream, &mut decoder, key).as_deref(),
+                            Some(&key.to_le_bytes()[..])
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(server.metrics().hit_rate() > 0.99);
+        server.shutdown();
+    }
+}

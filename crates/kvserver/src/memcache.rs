@@ -1,0 +1,296 @@
+//! A memcached-style baseline cluster (paper §7, Figure 14).
+//!
+//! The paper compares CPSERVER/LOCKSERVER against stock MEMCACHED: "Since
+//! MEMCACHED uses a single lock to protect its state, we ran a separate,
+//! independent instance of MEMCACHED on every core, and configured the
+//! client to partition the key space across these multiple MEMCACHED
+//! instances."  Stock memcached is a C program outside this reproduction's
+//! scope; what the comparison actually exercises is its *structure* — one
+//! coarse lock per instance, a thread per connection, no batching of
+//! hash-table work — so that is what [`MemcacheCluster`] reproduces (the
+//! substitution is documented in `DESIGN.md` §4).
+//!
+//! Each instance owns a single [`cphash_hashcore::Partition`] behind one
+//! global mutex and serves connections with blocking per-connection threads.
+//! A cluster starts `instances` of them, each on its own port; the Figure 14
+//! harness partitions keys across instances on the client side, exactly as
+//! the paper's clients did.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cphash_hashcore::{EvictionPolicy, Partition, PartitionConfig};
+use cphash_kvproto::{encode_response, RequestDecoder, RequestKind};
+use parking_lot::Mutex;
+
+use crate::metrics::ServerMetrics;
+
+/// Configuration for a [`MemcacheCluster`].
+#[derive(Debug, Clone)]
+pub struct MemcacheConfig {
+    /// Independent instances (the paper runs one per core).
+    pub instances: usize,
+    /// Byte budget per instance.
+    pub capacity_bytes_per_instance: Option<usize>,
+    /// Bucket count per instance's table.
+    pub buckets: usize,
+    /// Eviction policy (memcached uses LRU).
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for MemcacheConfig {
+    fn default() -> Self {
+        MemcacheConfig {
+            instances: 2,
+            capacity_bytes_per_instance: None,
+            buckets: 4096,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
+struct Instance {
+    addr: SocketAddr,
+    store: Arc<Mutex<Partition>>,
+}
+
+/// A cluster of single-lock cache instances.
+pub struct MemcacheCluster {
+    instances: Vec<Instance>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl MemcacheCluster {
+    /// Start `config.instances` instances, each listening on its own
+    /// loopback port.
+    pub fn start(config: MemcacheConfig) -> std::io::Result<MemcacheCluster> {
+        assert!(config.instances > 0, "need at least one instance");
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut instances = Vec::with_capacity(config.instances);
+        let mut threads = Vec::new();
+
+        for index in 0..config.instances {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            listener.set_nonblocking(true)?;
+            let addr = listener.local_addr()?;
+            let store = Arc::new(Mutex::new(Partition::new(PartitionConfig {
+                buckets: config.buckets,
+                capacity_bytes: config.capacity_bytes_per_instance,
+                eviction: config.eviction,
+                seed: 0x4D45_4D43 ^ index as u64,
+            })));
+            instances.push(Instance {
+                addr,
+                store: Arc::clone(&store),
+            });
+
+            let stop_flag = Arc::clone(&stop);
+            let metrics_ref = Arc::clone(&metrics);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("memcache-{index}-acceptor"))
+                    .spawn(move || {
+                        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                        while !stop_flag.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    metrics_ref.note_connection();
+                                    let store = Arc::clone(&store);
+                                    let stop = Arc::clone(&stop_flag);
+                                    let metrics = Arc::clone(&metrics_ref);
+                                    handlers.push(std::thread::spawn(move || {
+                                        handle_connection(stream, store, stop, metrics)
+                                    }));
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                            }
+                        }
+                        for h in handlers {
+                            let _ = h.join();
+                        }
+                    })
+                    .expect("spawning a memcache acceptor"),
+            );
+        }
+
+        Ok(MemcacheCluster {
+            instances,
+            stop,
+            threads,
+            metrics,
+        })
+    }
+
+    /// The addresses of every instance, in index order.  Clients partition
+    /// keys across these (e.g. by `hash(key) % instances`).
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.instances.iter().map(|i| i.addr).collect()
+    }
+
+    /// Number of instances.
+    pub fn instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Request metrics (aggregated across instances).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Total elements cached across all instances.
+    pub fn total_elements(&self) -> usize {
+        self.instances.iter().map(|i| i.store.lock().len()).sum()
+    }
+
+    /// Stop every thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MemcacheCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one connection with blocking reads — a thread per connection and a
+/// global lock around every table operation, the structure the paper
+/// attributes memcached's limited scalability to.
+fn handle_connection(
+    stream: TcpStream,
+    store: Arc<Mutex<Partition>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+) {
+    use std::io::{Read, Write};
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut decoder = RequestDecoder::new();
+    let mut requests = Vec::with_capacity(64);
+    let mut out = bytes::BytesMut::with_capacity(8 * 1024);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut value_buf = Vec::new();
+
+    while !stop.load(Ordering::Relaxed) {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        metrics.note_io(n, 0);
+        decoder.feed(&buf[..n]);
+        requests.clear();
+        if decoder.drain(&mut requests).is_err() {
+            return;
+        }
+        out.clear();
+        for request in &requests {
+            // The single global lock: every operation serializes here.
+            let mut table = store.lock();
+            match request.kind {
+                RequestKind::Lookup => {
+                    let hit = table.lookup_copy(request.key, &mut value_buf);
+                    metrics.note_lookup(hit);
+                    encode_response(&mut out, if hit { Some(value_buf.as_slice()) } else { None });
+                }
+                RequestKind::Insert => {
+                    let _ = table.insert_copy(request.key, &request.value);
+                    metrics.note_insert();
+                }
+            }
+        }
+        if !out.is_empty() {
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            metrics.note_io(0, out.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use cphash_kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+    use std::io::{Read, Write};
+
+    fn lookup(stream: &mut TcpStream, decoder: &mut ResponseDecoder, key: u64) -> Option<Vec<u8>> {
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, key);
+        stream.write_all(&wire).unwrap();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(resp) = decoder.next_response().unwrap() {
+                return resp.value;
+            }
+            match stream.read(&mut buf) {
+                Ok(n) if n > 0 => decoder.feed(&buf[..n]),
+                Ok(_) => panic!("connection closed"),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_serves_each_instance_independently() {
+        let mut cluster = MemcacheCluster::start(MemcacheConfig {
+            instances: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addrs = cluster.addrs();
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(cluster.instances(), 2);
+
+        // Client-side partitioning: even keys to instance 0, odd to 1.
+        let mut streams: Vec<TcpStream> = addrs
+            .iter()
+            .map(|a| TcpStream::connect(a).unwrap())
+            .collect();
+        let mut decoders = vec![ResponseDecoder::new(), ResponseDecoder::new()];
+        for key in 0..50u64 {
+            let inst = (key % 2) as usize;
+            let mut wire = BytesMut::new();
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+            streams[inst].write_all(&wire).unwrap();
+        }
+        for key in 0..50u64 {
+            let inst = (key % 2) as usize;
+            let got = lookup(&mut streams[inst], &mut decoders[inst], key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+        }
+        // A key stored on instance 0 is invisible to instance 1 — the
+        // instances really are independent.
+        assert_eq!(lookup(&mut streams[1], &mut decoders[1], 0), None);
+        assert!(cluster.total_elements() >= 50);
+        assert!(cluster.metrics().requests() >= 100);
+        cluster.shutdown();
+    }
+}

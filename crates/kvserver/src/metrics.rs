@@ -1,0 +1,91 @@
+//! Shared request metrics for the key/value servers.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Request counters, updated by worker threads and read by benchmarks.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Total requests decoded from TCP connections.
+    pub requests: AtomicU64,
+    /// LOOKUP requests.
+    pub lookups: AtomicU64,
+    /// LOOKUPs that found a value.
+    pub hits: AtomicU64,
+    /// INSERT requests.
+    pub inserts: AtomicU64,
+    /// Bytes read from sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// New zeroed metrics block.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Lookup hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits.load(Ordering::Relaxed) as f64 / lookups as f64
+        }
+    }
+
+    pub(crate) fn note_lookup(&self, hit: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_insert(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_io(&self, read: usize, written: usize) {
+        if read > 0 {
+            self.bytes_in.fetch_add(read as u64, Ordering::Relaxed);
+        }
+        if written > 0 {
+            self.bytes_out.fetch_add(written as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.note_lookup(true);
+        m.note_lookup(false);
+        m.note_insert();
+        m.note_io(100, 50);
+        m.note_connection();
+        assert_eq!(m.requests(), 3);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(m.bytes_in.load(Ordering::Relaxed), 100);
+        assert_eq!(m.bytes_out.load(Ordering::Relaxed), 50);
+        assert_eq!(m.connections.load(Ordering::Relaxed), 1);
+    }
+}

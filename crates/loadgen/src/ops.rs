@@ -1,0 +1,241 @@
+//! Deterministic operation streams.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::WorkloadSpec;
+
+/// How keys are drawn from the working set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniformly random keys — the paper's microbenchmark.
+    Uniform,
+    /// Zipf-distributed keys with the given exponent (0.99 ≈ typical web
+    /// cache skew); used by the web-cache example.
+    Zipf(f64),
+}
+
+/// One benchmark operation.  Values in the microbenchmark equal the key
+/// ("the value is the same as the key (8 bytes)", §6), so an `Insert` only
+/// needs to carry the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Look up a key.
+    Lookup(u64),
+    /// Insert the key with its 8-byte value (the key itself).
+    Insert(u64),
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Lookup(k) | Op::Insert(k) => k,
+        }
+    }
+
+    /// Is this an insert?
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Op::Insert(_))
+    }
+}
+
+/// A deterministic stream of operations for one client thread.
+///
+/// Streams for different `client_index` values are decorrelated but
+/// reproducible, so a run can be repeated exactly (and so CPHash and
+/// LockHash can be driven with the *same* operation sequences).
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    state: u64,
+    distinct_keys: u64,
+    insert_ratio: f64,
+    distribution: KeyDistribution,
+    /// Precomputed Zipf normalization constant (only for Zipf).
+    zipf_norm: f64,
+    remaining: u64,
+}
+
+impl OpStream {
+    /// Build the stream for one client.
+    pub fn for_client(spec: &WorkloadSpec, client_index: usize, operations: u64) -> Self {
+        let state = spec
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((client_index as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407))
+            | 1;
+        let distinct_keys = spec.distinct_keys();
+        let zipf_norm = match spec.distribution {
+            KeyDistribution::Zipf(theta) => {
+                // Harmonic-like normalization over a capped support; for
+                // large keyspaces we approximate with the first 1e6 ranks,
+                // which carries essentially all the probability mass for
+                // theta close to 1.
+                let n = distinct_keys.min(1_000_000);
+                (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+            }
+            KeyDistribution::Uniform => 0.0,
+        };
+        OpStream {
+            state,
+            distinct_keys,
+            insert_ratio: spec.insert_ratio,
+            distribution: spec.distribution,
+            zipf_norm,
+            remaining: operations,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn next_fraction(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draw the next key according to the configured distribution.
+    ///
+    /// Keys are scrambled through a multiplicative hash so that "key rank"
+    /// does not correlate with partition assignment.
+    pub fn next_key(&mut self) -> u64 {
+        let rank = match self.distribution {
+            KeyDistribution::Uniform => self.next_u64() % self.distinct_keys,
+            KeyDistribution::Zipf(theta) => {
+                let n = self.distinct_keys.min(1_000_000);
+                let target = self.next_fraction() * self.zipf_norm;
+                // Invert the CDF by linear scan with an early exit; the head
+                // of the distribution is hit almost every time, so the
+                // expected number of iterations is small.
+                let mut acc = 0.0;
+                let mut rank = n - 1;
+                for i in 1..=n {
+                    acc += 1.0 / (i as f64).powf(theta);
+                    if acc >= target {
+                        rank = i - 1;
+                        break;
+                    }
+                }
+                rank
+            }
+        };
+        // Spread ranks over the 60-bit key space deterministically (an
+        // odd-multiplier scramble, then masked to the legal key width).
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) & cphash_hashcore::MAX_KEY
+    }
+
+    /// Number of operations left in the stream.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let insert = self.next_fraction() < self.insert_ratio;
+        let key = self.next_key();
+        Some(if insert { Op::Insert(key) } else { Op::Lookup(key) })
+    }
+}
+
+/// Enumerate the working set's keys (for prefill), in the same key encoding
+/// the stream uses.
+pub fn working_set_keys(spec: &WorkloadSpec) -> impl Iterator<Item = u64> {
+    let distinct = spec.distinct_keys();
+    (0..distinct).map(|rank| rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) & cphash_hashcore::MAX_KEY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            working_set_bytes: 64 * 1024,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_decorrelated() {
+        let a: Vec<Op> = OpStream::for_client(&spec(), 0, 1000).collect();
+        let b: Vec<Op> = OpStream::for_client(&spec(), 0, 1000).collect();
+        let c: Vec<Op> = OpStream::for_client(&spec(), 1, 1000).collect();
+        assert_eq!(a, b, "same client index reproduces the same stream");
+        assert_ne!(a, c, "different clients get different streams");
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn insert_ratio_is_respected() {
+        let mut s = spec();
+        s.insert_ratio = 0.3;
+        let ops: Vec<Op> = OpStream::for_client(&s, 0, 100_000).collect();
+        let inserts = ops.iter().filter(|o| o.is_insert()).count() as f64;
+        let ratio = inserts / ops.len() as f64;
+        assert!((ratio - 0.3).abs() < 0.02, "observed insert ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_and_one_insert_ratios_are_pure() {
+        let mut s = spec();
+        s.insert_ratio = 0.0;
+        assert!(OpStream::for_client(&s, 0, 1000).all(|o| !o.is_insert()));
+        s.insert_ratio = 1.0;
+        assert!(OpStream::for_client(&s, 0, 1000).all(|o| o.is_insert()));
+    }
+
+    #[test]
+    fn keys_stay_within_the_working_set() {
+        let s = spec();
+        let expected: HashSet<u64> = working_set_keys(&s).collect();
+        assert_eq!(expected.len() as u64, s.distinct_keys());
+        for op in OpStream::for_client(&s, 3, 10_000) {
+            assert!(expected.contains(&op.key()), "key {} outside working set", op.key());
+        }
+    }
+
+    #[test]
+    fn zipf_streams_are_skewed_towards_few_keys() {
+        let mut s = spec();
+        s.distribution = KeyDistribution::Zipf(0.99);
+        let ops: Vec<Op> = OpStream::for_client(&s, 0, 20_000).collect();
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for op in &ops {
+            *counts.entry(op.key()).or_default() += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = freqs.iter().take(10).sum();
+        // Under uniform the top 10 of 8192 keys would hold ~0.1 % of
+        // accesses; Zipf(0.99) concentrates far more.
+        assert!(
+            top10 as f64 / ops.len() as f64 > 0.10,
+            "top-10 keys hold only {top10} of {} accesses",
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut s = OpStream::for_client(&spec(), 0, 3);
+        assert_eq!(s.remaining(), 3);
+        s.next();
+        assert_eq!(s.remaining(), 2);
+        s.next();
+        s.next();
+        assert_eq!(s.next(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! TCP load generator for CPSERVER / LOCKSERVER.
+//!
+//! The paper drives its key/value servers from a second machine over
+//! 10 GbE (§7).  Here the load generator runs over loopback (or any
+//! address): a set of generator threads, each owning several connections,
+//! sends pipelined batches of LOOKUP/INSERT requests and reads back the
+//! LOOKUP responses.  Batching over the socket mirrors how the paper's TCP
+//! clients "gather as many requests as possible … in a single batch".
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+
+use bytes::BytesMut;
+use cphash_kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+use cphash_perfmon::Stopwatch;
+
+use crate::ops::{Op, OpStream};
+use crate::workload::WorkloadSpec;
+
+/// Options for a TCP load-generation run.
+#[derive(Debug, Clone)]
+pub struct TcpLoadOptions {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Generator threads.
+    pub threads: usize,
+    /// Connections per generator thread.
+    pub connections_per_thread: usize,
+    /// Requests sent per batch before reading responses back.
+    pub pipeline: usize,
+}
+
+impl Default for TcpLoadOptions {
+    fn default() -> Self {
+        TcpLoadOptions {
+            addr: "127.0.0.1:0".parse().expect("valid literal address"),
+            threads: 2,
+            connections_per_thread: 2,
+            pipeline: 64,
+        }
+    }
+}
+
+/// Result of a TCP load run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpLoadResult {
+    /// Requests sent (lookups + inserts).
+    pub operations: u64,
+    /// Lookups that returned a value.
+    pub lookup_hits: u64,
+    /// Lookups sent.
+    pub lookups: u64,
+    /// Wall-clock seconds for the timed phase.
+    pub elapsed_secs: f64,
+}
+
+impl TcpLoadResult {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Requests per second per unit (per core for Figure 14).
+    pub fn throughput_per(&self, units: usize) -> f64 {
+        if units == 0 {
+            0.0
+        } else {
+            self.throughput() / units as f64
+        }
+    }
+}
+
+/// Drive `spec.operations` requests at the server and measure throughput.
+pub fn run_tcp_load(spec: &WorkloadSpec, opts: &TcpLoadOptions) -> std::io::Result<TcpLoadResult> {
+    spec.validate();
+    assert!(opts.threads > 0 && opts.connections_per_thread > 0 && opts.pipeline > 0);
+
+    let barrier = Arc::new(Barrier::new(opts.threads + 1));
+    let mut workers = Vec::with_capacity(opts.threads);
+    for index in 0..opts.threads {
+        let barrier = Arc::clone(&barrier);
+        let spec = *spec;
+        let opts = opts.clone();
+        let ops = spec.operations / opts.threads as u64
+            + u64::from((index as u64) < spec.operations % opts.threads as u64);
+        workers.push(std::thread::spawn(move || -> std::io::Result<(u64, u64, u64)> {
+            let mut connections: Vec<(TcpStream, ResponseDecoder)> = (0..opts.connections_per_thread)
+                .map(|_| -> std::io::Result<_> {
+                    let stream = TcpStream::connect(opts.addr)?;
+                    stream.set_nodelay(true)?;
+                    Ok((stream, ResponseDecoder::new()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut stream_ops = OpStream::for_client(&spec, index, ops);
+            let mut wire = BytesMut::with_capacity(opts.pipeline * 32);
+            let mut read_buf = vec![0u8; 64 * 1024];
+            let mut sent = 0u64;
+            let mut lookups = 0u64;
+            let mut hits = 0u64;
+            barrier.wait();
+
+            'outer: loop {
+                for conn_idx in 0..connections.len() {
+                    // Build one pipelined batch for this connection.
+                    wire.clear();
+                    let mut batch_lookups = 0usize;
+                    let mut batch_ops = 0usize;
+                    while batch_ops < opts.pipeline {
+                        match stream_ops.next() {
+                            Some(Op::Lookup(key)) => {
+                                encode_lookup(&mut wire, key);
+                                batch_lookups += 1;
+                            }
+                            Some(Op::Insert(key)) => {
+                                encode_insert(&mut wire, key, &key.to_le_bytes());
+                            }
+                            None => break,
+                        }
+                        batch_ops += 1;
+                    }
+                    if batch_ops == 0 {
+                        break 'outer;
+                    }
+                    let (socket, decoder) = &mut connections[conn_idx];
+                    socket.write_all(&wire)?;
+                    sent += batch_ops as u64;
+                    lookups += batch_lookups as u64;
+                    // Read exactly the responses this batch owes us
+                    // (inserts are fire-and-forget, §4.1).
+                    let mut received = 0usize;
+                    while received < batch_lookups {
+                        while let Some(resp) = decoder
+                            .next_response()
+                            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+                        {
+                            received += 1;
+                            if resp.value.is_some() {
+                                hits += 1;
+                            }
+                            if received == batch_lookups {
+                                break;
+                            }
+                        }
+                        if received < batch_lookups {
+                            let n = socket.read(&mut read_buf)?;
+                            if n == 0 {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::UnexpectedEof,
+                                    "server closed the connection mid-batch",
+                                ));
+                            }
+                            decoder.feed(&read_buf[..n]);
+                        }
+                    }
+                }
+            }
+            Ok((sent, lookups, hits))
+        }));
+    }
+
+    barrier.wait();
+    let watch = Stopwatch::start();
+    let mut result = TcpLoadResult::default();
+    for worker in workers {
+        let (sent, lookups, hits) = worker.join().expect("load thread panicked")?;
+        result.operations += sent;
+        result.lookups += lookups;
+        result.lookup_hits += hits;
+    }
+    result.elapsed_secs = watch.elapsed_secs();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cphash_kvproto::{RequestDecoder, RequestKind};
+    use std::net::TcpListener;
+
+    /// A minimal in-test echo server speaking the kv protocol: every LOOKUP
+    /// for an even key hits (returns the key bytes), odd keys miss, and
+    /// INSERTs are swallowed — enough to exercise the load generator's
+    /// pipelining and accounting without pulling in the real servers
+    /// (which live in `cphash-kvserver` and are tested there).
+    fn spawn_stub_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut decoder = RequestDecoder::new();
+                    let mut buf = vec![0u8; 16 * 1024];
+                    let mut out = BytesMut::new();
+                    let mut requests = Vec::new();
+                    loop {
+                        let n = match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => n,
+                        };
+                        decoder.feed(&buf[..n]);
+                        requests.clear();
+                        if decoder.drain(&mut requests).is_err() {
+                            return;
+                        }
+                        out.clear();
+                        for req in &requests {
+                            if req.kind == RequestKind::Lookup {
+                                if req.key % 2 == 0 {
+                                    cphash_kvproto::encode_response(&mut out, Some(&req.key.to_le_bytes()));
+                                } else {
+                                    cphash_kvproto::encode_response(&mut out, None);
+                                }
+                            }
+                        }
+                        if !out.is_empty() && stream.write_all(&out).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn load_generator_accounts_for_every_request() {
+        let addr = spawn_stub_server();
+        let spec = WorkloadSpec {
+            working_set_bytes: 8 * 1024,
+            capacity_bytes: 8 * 1024,
+            operations: 4_000,
+            insert_ratio: 0.3,
+            prefill: false,
+            ..Default::default()
+        };
+        let opts = TcpLoadOptions {
+            addr,
+            threads: 2,
+            connections_per_thread: 2,
+            pipeline: 32,
+        };
+        let result = run_tcp_load(&spec, &opts).expect("load run succeeds");
+        assert_eq!(result.operations, spec.operations);
+        assert!(result.lookups > 0);
+        assert!(result.lookup_hits > 0);
+        assert!(result.lookup_hits <= result.lookups);
+        assert!(result.throughput() > 0.0);
+        assert!(result.throughput_per(2) < result.throughput());
+    }
+}

@@ -1,0 +1,108 @@
+//! Timestamp-counter access.
+//!
+//! On x86-64 this reads the TSC with `rdtsc`, the same primitive the paper's
+//! profiling library used; elsewhere it falls back to a monotonic nanosecond
+//! clock, which is sufficient because the workspace only ever uses cycle
+//! counts for *relative* comparisons and per-operation averages.
+
+use std::time::Instant;
+
+/// Read the current cycle counter.
+#[inline]
+pub fn cycles_now() -> u64 {
+    imp::now()
+}
+
+/// A span measured in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSpan {
+    start: u64,
+}
+
+impl CycleSpan {
+    /// Start measuring.
+    #[inline]
+    pub fn start() -> Self {
+        CycleSpan { start: cycles_now() }
+    }
+
+    /// Cycles elapsed since `start` (saturating, in case of TSC weirdness
+    /// across sockets).
+    #[inline]
+    pub fn elapsed(&self) -> u64 {
+        cycles_now().saturating_sub(self.start)
+    }
+}
+
+/// Estimate the cycle counter's frequency by measuring it against the wall
+/// clock for roughly `sample_ms` milliseconds.
+pub fn estimate_cycles_per_second(sample_ms: u64) -> f64 {
+    let wall_start = Instant::now();
+    let c0 = cycles_now();
+    std::thread::sleep(std::time::Duration::from_millis(sample_ms.max(1)));
+    let c1 = cycles_now();
+    let elapsed = wall_start.elapsed().as_secs_f64();
+    if elapsed <= 0.0 {
+        return 0.0;
+    }
+    (c1.saturating_sub(c0)) as f64 / elapsed
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    #[inline]
+    pub fn now() -> u64 {
+        // SAFETY: `_rdtsc` has no memory-safety preconditions.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    #[inline]
+    pub fn now() -> u64 {
+        let epoch = EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_enough() {
+        let a = cycles_now();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * 3);
+        }
+        std::hint::black_box(x);
+        let b = cycles_now();
+        assert!(b >= a, "counter went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn span_measures_work() {
+        let span = CycleSpan::start();
+        let mut x = 1u64;
+        for i in 1..50_000u64 {
+            x = x.wrapping_mul(i) ^ i;
+        }
+        std::hint::black_box(x);
+        assert!(span.elapsed() > 0);
+    }
+
+    #[test]
+    fn frequency_estimate_is_plausible() {
+        let hz = estimate_cycles_per_second(10);
+        // Anything between 100 MHz and 10 GHz is plausible for a TSC; the
+        // nanosecond fallback lands at ~1 GHz.
+        assert!(hz > 1e8 && hz < 1e10, "estimated {hz:.3e} Hz");
+    }
+}

@@ -1,0 +1,156 @@
+//! Log-bucketed latency histograms.
+//!
+//! Used by the key/value server benchmarks to report request-latency
+//! percentiles next to the throughput numbers (the paper only reports
+//! throughput; percentiles are extra diagnostic output).
+
+/// A histogram with logarithmically spaced buckets (powers of two), suitable
+/// for latencies spanning nanoseconds to seconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples whose value has `i` significant bits,
+    /// i.e. value in `[2^(i-1), 2^i)`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Record one sample (any unit; nanoseconds or cycles by convention).
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample seen (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate value at a percentile in `[0, 100]`: the upper bound of
+    /// the bucket containing that quantile.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (1 + 2 + 4 + 8 + 100 + 1000) as f64 / 6.0).abs() < 1e-9);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p100 = h.percentile(100.0);
+        assert!(p50 <= p99 && p99 <= p100);
+        // The median of 1..=1000 is ~500; its bucket upper bound is 512.
+        assert_eq!(p50, 512);
+        assert!(p100 >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.min(), 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Measurement utilities for the CPHash evaluation.
+//!
+//! The paper's numbers were gathered with a small profiling library built on
+//! `rdtsc`/`rdpmc` plus a kernel module (§5).  Hardware performance counters
+//! are replaced in this reproduction by the software cache model
+//! (`cphash-cachesim`); the timing half lives here:
+//!
+//! * [`cycles`] — a timestamp-counter reader (`rdtsc` on x86-64, a
+//!   monotonic-clock fallback elsewhere) and cycle↔time conversion.
+//! * [`timer`] — stopwatches and throughput meters for "queries / second"
+//!   style results.
+//! * [`histogram`] — log-bucketed latency histograms with percentile
+//!   extraction.
+//! * [`series`] — labelled (x, y) series and CSV/gnuplot-style rendering,
+//!   the output format of every figure-regenerating benchmark binary.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cycles;
+pub mod histogram;
+pub mod series;
+pub mod timer;
+
+pub use cycles::{cycles_now, estimate_cycles_per_second, CycleSpan};
+pub use histogram::LatencyHistogram;
+pub use series::{DataPoint, DataSeries, FigureReport};
+pub use timer::{Stopwatch, ThroughputMeter};

@@ -1,0 +1,210 @@
+//! Anderson's array-based queueing lock.
+//!
+//! The paper cites Anderson's lock [1] as the canonical *scalable* lock and
+//! explains why LOCKHASH does not use it: it "requires a constant two cache
+//! misses to acquire the lock, and one more cache miss to release", whereas
+//! an uncontended spinlock needs one and zero respectively (§6.2).  We
+//! implement it so the lock-ablation benchmark can demonstrate exactly that
+//! trade-off: the array lock wins under heavy contention on few partitions
+//! and loses at LOCKHASH's operating point (4,096 partitions, low
+//! contention).
+//!
+//! [1] T. E. Anderson. *The performance of spin lock alternatives for
+//! shared-memory multiprocessors.* IEEE TPDS, 1990.
+
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use cphash_cacheline::CacheAligned;
+
+use crate::{Backoff, RawLock};
+
+/// Maximum number of simultaneous waiters the array lock supports.
+///
+/// Anderson's lock needs one flag slot per potential waiter; the paper's
+/// machine has 160 hardware threads, so 256 slots is comfortably enough and
+/// keeps the structure a fixed-size allocation.
+pub const MAX_WAITERS: usize = 256;
+
+/// One spin flag per slot, padded to its own cache line so each waiter spins
+/// locally — the property that makes the lock "scalable".
+struct Slot {
+    has_lock: CacheAligned<AtomicBool>,
+}
+
+/// Anderson's array-based queueing lock.
+///
+/// Each acquiring thread takes the next slot index with a fetch-and-add and
+/// spins on its *own* flag (local spinning).  Release sets the next slot's
+/// flag, so exactly one waiter wakes per release and the hand-off is FIFO.
+pub struct ArrayLock {
+    slots: Box<[Slot]>,
+    /// Next slot to hand to an acquirer.
+    ticket: CacheAligned<AtomicUsize>,
+    /// Slot of the current holder (needed by release). Only the holder reads
+    /// or writes it while holding the lock, so a relaxed atomic suffices.
+    holder_slot: CacheAligned<AtomicUsize>,
+}
+
+impl ArrayLock {
+    /// Create an array lock with capacity for [`MAX_WAITERS`] waiters.
+    pub fn new() -> Self {
+        Self::with_slots(MAX_WAITERS)
+    }
+
+    /// Create an array lock with a specific number of waiter slots.
+    ///
+    /// `slots` must be a power of two ≥ 2 and at least the number of threads
+    /// that may contend simultaneously; otherwise waiters could alias a slot.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots.is_power_of_two() && slots >= 2, "slot count must be a power of two >= 2");
+        let mut v = Vec::with_capacity(slots);
+        for i in 0..slots {
+            v.push(Slot {
+                has_lock: CacheAligned::new(AtomicBool::new(i == 0)),
+            });
+        }
+        ArrayLock {
+            slots: v.into_boxed_slice(),
+            ticket: CacheAligned::new(AtomicUsize::new(0)),
+            holder_slot: CacheAligned::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of waiter slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+}
+
+impl Default for ArrayLock {
+    fn default() -> Self {
+        ArrayLock::new()
+    }
+}
+
+impl RawLock for ArrayLock {
+    #[inline]
+    fn raw_lock(&self) {
+        let my_slot = self.ticket.fetch_add(1, Ordering::Relaxed) & self.mask();
+        let flag = &self.slots[my_slot].has_lock;
+        let mut backoff = Backoff::new();
+        while !flag.load(Ordering::Acquire) {
+            backoff.snooze();
+        }
+        // Consume the grant so the slot can be reused on wrap-around.
+        flag.store(false, Ordering::Relaxed);
+        self.holder_slot.store(my_slot, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn raw_try_lock(&self) -> bool {
+        // Anderson's lock has no natural try-lock; emulate by only taking a
+        // ticket when the current head slot is granted and unclaimed.
+        let head = self.ticket.load(Ordering::Relaxed);
+        let slot = head & self.mask();
+        if !self.slots[slot].has_lock.load(Ordering::Acquire) {
+            return false;
+        }
+        if self
+            .ticket
+            .compare_exchange(head, head + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.slots[slot].has_lock.store(false, Ordering::Relaxed);
+        self.holder_slot.store(slot, Ordering::Relaxed);
+        true
+    }
+
+    #[inline]
+    fn raw_unlock(&self) {
+        let slot = self.holder_slot.load(Ordering::Relaxed);
+        let next = (slot + 1) & self.mask();
+        self.slots[next].has_lock.store(true, Ordering::Release);
+    }
+
+    fn name() -> &'static str {
+        "anderson-array"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn construction_checks_slot_count() {
+        let l = ArrayLock::with_slots(8);
+        assert_eq!(l.capacity(), 8);
+        let l = ArrayLock::new();
+        assert_eq!(l.capacity(), MAX_WAITERS);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_slots_panics() {
+        let _ = ArrayLock::with_slots(6);
+    }
+
+    #[test]
+    fn lock_unlock_sequence_wraps_slots() {
+        let lock = ArrayLock::with_slots(4);
+        for _ in 0..16 {
+            lock.raw_lock();
+            lock.raw_unlock();
+        }
+    }
+
+    #[test]
+    fn try_lock_only_succeeds_when_free() {
+        let lock = ArrayLock::with_slots(4);
+        assert!(lock.raw_try_lock());
+        assert!(!lock.raw_try_lock());
+        lock.raw_unlock();
+        assert!(lock.raw_try_lock());
+        lock.raw_unlock();
+    }
+
+    #[test]
+    fn contended_increments_are_exact() {
+        const THREADS: usize = 8;
+        const ITERS: u64 = 5_000;
+        let lock = Arc::new(ArrayLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        lock.raw_lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.raw_unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+    }
+
+    #[test]
+    fn slots_are_cache_line_separated() {
+        let lock = ArrayLock::with_slots(4);
+        let a = &lock.slots[0] as *const _ as usize;
+        let b = &lock.slots[1] as *const _ as usize;
+        assert!(b - a >= cphash_cacheline::CACHE_LINE_SIZE);
+    }
+}

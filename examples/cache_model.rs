@@ -1,0 +1,44 @@
+//! Reproduce the Figure 6/7 story on a small scale: replay the logical
+//! memory accesses of CPHash and LockHash operations through the software
+//! cache model and print the per-function miss breakdown.
+//!
+//! Run with `cargo run --release --example cache_model`.
+
+use cphash_suite::cachesim::opmodel::{simulate_cphash, simulate_lockhash, OpModelParams};
+use cphash_suite::cachesim::{CacheConfig, CostModel};
+
+fn main() {
+    // The paper's Figure 6/7 configuration, with a reduced operation count
+    // so the example finishes in a couple of seconds.
+    let params = OpModelParams {
+        cache: CacheConfig::paper_machine(),
+        operations: 100_000,
+        ..OpModelParams::default()
+    };
+
+    println!(
+        "simulating {} operations, 1 MB working set, 30% inserts, on the modelled 80-core machine\n",
+        params.operations
+    );
+
+    let lockhash = simulate_lockhash(&params);
+    let cphash = simulate_cphash(&params);
+
+    println!("{}", lockhash.to_table("LOCKHASH (per operation)"));
+    println!("{}", cphash.client.to_table("CPHASH client thread (per operation)"));
+    println!("{}", cphash.server.to_table("CPHASH server thread (per operation)"));
+
+    let cost = CostModel::default();
+    let lockhash_est = cost.estimate(&lockhash.total(), lockhash.operations, 160);
+    let client_est = cost.estimate(&cphash.client.total(), cphash.client.operations, 80);
+    let server_est = cost.estimate(&cphash.server.total(), cphash.server.operations, 80);
+
+    println!("estimated cycles/op:  cphash client {:>6.0}   cphash server {:>6.0}   lockhash {:>6.0}",
+        client_est.cycles_per_op, server_est.cycles_per_op, lockhash_est.cycles_per_op);
+    println!("estimated L3 miss cost: cphash {:>4.0} cycles vs lockhash {:>4.0} cycles (contention makes LockHash's misses dearer)",
+        client_est.l3_miss_cost, lockhash_est.l3_miss_cost);
+    println!("paper (Figure 6):     client 1126, server 672, lockhash 3664 cycles/op; miss costs 381 vs 1421 cycles");
+    println!("\nThe point of the figure survives the substitution: LockHash spends its time on");
+    println!("lock words and shared bucket lines bouncing between caches, while CPHash pays a");
+    println!("small, mostly-local cost plus a heavily amortized message line per operation.");
+}

@@ -1,0 +1,242 @@
+//! Property-based tests on the core data structures and protocols:
+//!
+//! * the partition behaves like a reference `HashMap` + LRU model under
+//!   arbitrary operation sequences (and never exceeds its byte budget);
+//! * the ring buffer never loses, duplicates or reorders messages for
+//!   arbitrary push/pop interleavings;
+//! * the wire protocol and the CPHash request encoding round-trip arbitrary
+//!   frames;
+//! * the allocator never hands out overlapping live blocks and its
+//!   accounting always balances.
+
+use std::collections::HashMap;
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use cphash_suite::alloc::{SlabAllocator, SlabConfig};
+use cphash_suite::channel::{ring, RingConfig};
+use cphash_suite::hashcore::{EvictionPolicy, Partition, PartitionConfig};
+use cphash_suite::kvproto::{encode_insert, encode_lookup, encode_response, RequestDecoder, RequestKind, ResponseDecoder};
+use cphash_suite::table::protocol;
+
+/// One partition operation for the model-based test.
+#[derive(Debug, Clone)]
+enum PartitionOp {
+    Insert { key: u64, len: usize },
+    Lookup { key: u64 },
+    Delete { key: u64 },
+}
+
+fn partition_op() -> impl Strategy<Value = PartitionOp> {
+    prop_oneof![
+        (0u64..64, 1usize..64).prop_map(|(key, len)| PartitionOp::Insert { key, len }),
+        (0u64..64).prop_map(|key| PartitionOp::Lookup { key }),
+        (0u64..64).prop_map(|key| PartitionOp::Delete { key }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unbounded_partition_matches_hashmap_model(ops in prop::collection::vec(partition_op(), 1..400)) {
+        let mut partition = Partition::new(PartitionConfig::new(32, None));
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                PartitionOp::Insert { key, len } => {
+                    let value: Vec<u8> = (0..len).map(|b| (b as u8) ^ (i as u8)).collect();
+                    partition.insert_copy(key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                PartitionOp::Lookup { key } => {
+                    let mut buf = Vec::new();
+                    let hit = partition.lookup_copy(key, &mut buf);
+                    match model.get(&key) {
+                        Some(expected) => {
+                            prop_assert!(hit);
+                            prop_assert_eq!(&buf, expected);
+                        }
+                        None => prop_assert!(!hit),
+                    }
+                }
+                PartitionOp::Delete { key } => {
+                    prop_assert_eq!(partition.delete(key), model.remove(&key).is_some());
+                }
+            }
+            partition.check_invariants();
+        }
+        prop_assert_eq!(partition.len(), model.len());
+    }
+
+    #[test]
+    fn bounded_partition_never_exceeds_budget_and_keeps_lru_order(
+        ops in prop::collection::vec(partition_op(), 1..300),
+        capacity in 64usize..512,
+        random_eviction in any::<bool>(),
+    ) {
+        let policy = if random_eviction { EvictionPolicy::Random } else { EvictionPolicy::Lru };
+        let mut partition = Partition::new(
+            PartitionConfig::new(16, Some(capacity)).with_eviction(policy),
+        );
+        for op in &ops {
+            match *op {
+                PartitionOp::Insert { key, len } => {
+                    // Values can exceed the budget; both error cases are legal.
+                    let value = vec![0xA5u8; len];
+                    let _ = partition.insert_copy(key, &value);
+                }
+                PartitionOp::Lookup { key } => {
+                    let mut buf = Vec::new();
+                    let _ = partition.lookup_copy(key, &mut buf);
+                }
+                PartitionOp::Delete { key } => {
+                    let _ = partition.delete(key);
+                }
+            }
+            prop_assert!(partition.bytes_in_use() <= capacity,
+                "bytes_in_use {} exceeds capacity {}", partition.bytes_in_use(), capacity);
+            partition.check_invariants();
+        }
+    }
+
+    #[test]
+    fn ring_buffer_preserves_every_message_in_order(
+        chunks in prop::collection::vec(1usize..50, 1..40),
+        capacity in 16usize..256,
+    ) {
+        let (mut tx, mut rx) = ring::<u64>(RingConfig::with_capacity(capacity));
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        for chunk in chunks {
+            // Push up to `chunk` messages (stopping early if full), flush,
+            // then drain everything currently visible.
+            for _ in 0..chunk {
+                if tx.try_push(sent).is_ok() {
+                    sent += 1;
+                } else {
+                    break;
+                }
+            }
+            tx.flush();
+            rx.pop_batch(&mut received, usize::MAX);
+        }
+        tx.flush();
+        rx.pop_batch(&mut received, usize::MAX);
+        prop_assert_eq!(received.len() as u64, sent);
+        for (i, v) in received.iter().enumerate() {
+            prop_assert_eq!(*v, i as u64, "messages reordered");
+        }
+    }
+
+    #[test]
+    fn kv_wire_protocol_roundtrips_arbitrary_frames(
+        frames in prop::collection::vec(
+            (any::<bool>(), 0u64..=cphash_suite::kvproto::MAX_KEY, prop::collection::vec(any::<u8>(), 0..200)),
+            1..30
+        ),
+        split in 1usize..64,
+    ) {
+        // Encode a stream of frames, then decode it in arbitrary-sized
+        // slices; the decoded sequence must match exactly.
+        let mut wire = BytesMut::new();
+        for (is_lookup, key, value) in &frames {
+            if *is_lookup {
+                encode_lookup(&mut wire, *key);
+            } else {
+                encode_insert(&mut wire, *key, value);
+            }
+        }
+        let mut decoder = RequestDecoder::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(split) {
+            decoder.feed(piece);
+            decoder.drain(&mut decoded).unwrap();
+        }
+        prop_assert_eq!(decoded.len(), frames.len());
+        for (req, (is_lookup, key, value)) in decoded.iter().zip(frames.iter()) {
+            prop_assert_eq!(req.key, *key);
+            if *is_lookup {
+                prop_assert_eq!(req.kind, RequestKind::Lookup);
+            } else {
+                prop_assert_eq!(req.kind, RequestKind::Insert);
+                prop_assert_eq!(&req.value, value);
+            }
+        }
+    }
+
+    #[test]
+    fn kv_responses_roundtrip(values in prop::collection::vec(prop::option::of(prop::collection::vec(any::<u8>(), 1..100)), 1..20)) {
+        let mut wire = BytesMut::new();
+        for v in &values {
+            encode_response(&mut wire, v.as_deref());
+        }
+        let mut decoder = ResponseDecoder::new();
+        decoder.feed(&wire);
+        for v in &values {
+            let decoded = decoder.next_response().unwrap().expect("frame present");
+            prop_assert_eq!(&decoded.value, v);
+        }
+        prop_assert!(decoder.next_response().unwrap().is_none());
+    }
+
+    #[test]
+    fn cphash_request_words_roundtrip(
+        key in 0u64..=cphash_suite::MAX_KEY,
+        size in any::<u64>(),
+        id in any::<u32>(),
+        selector in 0u8..5,
+    ) {
+        use cphash_suite::hashcore::ElementId;
+        let request = match selector {
+            0 => protocol::Request::Lookup { key },
+            1 => protocol::Request::Insert { key, size },
+            2 => protocol::Request::Ready { id: ElementId(id) },
+            3 => protocol::Request::Decref { id: ElementId(id) },
+            _ => protocol::Request::Delete { key },
+        };
+        let (w0, w1) = protocol::encode(&request);
+        prop_assert_eq!(protocol::decode(w0, w1), Some(request));
+    }
+
+    #[test]
+    fn allocator_blocks_never_overlap_and_accounting_balances(
+        sizes in prop::collection::vec(1usize..512, 1..100),
+        capacity in prop::option::of(4096usize..65536),
+    ) {
+        let mut allocator = SlabAllocator::new(SlabConfig {
+            capacity_bytes: capacity,
+            ..SlabConfig::default()
+        });
+        let mut live: Vec<cphash_suite::alloc::ValueHandle> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                // Free an arbitrary live block.
+                let h = live.swap_remove(i % live.len());
+                allocator.free(h);
+            } else if let Some(handle) = allocator.allocate(size) {
+                live.push(handle);
+            }
+            // No two live blocks may overlap.
+            let mut ranges: Vec<(u64, u64)> = live
+                .iter()
+                .map(|h| (h.addr(), h.addr() + h.block_bytes().max(1) as u64))
+                .collect();
+            ranges.sort_unstable();
+            for pair in ranges.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "live blocks overlap");
+            }
+            if let Some(cap) = capacity {
+                prop_assert!(allocator.bytes_in_use() <= cap);
+            }
+        }
+        let outstanding = live.len();
+        for handle in live.drain(..) {
+            allocator.free(handle);
+        }
+        prop_assert_eq!(allocator.bytes_in_use(), 0);
+        prop_assert_eq!(allocator.stats().outstanding(), 0);
+        prop_assert!(allocator.stats().total_frees >= outstanding as u64);
+    }
+}

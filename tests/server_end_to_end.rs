@@ -1,0 +1,189 @@
+//! End-to-end tests of the three key/value servers over real TCP
+//! connections, driven by the bundled load generator — the §7 setup shrunk
+//! to test size.
+
+use cphash_suite::kvserver::{
+    CpServer, CpServerConfig, LockServer, LockServerConfig, MemcacheCluster, MemcacheConfig,
+};
+use cphash_suite::loadgen::tcp::{run_tcp_load, TcpLoadOptions};
+use cphash_suite::loadgen::WorkloadSpec;
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        working_set_bytes: 64 * 1024,
+        capacity_bytes: 64 * 1024,
+        operations: 20_000,
+        insert_ratio: 0.3,
+        prefill: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cpserver_under_tcp_load() {
+    let mut server = CpServer::start(CpServerConfig {
+        client_threads: 2,
+        partitions: 2,
+        capacity_bytes: Some(64 * 1024),
+        typical_value_bytes: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let spec = small_spec();
+    let result = run_tcp_load(
+        &spec,
+        &TcpLoadOptions {
+            addr: server.addr(),
+            threads: 2,
+            connections_per_thread: 2,
+            pipeline: 32,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.operations, spec.operations);
+    assert!(result.lookups > 0);
+    // 30 % of requests were inserts into a table big enough to hold the
+    // whole working set, so a healthy fraction of lookups must hit.
+    assert!(
+        result.lookup_hits as f64 / result.lookups as f64 > 0.2,
+        "hit rate {:.3}",
+        result.lookup_hits as f64 / result.lookups as f64
+    );
+    assert!(server.metrics().requests() >= spec.operations);
+    assert!(server.table_stats().inserts > 0);
+    server.shutdown();
+}
+
+#[test]
+fn lockserver_under_tcp_load() {
+    let mut server = LockServer::start(LockServerConfig {
+        worker_threads: 2,
+        partitions: 64,
+        capacity_bytes: Some(64 * 1024),
+        typical_value_bytes: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let spec = small_spec();
+    let result = run_tcp_load(
+        &spec,
+        &TcpLoadOptions {
+            addr: server.addr(),
+            threads: 2,
+            connections_per_thread: 2,
+            pipeline: 32,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.operations, spec.operations);
+    assert!(result.lookup_hits > 0);
+    assert!(server.metrics().requests() >= spec.operations);
+    server.shutdown();
+}
+
+#[test]
+fn memcache_style_cluster_under_partitioned_load() {
+    let mut cluster = MemcacheCluster::start(MemcacheConfig {
+        instances: 2,
+        capacity_bytes_per_instance: Some(32 * 1024),
+        ..Default::default()
+    })
+    .unwrap();
+    // Client-side partitioning: give each instance half the working set and
+    // half the request volume, concurrently.
+    let per_instance_spec = WorkloadSpec {
+        working_set_bytes: 32 * 1024,
+        capacity_bytes: 32 * 1024,
+        operations: 8_000,
+        insert_ratio: 0.3,
+        prefill: false,
+        ..Default::default()
+    };
+    let addrs = cluster.addrs();
+    let totals: Vec<_> = std::thread::scope(|scope| {
+        addrs
+            .iter()
+            .map(|addr| {
+                let addr = *addr;
+                scope.spawn(move || {
+                    run_tcp_load(
+                        &per_instance_spec,
+                        &TcpLoadOptions {
+                            addr,
+                            threads: 1,
+                            connections_per_thread: 2,
+                            pipeline: 32,
+                        },
+                    )
+                    .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let total_ops: u64 = totals.iter().map(|r| r.operations).sum();
+    assert_eq!(total_ops, 16_000);
+    assert!(cluster.metrics().requests() >= total_ops);
+    assert!(cluster.total_elements() > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn all_three_servers_agree_on_protocol_semantics() {
+    // Insert a known key into each server and read it back through the same
+    // wire protocol; a miss must come back as an empty frame.
+    use bytes::BytesMut;
+    use cphash_suite::kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn roundtrip(addr: std::net::SocketAddr) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        let mut wire = BytesMut::new();
+        encode_insert(&mut wire, 77, b"same value everywhere");
+        encode_lookup(&mut wire, 77);
+        encode_lookup(&mut wire, 78);
+        stream.write_all(&wire).unwrap();
+        let mut responses = Vec::new();
+        let mut buf = [0u8; 4096];
+        while responses.len() < 2 {
+            if let Some(r) = decoder.next_response().unwrap() {
+                responses.push(r);
+                continue;
+            }
+            match stream.read(&mut buf) {
+                Ok(n) if n > 0 => decoder.feed(&buf[..n]),
+                Ok(_) => panic!("connection closed early"),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        assert_eq!(responses[0].value.as_deref(), Some(&b"same value everywhere"[..]));
+        assert_eq!(responses[1].value, None);
+    }
+
+    let mut cpserver = CpServer::start(CpServerConfig::default()).unwrap();
+    roundtrip(cpserver.addr());
+    cpserver.shutdown();
+
+    let mut lockserver = LockServer::start(LockServerConfig::default()).unwrap();
+    roundtrip(lockserver.addr());
+    lockserver.shutdown();
+
+    let mut cluster = MemcacheCluster::start(MemcacheConfig {
+        instances: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    roundtrip(cluster.addrs()[0]);
+    cluster.shutdown();
+}
