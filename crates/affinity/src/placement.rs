@@ -355,10 +355,7 @@ mod tests {
         assert_eq!(paired_all.server_count(), 80);
         assert_eq!(paired_all.client_count(), 80);
         let paired_one = PlacementPlan::smt_config(&topo, SmtConfig::OneThreadPerCore, true);
-        assert_eq!(
-            paired_one.server_count() + paired_one.client_count(),
-            80
-        );
+        assert_eq!(paired_one.server_count() + paired_one.client_count(), 80);
     }
 
     #[test]

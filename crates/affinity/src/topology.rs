@@ -119,7 +119,7 @@ impl Topology {
         }
         let sockets = packages.len();
         let total_cores = cores.len();
-        if total_cores % sockets != 0 || hw_threads % total_cores != 0 {
+        if !total_cores.is_multiple_of(sockets) || !hw_threads.is_multiple_of(total_cores) {
             // Asymmetric machine (e.g. some cores offline); use the flat
             // fallback rather than a wrong rectangular model.
             return None;

@@ -13,7 +13,8 @@ pub const MIN_CLASS_BYTES: usize = 8;
 pub const MAX_CLASS_BYTES: usize = 1 << 20;
 
 /// Number of slab size classes (8, 16, 32, …, 1 MiB).
-pub const NUM_CLASSES: usize = (MAX_CLASS_BYTES.trailing_zeros() - MIN_CLASS_BYTES.trailing_zeros()) as usize + 1;
+pub const NUM_CLASSES: usize =
+    (MAX_CLASS_BYTES.trailing_zeros() - MIN_CLASS_BYTES.trailing_zeros()) as usize + 1;
 
 /// Index of a size class. `SizeClass(NUM_CLASSES)` is used internally to tag
 /// huge allocations.
@@ -55,7 +56,10 @@ pub fn class_for_size(size: usize) -> SizeClass {
 /// must track it themselves; this function panics to catch misuse.
 #[inline]
 pub fn class_size(class: SizeClass) -> usize {
-    assert!(!class.is_huge(), "huge allocations have no fixed class size");
+    assert!(
+        !class.is_huge(),
+        "huge allocations have no fixed class size"
+    );
     MIN_CLASS_BYTES << class.0
 }
 

@@ -129,7 +129,11 @@ impl ValueHandle {
         // SAFETY: contract forwarded to the caller; regions cannot overlap
         // because `data` is a safe Rust slice distinct from this raw block.
         unsafe {
-            core::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.as_ptr(), data.len().min(self.len));
+            core::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                self.ptr.as_ptr(),
+                data.len().min(self.len),
+            );
         }
     }
 }
@@ -215,7 +219,11 @@ impl SlabAllocator {
     /// exactly the eviction loop of the paper's INSERT path.
     pub fn allocate(&mut self, size: usize) -> Option<ValueHandle> {
         let class = class_for_size(size);
-        let block_bytes = if class.is_huge() { size } else { class_size(class) };
+        let block_bytes = if class.is_huge() {
+            size
+        } else {
+            class_size(class)
+        };
         if let Some(cap) = self.config.capacity_bytes {
             if self.stats.bytes_in_use + block_bytes > cap {
                 self.stats.capacity_refusals += 1;
@@ -279,8 +287,8 @@ impl SlabAllocator {
         let block = class_size(class);
         let chunk_bytes = self.config.chunk_bytes.max(block);
         let blocks = chunk_bytes / block;
-        let layout = Layout::from_size_align(blocks * block, BLOCK_ALIGN)
-            .expect("chunk layout is valid");
+        let layout =
+            Layout::from_size_align(blocks * block, BLOCK_ALIGN).expect("chunk layout is valid");
         // SAFETY: layout has non-zero size (block >= 8, blocks >= 1).
         let base = unsafe { alloc(layout) };
         let Some(base) = NonNull::new(base) else {
@@ -290,7 +298,8 @@ impl SlabAllocator {
         for i in 0..blocks {
             // SAFETY: i * block stays inside the freshly allocated chunk.
             let ptr = unsafe { base.as_ptr().add(i * block) };
-            self.free_lists[class.0].push(NonNull::new(ptr).expect("offset of non-null is non-null"));
+            self.free_lists[class.0]
+                .push(NonNull::new(ptr).expect("offset of non-null is non-null"));
         }
         self.chunks.push(Chunk { ptr: base, layout });
     }

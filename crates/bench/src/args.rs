@@ -90,12 +90,24 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert!(!a.quick);
         assert_eq!(a.ops_or(1000), 1000);
-        let a = parse(&["--quick", "--ops", "500", "--threads", "4", "--csv", "/tmp/x.csv"]).unwrap();
+        let a = parse(&[
+            "--quick",
+            "--ops",
+            "500",
+            "--threads",
+            "4",
+            "--csv",
+            "/tmp/x.csv",
+        ])
+        .unwrap();
         assert!(a.quick);
         assert_eq!(a.ops, Some(500));
         assert_eq!(a.ops_or(1_000_000), 500);
         assert_eq!(a.threads, Some(4));
-        assert_eq!(a.csv_path.as_deref(), Some(std::path::Path::new("/tmp/x.csv")));
+        assert_eq!(
+            a.csv_path.as_deref(),
+            Some(std::path::Path::new("/tmp/x.csv"))
+        );
     }
 
     #[test]

@@ -17,9 +17,16 @@ fn main() {
 
     // Headline comparison at the 1 MB point (the Figure 6/7 configuration).
     if let (Some(cp), Some(lh)) = (
-        report.series_named("CPHash").and_then(|s| s.y_at(1_048_576.0)),
-        report.series_named("LockHash").and_then(|s| s.y_at(1_048_576.0)),
+        report
+            .series_named("CPHash")
+            .and_then(|s| s.y_at(1_048_576.0)),
+        report
+            .series_named("LockHash")
+            .and_then(|s| s.y_at(1_048_576.0)),
     ) {
-        println!("1 MB working set: {}", paper::verdict_fig5(cp / lh.max(1.0)));
+        println!(
+            "1 MB working set: {}",
+            paper::verdict_fig5(cp / lh.max(1.0))
+        );
     }
 }

@@ -9,7 +9,9 @@ use cphash::EvictionPolicy;
 use cphash_affinity::HwThreadId;
 use cphash_cachesim::opmodel::{simulate_cphash, simulate_lockhash, OpModelParams};
 use cphash_cachesim::{AccessTag, CostModel};
-use cphash_kvserver::{CpServer, CpServerConfig, LockServer, LockServerConfig, MemcacheCluster, MemcacheConfig};
+use cphash_kvserver::{
+    CpServer, CpServerConfig, LockServer, LockServerConfig, MemcacheCluster, MemcacheConfig,
+};
 use cphash_loadgen::tcp::{run_tcp_load, TcpLoadOptions};
 use cphash_loadgen::{run_cphash, run_lockhash, DriverOptions, WorkloadSpec};
 use cphash_perfmon::{FigureReport, Stopwatch};
@@ -95,7 +97,10 @@ pub fn capacity_sweep(scale: &MachineScale, ops_per_point: u64, quick: bool) -> 
         &[0.125, 0.25, 0.5, 0.75, 1.0]
     };
     let mut report = FigureReport::new(
-        format!("Figure 9: throughput vs hash table capacity ({} MB working set)", ws >> 20),
+        format!(
+            "Figure 9: throughput vs hash table capacity ({} MB working set)",
+            ws >> 20
+        ),
         "capacity_bytes",
         "queries/second",
     );
@@ -135,7 +140,10 @@ pub fn insert_ratio_sweep(scale: &MachineScale, ops_per_point: u64, quick: bool)
         &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
     };
     let mut report = FigureReport::new(
-        format!("Figure 10: throughput vs INSERT fraction ({} MB working set)", ws >> 20),
+        format!(
+            "Figure 10: throughput vs INSERT fraction ({} MB working set)",
+            ws >> 20
+        ),
         "insert_fraction",
         "queries/second",
     );
@@ -233,14 +241,20 @@ pub fn smt_configurations(scale: &MachineScale, ops_per_point: u64) -> FigureRep
     let half_pairs = (scale.pairs / 2).max(1);
 
     // Config 0: both "SMT siblings" of every core slot (the default).
-    let config0 = (cphash_options(scale), lockhash_options(scale), full_pairs * 2);
+    let config0 = (
+        cphash_options(scale),
+        lockhash_options(scale),
+        full_pairs * 2,
+    );
     // Config 1: one hardware thread per core slot — half the threads, spread
     // out over the same range of CPUs (even CPU ids).
     let mut cp1 = DriverOptions::new(half_pairs, half_pairs);
     let mut lh1 = DriverOptions::new(half_pairs * 2, scale.lockhash_partitions);
     if scale.hw_threads >= full_pairs * 2 {
         cp1.client_pins = (0..half_pairs).map(|i| HwThreadId(i * 2)).collect();
-        cp1.server_pins = (0..half_pairs).map(|i| HwThreadId(i * 2 + full_pairs)).collect();
+        cp1.server_pins = (0..half_pairs)
+            .map(|i| HwThreadId(i * 2 + full_pairs))
+            .collect();
         lh1.client_pins = (0..half_pairs * 2).map(|i| HwThreadId(i * 2)).collect();
     }
     let config1 = (cp1, lh1, full_pairs);
@@ -305,7 +319,10 @@ pub fn breakdown_tables(scale: &MachineScale, operations: u64) -> String {
     ));
     out.push_str(&format!(
         "{:<22} {:>14.0} {:>14.0} {:>14.0}\n",
-        "cycles/op (model)", cp_client_est.cycles_per_op, cp_server_est.cycles_per_op, lh_est.cycles_per_op
+        "cycles/op (model)",
+        cp_client_est.cycles_per_op,
+        cp_server_est.cycles_per_op,
+        lh_est.cycles_per_op
     ));
     out.push_str(&format!(
         "{:<22} {:>14.0} {:>14.0} {:>14.0}\n",
@@ -323,7 +340,10 @@ pub fn breakdown_tables(scale: &MachineScale, operations: u64) -> String {
     ));
     out.push_str(&format!(
         "{:<22} {:>14.2} {:>14.2} {:>14.2}\n",
-        "L2 misses/op (paper)", paper::fig6::L2_MISSES.0, paper::fig6::L2_MISSES.1, paper::fig6::L2_MISSES.2
+        "L2 misses/op (paper)",
+        paper::fig6::L2_MISSES.0,
+        paper::fig6::L2_MISSES.1,
+        paper::fig6::L2_MISSES.2
     ));
     out.push_str(&format!(
         "{:<22} {:>14.2} {:>14.2} {:>14.2}\n",
@@ -334,7 +354,10 @@ pub fn breakdown_tables(scale: &MachineScale, operations: u64) -> String {
     ));
     out.push_str(&format!(
         "{:<22} {:>14.2} {:>14.2} {:>14.2}\n",
-        "L3 misses/op (paper)", paper::fig6::L3_MISSES.0, paper::fig6::L3_MISSES.1, paper::fig6::L3_MISSES.2
+        "L3 misses/op (paper)",
+        paper::fig6::L3_MISSES.0,
+        paper::fig6::L3_MISSES.1,
+        paper::fig6::L3_MISSES.2
     ));
     out.push_str(&format!(
         "{:<22} {:>14.0} {:>29.0}\n",
@@ -342,7 +365,9 @@ pub fn breakdown_tables(scale: &MachineScale, operations: u64) -> String {
     ));
     out.push_str(&format!(
         "{:<22} {:>14.0} {:>29.0}\n\n",
-        "L3 miss cost (paper)", paper::fig6::L3_COST.0, paper::fig6::L3_COST.1
+        "L3 miss cost (paper)",
+        paper::fig6::L3_COST.0,
+        paper::fig6::L3_COST.1
     ));
 
     out.push_str("Figure 7: per-function cache-miss breakdown (model)\n\n");
@@ -388,7 +413,11 @@ pub fn breakdown_tables(scale: &MachineScale, operations: u64) -> String {
 
 /// Figure 13: CPSERVER vs LOCKSERVER throughput over working-set sizes,
 /// driven over loopback TCP.
-pub fn server_working_set_sweep(scale: &MachineScale, ops_per_point: u64, quick: bool) -> FigureReport {
+pub fn server_working_set_sweep(
+    scale: &MachineScale,
+    ops_per_point: u64,
+    quick: bool,
+) -> FigureReport {
     let mut report = FigureReport::new(
         "Figure 13: key/value server throughput vs working set size (TCP)",
         "working_set_bytes",

@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod figures;
+pub mod live;
 pub mod paper;
 pub mod scale;
 

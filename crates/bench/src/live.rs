@@ -1,0 +1,284 @@
+//! Live-repartitioning ablations: what does an online grow/shrink cost
+//! while traffic keeps flowing, and how does the dynamic server-load
+//! controller steer a live table?
+//!
+//! Two harnesses, both built on a shared pipelined mixed-load driver:
+//!
+//! * [`live_repartition_ablation`] — measure throughput before, during and
+//!   after a live 2→4 grow, against a statically 4-partitioned table as the
+//!   baseline (`ablate_live_repartition`).
+//! * [`dynamic_servers_live`] — a closed loop: run a load phase, feed the
+//!   measured server utilization to `ServerLoadController`, apply its
+//!   recommendation with the `RepartitionCoordinator`, repeat
+//!   (`ablate_dynamic_servers`).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use cphash::{ClientHandle, CpHash, CpHashConfig, ServerLoadController};
+use cphash_migrate::RepartitionCoordinator;
+use cphash_perfmon::FigureReport;
+
+use crate::scale::MachineScale;
+
+/// Pipelined-window size per worker; modest so single-CPU hosts interleave
+/// client and server work smoothly.
+const WINDOW: usize = 64;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// One worker's share of a mixed 90/10 lookup/insert phase.
+fn mixed_load_worker(client: &mut ClientHandle, keys: u64, ops: u64, seed: u64) {
+    let mut completions = Vec::with_capacity(WINDOW * 2);
+    let mut state = seed | 1;
+    for _ in 0..ops {
+        let r = xorshift(&mut state);
+        let key = (r >> 8) % keys;
+        if r.is_multiple_of(10) {
+            client.submit_insert(key, &key.to_le_bytes());
+        } else {
+            client.submit_lookup(key);
+        }
+        while client.outstanding() >= WINDOW {
+            completions.clear();
+            if client.poll(&mut completions) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+    completions.clear();
+    let _ = client.drain(&mut completions);
+}
+
+/// Run one timed phase across all clients; returns the clients and the
+/// aggregate throughput in operations/second.
+fn timed_phase(
+    clients: Vec<ClientHandle>,
+    keys: u64,
+    total_ops: u64,
+    phase_seed: u64,
+) -> (Vec<ClientHandle>, f64) {
+    let workers = clients.len().max(1) as u64;
+    let ops_each = total_ops / workers;
+    let barrier = Arc::new(Barrier::new(clients.len() + 1));
+    let handles: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut client)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                mixed_load_worker(&mut client, keys, ops_each, phase_seed ^ ((i as u64) << 32));
+                client
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let clients: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (clients, (ops_each * workers) as f64 / elapsed)
+}
+
+/// Fill the table with the working set.
+fn preload(client: &mut ClientHandle, keys: u64) {
+    let mut completions = Vec::with_capacity(WINDOW * 2);
+    for key in 0..keys {
+        client.submit_insert(key, &key.to_le_bytes());
+        while client.outstanding() >= WINDOW {
+            completions.clear();
+            if client.poll(&mut completions) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+    completions.clear();
+    client.drain(&mut completions).expect("preload");
+}
+
+/// Ablation: throughput before / during / after a live 2→4 repartition,
+/// with a statically 4-partitioned table as the reference.
+pub fn live_repartition_ablation(scale: &MachineScale, ops_per_phase: u64) -> FigureReport {
+    let clients = scale.pairs.clamp(1, 4);
+    let keys: u64 = 10_000;
+    let mut report = FigureReport::new(
+        "Ablation: live 2→4 repartition under load vs a static 4-partition table",
+        "phase (0=before, 1=during migration, 2=after)",
+        "operations/second",
+    );
+
+    // Elastic table: starts at 2 partitions, can grow to 4.
+    let (_table, mut handles) = CpHash::new(CpHashConfig::new(2, clients).with_max_partitions(4));
+    let mut coordinator =
+        RepartitionCoordinator::new(_table.take_control().expect("control handle"));
+    preload(&mut handles[0], keys);
+
+    let (handles, before) = timed_phase(handles, keys, ops_per_phase, 0xA11CE);
+
+    // Phase 1: the coordinator migrates concurrently with the load.
+    let resizer = std::thread::spawn(move || {
+        let report = coordinator.resize_to(4).expect("live grow");
+        (coordinator, report)
+    });
+    let (handles, during) = timed_phase(handles, keys, ops_per_phase, 0xB0B);
+    let (_coordinator, migration) = resizer.join().expect("resizer thread");
+
+    let (handles, after) = timed_phase(handles, keys, ops_per_phase, 0xC0FFEE);
+    let redirected: u64 = handles.iter().map(|h| h.migration_retries()).sum();
+    drop(handles);
+
+    // Reference: the same load on a table that was born with 4 partitions.
+    let (_static_table, mut static_handles) = CpHash::new(CpHashConfig::new(4, clients));
+    preload(&mut static_handles[0], keys);
+    let (static_handles, static_qps) = timed_phase(static_handles, keys, ops_per_phase, 0xA11CE);
+    drop(static_handles);
+
+    eprintln!("  {migration}");
+    eprintln!(
+        "  before {before:>12.0} op/s   during {during:>12.0} op/s ({:+.1}% dip)   after {after:>12.0} op/s",
+        (during / before.max(1e-9) - 1.0) * 100.0
+    );
+    eprintln!(
+        "  static 4-partition table {static_qps:>12.0} op/s — post-migration table at {:.1}% of static ({redirected} redirected ops)",
+        after / static_qps.max(1e-9) * 100.0
+    );
+
+    let s = report.add_series("elastic (2→4 mid-run)");
+    s.push(0.0, before);
+    s.push(1.0, during);
+    s.push(2.0, after);
+    let s = report.add_series("static 4 partitions");
+    s.push(0.0, static_qps);
+    s.push(2.0, static_qps);
+    report
+}
+
+/// Closed-loop ablation: measured utilization → controller recommendation →
+/// live resize, repeated for a few phases (§8.1's future work, actuated).
+pub fn dynamic_servers_live(scale: &MachineScale, ops_per_phase: u64) -> FigureReport {
+    let max_partitions = (scale.pairs.max(1) * 2).clamp(2, 8);
+    let clients = scale.pairs.clamp(1, 4);
+    let keys: u64 = 10_000;
+    let controller = ServerLoadController {
+        max_servers: max_partitions,
+        ..Default::default()
+    };
+    let mut report = FigureReport::new(
+        "Ablation: dynamic server count — controller recommendations applied live (§8.1)",
+        "phase",
+        "operations/second",
+    );
+
+    // Start deliberately over-provisioned: on a lightly loaded host the
+    // controller walks the server count down live; under saturating load it
+    // holds or grows it. Either way the actuation path is exercised.
+    let (table, mut handles) =
+        CpHash::new(CpHashConfig::new(max_partitions, clients).with_max_partitions(max_partitions));
+    let mut coordinator =
+        RepartitionCoordinator::new(table.take_control().expect("control handle"));
+    preload(&mut handles[0], keys);
+
+    let mut throughput_series = Vec::new();
+    let mut servers_series = Vec::new();
+    let mut utilization_series = Vec::new();
+    let mut handles = handles;
+    for phase in 0..6u32 {
+        let busy_idle_before = cumulative_busy_idle(&table);
+        let (returned, qps) = timed_phase(handles, keys, ops_per_phase, 0xD1CE ^ phase as u64);
+        handles = returned;
+        let (busy, idle) = {
+            let (b1, i1) = cumulative_busy_idle(&table);
+            (b1 - busy_idle_before.0, i1 - busy_idle_before.1)
+        };
+        let utilization = if busy + idle == 0 {
+            0.0
+        } else {
+            busy as f64 / (busy + idle) as f64
+        };
+        let active = table.partitions();
+        let recommendation = controller.recommend_for_utilization(utilization, active);
+        eprintln!(
+            "  phase {phase}: servers={active:>2}  {qps:>12.0} op/s  utilization {:>5.1}%  controller: {recommendation:?}",
+            utilization * 100.0
+        );
+        throughput_series.push((phase as f64, qps));
+        servers_series.push((phase as f64, active as f64));
+        utilization_series.push((phase as f64, utilization));
+        match coordinator.apply(recommendation) {
+            Ok(Some(migration)) => eprintln!("    applied live: {migration}"),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("    resize failed: {e}");
+                break;
+            }
+        }
+    }
+    drop(handles);
+
+    let s = report.add_series("throughput");
+    for (x, y) in throughput_series {
+        s.push(x, y);
+    }
+    let s = report.add_series("server_threads");
+    for (x, y) in servers_series {
+        s.push(x, y);
+    }
+    let s = report.add_series("utilization");
+    for (x, y) in utilization_series {
+        s.push(x, y);
+    }
+    report
+}
+
+/// Sum of (busy, idle) loop iterations over the currently active servers.
+fn cumulative_busy_idle(table: &CpHash) -> (u64, u64) {
+    use core::sync::atomic::Ordering;
+    let active = table.partitions().min(table.server_stats().len());
+    table.server_stats()[..active]
+        .iter()
+        .fold((0, 0), |(b, i), s| {
+            (
+                b + s.busy_iterations.load(Ordering::Relaxed),
+                i + s.idle_iterations.load(Ordering::Relaxed),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cphash_affinity::Topology;
+
+    fn tiny_scale() -> MachineScale {
+        MachineScale::for_hw_threads(Topology::single_socket(2, 2), Some(2))
+    }
+
+    #[test]
+    fn live_repartition_ablation_produces_both_series() {
+        let report = live_repartition_ablation(&tiny_scale(), 4_000);
+        let elastic = report
+            .series_named("elastic (2→4 mid-run)")
+            .expect("series");
+        assert_eq!(elastic.points.len(), 3);
+        assert!(elastic.points.iter().all(|p| p.y > 0.0));
+        assert!(report.series_named("static 4 partitions").is_some());
+    }
+
+    #[test]
+    fn dynamic_servers_live_runs_the_control_loop() {
+        let report = dynamic_servers_live(&tiny_scale(), 2_000);
+        let servers = report.series_named("server_threads").expect("series");
+        assert!(!servers.points.is_empty());
+        assert!(servers.points.iter().all(|p| p.y >= 1.0));
+        assert!(report.series_named("throughput").is_some());
+        assert!(report.series_named("utilization").is_some());
+    }
+}

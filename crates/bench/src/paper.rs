@@ -70,6 +70,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_sane() {
         assert!(FIG5_SPEEDUP_RANGE.0 < FIG5_SPEEDUP_RANGE.1);
         assert!(fig6::LOCKHASH_CYCLES > fig6::CPHASH_CLIENT_CYCLES);

@@ -59,14 +59,7 @@ impl MachineScale {
         if quick {
             vec![64 << 10, 1 << 20, 8 << 20]
         } else {
-            vec![
-                64 << 10,
-                256 << 10,
-                1 << 20,
-                4 << 20,
-                16 << 20,
-                64 << 20,
-            ]
+            vec![64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20]
         }
     }
 

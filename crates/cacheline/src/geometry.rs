@@ -88,7 +88,7 @@ pub const fn offset_in_line(addr: u64) -> usize {
 /// Returns `true` when `addr` is the first byte of a cache line.
 #[inline]
 pub const fn is_line_start(addr: u64) -> bool {
-    addr % CACHE_LINE_SIZE as u64 == 0
+    addr.is_multiple_of(CACHE_LINE_SIZE as u64)
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ pub const fn lines_for_bytes(n: usize) -> usize {
 /// Returns `true` if `n` is a multiple of the cache-line size.
 #[inline]
 pub const fn is_line_multiple(n: usize) -> bool {
-    n % CACHE_LINE_SIZE == 0
+    n.is_multiple_of(CACHE_LINE_SIZE)
 }
 
 #[cfg(test)]

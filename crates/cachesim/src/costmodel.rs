@@ -95,14 +95,15 @@ impl CostModel {
 
     /// Average cost of an L3-class miss under the given off-socket load.
     pub fn l3_miss_cost(&self, counts: &MissCounts, offsocket_load: f64) -> f64 {
-        let queueing = self.contention_coefficient * offsocket_load.max(0.0).powf(self.contention_exponent);
+        let queueing =
+            self.contention_coefficient * offsocket_load.max(0.0).powf(self.contention_exponent);
         if counts.l3_misses == 0 {
             return self.dram_cycles + queueing;
         }
         let dram = counts.l3_from_dram as f64;
         let remote = (counts.l3_misses - counts.l3_from_dram) as f64;
-        let base =
-            (dram * self.dram_cycles + remote * self.remote_socket_cycles) / counts.l3_misses as f64;
+        let base = (dram * self.dram_cycles + remote * self.remote_socket_cycles)
+            / counts.l3_misses as f64;
         base + queueing
     }
 
@@ -169,10 +170,18 @@ mod tests {
         let lockhash = counts(2, 2, 5, 3, ops); // ≈2.4 L2, ≈4.6 L3
         let cp = m.estimate(&cphash_client, ops, 160);
         let lh = m.estimate(&lockhash, ops, 160);
-        assert!(lh.cycles_per_op > 2.0 * cp.cycles_per_op,
-            "lockhash {:.0} vs cphash {:.0}", lh.cycles_per_op, cp.cycles_per_op);
-        assert!(lh.l3_miss_cost > 1.8 * cp.l3_miss_cost,
-            "lockhash l3 cost {:.0} vs cphash {:.0}", lh.l3_miss_cost, cp.l3_miss_cost);
+        assert!(
+            lh.cycles_per_op > 2.0 * cp.cycles_per_op,
+            "lockhash {:.0} vs cphash {:.0}",
+            lh.cycles_per_op,
+            cp.cycles_per_op
+        );
+        assert!(
+            lh.l3_miss_cost > 1.8 * cp.l3_miss_cost,
+            "lockhash l3 cost {:.0} vs cphash {:.0}",
+            lh.l3_miss_cost,
+            cp.l3_miss_cost
+        );
         // And the absolute regime is right: hundreds-to-thousands of cycles.
         assert!(cp.cycles_per_op > 400.0 && cp.cycles_per_op < 2500.0);
         assert!(lh.cycles_per_op > 1500.0 && lh.cycles_per_op < 10000.0);

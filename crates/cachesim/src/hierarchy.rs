@@ -52,12 +52,18 @@ pub enum AccessOutcome {
 impl AccessOutcome {
     /// Is this one of the paper's "L2 miss" events?
     pub fn is_l2_miss(self) -> bool {
-        matches!(self, AccessOutcome::L2MissSharedL3 | AccessOutcome::L2MissPeerCache)
+        matches!(
+            self,
+            AccessOutcome::L2MissSharedL3 | AccessOutcome::L2MissPeerCache
+        )
     }
 
     /// Is this one of the paper's "L3 miss" events?
     pub fn is_l3_miss(self) -> bool {
-        matches!(self, AccessOutcome::L3MissRemoteSocket | AccessOutcome::L3MissDram)
+        matches!(
+            self,
+            AccessOutcome::L3MissRemoteSocket | AccessOutcome::L3MissDram
+        )
     }
 }
 
@@ -77,7 +83,10 @@ impl CacheHierarchy {
     /// Build an empty (cold) hierarchy for the given configuration.
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.hw_threads > 0, "need at least one hardware thread");
-        assert!(config.threads_per_socket > 0, "need at least one thread per socket");
+        assert!(
+            config.threads_per_socket > 0,
+            "need at least one thread per socket"
+        );
         let private = (0..config.hw_threads)
             .map(|_| LruSet::new(config.private_lines()))
             .collect();
@@ -330,8 +339,14 @@ mod tests {
     #[test]
     fn cold_read_is_a_dram_miss_then_a_hit() {
         let mut h = tiny();
-        assert_eq!(h.access_line(0, line(10), AccessKind::Read), AccessOutcome::L3MissDram);
-        assert_eq!(h.access_line(0, line(10), AccessKind::Read), AccessOutcome::PrivateHit);
+        assert_eq!(
+            h.access_line(0, line(10), AccessKind::Read),
+            AccessOutcome::L3MissDram
+        );
+        assert_eq!(
+            h.access_line(0, line(10), AccessKind::Read),
+            AccessOutcome::PrivateHit
+        );
         assert_eq!(h.total_accesses(), 2);
     }
 
@@ -374,7 +389,10 @@ mod tests {
         h.access_line(1, line(3), AccessKind::Read);
         // Thread 1 writes: thread 0 loses its copy.
         let w = h.access_line(1, line(3), AccessKind::Write);
-        assert!(w.is_l2_miss(), "upgrade over a shared line costs coherence traffic");
+        assert!(
+            w.is_l2_miss(),
+            "upgrade over a shared line costs coherence traffic"
+        );
         // Thread 0's next read must go back to the socket (peer or L3).
         let r = h.access_line(0, line(3), AccessKind::Read);
         assert!(r.is_l2_miss(), "outcome = {r:?}");
@@ -384,8 +402,14 @@ mod tests {
     fn exclusive_write_after_private_fill_is_a_hit() {
         let mut h = tiny();
         h.access_line(2, line(9), AccessKind::Write);
-        assert_eq!(h.access_line(2, line(9), AccessKind::Write), AccessOutcome::PrivateHit);
-        assert_eq!(h.access_line(2, line(9), AccessKind::Read), AccessOutcome::PrivateHit);
+        assert_eq!(
+            h.access_line(2, line(9), AccessKind::Write),
+            AccessOutcome::PrivateHit
+        );
+        assert_eq!(
+            h.access_line(2, line(9), AccessKind::Read),
+            AccessOutcome::PrivateHit
+        );
     }
 
     #[test]
@@ -423,7 +447,10 @@ mod tests {
         let mut h = tiny();
         h.warm(0, 0, 4096);
         assert_eq!(h.total_accesses(), 0);
-        assert_eq!(h.access_line(0, line(0), AccessKind::Read), AccessOutcome::PrivateHit);
+        assert_eq!(
+            h.access_line(0, line(0), AccessKind::Read),
+            AccessOutcome::PrivateHit
+        );
     }
 
     #[test]
@@ -432,7 +459,14 @@ mod tests {
         let mut b = Breakdown::new();
         b.operations = 1;
         // A 128-byte object touches two lines, both cold.
-        h.access(0, 0, 128, AccessKind::Read, AccessTag::HashTraversal, &mut b);
+        h.access(
+            0,
+            0,
+            128,
+            AccessKind::Read,
+            AccessTag::HashTraversal,
+            &mut b,
+        );
         let row = b.row(AccessTag::HashTraversal);
         assert_eq!(row.accesses, 2);
         assert_eq!(row.l3_misses, 2);
@@ -445,7 +479,10 @@ mod tests {
         let mut h = tiny();
         h.access_line(0, line(5), AccessKind::Read);
         h.flush_all();
-        assert_eq!(h.access_line(0, line(5), AccessKind::Read), AccessOutcome::L3MissDram);
+        assert_eq!(
+            h.access_line(0, line(5), AccessKind::Read),
+            AccessOutcome::L3MissDram
+        );
     }
 
     #[test]

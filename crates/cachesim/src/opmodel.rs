@@ -493,7 +493,11 @@ pub fn simulate_cphash(params: &OpModelParams) -> CpHashModelOutput {
                 sthread,
                 key_addr_header(op.key),
                 CACHE_LINE_SIZE,
-                if op.is_insert { AccessKind::Write } else { AccessKind::Read },
+                if op.is_insert {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 AccessTag::ExecuteMessage,
                 &mut server_bd,
             );
@@ -556,7 +560,11 @@ pub fn simulate_cphash(params: &OpModelParams) -> CpHashModelOutput {
                 op.client,
                 key_addr_value(op.key, params.value_bytes),
                 params.value_bytes,
-                if op.is_insert { AccessKind::Write } else { AccessKind::Read },
+                if op.is_insert {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 AccessTag::AccessData,
                 &mut client_bd,
             );
@@ -650,10 +658,18 @@ mod tests {
     fn cphash_breakdowns_have_the_expected_rows() {
         let out = simulate_cphash(&small_params());
         assert_eq!(out.client.operations, 20_000);
-        for tag in [AccessTag::SendMessage, AccessTag::ReceiveResponse, AccessTag::AccessData] {
+        for tag in [
+            AccessTag::SendMessage,
+            AccessTag::ReceiveResponse,
+            AccessTag::AccessData,
+        ] {
             assert!(out.client.row(tag).accesses > 0, "client missing {tag:?}");
         }
-        for tag in [AccessTag::ReceiveMessage, AccessTag::ExecuteMessage, AccessTag::SendResponse] {
+        for tag in [
+            AccessTag::ReceiveMessage,
+            AccessTag::ExecuteMessage,
+            AccessTag::SendResponse,
+        ] {
             assert!(out.server.row(tag).accesses > 0, "server missing {tag:?}");
         }
         // The client never touches partition metadata, and the server never

@@ -115,6 +115,8 @@ fn cost_model_scales_miss_cost_with_offsocket_load() {
     let lock_est = cost.estimate(&lock.total(), lock.operations, 32);
     let cp_est = cost.estimate(&cp.client.total(), cp.client.operations, 16);
     assert!(lock_est.cycles_per_op > cp_est.cycles_per_op);
-    assert!(lock_est.l3_miss_cost > cp_est.l3_miss_cost,
-        "LockHash's heavier off-socket traffic must make each of its misses dearer");
+    assert!(
+        lock_est.l3_miss_cost > cp_est.l3_miss_cost,
+        "LockHash's heavier off-socket traffic must make each of its misses dearer"
+    );
 }

@@ -533,7 +533,9 @@ mod tests {
             a: [u64; 6],
         }
         let (mut tx, mut rx) = ring::<Big>(RingConfig::with_capacity(8));
-        let msg = Big { a: [1, 2, 3, 4, 5, 6] };
+        let msg = Big {
+            a: [1, 2, 3, 4, 5, 6],
+        };
         tx.try_push(msg).unwrap();
         tx.flush();
         assert_eq!(rx.try_pop(), Some(msg));

@@ -118,7 +118,7 @@ fn cross_thread_fuzz_with_bursty_producer() {
             }
             tx.flush();
             burst = (burst * 7 + 3) % 61 + 1;
-            if burst % 9 == 0 {
+            if burst.is_multiple_of(9) {
                 std::thread::yield_now();
             }
         }

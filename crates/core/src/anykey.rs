@@ -50,13 +50,15 @@ impl<'a> AnyKeyClient<'a> {
         let Some(stored) = self.client.get(Self::hash_key(key))? else {
             return Ok(None);
         };
-        Ok(decode_envelope(stored.as_slice()).and_then(|(stored_key, value)| {
-            if stored_key == key {
-                Some(value.to_vec())
-            } else {
-                None
-            }
-        }))
+        Ok(
+            decode_envelope(stored.as_slice()).and_then(|(stored_key, value)| {
+                if stored_key == key {
+                    Some(value.to_vec())
+                } else {
+                    None
+                }
+            }),
+        )
     }
 
     /// Remove a byte-string `key`. Returns whether the hash key was present
@@ -96,7 +98,10 @@ mod tests {
     #[test]
     fn envelope_round_trips() {
         let e = encode_envelope(b"key", b"value bytes");
-        assert_eq!(decode_envelope(&e), Some((&b"key"[..], &b"value bytes"[..])));
+        assert_eq!(
+            decode_envelope(&e),
+            Some((&b"key"[..], &b"value bytes"[..]))
+        );
         assert_eq!(decode_envelope(&[1, 2]), None);
         assert_eq!(decode_envelope(&[200, 0, 0, 0, 1]), None);
     }

@@ -19,11 +19,13 @@
 //!   straightforward callers (the quickstart example, tests).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use cphash_channel::DuplexClient;
-use cphash_hashcore::{partition_for_key, MAX_KEY};
+use cphash_hashcore::MAX_KEY;
 
 use crate::protocol::{encode, Request, Response};
+use crate::router::EpochRouter;
 
 /// Upper bound on outstanding response-bearing operations per lane, as a
 /// fraction of the ring capacity.  Keeping this below the response-ring
@@ -127,11 +129,31 @@ pub struct Completion {
     pub kind: CompletionKind,
 }
 
-/// One queued operation awaiting its response (per lane, FIFO).
+/// One queued operation awaiting its response (per lane, FIFO). The key is
+/// kept so a *retry* response (the owning partition changed under live
+/// re-partitioning) can resubmit the operation to its new owner.
 enum Pending {
-    Lookup { token: u64 },
-    Insert { token: u64, value: ValueBytes },
-    Delete { token: u64 },
+    Lookup {
+        token: u64,
+        key: u64,
+    },
+    Insert {
+        token: u64,
+        key: u64,
+        value: ValueBytes,
+    },
+    Delete {
+        token: u64,
+        key: u64,
+    },
+}
+
+/// What applying a response to a pending operation produced.
+enum Applied {
+    /// The operation finished.
+    Done(Completion),
+    /// The key's owner moved; resubmit the operation to partition `dest`.
+    Resubmit { dest: usize, pending: Pending },
 }
 
 /// Per-server communication lane and its bookkeeping.
@@ -160,7 +182,7 @@ impl Lane {
 /// paper's deployment, one per client hardware thread.
 pub struct ClientHandle {
     lanes: Vec<Lane>,
-    partitions: usize,
+    router: Arc<EpochRouter>,
     next_token: u64,
     outstanding: usize,
     max_outstanding_per_lane: usize,
@@ -169,31 +191,46 @@ pub struct ClientHandle {
     stashed: VecDeque<Completion>,
     /// Scratch buffer for draining responses.
     resp_buf: Vec<Response>,
+    /// Operations redirected by retry responses during live
+    /// re-partitioning (diagnostic counter).
+    retries: u64,
 }
 
 impl ClientHandle {
-    pub(crate) fn new(lanes: Vec<DuplexClient<u64, Response>>, ring_capacity: usize) -> Self {
-        let partitions = lanes.len();
+    pub(crate) fn new(
+        lanes: Vec<DuplexClient<u64, Response>>,
+        ring_capacity: usize,
+        router: Arc<EpochRouter>,
+    ) -> Self {
         ClientHandle {
             lanes: lanes.into_iter().map(Lane::new).collect(),
-            partitions,
+            router,
             next_token: 1,
             outstanding: 0,
             max_outstanding_per_lane: (ring_capacity / OUTSTANDING_FRACTION_OF_RING).max(8),
             stashed: VecDeque::new(),
             resp_buf: Vec::with_capacity(256),
+            retries: 0,
         }
     }
 
-    /// Number of partitions (server threads) in the table.
+    /// Number of *active* partitions in the table (the target count while a
+    /// re-partitioning is in flight).
     pub fn partitions(&self) -> usize {
-        self.partitions
+        self.router.active_partitions()
     }
 
-    /// The partition that owns `key` — exposed so applications (CPSERVER)
-    /// can group work by destination server.
+    /// The partition that owns `key` right now — exposed so applications
+    /// (CPSERVER) can group work by destination server. During a live
+    /// re-partitioning the answer follows the shared epoch router.
     pub fn partition_of(&self, key: u64) -> usize {
-        partition_for_key(key & MAX_KEY, self.partitions)
+        self.router.route(key & MAX_KEY)
+    }
+
+    /// Operations that were redirected to another partition by live
+    /// re-partitioning since this handle was created.
+    pub fn migration_retries(&self) -> u64 {
+        self.retries
     }
 
     /// Number of submitted operations whose completion has not yet been
@@ -206,7 +243,7 @@ impl ClientHandle {
     /// calling [`ClientHandle::poll`]; derived from the ring capacity
     /// (the paper uses ~1,000 outstanding requests per client, §6.1).
     pub fn recommended_window(&self) -> usize {
-        self.max_outstanding_per_lane * self.partitions / 2
+        self.max_outstanding_per_lane * self.lanes.len() / 2
     }
 
     // ------------------------------------------------------------------
@@ -220,7 +257,7 @@ impl ClientHandle {
         let lane_idx = self.partition_of(key);
         let (w0, _) = encode(&Request::Lookup { key });
         let lane = &mut self.lanes[lane_idx];
-        lane.pending.push_back(Pending::Lookup { token });
+        lane.pending.push_back(Pending::Lookup { token, key });
         lane.outgoing.push_back(w0);
         self.outstanding += 1;
         self.make_progress_if_backlogged(lane_idx);
@@ -239,10 +276,12 @@ impl ClientHandle {
         let lane = &mut self.lanes[lane_idx];
         lane.pending.push_back(Pending::Insert {
             token,
+            key,
             value: ValueBytes::from_slice(value),
         });
         lane.outgoing.push_back(w0);
-        lane.outgoing.push_back(w1.expect("insert encodes two words"));
+        lane.outgoing
+            .push_back(w1.expect("insert encodes two words"));
         self.outstanding += 1;
         self.make_progress_if_backlogged(lane_idx);
         token
@@ -255,7 +294,7 @@ impl ClientHandle {
         let lane_idx = self.partition_of(key);
         let (w0, _) = encode(&Request::Delete { key });
         let lane = &mut self.lanes[lane_idx];
-        lane.pending.push_back(Pending::Delete { token });
+        lane.pending.push_back(Pending::Delete { token, key });
         lane.outgoing.push_back(w0);
         self.outstanding += 1;
         self.make_progress_if_backlogged(lane_idx);
@@ -272,15 +311,43 @@ impl ClientHandle {
         while let Some(c) = self.stashed.pop_front() {
             out.push(c);
         }
+        let mut resubmissions: Vec<(usize, Pending)> = Vec::new();
         for lane_idx in 0..self.lanes.len() {
             Self::pump_lane(
                 &mut self.lanes[lane_idx],
                 &mut self.resp_buf,
                 &mut self.outstanding,
                 out,
+                &mut resubmissions,
             );
         }
+        // Operations bounced by a mid-migration server: re-encode them onto
+        // the owning partition's lane (they keep their token, so callers
+        // never observe the redirect).
+        for (dest, pending) in resubmissions {
+            self.retries += 1;
+            self.resubmit(dest, pending);
+        }
         out.len() - before
+    }
+
+    /// Queue a bounced operation on its new owner's lane.
+    fn resubmit(&mut self, dest: usize, pending: Pending) {
+        let dest = dest.min(self.lanes.len() - 1);
+        let lane = &mut self.lanes[dest];
+        let (w0, w1) = match &pending {
+            Pending::Lookup { key, .. } => encode(&Request::Lookup { key: *key }),
+            Pending::Insert { key, value, .. } => encode(&Request::Insert {
+                key: *key,
+                size: value.len() as u64,
+            }),
+            Pending::Delete { key, .. } => encode(&Request::Delete { key: *key }),
+        };
+        lane.pending.push_back(pending);
+        lane.outgoing.push_back(w0);
+        if let Some(w1) = w1 {
+            lane.outgoing.push_back(w1);
+        }
     }
 
     /// Publish every queued request to the servers immediately (partial
@@ -297,6 +364,7 @@ impl ClientHandle {
     /// appending completions to `out` (including any completions stashed by
     /// earlier synchronous calls).
     pub fn drain(&mut self, out: &mut Vec<Completion>) -> Result<(), TableError> {
+        let mut idle: u32 = 0;
         loop {
             let produced = self.poll(out);
             if self.outstanding == 0 {
@@ -306,7 +374,15 @@ impl ClientHandle {
                 if self.lanes.iter().any(|l| !l.channel.is_server_alive()) {
                     return Err(TableError::ServerGone);
                 }
-                core::hint::spin_loop();
+                idle = idle.saturating_add(1);
+                if idle > 128 {
+                    // On oversubscribed hosts the server may need our core.
+                    std::thread::yield_now();
+                } else {
+                    core::hint::spin_loop();
+                }
+            } else {
+                idle = 0;
             }
         }
     }
@@ -375,13 +451,19 @@ impl ClientHandle {
             return;
         }
         let mut spill = Vec::new();
+        let mut resubmissions = Vec::new();
         Self::pump_lane(
             &mut self.lanes[lane_idx],
             &mut self.resp_buf,
             &mut self.outstanding,
             &mut spill,
+            &mut resubmissions,
         );
         self.stashed.extend(spill);
+        for (dest, pending) in resubmissions {
+            self.retries += 1;
+            self.resubmit(dest, pending);
+        }
     }
 
     /// Wait (spinning) for a specific token, stashing every other completion
@@ -393,9 +475,10 @@ impl ClientHandle {
             return Ok(self.stashed.remove(pos).expect("position valid").kind);
         }
         let mut buf = Vec::new();
+        let mut idle: u32 = 0;
         loop {
             buf.clear();
-            self.poll(&mut buf);
+            let produced = self.poll(&mut buf);
             let mut found = None;
             for c in buf.drain(..) {
                 if c.token == token {
@@ -410,7 +493,17 @@ impl ClientHandle {
             if self.lanes.iter().any(|l| !l.channel.is_server_alive()) {
                 return Err(TableError::ServerGone);
             }
-            core::hint::spin_loop();
+            if produced == 0 {
+                idle = idle.saturating_add(1);
+                if idle > 128 {
+                    // On oversubscribed hosts the server may need our core.
+                    std::thread::yield_now();
+                } else {
+                    core::hint::spin_loop();
+                }
+            } else {
+                idle = 0;
+            }
         }
     }
 
@@ -429,12 +522,15 @@ impl ClientHandle {
 
     /// One round of progress on one lane: send queued requests, flush, drain
     /// responses, process them (which may queue follow-up Ready/Decref
-    /// messages), and send those too.
+    /// messages), and send those too.  Retry responses do not complete their
+    /// operation; they are collected into `resubmissions` for the caller to
+    /// re-route.
     fn pump_lane(
         lane: &mut Lane,
         resp_buf: &mut Vec<Response>,
         outstanding: &mut usize,
         out: &mut Vec<Completion>,
+        resubmissions: &mut Vec<(usize, Pending)>,
     ) {
         Self::push_outgoing(lane);
         lane.channel.flush();
@@ -448,9 +544,15 @@ impl ClientHandle {
                 .pending
                 .pop_front()
                 .expect("server sent a response with nothing pending");
-            let completion = Self::complete(lane, pending, response);
-            *outstanding -= 1;
-            out.push(completion);
+            match Self::complete(lane, pending, response) {
+                Applied::Done(completion) => {
+                    *outstanding -= 1;
+                    out.push(completion);
+                }
+                Applied::Resubmit { dest, pending } => {
+                    resubmissions.push((dest, pending));
+                }
+            }
         }
         // Follow-up messages (Ready/Decref) generated above.
         Self::push_outgoing(lane);
@@ -458,10 +560,16 @@ impl ClientHandle {
     }
 
     /// Apply a response to its pending operation, producing the completion
-    /// and queueing any follow-up protocol message.
-    fn complete(lane: &mut Lane, pending: Pending, response: Response) -> Completion {
-        match pending {
-            Pending::Lookup { token } => {
+    /// (or a resubmission) and queueing any follow-up protocol message.
+    fn complete(lane: &mut Lane, pending: Pending, response: Response) -> Applied {
+        if response.is_retry() {
+            return Applied::Resubmit {
+                dest: response.retry_destination(),
+                pending,
+            };
+        }
+        Applied::Done(match pending {
+            Pending::Lookup { token, .. } => {
                 if response.has_value() {
                     // SAFETY: the server incremented the element's reference
                     // count before responding, and READY values are never
@@ -489,7 +597,7 @@ impl ClientHandle {
                     }
                 }
             }
-            Pending::Insert { token, value } => {
+            Pending::Insert { token, value, .. } => {
                 if response.has_value() {
                     // SAFETY: the server allocated `value_size` bytes at
                     // `addr` for this reservation and will not read or free
@@ -517,18 +625,18 @@ impl ClientHandle {
                     }
                 }
             }
-            Pending::Delete { token } => Completion {
+            Pending::Delete { token, .. } => Completion {
                 token,
                 kind: CompletionKind::Deleted(response.is_hit()),
             },
-        }
+        })
     }
 }
 
 impl core::fmt::Debug for ClientHandle {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ClientHandle")
-            .field("partitions", &self.partitions)
+            .field("lanes", &self.lanes.len())
             .field("outstanding", &self.outstanding)
             .finish()
     }

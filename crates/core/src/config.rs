@@ -27,6 +27,15 @@ pub struct CpHashConfig {
     pub server_pins: Vec<HwThreadId>,
     /// Seed used for partition-local randomness (random eviction).
     pub seed: u64,
+    /// Upper bound on the partition count the table can be re-partitioned
+    /// to at runtime. The table spawns this many server threads up front
+    /// (threads beyond the active count idle-poll their empty lanes); `0`
+    /// means "equal to `partitions`", i.e. a statically-sized table.
+    pub max_partitions: usize,
+    /// Number of migration chunks the key space is cut into for live
+    /// re-partitioning (a power of two). More chunks mean smaller, more
+    /// frequent migration steps.
+    pub migration_chunks: usize,
 }
 
 impl Default for CpHashConfig {
@@ -40,6 +49,8 @@ impl Default for CpHashConfig {
             ring_capacity: 4096,
             server_pins: Vec::new(),
             seed: 0xC0FF_EE00,
+            max_partitions: 0,
+            migration_chunks: 64,
         }
     }
 }
@@ -61,7 +72,9 @@ impl CpHashConfig {
     pub fn with_capacity(mut self, capacity_bytes: usize, typical_value_bytes: usize) -> Self {
         self.capacity_bytes = Some(capacity_bytes);
         let elements = capacity_bytes / typical_value_bytes.max(1);
-        self.buckets_per_partition = (elements / self.partitions.max(1)).next_power_of_two().max(8);
+        self.buckets_per_partition = (elements / self.partitions.max(1))
+            .next_power_of_two()
+            .max(8);
         self
     }
 
@@ -83,6 +96,18 @@ impl CpHashConfig {
         self
     }
 
+    /// Allow live re-partitioning up to `max_partitions` server threads.
+    pub fn with_max_partitions(mut self, max_partitions: usize) -> Self {
+        self.max_partitions = max_partitions;
+        self
+    }
+
+    /// The number of server threads the table spawns: `max_partitions`,
+    /// defaulting to the initial `partitions` when unset.
+    pub fn spawned_partitions(&self) -> usize {
+        self.max_partitions.max(self.partitions)
+    }
+
     /// Per-partition byte budget.
     pub fn partition_capacity(&self) -> Option<usize> {
         self.capacity_bytes
@@ -96,8 +121,18 @@ impl CpHashConfig {
         assert!(self.clients > 0, "CPHash needs at least one client");
         assert!(self.ring_capacity >= 64, "ring capacity unreasonably small");
         assert!(
-            self.server_pins.is_empty() || self.server_pins.len() == self.partitions,
+            self.server_pins.is_empty() || self.server_pins.len() >= self.partitions,
             "server_pins must be empty or provide one hardware thread per partition"
+        );
+        assert!(
+            self.migration_chunks.is_power_of_two()
+                && self.migration_chunks <= cphash_hashcore::MAX_MIGRATION_CHUNKS,
+            "migration_chunks must be a power of two, at most {}",
+            cphash_hashcore::MAX_MIGRATION_CHUNKS
+        );
+        assert!(
+            self.max_partitions == 0 || self.max_partitions >= self.partitions,
+            "max_partitions must be 0 (static) or at least the initial partition count"
         );
     }
 }
@@ -129,6 +164,16 @@ mod tests {
         assert_eq!(c.server_pins[0], HwThreadId(80));
         assert_eq!(c.server_pins[79], HwThreadId(159));
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two, at most")]
+    fn oversized_chunk_counts_rejected() {
+        CpHashConfig {
+            migration_chunks: 1 << 17,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! running server threads (the same counters §6.2 reports — busy vs. idle
 //! polling iterations) and recommends growing or shrinking the server set.
 //!
-//! Re-partitioning a live table is out of scope (it would re-shuffle every
-//! key); instead, the `ablate_dynamic_servers` benchmark uses the
-//! controller's recommendation to pick the partition count for the *next*
-//! run, which is exactly how an operator would apply it.
+//! The *actuation* half lives in the `cphash-migrate` crate: its
+//! `RepartitionCoordinator` consumes a [`Recommendation`] and re-partitions
+//! the **live** table — migrating keys chunk by chunk through the epoch
+//! router ([`crate::EpochRouter`]) with no lost or duplicated keys and no
+//! restart.  The `ablate_dynamic_servers` benchmark runs the full closed
+//! loop: measure utilization, recommend, apply live, repeat.
 
 use std::sync::Arc;
 
@@ -108,7 +110,10 @@ mod tests {
     #[test]
     fn saturated_servers_trigger_growth() {
         let c = ServerLoadController::default();
-        let stats = vec![stats_with_utilization(95, 5), stats_with_utilization(90, 10)];
+        let stats = vec![
+            stats_with_utilization(95, 5),
+            stats_with_utilization(90, 10),
+        ];
         let r = c.recommend(&stats, 8);
         assert_eq!(r, Recommendation::Grow(10));
         assert_eq!(r.servers(), 10);
@@ -126,7 +131,10 @@ mod tests {
         // 59 % utilization (the §6.2 measurement) sits inside the hysteresis
         // band, so the controller keeps the static split the paper chose.
         let c = ServerLoadController::default();
-        assert_eq!(c.recommend_for_utilization(0.59, 80), Recommendation::Keep(80));
+        assert_eq!(
+            c.recommend_for_utilization(0.59, 80),
+            Recommendation::Keep(80)
+        );
     }
 
     #[test]
@@ -136,8 +144,14 @@ mod tests {
             max_servers: 8,
             ..Default::default()
         };
-        assert_eq!(c.recommend_for_utilization(0.99, 8), Recommendation::Keep(8));
-        assert_eq!(c.recommend_for_utilization(0.01, 2), Recommendation::Keep(2));
+        assert_eq!(
+            c.recommend_for_utilization(0.99, 8),
+            Recommendation::Keep(8)
+        );
+        assert_eq!(
+            c.recommend_for_utilization(0.01, 2),
+            Recommendation::Keep(2)
+        );
         assert_eq!(c.recommend_for_utilization(0.99, 7).servers(), 8);
         assert_eq!(c.recommend_for_utilization(0.01, 3).servers(), 2);
     }

@@ -45,8 +45,10 @@
 pub mod anykey;
 pub mod client;
 pub mod config;
+pub mod control;
 pub mod dynamic;
 pub mod protocol;
+pub mod router;
 mod server;
 pub mod stats;
 pub mod table;
@@ -54,8 +56,10 @@ pub mod table;
 pub use anykey::AnyKeyClient;
 pub use client::{ClientHandle, Completion, CompletionKind, TableError, ValueBytes};
 pub use config::CpHashConfig;
+pub use control::ControlHandle;
 pub use dynamic::{Recommendation, ServerLoadController};
-pub use protocol::{OpCode, Request, Response};
+pub use protocol::{MigrationBatch, MigrationStep, OpCode, Request, Response};
+pub use router::{EpochRouter, RouterSnapshot, TransitionError};
 pub use stats::{ServerStats, TableSnapshot};
 pub use table::CpHash;
 

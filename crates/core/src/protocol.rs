@@ -35,6 +35,14 @@ pub enum OpCode {
     Decref = 4,
     /// Remove a key; the server responds with whether it was present.
     Delete = 5,
+    /// Announce to a *destination* server that a migration chunk is about to
+    /// arrive, so it can defer requests for not-yet-absorbed keys.
+    MigratePrepare = 6,
+    /// Ask a *source* server to extract the keys of one migration chunk that
+    /// the new partition layout assigns elsewhere.
+    MigrateOut = 7,
+    /// Hand a *destination* server an extracted batch to absorb.
+    MigrateIn = 8,
 }
 
 impl OpCode {
@@ -45,7 +53,43 @@ impl OpCode {
             3 => Some(OpCode::Ready),
             4 => Some(OpCode::Decref),
             5 => Some(OpCode::Delete),
+            6 => Some(OpCode::MigratePrepare),
+            7 => Some(OpCode::MigrateOut),
+            8 => Some(OpCode::MigrateIn),
             _ => None,
+        }
+    }
+}
+
+/// One step of a re-partitioning: the chunk being moved plus the partition
+/// counts on either side of the transition. Packed into the 60-bit payload
+/// of the migration opcodes as `chunk:28 | old:16 | new:16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationStep {
+    /// Migration chunk index (see `cphash_hashcore::migration_chunk`).
+    pub chunk: usize,
+    /// Partition count before the transition.
+    pub old_partitions: usize,
+    /// Partition count after the transition.
+    pub new_partitions: usize,
+}
+
+impl MigrationStep {
+    /// Pack into a request payload.
+    pub fn to_payload(self) -> u64 {
+        debug_assert!(self.chunk < (1 << 28));
+        debug_assert!(self.old_partitions < (1 << 16) && self.new_partitions < (1 << 16));
+        ((self.chunk as u64) << 32)
+            | ((self.old_partitions as u64) << 16)
+            | self.new_partitions as u64
+    }
+
+    /// Unpack from a request payload.
+    pub fn from_payload(payload: u64) -> MigrationStep {
+        MigrationStep {
+            chunk: (payload >> 32) as usize,
+            old_partitions: ((payload >> 16) & 0xFFFF) as usize,
+            new_partitions: (payload & 0xFFFF) as usize,
         }
     }
 }
@@ -80,12 +124,30 @@ pub enum Request {
         /// The 60-bit key.
         key: u64,
     },
+    /// Announce an incoming migration chunk to its destination server.
+    MigratePrepare {
+        /// The transition step.
+        step: MigrationStep,
+    },
+    /// Extract a migration chunk from its source server.
+    MigrateOut {
+        /// The transition step.
+        step: MigrationStep,
+    },
+    /// Deliver an extracted batch; the second word carries the address of a
+    /// leaked `Box<MigrationBatch>` the destination takes ownership of.
+    MigrateIn {
+        /// The transition step.
+        step: MigrationStep,
+        /// Address of the `Box<MigrationBatch>` (shared-memory handoff).
+        batch_addr: u64,
+    },
 }
 
 /// Number of ring words a request occupies.
 pub fn request_words(request: &Request) -> usize {
     match request {
-        Request::Insert { .. } => 2,
+        Request::Insert { .. } | Request::MigrateIn { .. } => 2,
         _ => 1,
     }
 }
@@ -111,6 +173,18 @@ pub fn encode(request: &Request) -> (u64, Option<u64>) {
             debug_assert!(key <= MAX_KEY);
             (((OpCode::Delete as u64) << OP_SHIFT) | key, None)
         }
+        Request::MigratePrepare { step } => (
+            ((OpCode::MigratePrepare as u64) << OP_SHIFT) | step.to_payload(),
+            None,
+        ),
+        Request::MigrateOut { step } => (
+            ((OpCode::MigrateOut as u64) << OP_SHIFT) | step.to_payload(),
+            None,
+        ),
+        Request::MigrateIn { step, batch_addr } => (
+            ((OpCode::MigrateIn as u64) << OP_SHIFT) | step.to_payload(),
+            Some(batch_addr),
+        ),
     }
 }
 
@@ -138,6 +212,16 @@ pub fn decode(word: u64, extra: Option<u64>) -> Option<Request> {
             id: ElementId(payload as u32),
         },
         OpCode::Delete => Request::Delete { key: payload },
+        OpCode::MigratePrepare => Request::MigratePrepare {
+            step: MigrationStep::from_payload(payload),
+        },
+        OpCode::MigrateOut => Request::MigrateOut {
+            step: MigrationStep::from_payload(payload),
+        },
+        OpCode::MigrateIn => Request::MigrateIn {
+            step: MigrationStep::from_payload(payload),
+            batch_addr: extra?,
+        },
     })
 }
 
@@ -163,23 +247,61 @@ impl Response {
     /// Response indicating success without a data pointer (delete-found).
     pub const FOUND: Response = Response { addr: 1, meta: 0 };
 
+    /// Sentinel address marking a retry response. Real value addresses are
+    /// heap pointers and can never be all-ones.
+    const RETRY_ADDR: u64 = u64::MAX;
+
     /// Build a response carrying a value location.
     pub fn with_value(addr: u64, id: ElementId, size: usize) -> Response {
-        debug_assert!(addr > 1, "value addresses never alias the sentinel values");
+        debug_assert!(
+            addr > 1 && addr != Self::RETRY_ADDR,
+            "value addresses never alias the sentinel values"
+        );
         Response {
             addr,
             meta: ((size as u64) << 32) | id.0 as u64,
         }
     }
 
+    /// Build a "wrong owner" response: the key now belongs to partition
+    /// `dest` (or is mid-migration towards it); the client must resubmit the
+    /// operation there.
+    pub fn retry(dest: usize) -> Response {
+        Response {
+            addr: Self::RETRY_ADDR,
+            meta: dest as u64,
+        }
+    }
+
+    /// Build a response carrying an extracted migration batch: the address
+    /// of a leaked `Box<MigrationBatch>` plus its entry count.
+    pub fn with_batch(batch_addr: u64, entries: usize) -> Response {
+        debug_assert!(batch_addr > 1 && batch_addr != Self::RETRY_ADDR);
+        Response {
+            addr: batch_addr,
+            meta: entries as u64,
+        }
+    }
+
+    /// Does this response redirect the operation to another partition?
+    pub fn is_retry(&self) -> bool {
+        self.addr == Self::RETRY_ADDR
+    }
+
+    /// The partition to resubmit to, for a retry response.
+    pub fn retry_destination(&self) -> usize {
+        debug_assert!(self.is_retry());
+        self.meta as usize
+    }
+
     /// Does this response indicate a hit / success?
     pub fn is_hit(&self) -> bool {
-        self.addr != 0
+        self.addr != 0 && !self.is_retry()
     }
 
     /// Does this response carry a usable value pointer?
     pub fn has_value(&self) -> bool {
-        self.addr > 1
+        self.addr > 1 && !self.is_retry()
     }
 
     /// The element id encoded in the response.
@@ -193,9 +315,110 @@ impl Response {
     }
 }
 
+/// A batch of `(key, value bytes)` pairs extracted from one partition for
+/// one migration chunk.
+///
+/// Batches are handed between threads *by address* through the existing
+/// response/request rings — the same shared-memory pointer-passing the
+/// paper uses for values — as a leaked `Box` whose ownership transfers with
+/// the message: source server → coordinator (via [`Response::with_batch`]),
+/// then coordinator → destination server (via [`Request::MigrateIn`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MigrationBatch {
+    /// The moved elements.
+    pub entries: Vec<(u64, Vec<u8>)>,
+}
+
+impl MigrationBatch {
+    /// Wrap extracted entries.
+    pub fn new(entries: Vec<(u64, Vec<u8>)>) -> Self {
+        MigrationBatch { entries }
+    }
+
+    /// Leak onto the heap, returning the address to ship over a ring.
+    pub fn into_addr(self) -> u64 {
+        Box::into_raw(Box::new(self)) as u64
+    }
+
+    /// Reclaim a batch previously leaked with [`MigrationBatch::into_addr`].
+    ///
+    /// # Safety
+    /// `addr` must come from exactly one `into_addr` call whose ownership
+    /// was transferred to the caller and not yet reclaimed.
+    pub unsafe fn from_addr(addr: u64) -> Box<MigrationBatch> {
+        debug_assert!(addr > 1 && addr != Response::RETRY_ADDR);
+        // SAFETY: per the contract above, `addr` is a uniquely-owned
+        // `Box<MigrationBatch>` leaked by `into_addr`.
+        unsafe { Box::from_raw(addr as *mut MigrationBatch) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn migration_step_payload_round_trips() {
+        let cases = [
+            MigrationStep {
+                chunk: 0,
+                old_partitions: 2,
+                new_partitions: 4,
+            },
+            MigrationStep {
+                chunk: 1023,
+                old_partitions: 1024,
+                new_partitions: 1,
+            },
+            MigrationStep {
+                chunk: (1 << 28) - 1,
+                old_partitions: 65_535,
+                new_partitions: 65_535,
+            },
+        ];
+        for step in cases {
+            assert_eq!(MigrationStep::from_payload(step.to_payload()), step);
+            let (w0, w1) = encode(&Request::MigrateOut { step });
+            assert_eq!(decode(w0, w1), Some(Request::MigrateOut { step }));
+            let (w0, w1) = encode(&Request::MigratePrepare { step });
+            assert_eq!(decode(w0, w1), Some(Request::MigratePrepare { step }));
+            let (w0, w1) = encode(&Request::MigrateIn {
+                step,
+                batch_addr: 0xBEEF_0000,
+            });
+            assert_eq!(
+                decode(w0, w1),
+                Some(Request::MigrateIn {
+                    step,
+                    batch_addr: 0xBEEF_0000
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn retry_responses_are_distinguishable() {
+        let r = Response::retry(7);
+        assert!(r.is_retry());
+        assert_eq!(r.retry_destination(), 7);
+        assert!(!r.is_hit());
+        assert!(!r.has_value());
+        assert!(!Response::MISS.is_retry());
+        assert!(!Response::FOUND.is_retry());
+        assert!(!Response::with_value(0x1000, ElementId(1), 8).is_retry());
+    }
+
+    #[test]
+    fn migration_batch_address_round_trip() {
+        let batch = MigrationBatch::new(vec![(1, vec![0xAA; 16]), (2, vec![0xBB; 3])]);
+        let addr = batch.clone().into_addr();
+        let resp = Response::with_batch(addr, 2);
+        assert!(resp.is_hit());
+        assert_eq!(resp.meta, 2);
+        // SAFETY: addr comes from into_addr above and is reclaimed once.
+        let back = unsafe { MigrationBatch::from_addr(resp.addr) };
+        assert_eq!(*back, batch);
+    }
 
     #[test]
     fn request_words_match_paper_packing() {
@@ -215,9 +438,14 @@ mod tests {
             Request::Lookup { key: 0 },
             Request::Lookup { key: MAX_KEY },
             Request::Insert { key: 42, size: 0 },
-            Request::Insert { key: 42, size: u64::MAX },
+            Request::Insert {
+                key: 42,
+                size: u64::MAX,
+            },
             Request::Ready { id: ElementId(7) },
-            Request::Decref { id: ElementId(u32::MAX - 1) },
+            Request::Decref {
+                id: ElementId(u32::MAX - 1),
+            },
             Request::Delete { key: 99 },
         ];
         for case in cases {
@@ -244,7 +472,7 @@ mod tests {
 
     #[test]
     fn response_encoding_round_trips() {
-        let r = Response::with_value(0xDEAD_BEEF_00, ElementId(77), 4096);
+        let r = Response::with_value(0xDEAD_BEEF_0000, ElementId(77), 4096);
         assert!(r.is_hit());
         assert!(r.has_value());
         assert_eq!(r.element_id(), ElementId(77));

@@ -1,0 +1,323 @@
+//! The epoch-versioned routing table shared by clients, servers and the
+//! repartition coordinator.
+//!
+//! CPHash assigns keys to partitions with a pure function of the key
+//! (`partition_for_key`).  To re-partition a *live* table, two layouts must
+//! coexist while keys move: the key space is cut into migration chunks
+//! (`migration_chunk`, a pure function of the key's top hash bits) and a
+//! single **watermark** records how far the move has progressed — chunks
+//! below the watermark route with the new partition count, chunks at or
+//! above it with the old count.
+//!
+//! The whole routing state packs into one `AtomicU64`
+//! (`epoch:8 | watermark:24 | new:16 | old:16`), so a route decision is one
+//! relaxed atomic load and two pure hash computations: no locks anywhere on
+//! the data path, exactly in the spirit of the paper's lock-free message
+//! rings.  Server threads additionally consult their local migration state
+//! for chunks that are mid-flight (extracted but not yet published), and
+//! answer with *retry* responses that bounce the operation to the partition
+//! that owns the key now.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use cphash_hashcore::{migration_chunk, partition_for_key};
+
+/// A consistent view of the routing state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterSnapshot {
+    /// Partition count before the in-progress transition (equals `new` when
+    /// no transition is running).
+    pub old_partitions: usize,
+    /// Partition count after the in-progress transition.
+    pub new_partitions: usize,
+    /// Chunks `< watermark` route with `new_partitions`; the rest with
+    /// `old_partitions`.
+    pub watermark: usize,
+    /// Transition counter (wraps at 256; diagnostic only).
+    pub epoch: u8,
+}
+
+impl RouterSnapshot {
+    /// Whether a transition is in progress in this snapshot.
+    pub fn in_transition(&self) -> bool {
+        self.old_partitions != self.new_partitions
+    }
+
+    /// The partition owning `key` under this snapshot, for `chunks` total
+    /// migration chunks.
+    pub fn route(&self, key: u64, chunks: usize) -> usize {
+        if migration_chunk(key, chunks) < self.watermark {
+            partition_for_key(key, self.new_partitions)
+        } else {
+            partition_for_key(key, self.old_partitions)
+        }
+    }
+}
+
+/// Errors from starting a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionError {
+    /// Another transition has not finished yet.
+    InProgress,
+    /// The requested partition count is zero or exceeds the table's spawned
+    /// server threads.
+    OutOfRange {
+        /// The rejected partition count.
+        requested: usize,
+        /// Largest legal count (the table's `max_partitions`).
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransitionError::InProgress => f.write_str("a re-partitioning is already in progress"),
+            TransitionError::OutOfRange { requested, max } => {
+                write!(f, "partition count {requested} outside 1..={max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+const OLD_SHIFT: u32 = 0;
+const NEW_SHIFT: u32 = 16;
+const WATERMARK_SHIFT: u32 = 32;
+const EPOCH_SHIFT: u32 = 56;
+const FIELD_MASK: u64 = 0xFFFF;
+const WATERMARK_MASK: u64 = 0xFF_FFFF;
+
+/// The shared routing table (see module docs).
+#[derive(Debug)]
+pub struct EpochRouter {
+    state: AtomicU64,
+    chunks: usize,
+    max_partitions: usize,
+}
+
+fn pack(old: usize, new: usize, watermark: usize, epoch: u8) -> u64 {
+    debug_assert!(old <= FIELD_MASK as usize && new <= FIELD_MASK as usize);
+    debug_assert!(watermark <= WATERMARK_MASK as usize);
+    ((epoch as u64) << EPOCH_SHIFT)
+        | ((watermark as u64) << WATERMARK_SHIFT)
+        | ((new as u64) << NEW_SHIFT)
+        | ((old as u64) << OLD_SHIFT)
+}
+
+impl EpochRouter {
+    /// A router for a table that starts with `partitions` active partitions,
+    /// migrates in `chunks` chunks (a power of two), and may grow up to
+    /// `max_partitions`.
+    pub fn new(partitions: usize, chunks: usize, max_partitions: usize) -> Self {
+        assert!(
+            chunks.is_power_of_two() && chunks <= cphash_hashcore::MAX_MIGRATION_CHUNKS,
+            "chunk count unsupported by migration_chunk's 16 hash bits"
+        );
+        assert!(partitions >= 1 && partitions <= max_partitions);
+        assert!(max_partitions <= FIELD_MASK as usize);
+        EpochRouter {
+            state: AtomicU64::new(pack(partitions, partitions, chunks, 0)),
+            chunks,
+            max_partitions,
+        }
+    }
+
+    /// Number of migration chunks the key space is cut into.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Largest partition count this router (and its table) supports.
+    pub fn max_partitions(&self) -> usize {
+        self.max_partitions
+    }
+
+    /// A consistent snapshot of the routing state.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        let bits = self.state.load(Ordering::Acquire);
+        RouterSnapshot {
+            old_partitions: ((bits >> OLD_SHIFT) & FIELD_MASK) as usize,
+            new_partitions: ((bits >> NEW_SHIFT) & FIELD_MASK) as usize,
+            watermark: ((bits >> WATERMARK_SHIFT) & WATERMARK_MASK) as usize,
+            epoch: (bits >> EPOCH_SHIFT) as u8,
+        }
+    }
+
+    /// The partition that owns `key` right now.
+    pub fn route(&self, key: u64) -> usize {
+        self.snapshot().route(key, self.chunks)
+    }
+
+    /// The target partition count (the active count once no transition is
+    /// running).
+    pub fn active_partitions(&self) -> usize {
+        self.snapshot().new_partitions
+    }
+
+    /// Whether a transition is currently in progress.
+    pub fn in_transition(&self) -> bool {
+        self.snapshot().in_transition()
+    }
+
+    /// Begin a transition to `new_partitions`, resetting the watermark to
+    /// zero. Fails if a transition is already running or the count is out of
+    /// range. Returns the snapshot *before* the transition.
+    pub fn begin_transition(
+        &self,
+        new_partitions: usize,
+    ) -> Result<RouterSnapshot, TransitionError> {
+        if new_partitions == 0 || new_partitions > self.max_partitions {
+            return Err(TransitionError::OutOfRange {
+                requested: new_partitions,
+                max: self.max_partitions,
+            });
+        }
+        loop {
+            let bits = self.state.load(Ordering::Acquire);
+            let snap = RouterSnapshot {
+                old_partitions: ((bits >> OLD_SHIFT) & FIELD_MASK) as usize,
+                new_partitions: ((bits >> NEW_SHIFT) & FIELD_MASK) as usize,
+                watermark: ((bits >> WATERMARK_SHIFT) & WATERMARK_MASK) as usize,
+                epoch: (bits >> EPOCH_SHIFT) as u8,
+            };
+            if snap.in_transition() || snap.watermark != self.chunks {
+                return Err(TransitionError::InProgress);
+            }
+            let next = pack(
+                snap.old_partitions,
+                new_partitions,
+                0,
+                snap.epoch.wrapping_add(1),
+            );
+            if self
+                .state
+                .compare_exchange(bits, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(snap);
+            }
+        }
+    }
+
+    /// Publish migration progress: chunks below `watermark` now route with
+    /// the new partition count. Reaching `chunks` completes the transition
+    /// (old collapses to new).
+    pub fn advance_watermark(&self, watermark: usize) {
+        debug_assert!(watermark <= self.chunks);
+        loop {
+            let bits = self.state.load(Ordering::Acquire);
+            let old = ((bits >> OLD_SHIFT) & FIELD_MASK) as usize;
+            let new = ((bits >> NEW_SHIFT) & FIELD_MASK) as usize;
+            let current = ((bits >> WATERMARK_SHIFT) & WATERMARK_MASK) as usize;
+            let epoch = (bits >> EPOCH_SHIFT) as u8;
+            debug_assert!(watermark >= current, "watermark only moves forward");
+            let next = if watermark == self.chunks {
+                pack(new, new, self.chunks, epoch)
+            } else {
+                pack(old, new, watermark, epoch)
+            };
+            if self
+                .state
+                .compare_exchange(bits, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Abandon an in-progress transition by restoring a single partition
+    /// count (used when a server dies mid-migration; keys already moved stay
+    /// moved, so `resolved` must be the count that owns every key — only
+    /// safe when no chunk was mid-flight).
+    pub fn force_complete(&self, resolved: usize) {
+        let snap = self.snapshot();
+        self.state.store(
+            pack(resolved, resolved, self.chunks, snap.epoch.wrapping_add(1)),
+            Ordering::Release,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_routes_like_partition_for_key() {
+        let router = EpochRouter::new(4, 64, 8);
+        assert_eq!(router.active_partitions(), 4);
+        assert!(!router.in_transition());
+        for key in 0..1_000u64 {
+            assert_eq!(router.route(key), partition_for_key(key, 4));
+        }
+    }
+
+    #[test]
+    fn transition_splits_routing_at_the_watermark() {
+        let router = EpochRouter::new(2, 64, 8);
+        router.begin_transition(4).unwrap();
+        assert!(router.in_transition());
+        // Watermark zero: everything still routes with the old count.
+        for key in 0..1_000u64 {
+            assert_eq!(router.route(key), partition_for_key(key, 2));
+        }
+        router.advance_watermark(32);
+        for key in 0..1_000u64 {
+            let expected = if migration_chunk(key, 64) < 32 {
+                partition_for_key(key, 4)
+            } else {
+                partition_for_key(key, 2)
+            };
+            assert_eq!(router.route(key), expected);
+        }
+        router.advance_watermark(64);
+        assert!(!router.in_transition());
+        assert_eq!(router.active_partitions(), 4);
+        for key in 0..1_000u64 {
+            assert_eq!(router.route(key), partition_for_key(key, 4));
+        }
+    }
+
+    #[test]
+    fn concurrent_transitions_are_rejected() {
+        let router = EpochRouter::new(2, 64, 8);
+        let before = router.begin_transition(4).unwrap();
+        assert_eq!(before.new_partitions, 2);
+        assert_eq!(router.begin_transition(6), Err(TransitionError::InProgress));
+        router.advance_watermark(64);
+        router.begin_transition(6).unwrap();
+        router.advance_watermark(64);
+        assert_eq!(router.active_partitions(), 6);
+    }
+
+    #[test]
+    fn out_of_range_counts_are_rejected() {
+        let router = EpochRouter::new(2, 64, 8);
+        assert!(matches!(
+            router.begin_transition(0),
+            Err(TransitionError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            router.begin_transition(9),
+            Err(TransitionError::OutOfRange {
+                requested: 9,
+                max: 8
+            })
+        ));
+        assert!(format!("{}", router.begin_transition(9).unwrap_err()).contains("outside"));
+    }
+
+    #[test]
+    fn epoch_increments_per_transition() {
+        let router = EpochRouter::new(1, 64, 4);
+        let e0 = router.snapshot().epoch;
+        router.begin_transition(2).unwrap();
+        router.advance_watermark(64);
+        assert_eq!(router.snapshot().epoch, e0.wrapping_add(1));
+        router.force_complete(2);
+        assert_eq!(router.snapshot().epoch, e0.wrapping_add(2));
+    }
+}

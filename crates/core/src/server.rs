@@ -5,30 +5,67 @@
 //! thread continuously loops over the message queues of each client checking
 //! for new requests. When a request arrives, the server thread performs the
 //! requested operation and sends its result back to the client." (§3.2)
+//!
+//! On top of the paper's loop, each server participates in **online
+//! repartitioning**: migration messages (see [`crate::protocol`]) arrive on
+//! a dedicated control lane, and ordinary requests for keys this server no
+//! longer (or does not yet) own are answered with *retry* responses that
+//! redirect the client to the owning partition.  The invariant is that at
+//! every instant exactly one server will actually execute an operation on a
+//! given key, so no key is ever lost or duplicated while keys move.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
 use cphash_channel::DuplexServer;
-use cphash_hashcore::{Partition, PartitionStats};
+use cphash_hashcore::{
+    migration_chunk, partition_for_key, ExportOutcome, Partition, PartitionStats,
+};
 use parking_lot::Mutex;
 
-use crate::protocol::{decode_word, OpCode, Response};
+use crate::protocol::{decode_word, MigrationBatch, MigrationStep, OpCode, Response};
+use crate::router::{EpochRouter, RouterSnapshot};
 use crate::stats::ServerStats;
 
 /// Maximum request words a server drains from one lane before moving on to
 /// the next lane, so a single busy client cannot starve the others.
 const LANE_BATCH: usize = 256;
 
+/// Per-server migration bookkeeping. Entries are validated lazily against
+/// the router snapshot (same transition, chunk not yet past the watermark),
+/// so stale entries are inert and purged opportunistically.
+#[derive(Default)]
+struct MigrationState {
+    /// Chunks this server has extracted and handed off in the current
+    /// transition: requests for keys that left are redirected to their new
+    /// owner until the watermark covers the chunk.
+    outgoing: HashMap<usize, MigrationStep>,
+    /// Announced inbound chunks not yet absorbed: requests for keys that
+    /// are still in flight towards this server are answered "retry here".
+    incoming: HashMap<usize, MigrationStep>,
+    /// A `MigrateOut` whose extraction is blocked by in-flight inserts:
+    /// (control lane index, step). Retried after every `Ready`.
+    draining: Option<(usize, MigrationStep)>,
+}
+
+/// Whether a migration-state entry still describes the live transition.
+fn step_is_current(step: &MigrationStep, chunk: usize, snap: &RouterSnapshot) -> bool {
+    snap.in_transition()
+        && snap.old_partitions == step.old_partitions
+        && snap.new_partitions == step.new_partitions
+        && chunk >= snap.watermark
+}
+
 /// Everything one server thread needs.
 pub(crate) struct ServerThread {
-    /// Index of this server / partition (kept for diagnostics and panics).
-    #[allow(dead_code)]
+    /// Index of this server / partition.
     pub index: usize,
     /// The partition this server owns.
     pub partition: Partition,
-    /// One lane per client, in client order.
+    /// One lane per client, in client order; the last lane is the control
+    /// plane.
     pub lanes: Vec<DuplexServer<u64, Response>>,
     /// Hardware thread to pin to, if any.
     pub pin: Option<HwThreadId>,
@@ -39,6 +76,8 @@ pub(crate) struct ServerThread {
     /// Where the final (and periodically refreshed) partition statistics are
     /// published for the table handle.
     pub partition_stats: Arc<Mutex<PartitionStats>>,
+    /// The shared routing table.
+    pub router: Arc<EpochRouter>,
 }
 
 impl ServerThread {
@@ -47,6 +86,7 @@ impl ServerThread {
         if let Some(hw) = self.pin {
             self.stats.record_pin(pin_to_hw_thread(hw));
         }
+        let mut migration = MigrationState::default();
         let mut words: Vec<u64> = Vec::with_capacity(LANE_BATCH);
         let mut idle_streak: u32 = 0;
         let mut iterations: u64 = 0;
@@ -63,11 +103,14 @@ impl ServerThread {
                     continue;
                 }
                 did_work = true;
-                self.process_lane_batch(lane_idx, &words);
+                self.process_lane_batch(lane_idx, &words, &mut migration);
                 self.lanes[lane_idx].flush();
             }
 
             iterations += 1;
+            if migration.draining.is_some() {
+                self.try_finish_drain(&mut migration);
+            }
             if did_work {
                 self.stats.busy_iterations.fetch_add(1, Ordering::Relaxed);
                 idle_streak = 0;
@@ -82,7 +125,7 @@ impl ServerThread {
             }
             // Refresh the shared partition statistics occasionally so the
             // table handle can report hit rates mid-run.
-            if iterations % 4096 == 0 {
+            if iterations.is_multiple_of(4096) {
                 *self.partition_stats.lock() = self.partition.stats();
             }
         }
@@ -91,10 +134,81 @@ impl ServerThread {
         self.stats.stopped.store(true, Ordering::Release);
     }
 
+    /// Decide whether a data operation on `key` must be redirected instead
+    /// of served here. Returns the partition to retry at (possibly this
+    /// one, meaning "ask again shortly").
+    fn divert(&self, key: u64, is_insert: bool, migration: &mut MigrationState) -> Option<usize> {
+        let chunks = self.router.chunks();
+        let snap = self.router.snapshot();
+        let owner = snap.route(key, chunks);
+        if migration.incoming.is_empty()
+            && migration.outgoing.is_empty()
+            && migration.draining.is_none()
+        {
+            // Steady state: serve what we own, bounce what we don't (a
+            // stale in-flight request routed under an old mapping).
+            return (owner != self.index).then_some(owner);
+        }
+        let chunk = migration_chunk(key, chunks);
+        // An announced inbound chunk must be checked *before* the primary
+        // ownership rule: pre-watermark, an arriving key still routes to
+        // its old owner, so an operation the old owner bounced here would
+        // otherwise be bounced straight back (a ping-pong that only ends at
+        // the watermark). Holding it here instead lets it complete as soon
+        // as `MigrateIn` lands.
+        if let Some(step) = migration.incoming.get(&chunk) {
+            if step_is_current(step, chunk, &snap) {
+                if partition_for_key(key, step.new_partitions) == self.index
+                    && partition_for_key(key, step.old_partitions) != self.index
+                {
+                    // The key may be inside a batch that has not been
+                    // absorbed yet; the client must ask again until
+                    // `MigrateIn` lands.
+                    return Some(self.index);
+                }
+            } else {
+                migration.incoming.remove(&chunk);
+            }
+        }
+        if owner != self.index {
+            // Routed here under a mapping that no longer applies (stale
+            // in-flight request): bounce to the current owner.
+            return Some(owner);
+        }
+        if let Some(step) = migration.outgoing.get(&chunk) {
+            if step_is_current(step, chunk, &snap) {
+                let new_owner = partition_for_key(key, step.new_partitions);
+                if new_owner != self.index {
+                    // Extracted and handed off: the new owner has (or will
+                    // have) the key before the client's retry arrives there.
+                    return Some(new_owner);
+                }
+            } else {
+                migration.outgoing.remove(&chunk);
+            }
+        }
+        if is_insert {
+            if let Some((_, step)) = migration.draining {
+                if step.chunk == chunk && partition_for_key(key, step.new_partitions) != self.index
+                {
+                    // A new insert of a leaving key would keep extending the
+                    // drain; hold the client off until extraction happens.
+                    return Some(self.index);
+                }
+            }
+        }
+        None
+    }
+
     /// Process one batch of request words from one client lane.
-    fn process_lane_batch(&mut self, lane_idx: usize, words: &[u64]) {
+    fn process_lane_batch(
+        &mut self,
+        lane_idx: usize,
+        words: &[u64],
+        migration: &mut MigrationState,
+    ) {
         let mut i = 0usize;
-        while i < len_of(words) {
+        while i < words.len() {
             let word = words[i];
             i += 1;
             let Some((op, payload)) = decode_word(word) else {
@@ -106,9 +220,14 @@ impl ServerThread {
             self.stats.messages.fetch_add(1, Ordering::Relaxed);
             match op {
                 OpCode::Lookup => {
-                    let response = match self.partition.lookup(payload) {
-                        Some(hit) => Response::with_value(hit.value.addr(), hit.id, hit.value.len()),
-                        None => Response::MISS,
+                    let response = match self.divert(payload, false, migration) {
+                        Some(dest) => Response::retry(dest),
+                        None => match self.partition.lookup(payload) {
+                            Some(hit) => {
+                                Response::with_value(hit.value.addr(), hit.id, hit.value.len())
+                            }
+                            None => Response::MISS,
+                        },
                     };
                     self.respond(lane_idx, response);
                     self.stats.operations.fetch_add(1, Ordering::Relaxed);
@@ -123,40 +242,195 @@ impl ServerThread {
                         }
                         None => self.wait_for_extra_word(lane_idx),
                     };
-                    let response = match self.partition.insert(payload, size as usize) {
-                        Ok(reservation) => Response::with_value(
-                            reservation.value.addr(),
-                            reservation.id,
-                            size as usize,
-                        ),
-                        Err(_) => Response::MISS,
+                    let response = match self.divert(payload, true, migration) {
+                        Some(dest) => Response::retry(dest),
+                        None => match self.partition.insert(payload, size as usize) {
+                            Ok(reservation) => Response::with_value(
+                                reservation.value.addr(),
+                                reservation.id,
+                                size as usize,
+                            ),
+                            Err(_) => Response::MISS,
+                        },
                     };
                     self.respond(lane_idx, response);
                     self.stats.operations.fetch_add(1, Ordering::Relaxed);
                 }
                 OpCode::Ready => {
-                    self.partition.mark_ready(cphash_hashcore::ElementId(payload as u32));
+                    self.partition
+                        .mark_ready(cphash_hashcore::ElementId(payload as u32));
+                    if migration.draining.is_some() {
+                        self.try_finish_drain(migration);
+                    }
                 }
                 OpCode::Decref => {
-                    self.partition.decref(cphash_hashcore::ElementId(payload as u32));
+                    self.partition
+                        .decref(cphash_hashcore::ElementId(payload as u32));
                 }
                 OpCode::Delete => {
-                    let response = if self.partition.delete(payload) {
-                        Response::FOUND
-                    } else {
-                        Response::MISS
+                    let response = match self.divert(payload, false, migration) {
+                        Some(dest) => Response::retry(dest),
+                        None => {
+                            if self.partition.delete(payload) {
+                                Response::FOUND
+                            } else {
+                                Response::MISS
+                            }
+                        }
                     };
                     self.respond(lane_idx, response);
                     self.stats.operations.fetch_add(1, Ordering::Relaxed);
+                }
+                OpCode::MigratePrepare => {
+                    let step = MigrationStep::from_payload(payload);
+                    self.purge_stale(migration);
+                    migration.incoming.insert(step.chunk, step);
+                    self.respond(lane_idx, Response::FOUND);
+                }
+                OpCode::MigrateOut => {
+                    let step = MigrationStep::from_payload(payload);
+                    self.purge_stale(migration);
+                    match self.export_step(step) {
+                        Some(response) => {
+                            migration.outgoing.insert(step.chunk, step);
+                            self.respond(lane_idx, response);
+                        }
+                        None => {
+                            // In-flight inserts block the extraction; the
+                            // response is deferred until they publish.
+                            migration.draining = Some((lane_idx, step));
+                        }
+                    }
+                }
+                OpCode::MigrateIn => {
+                    let addr = match words.get(i) {
+                        Some(&w) => {
+                            i += 1;
+                            w
+                        }
+                        None => self.wait_for_extra_word(lane_idx),
+                    };
+                    let step = MigrationStep::from_payload(payload);
+                    let mut absorbed = 0usize;
+                    if addr > 1 {
+                        // SAFETY: the coordinator leaked exactly this batch
+                        // with `into_addr` and transfers ownership with this
+                        // message.
+                        let batch = unsafe { MigrationBatch::from_addr(addr) };
+                        for (key, value) in batch.entries {
+                            // A failed absorb (value larger than this
+                            // partition's budget) drops the entry, exactly
+                            // like an eviction at the moment of migration.
+                            if self.partition.absorb(key, &value).is_ok() {
+                                absorbed += 1;
+                            }
+                        }
+                    }
+                    migration.incoming.remove(&step.chunk);
+                    self.stats
+                        .keys_migrated_in
+                        .fetch_add(absorbed as u64, Ordering::Relaxed);
+                    self.respond(
+                        lane_idx,
+                        Response {
+                            addr: 1,
+                            meta: absorbed as u64,
+                        },
+                    );
                 }
             }
         }
     }
 
-    /// Spin until the second word of an insert message becomes visible.
-    /// The client always flushes after queueing a batch, so this terminates
-    /// unless the client vanishes — in which case we bail out with a size of
-    /// zero (the insert degenerates to an empty value).
+    /// Attempt the extraction for `step`. `Some(response)` when the chunk
+    /// was exported (or empty), `None` while NOT-READY inserts block it.
+    fn export_step(&mut self, step: MigrationStep) -> Option<Response> {
+        let chunks = self.router.chunks();
+        let me = self.index;
+        let outcome = self.partition.export_matching(|key| {
+            migration_chunk(key, chunks) == step.chunk
+                && partition_for_key(key, step.new_partitions) != me
+        });
+        match outcome {
+            ExportOutcome::Extracted(entries) => {
+                self.stats
+                    .keys_migrated_out
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                if entries.is_empty() {
+                    Some(Response::FOUND)
+                } else {
+                    let count = entries.len();
+                    Some(Response::with_batch(
+                        MigrationBatch::new(entries).into_addr(),
+                        count,
+                    ))
+                }
+            }
+            ExportOutcome::Pending { .. } => None,
+        }
+    }
+
+    /// Retry a drain-blocked extraction (called after `Ready` messages and
+    /// once per loop iteration while draining).
+    fn try_finish_drain(&mut self, migration: &mut MigrationState) {
+        if let Some((lane_idx, step)) = migration.draining {
+            let response = match self.export_step(step) {
+                Some(response) => response,
+                // Blocked on NOT-READY reservations: if every client
+                // endpoint is gone (shutdown with a resize in flight), the
+                // pending `Ready` messages can never arrive — abandon the
+                // dead reservations rather than stalling the coordinator
+                // forever.
+                None if !self.any_client_alive() => {
+                    let chunks = self.router.chunks();
+                    let me = self.index;
+                    let entries = self
+                        .partition
+                        .export_matching_abandoning_reservations(|key| {
+                            migration_chunk(key, chunks) == step.chunk
+                                && partition_for_key(key, step.new_partitions) != me
+                        });
+                    self.stats
+                        .keys_migrated_out
+                        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                    if entries.is_empty() {
+                        Response::FOUND
+                    } else {
+                        let count = entries.len();
+                        Response::with_batch(MigrationBatch::new(entries).into_addr(), count)
+                    }
+                }
+                None => return,
+            };
+            migration.draining = None;
+            migration.outgoing.insert(step.chunk, step);
+            self.respond(lane_idx, response);
+            self.lanes[lane_idx].flush();
+        }
+    }
+
+    /// Whether any *client* lane (every lane but the control plane's, which
+    /// is last) still has a live peer.
+    fn any_client_alive(&self) -> bool {
+        let clients = self.lanes.len().saturating_sub(1);
+        self.lanes[..clients].iter().any(|l| l.is_client_alive())
+    }
+
+    /// Drop migration entries that no longer describe the live transition.
+    fn purge_stale(&self, migration: &mut MigrationState) {
+        let snap = self.router.snapshot();
+        migration
+            .incoming
+            .retain(|chunk, step| step_is_current(step, *chunk, &snap));
+        migration
+            .outgoing
+            .retain(|chunk, step| step_is_current(step, *chunk, &snap));
+    }
+
+    /// Spin until the second word of a two-word request becomes visible.
+    /// The sender always flushes after queueing a batch, so this terminates
+    /// unless the sender vanishes — in which case we bail out with a zero
+    /// word (the insert degenerates to an empty value).
     fn wait_for_extra_word(&mut self, lane_idx: usize) -> u64 {
         loop {
             if let Some(w) = self.lanes[lane_idx].try_recv() {
@@ -192,34 +466,37 @@ impl ServerThread {
     }
 }
 
-#[inline]
-fn len_of(words: &[u64]) -> usize {
-    words.len()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::{encode, Request};
-    use cphash_channel::{duplex, RingConfig};
+    use cphash_channel::{duplex, DuplexClient, RingConfig};
     use cphash_hashcore::PartitionConfig;
 
-    /// Drive a server thread object synchronously on the current thread by
-    /// feeding it requests and then raising the stop flag.
-    fn run_one_exchange(requests: Vec<Request>) -> Vec<Response> {
-        let (mut client, server_end) = duplex::<u64, Response>(RingConfig::with_capacity(1024));
+    fn test_server(
+        index: usize,
+        router: Arc<EpochRouter>,
+    ) -> (DuplexClient<u64, Response>, ServerThread, Arc<AtomicBool>) {
+        let (client, server_end) = duplex::<u64, Response>(RingConfig::with_capacity(1024));
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(ServerStats::new());
-        let pstats = Arc::new(Mutex::new(PartitionStats::default()));
         let server = ServerThread {
-            index: 0,
+            index,
             partition: Partition::new(PartitionConfig::new(64, None)),
             lanes: vec![server_end],
             pin: None,
             stop: Arc::clone(&stop),
-            stats,
-            partition_stats: pstats,
+            stats: Arc::new(ServerStats::new()),
+            partition_stats: Arc::new(Mutex::new(PartitionStats::default())),
+            router,
         };
+        (client, server, stop)
+    }
+
+    /// Drive a server thread object synchronously on the current thread by
+    /// feeding it requests and then raising the stop flag.
+    fn run_one_exchange(requests: Vec<Request>) -> Vec<Response> {
+        let router = Arc::new(EpochRouter::new(1, 64, 1));
+        let (mut client, server, stop) = test_server(0, router);
 
         for r in &requests {
             let (w0, w1) = encode(r);
@@ -232,7 +509,17 @@ mod tests {
 
         let expected_responses = requests
             .iter()
-            .filter(|r| matches!(r, Request::Lookup { .. } | Request::Insert { .. } | Request::Delete { .. }))
+            .filter(|r| {
+                matches!(
+                    r,
+                    Request::Lookup { .. }
+                        | Request::Insert { .. }
+                        | Request::Delete { .. }
+                        | Request::MigratePrepare { .. }
+                        | Request::MigrateOut { .. }
+                        | Request::MigrateIn { .. }
+                )
+            })
             .count();
 
         let handle = std::thread::spawn(move || server.run());
@@ -270,20 +557,34 @@ mod tests {
     }
 
     #[test]
+    fn requests_for_keys_owned_elsewhere_are_redirected() {
+        // Router says two partitions; this server is index 0, so any key
+        // owned by partition 1 must bounce with a retry response.
+        let router = Arc::new(EpochRouter::new(2, 64, 2));
+        let foreign_key = (0..).find(|k| partition_for_key(*k, 2) == 1).unwrap();
+        let (mut client, server, stop) = test_server(0, Arc::clone(&router));
+        let (w0, _) = encode(&Request::Lookup { key: foreign_key });
+        client.send_blocking(w0);
+        client.flush();
+        let handle = std::thread::spawn(move || server.run());
+        let resp = loop {
+            if let Some(r) = client.try_recv() {
+                break r;
+            }
+            core::hint::spin_loop();
+        };
+        assert!(resp.is_retry());
+        assert_eq!(resp.retry_destination(), 1);
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn corrupt_words_are_skipped() {
         // A zero word has no valid opcode; the following lookup must still
         // be processed.
-        let (mut client, server_end) = duplex::<u64, Response>(RingConfig::with_capacity(256));
-        let stop = Arc::new(AtomicBool::new(false));
-        let server = ServerThread {
-            index: 0,
-            partition: Partition::new(PartitionConfig::new(64, None)),
-            lanes: vec![server_end],
-            pin: None,
-            stop: Arc::clone(&stop),
-            stats: Arc::new(ServerStats::new()),
-            partition_stats: Arc::new(Mutex::new(PartitionStats::default())),
-        };
+        let router = Arc::new(EpochRouter::new(1, 64, 1));
+        let (mut client, server, stop) = test_server(0, router);
         client.send_blocking(0);
         let (w0, _) = encode(&Request::Lookup { key: 1 });
         client.send_blocking(w0);

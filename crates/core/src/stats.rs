@@ -22,6 +22,10 @@ pub struct ServerStats {
     pub pinned: AtomicBool,
     /// Whether the server thread has exited its loop.
     pub stopped: AtomicBool,
+    /// Keys this server exported during live re-partitioning.
+    pub keys_migrated_out: AtomicU64,
+    /// Keys this server absorbed during live re-partitioning.
+    pub keys_migrated_in: AtomicU64,
 }
 
 impl ServerStats {

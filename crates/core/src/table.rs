@@ -11,11 +11,19 @@ use parking_lot::Mutex;
 
 use crate::client::ClientHandle;
 use crate::config::CpHashConfig;
+use crate::control::ControlHandle;
+use crate::router::EpochRouter;
 use crate::server::ServerThread;
 use crate::stats::{ServerStats, TableSnapshot};
 
 /// A running CPHash table: one pinned server thread per partition, plus the
 /// shared-memory message lanes connecting them to the client handles.
+///
+/// When `max_partitions` exceeds the initial partition count, the extra
+/// server threads are spawned up front (idle-polling empty lanes) so the
+/// table can be re-partitioned live: the shared [`EpochRouter`] decides which
+/// servers own keys, and the `cphash-migrate` coordinator moves keys between
+/// them through the [`ControlHandle`].
 ///
 /// Dropping the table (or calling [`CpHash::shutdown`]) stops the server
 /// threads and releases the partitions.  Client handles created from this
@@ -27,6 +35,8 @@ pub struct CpHash {
     servers: Vec<JoinHandle<()>>,
     server_stats: Vec<Arc<ServerStats>>,
     partition_stats: Vec<Arc<Mutex<PartitionStats>>>,
+    router: Arc<EpochRouter>,
+    control: Mutex<Option<ControlHandle>>,
 }
 
 impl CpHash {
@@ -35,39 +45,45 @@ impl CpHash {
     /// The number of client handles is fixed at construction time (as in the
     /// paper, where the client thread count is a benchmark parameter): every
     /// client/server pair gets its own pair of message rings, so servers
-    /// need to know all their clients up front.
+    /// need to know all their clients up front.  One extra, hidden lane per
+    /// server belongs to the migration control plane.
     pub fn new(config: CpHashConfig) -> (CpHash, Vec<ClientHandle>) {
         config.validate();
         let ring = RingConfig::with_capacity(config.ring_capacity);
+        let spawned = config.spawned_partitions();
+        let router = Arc::new(EpochRouter::new(
+            config.partitions,
+            config.migration_chunks,
+            spawned,
+        ));
 
-        // lane_matrix[s][c] = server s's endpoint for client c.
-        let mut server_lanes: Vec<Vec<_>> = (0..config.partitions).map(|_| Vec::new()).collect();
-        let mut client_lanes: Vec<Vec<_>> = (0..config.clients).map(|_| Vec::new()).collect();
-        for (c, client_lane_list) in client_lanes.iter_mut().enumerate() {
+        // lane_matrix[s][c] = server s's endpoint for client c; the last
+        // "client" slot is the control plane.
+        let lane_owners = config.clients + 1;
+        let mut server_lanes: Vec<Vec<_>> = (0..spawned).map(|_| Vec::new()).collect();
+        let mut client_lanes: Vec<Vec<_>> = (0..lane_owners).map(|_| Vec::new()).collect();
+        for client_lane_list in client_lanes.iter_mut() {
             for server_lane_list in server_lanes.iter_mut() {
                 let (client_end, server_end) = duplex(ring);
                 client_lane_list.push(client_end);
                 server_lane_list.push(server_end);
-                let _ = c;
             }
         }
 
         let stop = Arc::new(AtomicBool::new(false));
-        let mut servers = Vec::with_capacity(config.partitions);
-        let mut server_stats = Vec::with_capacity(config.partitions);
-        let mut partition_stats = Vec::with_capacity(config.partitions);
+        let mut servers = Vec::with_capacity(spawned);
+        let mut server_stats = Vec::with_capacity(spawned);
+        let mut partition_stats = Vec::with_capacity(spawned);
 
         for (index, lanes) in server_lanes.into_iter().enumerate() {
             let stats = Arc::new(ServerStats::new());
             let pstats = Arc::new(Mutex::new(PartitionStats::default()));
-            let partition = Partition::new(
-                PartitionConfig {
-                    buckets: config.buckets_per_partition,
-                    capacity_bytes: config.partition_capacity(),
-                    eviction: config.eviction,
-                    seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
-                },
-            );
+            let partition = Partition::new(PartitionConfig {
+                buckets: config.buckets_per_partition,
+                capacity_bytes: config.partition_capacity(),
+                eviction: config.eviction,
+                seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+            });
             let thread = ServerThread {
                 index,
                 partition,
@@ -76,6 +92,7 @@ impl CpHash {
                 stop: Arc::clone(&stop),
                 stats: Arc::clone(&stats),
                 partition_stats: Arc::clone(&pstats),
+                router: Arc::clone(&router),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("cphash-server-{index}"))
@@ -86,10 +103,12 @@ impl CpHash {
             partition_stats.push(pstats);
         }
 
-        let clients = client_lanes
-            .into_iter()
-            .map(|lanes| ClientHandle::new(lanes, config.ring_capacity))
+        let mut client_lanes = client_lanes.into_iter();
+        let clients = (&mut client_lanes)
+            .take(config.clients)
+            .map(|lanes| ClientHandle::new(lanes, config.ring_capacity, Arc::clone(&router)))
             .collect();
+        let control_lanes = client_lanes.next().expect("control lane set exists");
 
         (
             CpHash {
@@ -98,6 +117,8 @@ impl CpHash {
                 servers,
                 server_stats,
                 partition_stats,
+                control: Mutex::new(Some(ControlHandle::new(control_lanes, Arc::clone(&router)))),
+                router,
             },
             clients,
         )
@@ -113,19 +134,39 @@ impl CpHash {
         &self.config
     }
 
-    /// Number of partitions / server threads.
+    /// Number of *active* partitions (the target count while a migration is
+    /// in flight).
     pub fn partitions(&self) -> usize {
-        self.config.partitions
+        self.router.active_partitions()
     }
 
-    /// Per-server runtime statistics (live, lock-free).
+    /// Number of server threads actually spawned (`max_partitions`).
+    pub fn spawned_partitions(&self) -> usize {
+        self.server_stats.len()
+    }
+
+    /// The shared routing table.
+    pub fn router(&self) -> &Arc<EpochRouter> {
+        &self.router
+    }
+
+    /// Take the migration control handle. Returns `None` after the first
+    /// call — there is exactly one control plane per table, typically owned
+    /// by a `cphash-migrate::RepartitionCoordinator`.
+    pub fn take_control(&self) -> Option<ControlHandle> {
+        self.control.lock().take()
+    }
+
+    /// Per-server runtime statistics (live, lock-free), one entry per
+    /// *spawned* server thread.
     pub fn server_stats(&self) -> &[Arc<ServerStats>] {
         &self.server_stats
     }
 
-    /// Aggregate runtime snapshot across all servers.
+    /// Aggregate runtime snapshot across the currently active servers.
     pub fn snapshot(&self) -> TableSnapshot {
-        TableSnapshot::aggregate(&self.server_stats)
+        let active = self.router.active_partitions().min(self.server_stats.len());
+        TableSnapshot::aggregate(&self.server_stats[..active])
     }
 
     /// Aggregate partition statistics (hits, evictions, …).  Refreshed
@@ -161,7 +202,8 @@ impl Drop for CpHash {
 impl core::fmt::Debug for CpHash {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("CpHash")
-            .field("partitions", &self.config.partitions)
+            .field("partitions", &self.partitions())
+            .field("spawned", &self.server_stats.len())
             .field("clients", &self.config.clients)
             .field("capacity_bytes", &self.config.capacity_bytes)
             .finish()
@@ -298,7 +340,10 @@ mod tests {
         let stats_hits_possible: usize = (0..1_000u64)
             .filter(|&k| client.get(k).unwrap().is_some())
             .count();
-        assert!(stats_hits_possible <= 128, "at most capacity/value_size keys survive");
+        assert!(
+            stats_hits_possible <= 128,
+            "at most capacity/value_size keys survive"
+        );
         assert!(stats_hits_possible > 0, "the most recent keys survive");
         let pstats = table.partition_stats();
         assert!(pstats.evictions > 0);
@@ -341,6 +386,37 @@ mod tests {
         let snap = table.snapshot();
         assert_eq!(snap.servers, 2);
         assert!(snap.mean_utilization >= 0.0 && snap.mean_utilization <= 1.0);
+        drop(clients);
+        table.shutdown();
+    }
+
+    #[test]
+    fn elastic_table_spawns_extra_idle_servers() {
+        let config = CpHashConfig::new(2, 1).with_max_partitions(4);
+        let (mut table, mut clients) = CpHash::new(config);
+        assert_eq!(table.partitions(), 2);
+        assert_eq!(table.server_stats().len(), 4);
+        assert_eq!(
+            table.snapshot().servers,
+            2,
+            "snapshot covers active servers only"
+        );
+        // The control plane exists exactly once.
+        let control = table.take_control().expect("control handle");
+        assert!(table.take_control().is_none());
+        assert_eq!(control.servers(), 4);
+        // Ordinary operation is unaffected by the idle servers.
+        let client = &mut clients[0];
+        for key in 0..100u64 {
+            assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+        }
+        for key in 0..100u64 {
+            assert_eq!(
+                client.get(key).unwrap().unwrap().as_slice(),
+                key.to_le_bytes()
+            );
+        }
+        drop(control);
         drop(clients);
         table.shutdown();
     }

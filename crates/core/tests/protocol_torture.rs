@@ -48,7 +48,10 @@ fn pipelined_mixed_workload_accounts_for_every_submission() {
                             if let CompletionKind::LookupHit(v) = &c.kind {
                                 let value = u64::from_le_bytes(v.as_slice().try_into().unwrap());
                                 let original = value ^ 0xABCD;
-                                assert!(original < 4_096, "value was never written by any thread: {value:#x}");
+                                assert!(
+                                    original < 4_096,
+                                    "value was never written by any thread: {value:#x}"
+                                );
                             }
                         }
                     }
@@ -58,7 +61,10 @@ fn pipelined_mixed_workload_accounts_for_every_submission() {
                 for c in &completions {
                     assert!(completed.insert(c.token), "duplicate completion");
                 }
-                assert_eq!(submitted, completed, "every submission completes exactly once");
+                assert_eq!(
+                    submitted, completed,
+                    "every submission completes exactly once"
+                );
                 submitted.len()
             })
         })
@@ -108,7 +114,10 @@ fn overwrites_are_atomic_from_the_readers_point_of_view() {
         assert!(writer.insert(key, &value).unwrap());
     }
     let total_hits: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
-    assert!(total_hits > 0, "readers should observe some of the writer's values");
+    assert!(
+        total_hits > 0,
+        "readers should observe some of the writer's values"
+    );
     table.shutdown();
 }
 
@@ -124,9 +133,16 @@ fn eviction_churn_with_random_policy_and_tiny_partitions() {
     for key in 0..50_000u64 {
         client.submit_insert(key, &key.to_le_bytes());
         client.submit_lookup(key.saturating_sub(100));
-        if client.outstanding() >= 256 {
+        // Bound the outstanding window *blockingly*: an unacknowledged burst
+        // larger than the (tiny) table pins every slot in NOT-READY state —
+        // on a single-CPU host the client can queue tens of thousands of
+        // inserts before the servers ever run, and the churn turns into
+        // mass insert failure instead of mass eviction.
+        while client.outstanding() >= 128 {
             completions.clear();
-            client.poll(&mut completions);
+            if client.poll(&mut completions) == 0 {
+                std::thread::yield_now();
+            }
         }
     }
     completions.clear();
@@ -134,7 +150,10 @@ fn eviction_churn_with_random_policy_and_tiny_partitions() {
     drop(clients);
     table.shutdown();
     let stats = table.partition_stats();
-    assert!(stats.evictions > 40_000, "tiny capacity must force constant eviction");
+    assert!(
+        stats.evictions > 40_000,
+        "tiny capacity must force constant eviction"
+    );
     // Under this extreme configuration (64 slots per partition, hundreds of
     // outstanding lookups pinning elements) some inserts may legitimately
     // fail with OutOfMemory while everything evictable is pinned; what must
@@ -163,7 +182,11 @@ fn tables_with_one_partition_and_many_clients_still_serialize_correctly() {
                 }
                 for key in base..base + 3_000 {
                     assert_eq!(
-                        client.get(key).unwrap().expect("own key present").as_slice(),
+                        client
+                            .get(key)
+                            .unwrap()
+                            .expect("own key present")
+                            .as_slice(),
                         key.to_le_bytes()
                     );
                 }

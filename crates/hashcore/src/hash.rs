@@ -29,6 +29,30 @@ pub fn partition_for_key(key: u64, partitions: usize) -> usize {
     (hash64(key) % partitions as u64) as usize
 }
 
+/// The migration chunk `key` belongs to, out of `chunks` chunks (a power of
+/// two).
+///
+/// Online repartitioning moves the key space between server threads one
+/// chunk at a time: a chunk is a 1/`chunks` slice of the hash space, chosen
+/// by the *top* hash bits so it is decorrelated both from partition
+/// selection (modulo over the full hash) and bucket selection (bits 17+).
+/// Clients and servers agree on this pure function, so a single shared
+/// watermark ("chunks below `w` are migrated") describes migration progress
+/// exactly.
+///
+/// At most [`MAX_MIGRATION_CHUNKS`] chunks are supported — the chunk index
+/// is drawn from hash bits 48..64, so larger counts would leave the upper
+/// chunk indices permanently empty.
+#[inline]
+pub fn migration_chunk(key: u64, chunks: usize) -> usize {
+    debug_assert!(chunks.is_power_of_two() && chunks <= MAX_MIGRATION_CHUNKS);
+    ((hash64(key) >> 48) & (chunks as u64 - 1)) as usize
+}
+
+/// Largest supported migration-chunk count (the chunk index is 16 hash
+/// bits).
+pub const MAX_MIGRATION_CHUNKS: usize = 1 << 16;
+
 /// The bucket within a partition for `key`, out of `buckets` buckets
 /// (a power of two).
 #[inline]
@@ -48,7 +72,11 @@ mod tests {
     fn hash_is_deterministic_and_spreads() {
         assert_eq!(hash64(42), hash64(42));
         let distinct: HashSet<u64> = (0..10_000u64).map(hash64).collect();
-        assert_eq!(distinct.len(), 10_000, "no collisions on small sequential keys");
+        assert_eq!(
+            distinct.len(),
+            10_000,
+            "no collisions on small sequential keys"
+        );
     }
 
     #[test]
@@ -93,11 +121,51 @@ mod tests {
                 buckets.insert(bucket_for_key(key, 256));
             }
         }
-        assert!(buckets.len() > 200, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 200,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]
     fn max_key_is_60_bits() {
         assert_eq!(MAX_KEY, 0x0FFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn migration_chunks_are_stable_and_balanced() {
+        let chunks = 64;
+        let mut counts = vec![0usize; chunks];
+        for key in 0..100_000u64 {
+            let c = migration_chunk(key, chunks);
+            assert!(c < chunks);
+            assert_eq!(c, migration_chunk(key, chunks));
+            counts[c] += 1;
+        }
+        let expected = 100_000 / chunks;
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(
+                n > expected * 7 / 10 && n < expected * 13 / 10,
+                "chunk {c} got {n} of ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_chunk_decorrelated_from_partition() {
+        // Keys of one partition must spread over (almost) all chunks.
+        let mut seen = HashSet::new();
+        for key in 0..100_000u64 {
+            if partition_for_key(key, 4) == 0 {
+                seen.insert(migration_chunk(key, 64));
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            64,
+            "partition 0 keys hit only {} chunks",
+            seen.len()
+        );
     }
 }

@@ -34,7 +34,9 @@ pub mod policy;
 pub mod stats;
 
 pub use element::{ElementId, ElementState};
-pub use hash::{hash64, partition_for_key, MAX_KEY};
-pub use partition::{InsertError, InsertReservation, LookupHit, Partition, PartitionConfig};
+pub use hash::{hash64, migration_chunk, partition_for_key, MAX_KEY, MAX_MIGRATION_CHUNKS};
+pub use partition::{
+    ExportOutcome, InsertError, InsertReservation, LookupHit, Partition, PartitionConfig,
+};
 pub use policy::EvictionPolicy;
 pub use stats::PartitionStats;

@@ -72,6 +72,19 @@ pub struct InsertReservation {
     pub value: ValueHandle,
 }
 
+/// Result of a [`Partition::export_matching`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportOutcome {
+    /// Matching elements were removed from the partition; each entry is a
+    /// `(key, value bytes)` pair ready to be absorbed elsewhere.
+    Extracted(Vec<(u64, Vec<u8>)>),
+    /// Matching NOT-READY elements block the export; nothing was extracted.
+    Pending {
+        /// Number of in-flight inserts that must publish first.
+        not_ready: usize,
+    },
+}
+
 /// Why an insert could not be satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertError {
@@ -268,7 +281,11 @@ impl Partition {
     /// READY (visible to lookups) and release the insertion reference.
     pub fn mark_ready(&mut self, id: ElementId) {
         let e = self.slots[id.0 as usize].element_mut();
-        assert_eq!(e.state, ElementState::NotReady, "mark_ready on a READY element");
+        assert_eq!(
+            e.state,
+            ElementState::NotReady,
+            "mark_ready on a READY element"
+        );
         e.state = ElementState::Ready;
         self.decref(id);
     }
@@ -327,7 +344,11 @@ impl Partition {
     /// inside this partition.
     pub fn fill_and_ready(&mut self, id: ElementId, data: &[u8]) {
         let e = self.slots[id.0 as usize].element();
-        assert_eq!(e.state, ElementState::NotReady, "fill_and_ready on a READY element");
+        assert_eq!(
+            e.state,
+            ElementState::NotReady,
+            "fill_and_ready on a READY element"
+        );
         assert!(data.len() <= e.value.len(), "value larger than reservation");
         // SAFETY: see doc comment — the element is NOT-READY so no reader
         // holds the handle, and the partition is exclusively borrowed.
@@ -368,6 +389,93 @@ impl Partition {
     pub fn insert_copy(&mut self, key: u64, value: &[u8]) -> Result<(), InsertError> {
         let reservation = self.insert(key, value.len())?;
         self.fill_and_ready(reservation.id, value);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Live-migration support (export / absorb)
+    // ------------------------------------------------------------------
+
+    /// Extract every linked element whose key matches `leaving`, removing it
+    /// from this partition and returning `(key, value bytes)` pairs.
+    ///
+    /// This is the server-side primitive behind online repartitioning: the
+    /// owning server thread exports the keys that a new partition layout
+    /// assigns elsewhere, and the destination absorbs them with
+    /// [`Partition::absorb`].
+    ///
+    /// Elements still in NOT-READY state (an insert whose value copy is in
+    /// flight) cannot be exported — their bytes are not yet valid — so if any
+    /// matching element is NOT-READY, *nothing* is extracted and
+    /// [`ExportOutcome::Pending`] reports how many inserts must finish first.
+    /// The caller retries once the outstanding `Ready` messages have been
+    /// processed, which keeps the export atomic per chunk.
+    pub fn export_matching(&mut self, leaving: impl Fn(u64) -> bool) -> ExportOutcome {
+        self.export_inner(leaving, false)
+    }
+
+    /// Like [`Partition::export_matching`], but matching NOT-READY elements
+    /// are *dropped from the export* instead of deferring it.
+    ///
+    /// Only correct when the reservations can no longer publish — e.g. every
+    /// client endpoint is gone during shutdown — otherwise a concurrent
+    /// insert's key would be silently stranded on the old owner.
+    pub fn export_matching_abandoning_reservations(
+        &mut self,
+        leaving: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, Vec<u8>)> {
+        match self.export_inner(leaving, true) {
+            ExportOutcome::Extracted(entries) => entries,
+            ExportOutcome::Pending { .. } => unreachable!("forced export never defers"),
+        }
+    }
+
+    fn export_inner(&mut self, leaving: impl Fn(u64) -> bool, force: bool) -> ExportOutcome {
+        let mut matching: Vec<u32> = Vec::new();
+        let mut not_ready = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Slot::Occupied(e) = slot {
+                if e.linked && leaving(e.key) {
+                    if e.state == ElementState::Ready {
+                        matching.push(idx as u32);
+                    } else {
+                        not_ready += 1;
+                    }
+                }
+            }
+        }
+        if not_ready > 0 && !force {
+            return ExportOutcome::Pending { not_ready };
+        }
+        let mut entries = Vec::with_capacity(matching.len());
+        for idx in matching {
+            let e = self.slots[idx as usize].element();
+            // SAFETY: the element is READY and this partition is exclusively
+            // borrowed, so the value bytes are fully written and stable (the
+            // protocol never writes a READY value again).
+            let bytes = unsafe { e.value.as_slice() }.to_vec();
+            entries.push((e.key, bytes));
+            self.unlink(idx);
+            self.stats.exported += 1;
+        }
+        ExportOutcome::Extracted(entries)
+    }
+
+    /// Count of linked elements whose key matches `pred` (migration
+    /// accounting and tests).
+    pub fn count_matching(&self, pred: impl Fn(u64) -> bool) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| matches!(slot, Slot::Occupied(e) if e.linked && pred(e.key)))
+            .count()
+    }
+
+    /// Insert a migrated element, copying and publishing in one step.
+    /// Replace semantics match [`Partition::insert_copy`]; the `absorbed`
+    /// counter records the migration.
+    pub fn absorb(&mut self, key: u64, value: &[u8]) -> Result<(), InsertError> {
+        self.insert_copy(key, value)?;
+        self.stats.absorbed += 1;
         Ok(())
     }
 
@@ -438,9 +546,16 @@ impl Partition {
                 assert_eq!(count, self.len, "LRU list length mismatch");
             }
             EvictionPolicy::Random => {
-                assert_eq!(self.random_pool.len(), self.len, "random pool length mismatch");
+                assert_eq!(
+                    self.random_pool.len(),
+                    self.len,
+                    "random pool length mismatch"
+                );
                 for (i, &idx) in self.random_pool.iter().enumerate() {
-                    assert_eq!(self.pool_index[idx as usize] as usize, i, "pool back-index broken");
+                    assert_eq!(
+                        self.pool_index[idx as usize] as usize, i,
+                        "pool back-index broken"
+                    );
                     assert!(self.slots[idx as usize].element().linked);
                 }
             }
@@ -687,7 +802,10 @@ mod tests {
     fn not_ready_elements_are_invisible() {
         let mut p = small(None);
         let r = p.insert(1, 8).unwrap();
-        assert!(p.lookup(1).is_none(), "NOT-READY element must not be returned");
+        assert!(
+            p.lookup(1).is_none(),
+            "NOT-READY element must not be returned"
+        );
         assert!(!p.contains(1));
         p.fill_and_ready(r.id, &[1; 8]);
         let first = p.lookup(1).expect("READY element is visible");
@@ -762,7 +880,10 @@ mod tests {
         );
         for key in 0..100u64 {
             p.insert_copy(key, &key.to_le_bytes()).unwrap();
-            assert!(p.len() <= 8, "capacity 64 B / 8 B values = at most 8 elements");
+            assert!(
+                p.len() <= 8,
+                "capacity 64 B / 8 B values = at most 8 elements"
+            );
             p.check_invariants();
         }
         assert!(p.stats().evictions >= 92);
@@ -889,6 +1010,100 @@ mod tests {
         let hit = p.lookup(1).unwrap();
         p.decref(hit.id);
         p.decref(hit.id);
+    }
+
+    #[test]
+    fn export_and_absorb_move_elements_between_partitions() {
+        let mut source = small(None);
+        let mut dest = small(None);
+        for key in 0..100u64 {
+            source.insert_copy(key, &key.to_le_bytes()).unwrap();
+        }
+        let outcome = source.export_matching(|k| k % 2 == 0);
+        let entries = match outcome {
+            ExportOutcome::Extracted(entries) => entries,
+            other => panic!("expected extraction, got {other:?}"),
+        };
+        assert_eq!(entries.len(), 50);
+        assert_eq!(source.len(), 50);
+        assert_eq!(source.stats().exported, 50);
+        for (key, value) in &entries {
+            assert_eq!(value.as_slice(), key.to_le_bytes());
+            assert!(!source.contains(*key), "exported key still at source");
+            dest.absorb(*key, value).unwrap();
+        }
+        assert_eq!(dest.len(), 50);
+        assert_eq!(dest.stats().absorbed, 50);
+        let mut buf = Vec::new();
+        assert!(dest.lookup_copy(42, &mut buf));
+        assert_eq!(buf, 42u64.to_le_bytes());
+        source.check_invariants();
+        dest.check_invariants();
+    }
+
+    #[test]
+    fn export_defers_while_inserts_are_in_flight() {
+        let mut p = small(None);
+        p.insert_copy(2, &[1; 8]).unwrap();
+        let r = p.insert(4, 8).unwrap();
+        assert_eq!(
+            p.export_matching(|k| k % 2 == 0),
+            ExportOutcome::Pending { not_ready: 1 }
+        );
+        assert!(p.contains(2), "pending export must not remove anything");
+        p.fill_and_ready(r.id, &[4; 8]);
+        match p.export_matching(|k| k % 2 == 0) {
+            ExportOutcome::Extracted(entries) => assert_eq!(entries.len(), 2),
+            other => panic!("expected extraction, got {other:?}"),
+        }
+        assert!(p.is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn exported_values_survive_outstanding_references() {
+        // A reader holding a reference across the export must still see the
+        // original bytes (deferred free), while the export's copy is
+        // independent.
+        let mut p = small(None);
+        p.insert_copy(8, &88u64.to_le_bytes()).unwrap();
+        let hit = p.lookup(8).unwrap();
+        let entries = match p.export_matching(|_| true) {
+            ExportOutcome::Extracted(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(entries, vec![(8, 88u64.to_le_bytes().to_vec())]);
+        let mut buf = Vec::new();
+        p.read_value(&hit, &mut buf);
+        assert_eq!(buf, 88u64.to_le_bytes());
+        p.decref(hit.id);
+        assert_eq!(p.bytes_in_use(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn forced_export_abandons_dead_reservations() {
+        let mut p = small(None);
+        p.insert_copy(2, &[1; 8]).unwrap();
+        let _dead_reservation = p.insert(4, 8).unwrap();
+        let entries = p.export_matching_abandoning_reservations(|k| k % 2 == 0);
+        // The READY element moves; the NOT-READY reservation stays behind.
+        assert_eq!(entries, vec![(2, vec![1; 8])]);
+        assert!(!p.contains(2));
+        assert_eq!(p.len(), 1, "the abandoned reservation is still linked");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn count_matching_counts_linked_elements() {
+        let mut p = small(None);
+        for key in 0..10u64 {
+            p.insert_copy(key, &[0; 8]).unwrap();
+        }
+        assert_eq!(p.count_matching(|k| k < 3), 3);
+        assert_eq!(p.count_matching(|_| true), 10);
+        p.delete(0);
+        assert_eq!(p.count_matching(|k| k < 3), 2);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct PartitionStats {
     /// Inserts refused because the value cannot fit even after evicting
     /// everything evictable.
     pub failed_inserts: u64,
+    /// Elements exported to another partition by live migration.
+    pub exported: u64,
+    /// Elements absorbed from another partition by live migration.
+    pub absorbed: u64,
 }
 
 impl PartitionStats {
@@ -46,6 +50,8 @@ impl PartitionStats {
         self.deletes += other.deletes;
         self.deferred_frees += other.deferred_frees;
         self.failed_inserts += other.failed_inserts;
+        self.exported += other.exported;
+        self.absorbed += other.absorbed;
     }
 
     /// Zero every counter.

@@ -136,7 +136,9 @@ fn scan_heavy_workload_stays_at_budget() {
     let mut partition = Partition::new(PartitionConfig::new(512, Some(capacity)));
     for round in 0..50u64 {
         for key in 0..1000u64 {
-            partition.insert_copy(key + round, &(key + round).to_le_bytes()).unwrap();
+            partition
+                .insert_copy(key + round, &(key + round).to_le_bytes())
+                .unwrap();
         }
         assert!(partition.bytes_in_use() <= capacity);
         assert_eq!(partition.len(), 256);

@@ -24,7 +24,9 @@ impl core::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
-            DecodeError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds the protocol limit"),
+            DecodeError::ValueTooLarge(n) => {
+                write!(f, "value of {n} bytes exceeds the protocol limit")
+            }
         }
     }
 }
@@ -64,7 +66,8 @@ impl RequestDecoder {
         let opcode = self.buffer[0];
         let kind = RequestKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
         let key = u64::from_le_bytes(self.buffer[1..9].try_into().expect("header present"));
-        let size = u32::from_le_bytes(self.buffer[9..13].try_into().expect("header present")) as usize;
+        let size =
+            u32::from_le_bytes(self.buffer[9..13].try_into().expect("header present")) as usize;
         if size > MAX_VALUE_BYTES {
             return Err(DecodeError::ValueTooLarge(size as u64));
         }
@@ -112,7 +115,8 @@ impl ResponseDecoder {
         if self.buffer.len() < RESPONSE_HEADER_BYTES {
             return Ok(None);
         }
-        let size = u32::from_le_bytes(self.buffer[0..4].try_into().expect("header present")) as usize;
+        let size =
+            u32::from_le_bytes(self.buffer[0..4].try_into().expect("header present")) as usize;
         if size > MAX_VALUE_BYTES {
             return Err(DecodeError::ValueTooLarge(size as u64));
         }
@@ -174,7 +178,10 @@ mod tests {
         frame.extend_from_slice(&5u64.to_le_bytes());
         frame.extend_from_slice(&(u32::MAX).to_le_bytes());
         dec.feed(&frame);
-        assert!(matches!(dec.next_request(), Err(DecodeError::ValueTooLarge(_))));
+        assert!(matches!(
+            dec.next_request(),
+            Err(DecodeError::ValueTooLarge(_))
+        ));
         assert!(format!("{}", DecodeError::BadOpcode(3)).contains("opcode"));
     }
 
@@ -188,7 +195,9 @@ mod tests {
         dec.feed(&wire);
         assert_eq!(
             dec.next_response().unwrap(),
-            Some(Response { value: Some(b"v1".to_vec()) })
+            Some(Response {
+                value: Some(b"v1".to_vec())
+            })
         );
         assert_eq!(dec.next_response().unwrap(), Some(Response { value: None }));
         // A present-but-empty value is indistinguishable from a miss in this
@@ -207,7 +216,9 @@ mod tests {
         dec.feed(&wire[5..]);
         assert_eq!(
             dec.next_response().unwrap(),
-            Some(Response { value: Some(b"abcdef".to_vec()) })
+            Some(Response {
+                value: Some(b"abcdef".to_vec())
+            })
         );
     }
 }

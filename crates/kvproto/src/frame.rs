@@ -12,6 +12,9 @@ pub enum RequestKind {
     Lookup = 1,
     /// Store a value under a key (no response).
     Insert = 2,
+    /// Admin: re-partition the live table to `key` server threads. The
+    /// response value is a status string (`partitions=N ...` or `ERR ...`).
+    Resize = 3,
 }
 
 impl RequestKind {
@@ -20,6 +23,7 @@ impl RequestKind {
         match b {
             1 => Some(RequestKind::Lookup),
             2 => Some(RequestKind::Insert),
+            3 => Some(RequestKind::Resize),
             _ => None,
         }
     }
@@ -54,6 +58,15 @@ impl Request {
             value: value.into(),
         }
     }
+
+    /// Build a resize admin request.
+    pub fn resize(partitions: u64) -> Request {
+        Request {
+            kind: RequestKind::Resize,
+            key: partitions & MAX_KEY,
+            value: Vec::new(),
+        }
+    }
 }
 
 /// A decoded response frame (only lookups get responses).
@@ -86,11 +99,22 @@ pub fn encode_insert(out: &mut BytesMut, key: u64, value: &[u8]) {
     out.put_slice(value);
 }
 
-/// Append an encoded request (either kind) to `out`.
+/// Append an encoded RESIZE admin request to `out`: re-partition the live
+/// table to `partitions` server threads. The server answers with a status
+/// string framed like a lookup response.
+pub fn encode_resize(out: &mut BytesMut, partitions: u64) {
+    out.reserve(REQUEST_HEADER_BYTES);
+    out.put_u8(RequestKind::Resize as u8);
+    out.put_u64_le(partitions & MAX_KEY);
+    out.put_u32_le(0);
+}
+
+/// Append an encoded request (any kind) to `out`.
 pub fn encode_request(out: &mut BytesMut, request: &Request) {
     match request.kind {
         RequestKind::Lookup => encode_lookup(out, request.key),
         RequestKind::Insert => encode_insert(out, request.key, &request.value),
+        RequestKind::Resize => encode_resize(out, request.key),
     }
 }
 
@@ -163,8 +187,24 @@ mod tests {
         let i = Request::insert(5, b"x".to_vec());
         assert_eq!(i.kind, RequestKind::Insert);
         assert_eq!(i.value, b"x");
+        let r = Request::resize(4);
+        assert_eq!(r.kind, RequestKind::Resize);
+        assert_eq!(r.key, 4);
         assert_eq!(RequestKind::from_byte(1), Some(RequestKind::Lookup));
         assert_eq!(RequestKind::from_byte(2), Some(RequestKind::Insert));
+        assert_eq!(RequestKind::from_byte(3), Some(RequestKind::Resize));
         assert_eq!(RequestKind::from_byte(9), None);
+    }
+
+    #[test]
+    fn resize_encoding_layout_and_round_trip() {
+        let mut buf = BytesMut::new();
+        encode_resize(&mut buf, 8);
+        assert_eq!(buf.len(), REQUEST_HEADER_BYTES);
+        assert_eq!(buf[0], 3);
+        assert_eq!(u64::from_le_bytes(buf[1..9].try_into().unwrap()), 8);
+        let mut decoder = crate::RequestDecoder::new();
+        decoder.feed(&buf);
+        assert_eq!(decoder.next_request().unwrap(), Some(Request::resize(8)));
     }
 }

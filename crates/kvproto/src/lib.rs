@@ -29,7 +29,10 @@ pub mod decode;
 pub mod frame;
 
 pub use decode::{DecodeError, RequestDecoder, ResponseDecoder};
-pub use frame::{encode_insert, encode_lookup, encode_response, Request, RequestKind, Response};
+pub use frame::{
+    encode_insert, encode_lookup, encode_request, encode_resize, encode_response, Request,
+    RequestKind, Response,
+};
 
 /// Largest value size the servers accept, to bound memory per request
 /// (16 MiB; memcached's default limit is 1 MiB).

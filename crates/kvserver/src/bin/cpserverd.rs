@@ -13,6 +13,7 @@ use cphash_kvserver::{CpServer, CpServerConfig};
 struct Args {
     port: u16,
     partitions: usize,
+    max_partitions: usize,
     client_threads: usize,
     capacity_mb: usize,
     stats_secs: u64,
@@ -22,6 +23,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         port: 7700,
         partitions: 2,
+        max_partitions: 0,
         client_threads: 2,
         capacity_mb: 64,
         stats_secs: 5,
@@ -36,6 +38,11 @@ fn parse_args() -> Result<Args, String> {
             "--partitions" => {
                 args.partitions = value("--partitions")?.parse().map_err(|e| format!("bad partitions: {e}"))?
             }
+            "--max-partitions" => {
+                args.max_partitions = value("--max-partitions")?
+                    .parse()
+                    .map_err(|e| format!("bad max-partitions: {e}"))?
+            }
             "--client-threads" => {
                 args.client_threads =
                     value("--client-threads")?.parse().map_err(|e| format!("bad client-threads: {e}"))?
@@ -47,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
                 args.stats_secs = value("--stats-secs")?.parse().map_err(|e| format!("bad stats-secs: {e}"))?
             }
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -65,9 +72,12 @@ fn main() {
     };
 
     let config = CpServerConfig {
-        bind: format!("0.0.0.0:{}", args.port).parse().expect("valid bind address"),
+        bind: format!("0.0.0.0:{}", args.port)
+            .parse()
+            .expect("valid bind address"),
         client_threads: args.client_threads,
         partitions: args.partitions,
+        max_partitions: args.max_partitions,
         capacity_bytes: Some(args.capacity_mb * 1024 * 1024),
         typical_value_bytes: 64,
         ..Default::default()
@@ -86,6 +96,12 @@ fn main() {
         args.client_threads,
         args.capacity_mb
     );
+    if args.max_partitions > args.partitions {
+        println!(
+            "live resize enabled up to {} partitions (send a RESIZE frame, opcode 3, key = new count)",
+            args.max_partitions
+        );
+    }
     println!("press Ctrl-C to stop");
 
     let mut last_requests = 0u64;

@@ -65,7 +65,9 @@ fn main() {
     };
 
     let config = LockServerConfig {
-        bind: format!("0.0.0.0:{}", args.port).parse().expect("valid bind address"),
+        bind: format!("0.0.0.0:{}", args.port)
+            .parse()
+            .expect("valid bind address"),
         worker_threads: args.worker_threads,
         partitions: args.partitions,
         capacity_bytes: Some(args.capacity_mb * 1024 * 1024),

@@ -3,16 +3,51 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy};
 use cphash_affinity::HwThreadId;
 use cphash_kvproto::{encode_response, RequestKind};
+use cphash_migrate::RepartitionCoordinator;
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
 use crate::metrics::ServerMetrics;
+
+/// An admin resize request in flight from a client thread to the admin
+/// thread that owns the repartition coordinator.
+struct AdminRequest {
+    new_partitions: usize,
+    reply: mpsc::Sender<String>,
+}
+
+/// The admin thread: serializes resize requests onto the coordinator.
+fn admin_worker(
+    mut coordinator: RepartitionCoordinator,
+    requests: mpsc::Receiver<AdminRequest>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match requests.recv_timeout(Duration::from_millis(20)) {
+            Ok(request) => {
+                let status = match coordinator.resize_to(request.new_partitions) {
+                    Ok(report) => format!(
+                        "partitions={} moved={} chunks={}",
+                        report.to_partitions, report.keys_moved, report.chunks
+                    ),
+                    Err(e) => format!("ERR {e}"),
+                };
+                // The requesting worker may have dropped the receiver when
+                // its connection closed; that is fine.
+                let _ = request.reply.send(status);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
 
 /// Configuration for [`CpServer`].
 #[derive(Debug, Clone)]
@@ -33,6 +68,10 @@ pub struct CpServerConfig {
     pub server_pins: Vec<HwThreadId>,
     /// Outstanding-request window per client thread.
     pub batch: usize,
+    /// Upper bound for the runtime `resize` admin command. Resize is only
+    /// enabled when this exceeds `partitions`; otherwise (0 or equal) the
+    /// table is static and RESIZE frames are refused.
+    pub max_partitions: usize,
 }
 
 impl Default for CpServerConfig {
@@ -46,6 +85,7 @@ impl Default for CpServerConfig {
             eviction: EvictionPolicy::Lru,
             server_pins: Vec::new(),
             batch: 1024,
+            max_partitions: 0,
         }
     }
 }
@@ -69,6 +109,7 @@ impl CpServer {
         }
         table_config.eviction = config.eviction;
         table_config.server_pins = config.server_pins.clone();
+        table_config.max_partitions = config.max_partitions;
         let (table, handles) = CpHash::new(table_config);
 
         let listener = TcpListener::bind(config.bind)?;
@@ -77,15 +118,37 @@ impl CpServer {
         let (slots, inboxes) = worker_channels(config.client_threads);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 
+        // The admin thread owns the table's repartition coordinator and
+        // serializes `resize` requests from every client thread. A static
+        // table (max_partitions == 0) gets no admin thread at all, so even
+        // shrink requests are refused rather than re-shaping a topology the
+        // operator declared fixed.
+        let resize_enabled = config.max_partitions > config.partitions;
+        let (admin_tx, admin_rx) = mpsc::channel::<AdminRequest>();
         let mut threads = vec![acceptor];
+        if resize_enabled {
+            let coordinator =
+                RepartitionCoordinator::new(table.take_control().expect("fresh table has control"));
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cpserver-admin".into())
+                    .spawn(move || admin_worker(coordinator, admin_rx, stop))
+                    .expect("spawning the admin thread"),
+            );
+        } else {
+            drop(admin_rx);
+        }
+
         for (index, (handle, inbox)) in handles.into_iter().zip(inboxes).enumerate() {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics);
             let batch = config.batch;
+            let admin = resize_enabled.then(|| admin_tx.clone());
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cpserver-client-{index}"))
-                    .spawn(move || client_worker(handle, inbox, stop, metrics, batch))
+                    .spawn(move || client_worker(handle, inbox, stop, metrics, batch, admin))
                     .expect("spawning a client thread"),
             );
         }
@@ -205,10 +268,21 @@ impl ConnState {
     /// Write out every response whose predecessors have all been written.
     fn flush_ready_responses(&mut self) -> bool {
         let mut wrote = false;
-        while matches!(self.lookups.front(), Some(PendingLookup { state: LookupState::Done(_), .. })) {
+        while matches!(
+            self.lookups.front(),
+            Some(PendingLookup {
+                state: LookupState::Done(_),
+                ..
+            })
+        ) {
             let entry = self.lookups.pop_front().expect("front checked");
-            let LookupState::Done(value) = entry.state else { unreachable!() };
-            encode_response(self.conn.queue_response(), value.as_ref().map(|v| v.as_slice()));
+            let LookupState::Done(value) = entry.state else {
+                unreachable!()
+            };
+            encode_response(
+                self.conn.queue_response(),
+                value.as_ref().map(|v| v.as_slice()),
+            );
             wrote = true;
         }
         wrote
@@ -223,6 +297,7 @@ fn client_worker(
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     batch: usize,
+    admin: Option<mpsc::Sender<AdminRequest>>,
 ) {
     // Connection slab: indices stay stable so in-flight tokens can refer to
     // their connection even as others close.
@@ -236,6 +311,9 @@ fn client_worker(
     // completes rather than racing it to the server thread.
     let mut insert_token_key: HashMap<u64, u64> = HashMap::new();
     let mut inflight_inserts: HashMap<u64, InflightInsert> = HashMap::new();
+    // Resize admin commands awaiting the coordinator's answer, resolved
+    // against the connection's ordered response queue like lookups.
+    let mut pending_admin: Vec<(usize, u64, mpsc::Receiver<String>)> = Vec::new();
     let mut requests = Vec::with_capacity(256);
     let mut completions = Vec::with_capacity(256);
     let mut idle_streak = 0u32;
@@ -264,6 +342,7 @@ fn client_worker(
 
         // Gather a batch of requests from every connection and forward them
         // to the hash-table servers without waiting for answers.
+        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
         for idx in 0..connections.len() {
             let Some(state) = connections[idx].as_mut() else {
                 continue;
@@ -293,9 +372,61 @@ fn client_worker(
                         inflight_inserts.entry(request.key).or_default().count += 1;
                         metrics.note_insert();
                     }
+                    RequestKind::Resize => {
+                        metrics.note_admin();
+                        let seq = state.enqueue_lookup(LookupState::Submitted);
+                        let Some(admin) = admin.as_ref() else {
+                            state.resolve(
+                                seq,
+                                Some(cphash::ValueBytes::from_slice(
+                                    b"ERR resize disabled (start with --max-partitions)",
+                                )),
+                            );
+                            continue;
+                        };
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        let sent = admin
+                            .send(AdminRequest {
+                                new_partitions: request.key as usize,
+                                reply: reply_tx,
+                            })
+                            .is_ok();
+                        if sent {
+                            pending_admin.push((idx, seq, reply_rx));
+                        } else {
+                            state.resolve(
+                                seq,
+                                Some(cphash::ValueBytes::from_slice(b"ERR admin unavailable")),
+                            );
+                        }
+                    }
                 }
             }
         }
+
+        // Resolve finished resize commands against their connections.
+        pending_admin.retain(|(conn_idx, seq, reply_rx)| match reply_rx.try_recv() {
+            Ok(status) => {
+                if let Some(state) = connections.get_mut(*conn_idx).and_then(|c| c.as_mut()) {
+                    state.resolve(
+                        *seq,
+                        Some(cphash::ValueBytes::from_slice(status.as_bytes())),
+                    );
+                }
+                did_work = true;
+                false
+            }
+            Err(mpsc::TryRecvError::Empty) => true,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                if let Some(state) = connections.get_mut(*conn_idx).and_then(|c| c.as_mut()) {
+                    state.resolve(
+                        *seq,
+                        Some(cphash::ValueBytes::from_slice(b"ERR admin unavailable")),
+                    );
+                }
+                false
+            }
+        });
 
         // Collect hash-table completions and resolve them against the
         // per-connection ordered lookup queues.
@@ -336,7 +467,11 @@ fn client_worker(
                         if finished {
                             if let Some(pending) = inflight_inserts.remove(&key) {
                                 for (conn_idx, seq) in pending.deferred {
-                                    if connections.get(conn_idx).map(|c| c.is_some()).unwrap_or(false) {
+                                    if connections
+                                        .get(conn_idx)
+                                        .map(|c| c.is_some())
+                                        .unwrap_or(false)
+                                    {
                                         let token = handle.submit_lookup(key);
                                         lookup_tokens.insert(token, (conn_idx, seq));
                                         if let Some(state) = connections[conn_idx].as_mut() {
@@ -354,6 +489,7 @@ fn client_worker(
         }
 
         // Write out in-order responses and retire closed connections.
+        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
         for idx in 0..connections.len() {
             let Some(state) = connections[idx].as_mut() else {
                 continue;
@@ -370,6 +506,11 @@ fn client_worker(
                 for pending in inflight_inserts.values_mut() {
                     pending.deferred.retain(|(c, _)| *c != idx);
                 }
+                // Admin replies must die with the connection: the slot (and
+                // its per-connection sequence numbers) can be reused, and a
+                // late resize status must not resolve against a successor
+                // connection's lookup of the same seq.
+                pending_admin.retain(|(c, _, _)| *c != idx);
             }
         }
 
@@ -392,7 +533,11 @@ mod tests {
     use std::io::{Read, Write};
     use std::net::TcpStream;
 
-    fn lookup_roundtrip(stream: &mut TcpStream, decoder: &mut ResponseDecoder, key: u64) -> Option<Vec<u8>> {
+    fn lookup_roundtrip(
+        stream: &mut TcpStream,
+        decoder: &mut ResponseDecoder,
+        key: u64,
+    ) -> Option<Vec<u8>> {
         let mut wire = BytesMut::new();
         encode_lookup(&mut wire, key);
         stream.write_all(&wire).unwrap();
@@ -463,6 +608,111 @@ mod tests {
             h.join().unwrap();
         }
         assert!(server.metrics().hit_rate() > 0.99);
+        server.shutdown();
+    }
+
+    #[test]
+    fn static_servers_refuse_resize_frames() {
+        use cphash_kvproto::encode_resize;
+        // Default config: max_partitions == 0, table declared static.
+        let mut server = CpServer::start(CpServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        // Even a *shrink* (which the router could technically satisfy) must
+        // be refused on a static table.
+        let mut wire = BytesMut::new();
+        encode_resize(&mut wire, 1);
+        stream.write_all(&wire).unwrap();
+        let mut buf = [0u8; 256];
+        let status = loop {
+            if let Some(resp) = decoder.next_response().unwrap() {
+                break String::from_utf8(resp.value.expect("status string")).unwrap();
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0);
+            decoder.feed(&buf[..n]);
+        };
+        assert!(
+            status.starts_with("ERR resize disabled"),
+            "unexpected status {status:?}"
+        );
+        // The data path is unaffected.
+        let mut wire = BytesMut::new();
+        encode_insert(&mut wire, 5, b"still works");
+        stream.write_all(&wire).unwrap();
+        let got = lookup_roundtrip(&mut stream, &mut decoder, 5);
+        assert_eq!(got.as_deref(), Some(&b"still works"[..]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn resize_admin_command_repartitions_the_live_server() {
+        use cphash_kvproto::encode_resize;
+        let mut server = CpServer::start(CpServerConfig {
+            partitions: 2,
+            max_partitions: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+
+        // Populate, then resize 2 -> 4 over the wire.
+        for key in 0..500u64 {
+            let mut wire = BytesMut::new();
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+            stream.write_all(&wire).unwrap();
+        }
+        let mut wire = BytesMut::new();
+        encode_resize(&mut wire, 4);
+        stream.write_all(&wire).unwrap();
+        let status = {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(resp) = decoder.next_response().unwrap() {
+                    break String::from_utf8(resp.value.expect("status string")).unwrap();
+                }
+                let n = stream.read(&mut buf).unwrap();
+                assert!(n > 0, "server closed the connection");
+                decoder.feed(&buf[..n]);
+            }
+        };
+        assert!(
+            status.starts_with("partitions=4"),
+            "unexpected status {status:?}"
+        );
+
+        // Every key must still be served after the live repartition.
+        for key in 0..500u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+        }
+
+        // Out-of-range and mid-size resizes report errors over the wire.
+        let mut wire = BytesMut::new();
+        encode_resize(&mut wire, 64);
+        stream.write_all(&wire).unwrap();
+        let status = {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(resp) = decoder.next_response().unwrap() {
+                    break String::from_utf8(resp.value.expect("status string")).unwrap();
+                }
+                let n = stream.read(&mut buf).unwrap();
+                assert!(n > 0);
+                decoder.feed(&buf[..n]);
+            }
+        };
+        assert!(status.starts_with("ERR"), "unexpected status {status:?}");
+        assert_eq!(
+            server
+                .metrics()
+                .admin_commands
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
         server.shutdown();
     }
 }

@@ -159,6 +159,7 @@ fn lock_worker(
             }
         }
 
+        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
         for idx in 0..connections.len() {
             let Some(conn) = connections[idx].as_mut() else {
                 continue;
@@ -174,12 +175,25 @@ fn lock_worker(
                         metrics.note_lookup(hit);
                         encode_response(
                             conn.queue_response(),
-                            if hit { Some(value_buf.as_slice()) } else { None },
+                            if hit {
+                                Some(value_buf.as_slice())
+                            } else {
+                                None
+                            },
                         );
                     }
                     RequestKind::Insert => {
                         table.insert(request.key, &request.value);
                         metrics.note_insert();
+                    }
+                    RequestKind::Resize => {
+                        // LOCKSERVER's partition count is fixed; report the
+                        // unsupported admin command instead of hanging the
+                        // client's ordered response stream.
+                        encode_response(
+                            conn.queue_response(),
+                            Some(b"ERR resize unsupported on LOCKSERVER".as_slice()),
+                        );
                     }
                 }
             }

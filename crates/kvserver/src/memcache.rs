@@ -211,11 +211,26 @@ fn handle_connection(
                 RequestKind::Lookup => {
                     let hit = table.lookup_copy(request.key, &mut value_buf);
                     metrics.note_lookup(hit);
-                    encode_response(&mut out, if hit { Some(value_buf.as_slice()) } else { None });
+                    encode_response(
+                        &mut out,
+                        if hit {
+                            Some(value_buf.as_slice())
+                        } else {
+                            None
+                        },
+                    );
                 }
                 RequestKind::Insert => {
                     let _ = table.insert_copy(request.key, &request.value);
                     metrics.note_insert();
+                }
+                RequestKind::Resize => {
+                    // Memcached instances are statically sized (§7 runs one
+                    // per core); answer rather than stall the client.
+                    encode_response(
+                        &mut out,
+                        Some(b"ERR resize unsupported on memcached".as_slice()),
+                    );
                 }
             }
         }
@@ -274,7 +289,7 @@ mod tests {
             .iter()
             .map(|a| TcpStream::connect(a).unwrap())
             .collect();
-        let mut decoders = vec![ResponseDecoder::new(), ResponseDecoder::new()];
+        let mut decoders = [ResponseDecoder::new(), ResponseDecoder::new()];
         for key in 0..50u64 {
             let inst = (key % 2) as usize;
             let mut wire = BytesMut::new();

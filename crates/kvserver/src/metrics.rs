@@ -19,6 +19,8 @@ pub struct ServerMetrics {
     pub bytes_out: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Admin commands (resize) received.
+    pub admin_commands: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -66,6 +68,11 @@ impl ServerMetrics {
 
     pub(crate) fn note_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_admin(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.admin_commands.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -172,7 +172,9 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         let window = spec.batch;
         let ops = ops_per_client(&spec, opts.client_threads, index);
         workers.push(std::thread::spawn(move || {
-            let pinned = pin.map(|hw| pin_to_hw_thread(hw).is_pinned()).unwrap_or(false);
+            let pinned = pin
+                .map(|hw| pin_to_hw_thread(hw).is_pinned())
+                .unwrap_or(false);
             let mut stream = OpStream::for_client(&spec, index, ops);
             let mut tally = ThreadTally {
                 pinned,
@@ -283,7 +285,9 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         let pin = opts.client_pins.get(index).copied();
         let ops = ops_per_client(&spec, opts.client_threads, index);
         workers.push(std::thread::spawn(move || {
-            let pinned = pin.map(|hw| pin_to_hw_thread(hw).is_pinned()).unwrap_or(false);
+            let pinned = pin
+                .map(|hw| pin_to_hw_thread(hw).is_pinned())
+                .unwrap_or(false);
             let mut tally = ThreadTally {
                 pinned,
                 ..Default::default()
@@ -388,7 +392,11 @@ mod tests {
             run_lockhash(&spec, &DriverOptions::new(2, 16)),
         ] {
             let ratio = result.inserts as f64 / result.operations as f64;
-            assert!((ratio - 0.5).abs() < 0.05, "{}: insert ratio {ratio}", result.label);
+            assert!(
+                (ratio - 0.5).abs() < 0.05,
+                "{}: insert ratio {ratio}",
+                result.label
+            );
         }
     }
 

@@ -144,7 +144,11 @@ impl Iterator for OpStream {
         self.remaining -= 1;
         let insert = self.next_fraction() < self.insert_ratio;
         let key = self.next_key();
-        Some(if insert { Op::Insert(key) } else { Op::Lookup(key) })
+        Some(if insert {
+            Op::Insert(key)
+        } else {
+            Op::Lookup(key)
+        })
     }
 }
 
@@ -202,7 +206,11 @@ mod tests {
         let expected: HashSet<u64> = working_set_keys(&s).collect();
         assert_eq!(expected.len() as u64, s.distinct_keys());
         for op in OpStream::for_client(&s, 3, 10_000) {
-            assert!(expected.contains(&op.key()), "key {} outside working set", op.key());
+            assert!(
+                expected.contains(&op.key()),
+                "key {} outside working set",
+                op.key()
+            );
         }
     }
 

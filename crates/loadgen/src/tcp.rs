@@ -88,79 +88,82 @@ pub fn run_tcp_load(spec: &WorkloadSpec, opts: &TcpLoadOptions) -> std::io::Resu
         let opts = opts.clone();
         let ops = spec.operations / opts.threads as u64
             + u64::from((index as u64) < spec.operations % opts.threads as u64);
-        workers.push(std::thread::spawn(move || -> std::io::Result<(u64, u64, u64)> {
-            let mut connections: Vec<(TcpStream, ResponseDecoder)> = (0..opts.connections_per_thread)
-                .map(|_| -> std::io::Result<_> {
-                    let stream = TcpStream::connect(opts.addr)?;
-                    stream.set_nodelay(true)?;
-                    Ok((stream, ResponseDecoder::new()))
-                })
-                .collect::<Result<_, _>>()?;
-            let mut stream_ops = OpStream::for_client(&spec, index, ops);
-            let mut wire = BytesMut::with_capacity(opts.pipeline * 32);
-            let mut read_buf = vec![0u8; 64 * 1024];
-            let mut sent = 0u64;
-            let mut lookups = 0u64;
-            let mut hits = 0u64;
-            barrier.wait();
+        workers.push(std::thread::spawn(
+            move || -> std::io::Result<(u64, u64, u64)> {
+                let mut connections: Vec<(TcpStream, ResponseDecoder)> = (0..opts
+                    .connections_per_thread)
+                    .map(|_| -> std::io::Result<_> {
+                        let stream = TcpStream::connect(opts.addr)?;
+                        stream.set_nodelay(true)?;
+                        Ok((stream, ResponseDecoder::new()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut stream_ops = OpStream::for_client(&spec, index, ops);
+                let mut wire = BytesMut::with_capacity(opts.pipeline * 32);
+                let mut read_buf = vec![0u8; 64 * 1024];
+                let mut sent = 0u64;
+                let mut lookups = 0u64;
+                let mut hits = 0u64;
+                barrier.wait();
 
-            'outer: loop {
-                for conn_idx in 0..connections.len() {
-                    // Build one pipelined batch for this connection.
-                    wire.clear();
-                    let mut batch_lookups = 0usize;
-                    let mut batch_ops = 0usize;
-                    while batch_ops < opts.pipeline {
-                        match stream_ops.next() {
-                            Some(Op::Lookup(key)) => {
-                                encode_lookup(&mut wire, key);
-                                batch_lookups += 1;
+                #[allow(clippy::needless_range_loop)] // conn_idx is the slab slot id
+                'outer: loop {
+                    for conn_idx in 0..connections.len() {
+                        // Build one pipelined batch for this connection.
+                        wire.clear();
+                        let mut batch_lookups = 0usize;
+                        let mut batch_ops = 0usize;
+                        while batch_ops < opts.pipeline {
+                            match stream_ops.next() {
+                                Some(Op::Lookup(key)) => {
+                                    encode_lookup(&mut wire, key);
+                                    batch_lookups += 1;
+                                }
+                                Some(Op::Insert(key)) => {
+                                    encode_insert(&mut wire, key, &key.to_le_bytes());
+                                }
+                                None => break,
                             }
-                            Some(Op::Insert(key)) => {
-                                encode_insert(&mut wire, key, &key.to_le_bytes());
-                            }
-                            None => break,
+                            batch_ops += 1;
                         }
-                        batch_ops += 1;
-                    }
-                    if batch_ops == 0 {
-                        break 'outer;
-                    }
-                    let (socket, decoder) = &mut connections[conn_idx];
-                    socket.write_all(&wire)?;
-                    sent += batch_ops as u64;
-                    lookups += batch_lookups as u64;
-                    // Read exactly the responses this batch owes us
-                    // (inserts are fire-and-forget, §4.1).
-                    let mut received = 0usize;
-                    while received < batch_lookups {
-                        while let Some(resp) = decoder
-                            .next_response()
-                            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
-                        {
-                            received += 1;
-                            if resp.value.is_some() {
-                                hits += 1;
-                            }
-                            if received == batch_lookups {
-                                break;
-                            }
+                        if batch_ops == 0 {
+                            break 'outer;
                         }
-                        if received < batch_lookups {
-                            let n = socket.read(&mut read_buf)?;
-                            if n == 0 {
-                                return Err(std::io::Error::new(
-                                    std::io::ErrorKind::UnexpectedEof,
-                                    "server closed the connection mid-batch",
-                                ));
+                        let (socket, decoder) = &mut connections[conn_idx];
+                        socket.write_all(&wire)?;
+                        sent += batch_ops as u64;
+                        lookups += batch_lookups as u64;
+                        // Read exactly the responses this batch owes us
+                        // (inserts are fire-and-forget, §4.1).
+                        let mut received = 0usize;
+                        while received < batch_lookups {
+                            while let Some(resp) = decoder.next_response().map_err(|e| {
+                                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                            })? {
+                                received += 1;
+                                if resp.value.is_some() {
+                                    hits += 1;
+                                }
+                                if received == batch_lookups {
+                                    break;
+                                }
                             }
-                            decoder.feed(&read_buf[..n]);
+                            if received < batch_lookups {
+                                let n = socket.read(&mut read_buf)?;
+                                if n == 0 {
+                                    return Err(std::io::Error::new(
+                                        std::io::ErrorKind::UnexpectedEof,
+                                        "server closed the connection mid-batch",
+                                    ));
+                                }
+                                decoder.feed(&read_buf[..n]);
+                            }
                         }
                     }
                 }
-            }
-            Ok((sent, lookups, hits))
-        }));
+                Ok((sent, lookups, hits))
+            },
+        ));
     }
 
     barrier.wait();
@@ -212,7 +215,10 @@ mod tests {
                         for req in &requests {
                             if req.kind == RequestKind::Lookup {
                                 if req.key % 2 == 0 {
-                                    cphash_kvproto::encode_response(&mut out, Some(&req.key.to_le_bytes()));
+                                    cphash_kvproto::encode_response(
+                                        &mut out,
+                                        Some(&req.key.to_le_bytes()),
+                                    );
                                 } else {
                                     cphash_kvproto::encode_response(&mut out, None);
                                 }

@@ -68,7 +68,11 @@ impl WorkloadSpec {
 
     /// A Figure 9 sweep point: 128 MB working set (scaled by the caller),
     /// variable capacity.
-    pub fn capacity_point(working_set_bytes: usize, capacity_bytes: usize, operations: u64) -> Self {
+    pub fn capacity_point(
+        working_set_bytes: usize,
+        capacity_bytes: usize,
+        operations: u64,
+    ) -> Self {
         WorkloadSpec {
             working_set_bytes,
             capacity_bytes,
@@ -110,7 +114,10 @@ impl WorkloadSpec {
     /// Sanity-check the parameters.
     pub fn validate(&self) {
         assert!(self.value_bytes > 0, "values need at least one byte");
-        assert!(self.working_set_bytes >= self.value_bytes, "working set smaller than one value");
+        assert!(
+            self.working_set_bytes >= self.value_bytes,
+            "working set smaller than one value"
+        );
         assert!(
             (0.0..=1.0).contains(&self.insert_ratio),
             "insert ratio must be in [0, 1]"

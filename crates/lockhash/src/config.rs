@@ -52,7 +52,9 @@ impl LockHashConfig {
     pub fn with_capacity(mut self, capacity_bytes: usize, typical_value_bytes: usize) -> Self {
         self.capacity_bytes = Some(capacity_bytes);
         let elements = capacity_bytes / typical_value_bytes.max(1);
-        self.buckets_per_partition = (elements / self.partitions.max(1)).next_power_of_two().max(8);
+        self.buckets_per_partition = (elements / self.partitions.max(1))
+            .next_power_of_two()
+            .max(8);
         self
     }
 

@@ -267,7 +267,10 @@ mod tests {
                         }
                         if let Some(v) = table.get(key) {
                             let got = u64::from_le_bytes(v.try_into().unwrap());
-                            assert!(got == key || got == !key, "torn value for key {key}: {got:#x}");
+                            assert!(
+                                got == key || got == !key,
+                                "torn value for key {key}: {got:#x}"
+                            );
                         }
                     }
                 })

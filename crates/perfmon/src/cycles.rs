@@ -23,7 +23,9 @@ impl CycleSpan {
     /// Start measuring.
     #[inline]
     pub fn start() -> Self {
-        CycleSpan { start: cycles_now() }
+        CycleSpan {
+            start: cycles_now(),
+        }
     }
 
     /// Cycles elapsed since `start` (saturating, in case of TSC weirdness

@@ -104,7 +104,7 @@ impl FigureReport {
 
         let mut out = String::new();
         out.push_str(&format!("# {}\n", self.title));
-        out.push_str(&format!("{}", self.x_label));
+        out.push_str(&self.x_label.to_string());
         for s in &self.series {
             out.push(',');
             out.push_str(&s.label);

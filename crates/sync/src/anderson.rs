@@ -56,7 +56,10 @@ impl ArrayLock {
     /// `slots` must be a power of two ≥ 2 and at least the number of threads
     /// that may contend simultaneously; otherwise waiters could alias a slot.
     pub fn with_slots(slots: usize) -> Self {
-        assert!(slots.is_power_of_two() && slots >= 2, "slot count must be a power of two >= 2");
+        assert!(
+            slots.is_power_of_two() && slots >= 2,
+            "slot count must be a power of two >= 2"
+        );
         let mut v = Vec::with_capacity(slots);
         for i in 0..slots {
             v.push(Slot {

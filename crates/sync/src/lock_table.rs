@@ -107,7 +107,7 @@ impl LockTable {
             .map(|_| match kind {
                 LockKind::Spin => Slot::Spin(CacheAligned::new(RawSpinLock::new())),
                 LockKind::Ticket => Slot::Ticket(CacheAligned::new(TicketLock::new())),
-                LockKind::Anderson => Slot::Anderson(Box::new(ArrayLock::new())),
+                LockKind::Anderson => Slot::Anderson(Box::default()),
             })
             .collect();
         LockTable {

@@ -77,7 +77,8 @@ impl LockStats {
     pub fn merge(&self, other: &LockStats) {
         self.acquisitions
             .fetch_add(other.acquisitions(), Ordering::Relaxed);
-        self.contended.fetch_add(other.contended(), Ordering::Relaxed);
+        self.contended
+            .fetch_add(other.contended(), Ordering::Relaxed);
         self.spin_iterations
             .fetch_add(other.spin_iterations(), Ordering::Relaxed);
     }

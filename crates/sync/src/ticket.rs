@@ -60,7 +60,12 @@ impl RawLock for TicketLock {
         // Only succeed if no one is waiting and we can atomically take the
         // next ticket matching the grant.
         self.next
-            .compare_exchange(grant, grant.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                grant,
+                grant.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 

@@ -7,7 +7,9 @@
 use cphash_suite::loadgen::{run_cphash, DriverOptions, WorkloadSpec};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let pairs = (threads / 2).clamp(1, 8);
     let opts = DriverOptions {
         client_threads: pairs,
@@ -16,7 +18,10 @@ fn main() {
     };
 
     println!("CPHash throughput vs outstanding-request window ({pairs} clients, {pairs} servers, 1 MB working set)\n");
-    println!("{:>10} {:>16} {:>12}", "window", "throughput (q/s)", "vs window=1");
+    println!(
+        "{:>10} {:>16} {:>12}",
+        "window", "throughput (q/s)", "vs window=1"
+    );
 
     let mut baseline = None;
     for window in [1usize, 8, 64, 256, 1024, 4096] {
@@ -30,10 +35,17 @@ fn main() {
         let result = run_cphash(&spec, &opts);
         let throughput = result.throughput();
         let base = *baseline.get_or_insert(throughput);
-        println!("{:>10} {:>16.0} {:>11.2}x", window, throughput, throughput / base);
+        println!(
+            "{:>10} {:>16.0} {:>11.2}x",
+            window,
+            throughput,
+            throughput / base
+        );
     }
 
     println!("\nWith a window of 1 every operation pays a full round trip to the server thread;");
     println!("with hundreds outstanding, requests pack eight per cache line and all server");
-    println!("threads stay busy simultaneously — this is the asynchrony the paper's design leans on.");
+    println!(
+        "threads stay busy simultaneously — this is the asynchrony the paper's design leans on."
+    );
 }

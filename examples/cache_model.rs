@@ -25,16 +25,28 @@ fn main() {
     let cphash = simulate_cphash(&params);
 
     println!("{}", lockhash.to_table("LOCKHASH (per operation)"));
-    println!("{}", cphash.client.to_table("CPHASH client thread (per operation)"));
-    println!("{}", cphash.server.to_table("CPHASH server thread (per operation)"));
+    println!(
+        "{}",
+        cphash
+            .client
+            .to_table("CPHASH client thread (per operation)")
+    );
+    println!(
+        "{}",
+        cphash
+            .server
+            .to_table("CPHASH server thread (per operation)")
+    );
 
     let cost = CostModel::default();
     let lockhash_est = cost.estimate(&lockhash.total(), lockhash.operations, 160);
     let client_est = cost.estimate(&cphash.client.total(), cphash.client.operations, 80);
     let server_est = cost.estimate(&cphash.server.total(), cphash.server.operations, 80);
 
-    println!("estimated cycles/op:  cphash client {:>6.0}   cphash server {:>6.0}   lockhash {:>6.0}",
-        client_est.cycles_per_op, server_est.cycles_per_op, lockhash_est.cycles_per_op);
+    println!(
+        "estimated cycles/op:  cphash client {:>6.0}   cphash server {:>6.0}   lockhash {:>6.0}",
+        client_est.cycles_per_op, server_est.cycles_per_op, lockhash_est.cycles_per_op
+    );
     println!("estimated L3 miss cost: cphash {:>4.0} cycles vs lockhash {:>4.0} cycles (contention makes LockHash's misses dearer)",
         client_est.l3_miss_cost, lockhash_est.l3_miss_cost);
     println!("paper (Figure 6):     client 1126, server 672, lockhash 3664 cycles/op; miss costs 381 vs 1421 cycles");

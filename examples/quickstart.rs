@@ -13,7 +13,10 @@ fn main() {
         .with_capacity(64 * 1024, 8)
         .with_eviction(EvictionPolicy::Lru);
     let (mut table, mut clients) = CpHash::new(config);
-    println!("started a CPHash table with {} partitions", table.partitions());
+    println!(
+        "started a CPHash table with {} partitions",
+        table.partitions()
+    );
 
     // --- Basic operations through the synchronous API -------------------
     let client = &mut clients[0];

@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release --example web_cache`.
 
-use cphash_suite::loadgen::{run_cphash, run_lockhash, DriverOptions, KeyDistribution, WorkloadSpec};
+use cphash_suite::loadgen::{
+    run_cphash, run_lockhash, DriverOptions, KeyDistribution, WorkloadSpec,
+};
 use cphash_suite::EvictionPolicy;
 
 fn main() {
@@ -22,10 +24,14 @@ fn main() {
         seed: 42,
     };
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let pairs = (threads / 2).clamp(1, 8);
 
-    println!("web-cache workload: 4 MB of fragments, 1 MB cache, Zipf(0.99) popularity, 10% re-render");
+    println!(
+        "web-cache workload: 4 MB of fragments, 1 MB cache, Zipf(0.99) popularity, 10% re-render"
+    );
     println!("running {} client threads against each design\n", pairs);
 
     let cp_opts = DriverOptions {
@@ -44,8 +50,16 @@ fn main() {
     let cp = run_cphash(&spec, &cp_opts);
     let lh = run_lockhash(&spec, &lh_opts);
 
-    println!("CPHash   : {:>12.0} requests/s, hit rate {:>5.1}%", cp.throughput(), cp.hit_rate() * 100.0);
-    println!("LockHash : {:>12.0} requests/s, hit rate {:>5.1}%", lh.throughput(), lh.hit_rate() * 100.0);
+    println!(
+        "CPHash   : {:>12.0} requests/s, hit rate {:>5.1}%",
+        cp.throughput(),
+        cp.hit_rate() * 100.0
+    );
+    println!(
+        "LockHash : {:>12.0} requests/s, hit rate {:>5.1}%",
+        lh.throughput(),
+        lh.hit_rate() * 100.0
+    );
     println!(
         "speedup  : {:.2}x (the skewed, cache-resident hot set is exactly where partition locality pays off)",
         cp.throughput() / lh.throughput().max(1.0)

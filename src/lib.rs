@@ -17,6 +17,7 @@
 //! | [`kvproto`] | `cphash-kvproto` | the CPSERVER/LOCKSERVER wire protocol |
 //! | [`kvserver`] | `cphash-kvserver` | CPSERVER, LOCKSERVER and the memcached-style baseline |
 //! | [`loadgen`] | `cphash-loadgen` | workload generation and benchmark drivers |
+//! | [`migrate`] | `cphash-migrate` | online repartitioning (live key migration) |
 //! | [`perfmon`] | `cphash-perfmon` | timing, histograms and figure reports |
 //!
 //! The most common entry points are re-exported at the top level:
@@ -33,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub use cphash as table;
 pub use cphash_affinity as affinity;
 pub use cphash_alloc as alloc;
 pub use cphash_cacheline as cacheline;
@@ -43,8 +45,8 @@ pub use cphash_kvproto as kvproto;
 pub use cphash_kvserver as kvserver;
 pub use cphash_loadgen as loadgen;
 pub use cphash_lockhash as lockhash;
+pub use cphash_migrate as migrate;
 pub use cphash_perfmon as perfmon;
-pub use cphash as table;
 
 // The names most callers want, at the top level.
 pub use cphash::{

@@ -10,7 +10,8 @@ use cphash_suite::{CompletionKind, CpHash, CpHashConfig, LockHash, LockHashConfi
 #[test]
 fn many_clients_hammer_one_cphash_table() {
     let clients = 4;
-    let (mut table, handles) = CpHash::new(CpHashConfig::new(4, clients).with_capacity(256 * 1024, 8));
+    let (mut table, handles) =
+        CpHash::new(CpHashConfig::new(4, clients).with_capacity(256 * 1024, 8));
     let workers: Vec<_> = handles
         .into_iter()
         .enumerate()
@@ -96,7 +97,9 @@ fn values_held_across_eviction_remain_readable() {
 
 #[test]
 fn lockhash_sustains_many_threads_on_few_partitions() {
-    let table = Arc::new(LockHash::new(LockHashConfig::new(2).with_capacity(64 * 1024, 8)));
+    let table = Arc::new(LockHash::new(
+        LockHashConfig::new(2).with_capacity(64 * 1024, 8),
+    ));
     let workers: Vec<_> = (0..8u64)
         .map(|t| {
             let table = Arc::clone(&table);
@@ -116,7 +119,10 @@ fn lockhash_sustains_many_threads_on_few_partitions() {
     for w in workers {
         w.join().unwrap();
     }
-    assert!(table.lock_stats().contended() > 0, "two partitions and eight threads must contend");
+    assert!(
+        table.lock_stats().contended() > 0,
+        "two partitions and eight threads must contend"
+    );
     assert!(table.bytes_in_use() <= 64 * 1024);
 }
 

@@ -16,7 +16,10 @@ fn pipelined_and_synchronous_apis_interleave_correctly() {
         .map(|k| client.submit_insert(k, &k.to_le_bytes()))
         .collect();
     assert!(client.insert(10_000, b"sync value").unwrap());
-    assert_eq!(client.get(10_000).unwrap().unwrap().as_slice(), b"sync value");
+    assert_eq!(
+        client.get(10_000).unwrap().unwrap().as_slice(),
+        b"sync value"
+    );
 
     let mut completions = Vec::new();
     client.drain(&mut completions).unwrap();
@@ -27,12 +30,18 @@ fn pipelined_and_synchronous_apis_interleave_correctly() {
     let mut expected = tokens.clone();
     expected.sort_unstable();
     assert_eq!(seen, expected);
-    assert!(completions.iter().all(|c| c.kind == CompletionKind::Inserted));
+    assert!(completions
+        .iter()
+        .all(|c| c.kind == CompletionKind::Inserted));
 
     // And the data is all there.
     for key in 0..500u64 {
         assert_eq!(
-            client.get(key).unwrap().expect("pipelined key present").as_slice(),
+            client
+                .get(key)
+                .unwrap()
+                .expect("pipelined key present")
+                .as_slice(),
             key.to_le_bytes()
         );
     }
@@ -53,8 +62,13 @@ fn anykey_adapter_supports_string_keys_end_to_end() {
         }
         for i in 0..200u32 {
             let key = format!("/render/user/{i}/dashboard");
-            let value = cache.get(key.as_bytes()).unwrap().expect("cached page present");
-            assert!(String::from_utf8(value).unwrap().contains(&format!("\"user\":{i}")));
+            let value = cache
+                .get(key.as_bytes())
+                .unwrap()
+                .expect("cached page present");
+            assert!(String::from_utf8(value)
+                .unwrap()
+                .contains(&format!("\"user\":{i}")));
         }
         assert_eq!(cache.get(b"/render/user/9999/dashboard").unwrap(), None);
         assert!(cache.delete(b"/render/user/0/dashboard").unwrap());

@@ -17,7 +17,9 @@ use proptest::prelude::*;
 use cphash_suite::alloc::{SlabAllocator, SlabConfig};
 use cphash_suite::channel::{ring, RingConfig};
 use cphash_suite::hashcore::{EvictionPolicy, Partition, PartitionConfig};
-use cphash_suite::kvproto::{encode_insert, encode_lookup, encode_response, RequestDecoder, RequestKind, ResponseDecoder};
+use cphash_suite::kvproto::{
+    encode_insert, encode_lookup, encode_response, RequestDecoder, RequestKind, ResponseDecoder,
+};
 use cphash_suite::table::protocol;
 
 /// One partition operation for the model-based test.

@@ -167,7 +167,10 @@ fn all_three_servers_agree_on_protocol_semantics() {
                 Err(e) => panic!("read error: {e}"),
             }
         }
-        assert_eq!(responses[0].value.as_deref(), Some(&b"same value everywhere"[..]));
+        assert_eq!(
+            responses[0].value.as_deref(),
+            Some(&b"same value everywhere"[..])
+        );
         assert_eq!(responses[1].value, None);
     }
 

@@ -38,11 +38,19 @@ fn cphash_matches_a_reference_map_without_eviction() {
             }
             5..=8 => {
                 let got = client.get(key).unwrap().map(|v| v.as_slice().to_vec());
-                assert_eq!(got, reference.get(&key).cloned(), "lookup mismatch for key {key}");
+                assert_eq!(
+                    got,
+                    reference.get(&key).cloned(),
+                    "lookup mismatch for key {key}"
+                );
             }
             _ => {
                 let was_present = client.delete(key).unwrap();
-                assert_eq!(was_present, reference.remove(&key).is_some(), "delete mismatch for key {key}");
+                assert_eq!(
+                    was_present,
+                    reference.remove(&key).is_some(),
+                    "delete mismatch for key {key}"
+                );
             }
         }
     }
@@ -65,7 +73,11 @@ fn lockhash_matches_a_reference_map_without_eviction() {
                 reference.insert(key, bytes);
             }
             5..=8 => {
-                assert_eq!(table.get(key), reference.get(&key).cloned(), "lookup mismatch for key {key}");
+                assert_eq!(
+                    table.get(key),
+                    reference.get(&key).cloned(),
+                    "lookup mismatch for key {key}"
+                );
             }
             _ => {
                 assert_eq!(table.delete(key), reference.remove(&key).is_some());
@@ -84,9 +96,8 @@ fn both_tables_agree_under_identical_bounded_workloads() {
     // 256 distinct 8-byte values = 2 KiB of data squeezed into a 512-byte
     // budget, so both tables must evict continuously.
     let capacity = 512;
-    let (mut cp_table, mut clients) = CpHash::new(
-        CpHashConfig::new(4, 1).with_capacity(capacity, 8),
-    );
+    let (mut cp_table, mut clients) =
+        CpHash::new(CpHashConfig::new(4, 1).with_capacity(capacity, 8));
     let client = &mut clients[0];
     let lock_table = LockHash::new(LockHashConfig::new(4).with_capacity(capacity, 8));
     let mut last_written: HashMap<u64, u64> = HashMap::new();
@@ -101,11 +112,17 @@ fn both_tables_agree_under_identical_bounded_workloads() {
             }
             _ => {
                 if let Some(v) = client.get(key).unwrap() {
-                    let expected = last_written.get(&key).copied().expect("present key was written");
+                    let expected = last_written
+                        .get(&key)
+                        .copied()
+                        .expect("present key was written");
                     assert_eq!(v.as_slice(), expected.to_le_bytes());
                 }
                 if let Some(v) = lock_table.get(key) {
-                    let expected = last_written.get(&key).copied().expect("present key was written");
+                    let expected = last_written
+                        .get(&key)
+                        .copied()
+                        .expect("present key was written");
                     assert_eq!(v, expected.to_le_bytes());
                 }
             }
@@ -115,7 +132,10 @@ fn both_tables_agree_under_identical_bounded_workloads() {
     drop(clients);
     cp_table.shutdown();
     let stats = cp_table.partition_stats();
-    assert!(stats.evictions > 0, "the bounded CPHash table must have evicted");
+    assert!(
+        stats.evictions > 0,
+        "the bounded CPHash table must have evicted"
+    );
     assert!(lock_table.stats().evictions > 0);
 }
 
@@ -138,9 +158,7 @@ fn random_eviction_tables_also_respect_their_budget() {
         assert!(lock_table.insert(key, &key.to_le_bytes()));
     }
     assert!(lock_table.bytes_in_use() <= capacity);
-    let survivors = (0..5_000u64)
-        .filter(|&k| lock_table.contains(k))
-        .count();
+    let survivors = (0..5_000u64).filter(|&k| lock_table.contains(k)).count();
     assert!(survivors <= capacity / 8);
     drop(clients);
     cp_table.shutdown();

@@ -1,0 +1,161 @@
+//! Minimal offline shim for the `bytes` crate.
+//!
+//! Implements the subset of [`BytesMut`] plus the [`Buf`] / [`BufMut`]
+//! traits that this workspace's wire codecs use. Backed by a plain
+//! `Vec<u8>` with a read cursor; `advance`/`split_to` are O(n) in the
+//! buffered byte count, which is fine for the small frames involved.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer with a consuming front cursor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// New empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Split off and return the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.data.split_off(at);
+        let front = std::mem::replace(&mut self.data, rest);
+        BytesMut { data: front }
+    }
+
+    /// Copy the readable bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        BytesMut {
+            data: bytes.to_vec(),
+        }
+    }
+}
+
+/// Read-side buffer operations (shim of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Discard the first `count` bytes.
+    fn advance(&mut self, count: usize);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        self.data.drain(..count);
+    }
+}
+
+/// Write-side buffer operations (shim of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_split_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u64_le(0xDEAD);
+        buf.put_u32_le(3);
+        buf.put_slice(b"abc");
+        assert_eq!(buf.len(), 16);
+        assert_eq!(buf[0], 7);
+        buf.advance(1);
+        assert_eq!(u64::from_le_bytes(buf[0..8].try_into().unwrap()), 0xDEAD);
+        buf.advance(8);
+        let size = buf.split_to(4);
+        assert_eq!(u32::from_le_bytes(size.to_vec().try_into().unwrap()), 3);
+        assert_eq!(&buf[..], b"abc");
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

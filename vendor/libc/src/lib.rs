@@ -1,0 +1,72 @@
+//! Minimal offline shim for the `libc` crate: only the CPU-affinity pieces
+//! `cphash-affinity` uses, declared directly against the system C library
+//! (which std already links).
+
+#![allow(non_camel_case_types)]
+#![allow(non_snake_case)]
+
+/// C `int`.
+pub type c_int = i32;
+/// `pid_t` as on Linux.
+pub type pid_t = i32;
+
+/// `cpu_set_t`: a 1024-bit CPU mask, as glibc defines it.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Clear every CPU in the set (glibc's `CPU_ZERO` macro).
+///
+/// # Safety
+/// `set` must point to a valid `cpu_set_t`.
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// Add a CPU to the set (glibc's `CPU_SET` macro). CPUs beyond the mask
+/// width are ignored, matching the macro's bounds behaviour.
+///
+/// # Safety
+/// `set` must point to a valid `cpu_set_t`.
+#[allow(non_snake_case)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Bind `pid` (0 = calling thread) to the CPUs in `mask`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const cpu_set_t) -> c_int;
+    /// CPU the calling thread is executing on, or -1 on error.
+    pub fn sched_getcpu() -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_bit_arithmetic() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_ZERO(&mut set);
+            CPU_SET(0, &mut set);
+            CPU_SET(130, &mut set);
+            CPU_SET(4096, &mut set); // out of mask range: ignored
+        }
+        assert_eq!(set.bits[0], 1);
+        assert_eq!(set.bits[2], 1 << 2);
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sched_getcpu_reports_a_cpu() {
+        let cpu = unsafe { sched_getcpu() };
+        assert!(cpu >= -1);
+    }
+}

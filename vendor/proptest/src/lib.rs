@@ -1,0 +1,82 @@
+//! Minimal offline shim for the `proptest` crate (see vendor/README.md).
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strategy) {...} }`
+//! * range / inclusive-range strategies over unsigned integers
+//! * tuple strategies (2- and 3-tuples), [`Just`], `.prop_map(...)`
+//! * `prop_oneof![...]`, `prop::collection::vec(...)`, `prop::option::of(...)`
+//! * `any::<T>()` for `bool` and unsigned integers
+//! * `prop_assert!` / `prop_assert_eq!` (panic-based, like plain asserts)
+//!
+//! Generation is deterministic: each test case seeds its own xorshift64*
+//! stream from the case index, so failures reproduce exactly. Upstream
+//! proptest's shrinking is intentionally not implemented.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// Define deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (@body $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(case as u64);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @body $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @body $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Pick one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}

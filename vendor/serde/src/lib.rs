@@ -1,0 +1,15 @@
+//! Minimal offline shim for the `serde` crate.
+//!
+//! Nothing in this workspace actually serializes through serde yet (reports
+//! emit CSV by hand); the derives on config/report types exist so downstream
+//! users can opt in. This shim keeps those derives compiling offline:
+//! `Serialize` / `Deserialize` are marker traits and the derive macros
+//! expand to empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,45 @@
+//! Minimal offline shim for `serde_derive`: the `Serialize` / `Deserialize`
+//! derives expand to empty marker-trait impls (see vendor/README.md).
+//!
+//! The input is scanned token-by-token for the `struct`/`enum` name rather
+//! than parsed with `syn`, which is plenty for the non-generic config and
+//! report types this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following the `struct` or `enum`
+/// keyword at the top level of the derive input.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for token in input {
+        if let TokenTree::Ident(ident) = token {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+fn empty_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input).expect("derive input has a struct/enum name");
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Serialize")
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Deserialize")
+}
