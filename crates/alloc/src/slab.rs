@@ -182,6 +182,14 @@ impl SlabAllocator {
         self.config.capacity_bytes
     }
 
+    /// Change the byte budget at runtime (live capacity re-splitting during
+    /// table re-partitioning).  Lowering the budget below `bytes_in_use`
+    /// does not free anything here; it only makes further allocations fail
+    /// until the owner evicts back under the new budget.
+    pub fn set_capacity(&mut self, capacity_bytes: Option<usize>) {
+        self.config.capacity_bytes = capacity_bytes;
+    }
+
     /// Current accounting snapshot.
     pub fn stats(&self) -> AllocStats {
         self.stats

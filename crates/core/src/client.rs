@@ -18,7 +18,8 @@
 //!   [`ClientHandle::delete`] — implemented on top of the pipeline, for
 //!   straightforward callers (the quickstart example, tests).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use cphash_channel::DuplexClient;
@@ -156,6 +157,32 @@ enum Applied {
     Resubmit { dest: usize, pending: Pending },
 }
 
+/// Cheap fixed hasher for the per-key write-order map.  The map is
+/// client-local and keyed by `u64`, so SipHash's DoS resistance buys
+/// nothing on this hot path; one splitmix-style mix is plenty.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the map only ever hashes u64 keys.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, mut x: u64) {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type WriteOrderMap = HashMap<u64, VecDeque<Pending>, BuildHasherDefault<KeyHasher>>;
+
 /// Per-server communication lane and its bookkeeping.
 struct Lane {
     channel: DuplexClient<u64, Response>,
@@ -194,6 +221,20 @@ pub struct ClientHandle {
     /// Operations redirected by retry responses during live
     /// re-partitioning (diagnostic counter).
     retries: u64,
+    /// Per-key write ordering. A key present in this map has exactly one
+    /// response-bearing *write* (insert/delete) in flight; the queue holds
+    /// later writes to the same key, dispatched one at a time as their
+    /// predecessors complete.  Without this, a write that a mid-migration
+    /// server bounces with a retry response could be resubmitted *after* a
+    /// later pipelined write to the same key that was routed straight to the
+    /// new owner — silently reinstating the older value (see
+    /// `tests/pipeline_reorder.rs`).  Lookups are not serialized: the
+    /// pipelined API makes no read-after-write promise, and holding reads
+    /// back would penalize hot keys.
+    write_order: WriteOrderMap,
+    /// Writes held back (at least once) to preserve per-key write order
+    /// (diagnostic counter).
+    deferred_writes: u64,
 }
 
 impl ClientHandle {
@@ -211,6 +252,8 @@ impl ClientHandle {
             stashed: VecDeque::new(),
             resp_buf: Vec::with_capacity(256),
             retries: 0,
+            write_order: WriteOrderMap::default(),
+            deferred_writes: 0,
         }
     }
 
@@ -231,6 +274,12 @@ impl ClientHandle {
     /// re-partitioning since this handle was created.
     pub fn migration_retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Writes that were held back to preserve per-key write ordering since
+    /// this handle was created (each deferred write counts once).
+    pub fn write_deferrals(&self) -> u64 {
+        self.deferred_writes
     }
 
     /// Number of submitted operations whose completion has not yet been
@@ -268,22 +317,14 @@ impl ClientHandle {
     pub fn submit_insert(&mut self, key: u64, value: &[u8]) -> u64 {
         let key = key & MAX_KEY;
         let token = self.take_token();
-        let lane_idx = self.partition_of(key);
-        let (w0, w1) = encode(&Request::Insert {
+        self.submit_write(
             key,
-            size: value.len() as u64,
-        });
-        let lane = &mut self.lanes[lane_idx];
-        lane.pending.push_back(Pending::Insert {
-            token,
-            key,
-            value: ValueBytes::from_slice(value),
-        });
-        lane.outgoing.push_back(w0);
-        lane.outgoing
-            .push_back(w1.expect("insert encodes two words"));
-        self.outstanding += 1;
-        self.make_progress_if_backlogged(lane_idx);
+            Pending::Insert {
+                token,
+                key,
+                value: ValueBytes::from_slice(value),
+            },
+        );
         token
     }
 
@@ -291,14 +332,27 @@ impl ClientHandle {
     pub fn submit_delete(&mut self, key: u64) -> u64 {
         let key = key & MAX_KEY;
         let token = self.take_token();
-        let lane_idx = self.partition_of(key);
-        let (w0, _) = encode(&Request::Delete { key });
-        let lane = &mut self.lanes[lane_idx];
-        lane.pending.push_back(Pending::Delete { token, key });
-        lane.outgoing.push_back(w0);
-        self.outstanding += 1;
-        self.make_progress_if_backlogged(lane_idx);
+        self.submit_write(key, Pending::Delete { token, key });
         token
+    }
+
+    /// Queue a write, holding it back if an earlier write to the same key is
+    /// still in flight (see the `write_order` field).
+    fn submit_write(&mut self, key: u64, pending: Pending) {
+        self.outstanding += 1;
+        match self.write_order.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut in_flight) => {
+                in_flight.get_mut().push_back(pending);
+                self.deferred_writes += 1;
+                return;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(VecDeque::new());
+            }
+        }
+        let lane_idx = self.partition_of(key);
+        self.dispatch(lane_idx, pending);
+        self.make_progress_if_backlogged(lane_idx);
     }
 
     /// Push queued requests towards the servers and collect any completions
@@ -312,6 +366,7 @@ impl ClientHandle {
             out.push(c);
         }
         let mut resubmissions: Vec<(usize, Pending)> = Vec::new();
+        let mut finished_writes: Vec<u64> = Vec::new();
         for lane_idx in 0..self.lanes.len() {
             Self::pump_lane(
                 &mut self.lanes[lane_idx],
@@ -319,6 +374,7 @@ impl ClientHandle {
                 &mut self.outstanding,
                 out,
                 &mut resubmissions,
+                &mut finished_writes,
             );
         }
         // Operations bounced by a mid-migration server: re-encode them onto
@@ -326,13 +382,15 @@ impl ClientHandle {
         // never observe the redirect).
         for (dest, pending) in resubmissions {
             self.retries += 1;
-            self.resubmit(dest, pending);
+            self.dispatch(dest, pending);
         }
+        self.release_deferred_writes(&finished_writes);
         out.len() - before
     }
 
-    /// Queue a bounced operation on its new owner's lane.
-    fn resubmit(&mut self, dest: usize, pending: Pending) {
+    /// Queue an operation on a destination lane (fresh submissions, retry
+    /// resubmissions and released deferred writes all funnel through here).
+    fn dispatch(&mut self, dest: usize, pending: Pending) {
         let dest = dest.min(self.lanes.len() - 1);
         let lane = &mut self.lanes[dest];
         let (w0, w1) = match &pending {
@@ -347,6 +405,26 @@ impl ClientHandle {
         lane.outgoing.push_back(w0);
         if let Some(w1) = w1 {
             lane.outgoing.push_back(w1);
+        }
+    }
+
+    /// For every completed write, either dispatch the next deferred write to
+    /// the key's *current* owner or clear the key's in-flight marker.
+    fn release_deferred_writes(&mut self, finished: &[u64]) {
+        for &key in finished {
+            let next = match self.write_order.get_mut(&key) {
+                Some(queue) => queue.pop_front(),
+                None => continue,
+            };
+            match next {
+                Some(pending) => {
+                    let dest = self.partition_of(key);
+                    self.dispatch(dest, pending);
+                }
+                None => {
+                    self.write_order.remove(&key);
+                }
+            }
         }
     }
 
@@ -452,18 +530,21 @@ impl ClientHandle {
         }
         let mut spill = Vec::new();
         let mut resubmissions = Vec::new();
+        let mut finished_writes = Vec::new();
         Self::pump_lane(
             &mut self.lanes[lane_idx],
             &mut self.resp_buf,
             &mut self.outstanding,
             &mut spill,
             &mut resubmissions,
+            &mut finished_writes,
         );
         self.stashed.extend(spill);
         for (dest, pending) in resubmissions {
             self.retries += 1;
-            self.resubmit(dest, pending);
+            self.dispatch(dest, pending);
         }
+        self.release_deferred_writes(&finished_writes);
     }
 
     /// Wait (spinning) for a specific token, stashing every other completion
@@ -531,6 +612,7 @@ impl ClientHandle {
         outstanding: &mut usize,
         out: &mut Vec<Completion>,
         resubmissions: &mut Vec<(usize, Pending)>,
+        finished_writes: &mut Vec<u64>,
     ) {
         Self::push_outgoing(lane);
         lane.channel.flush();
@@ -544,10 +626,17 @@ impl ClientHandle {
                 .pending
                 .pop_front()
                 .expect("server sent a response with nothing pending");
+            let write_key = match &pending {
+                Pending::Insert { key, .. } | Pending::Delete { key, .. } => Some(*key),
+                Pending::Lookup { .. } => None,
+            };
             match Self::complete(lane, pending, response) {
                 Applied::Done(completion) => {
                     *outstanding -= 1;
                     out.push(completion);
+                    if let Some(key) = write_key {
+                        finished_writes.push(key);
+                    }
                 }
                 Applied::Resubmit { dest, pending } => {
                     resubmissions.push((dest, pending));

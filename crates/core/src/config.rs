@@ -3,8 +3,88 @@
 use cphash_affinity::{HwThreadId, Topology};
 use cphash_hashcore::EvictionPolicy;
 
+/// How the repartition coordinator paces chunk hand-offs during a live
+/// resize (see `cphash-migrate`'s `MigrationPacer`).
+///
+/// Lives here (not in `cphash-migrate`) so that table-level configuration —
+/// `CpHashConfig`, CPSERVER's config, benchmark harnesses — can carry the
+/// knob without depending on the migration crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MigrationPacing {
+    /// Hand chunks off back-to-back (PR 1 behaviour): fastest transition,
+    /// deepest foreground-throughput dip.
+    #[default]
+    Unpaced,
+    /// Token bucket: at most `chunks_per_sec` chunk hand-offs per second,
+    /// spreading the migration cost over time at an operator-chosen rate.
+    Rate {
+        /// Chunk hand-offs per second (must be positive).
+        chunks_per_sec: f64,
+    },
+    /// Feedback mode: start at `chunks_per_sec` and sample the
+    /// per-partition inbound queue depth between hand-offs — halving the
+    /// rate while servers are falling behind (`depth > high_depth`) and
+    /// recovering it while they are keeping up (`depth < low_depth`).
+    Feedback {
+        /// Initial (and maximum) chunk hand-offs per second.
+        chunks_per_sec: f64,
+        /// Queue depth (words drained per server loop iteration) above
+        /// which the pacer backs off.
+        high_depth: f64,
+        /// Queue depth below which the pacer speeds back up.
+        low_depth: f64,
+    },
+}
+
+impl MigrationPacing {
+    /// A sensible feedback configuration: back off when servers drain more
+    /// than half a lane batch per iteration, recover below an eighth.
+    pub fn feedback(chunks_per_sec: f64) -> Self {
+        MigrationPacing::Feedback {
+            chunks_per_sec,
+            high_depth: 128.0,
+            low_depth: 32.0,
+        }
+    }
+
+    /// Validate the pacing parameters, panicking on nonsense.
+    pub fn validate(&self) {
+        match *self {
+            MigrationPacing::Unpaced => {}
+            MigrationPacing::Rate { chunks_per_sec } => {
+                assert!(
+                    chunks_per_sec > 0.0 && chunks_per_sec.is_finite(),
+                    "chunks_per_sec must be positive and finite"
+                );
+            }
+            MigrationPacing::Feedback {
+                chunks_per_sec,
+                high_depth,
+                low_depth,
+            } => {
+                assert!(
+                    chunks_per_sec > 0.0 && chunks_per_sec.is_finite(),
+                    "chunks_per_sec must be positive and finite"
+                );
+                assert!(
+                    low_depth >= 0.0 && high_depth >= low_depth,
+                    "feedback thresholds must satisfy 0 <= low_depth <= high_depth"
+                );
+            }
+        }
+    }
+}
+
+/// One partition's share of a global byte budget split over `partitions`
+/// partitions (with a small floor so a share is never useless).  Both the
+/// table constructor and the live capacity re-split during re-partitioning
+/// use this rule, so resizing never changes the table-wide budget.
+pub fn split_capacity(total: Option<usize>, partitions: usize) -> Option<usize> {
+    total.map(|bytes| (bytes / partitions.max(1)).max(64))
+}
+
 /// Configuration for a [`crate::CpHash`] table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpHashConfig {
     /// Number of partitions = number of server threads (§3.1: "one partition
     /// for each hardware thread that runs a server thread").
@@ -36,6 +116,10 @@ pub struct CpHashConfig {
     /// re-partitioning (a power of two). More chunks mean smaller, more
     /// frequent migration steps.
     pub migration_chunks: usize,
+    /// Default pacing for live re-partitioning (the coordinator may be
+    /// given a different pacer per resize; this is what table-level tooling
+    /// such as CPSERVER starts from).
+    pub migration_pacing: MigrationPacing,
 }
 
 impl Default for CpHashConfig {
@@ -51,6 +135,7 @@ impl Default for CpHashConfig {
             seed: 0xC0FF_EE00,
             max_partitions: 0,
             migration_chunks: 64,
+            migration_pacing: MigrationPacing::Unpaced,
         }
     }
 }
@@ -108,10 +193,23 @@ impl CpHashConfig {
         self.max_partitions.max(self.partitions)
     }
 
-    /// Per-partition byte budget.
+    /// Per-partition byte budget at the initial partition count.
     pub fn partition_capacity(&self) -> Option<usize> {
-        self.capacity_bytes
-            .map(|total| (total / self.partitions.max(1)).max(64))
+        self.partition_capacity_for(self.partitions)
+    }
+
+    /// Per-partition share of the global byte budget when `partitions`
+    /// server threads are active.  Live re-partitioning re-splits the
+    /// budget with this same rule (see [`split_capacity`]), so the
+    /// table-wide budget stays fixed as the partition count changes.
+    pub fn partition_capacity_for(&self, partitions: usize) -> Option<usize> {
+        split_capacity(self.capacity_bytes, partitions)
+    }
+
+    /// Set the default migration pacing.
+    pub fn with_migration_pacing(mut self, pacing: MigrationPacing) -> Self {
+        self.migration_pacing = pacing;
+        self
     }
 
     /// Validate the configuration, panicking with a clear message on
@@ -134,6 +232,7 @@ impl CpHashConfig {
             self.max_partitions == 0 || self.max_partitions >= self.partitions,
             "max_partitions must be 0 (static) or at least the initial partition count"
         );
+        self.migration_pacing.validate();
     }
 }
 
@@ -164,6 +263,54 @@ mod tests {
         assert_eq!(c.server_pins[0], HwThreadId(80));
         assert_eq!(c.server_pins[79], HwThreadId(159));
         c.validate();
+    }
+
+    #[test]
+    fn capacity_resplits_for_any_partition_count() {
+        let c = CpHashConfig::new(2, 1).with_capacity(1 << 20, 8);
+        assert_eq!(c.partition_capacity(), Some(1 << 19));
+        assert_eq!(c.partition_capacity_for(4), Some(1 << 18));
+        assert_eq!(c.partition_capacity_for(8), Some(1 << 17));
+        // The share never collapses below the 64-byte floor.
+        assert_eq!(
+            CpHashConfig::new(1, 1)
+                .with_capacity(128, 8)
+                .partition_capacity_for(1024),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn pacing_validation_accepts_sane_configs() {
+        MigrationPacing::Unpaced.validate();
+        MigrationPacing::Rate {
+            chunks_per_sec: 100.0,
+        }
+        .validate();
+        MigrationPacing::feedback(500.0).validate();
+        CpHashConfig::new(2, 1)
+            .with_migration_pacing(MigrationPacing::feedback(250.0))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_rate_pacing_rejected() {
+        MigrationPacing::Rate {
+            chunks_per_sec: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "low_depth <= high_depth")]
+    fn inverted_feedback_thresholds_rejected() {
+        MigrationPacing::Feedback {
+            chunks_per_sec: 10.0,
+            high_depth: 1.0,
+            low_depth: 2.0,
+        }
+        .validate();
     }
 
     #[test]

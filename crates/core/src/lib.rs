@@ -55,7 +55,7 @@ pub mod table;
 
 pub use anykey::AnyKeyClient;
 pub use client::{ClientHandle, Completion, CompletionKind, TableError, ValueBytes};
-pub use config::CpHashConfig;
+pub use config::{CpHashConfig, MigrationPacing};
 pub use control::ControlHandle;
 pub use dynamic::{Recommendation, ServerLoadController};
 pub use protocol::{MigrationBatch, MigrationStep, OpCode, Request, Response};

@@ -78,6 +78,11 @@ pub(crate) struct ServerThread {
     pub partition_stats: Arc<Mutex<PartitionStats>>,
     /// The shared routing table.
     pub router: Arc<EpochRouter>,
+    /// The table's *global* byte budget.  During a re-partitioning each
+    /// participating server re-splits this over the post-transition
+    /// partition count, so the table-wide budget stays fixed as the
+    /// partition count changes.
+    pub capacity_total: Option<usize>,
 }
 
 impl ServerThread {
@@ -93,6 +98,7 @@ impl ServerThread {
 
         while !self.stop.load(Ordering::Relaxed) {
             let mut did_work = false;
+            let mut drained_total = 0usize;
             for lane_idx in 0..self.lanes.len() {
                 let drained = {
                     let lane = &mut self.lanes[lane_idx];
@@ -102,10 +108,16 @@ impl ServerThread {
                 if drained == 0 {
                     continue;
                 }
+                drained_total += drained;
                 did_work = true;
                 self.process_lane_batch(lane_idx, &words, &mut migration);
                 self.lanes[lane_idx].flush();
             }
+            // Publish the inbound queue-depth sample for the migration
+            // pacer's feedback mode (one relaxed store per iteration).
+            self.stats
+                .queue_depth
+                .store(drained_total as u64, Ordering::Relaxed);
 
             iterations += 1;
             if migration.draining.is_some() {
@@ -284,6 +296,18 @@ impl ServerThread {
                 OpCode::MigratePrepare => {
                     let step = MigrationStep::from_payload(payload);
                     self.purge_stale(migration);
+                    // Live capacity re-split: every server active after the
+                    // transition is a receiver, so the first prepare it sees
+                    // re-budgets its partition to its share of the global
+                    // budget at the *new* partition count (idempotent
+                    // afterwards).
+                    if self.capacity_total.is_some() {
+                        self.partition
+                            .set_capacity_bytes(crate::config::split_capacity(
+                                self.capacity_total,
+                                step.new_partitions,
+                            ));
+                    }
                     migration.incoming.insert(step.chunk, step);
                     self.respond(lane_idx, Response::FOUND);
                 }
@@ -344,12 +368,13 @@ impl ServerThread {
 
     /// Attempt the extraction for `step`. `Some(response)` when the chunk
     /// was exported (or empty), `None` while NOT-READY inserts block it.
+    ///
+    /// Uses the partition's per-chunk membership index, so the extraction
+    /// cost is proportional to the chunk's population — not the table size.
     fn export_step(&mut self, step: MigrationStep) -> Option<Response> {
-        let chunks = self.router.chunks();
         let me = self.index;
-        let outcome = self.partition.export_matching(|key| {
-            migration_chunk(key, chunks) == step.chunk
-                && partition_for_key(key, step.new_partitions) != me
+        let outcome = self.partition.export_chunk(step.chunk, |key| {
+            partition_for_key(key, step.new_partitions) != me
         });
         match outcome {
             ExportOutcome::Extracted(entries) => {
@@ -382,13 +407,11 @@ impl ServerThread {
                 // dead reservations rather than stalling the coordinator
                 // forever.
                 None if !self.any_client_alive() => {
-                    let chunks = self.router.chunks();
                     let me = self.index;
                     let entries = self
                         .partition
-                        .export_matching_abandoning_reservations(|key| {
-                            migration_chunk(key, chunks) == step.chunk
-                                && partition_for_key(key, step.new_partitions) != me
+                        .export_chunk_abandoning_reservations(step.chunk, |key| {
+                            partition_for_key(key, step.new_partitions) != me
                         });
                     self.stats
                         .keys_migrated_out
@@ -488,6 +511,7 @@ mod tests {
             stats: Arc::new(ServerStats::new()),
             partition_stats: Arc::new(Mutex::new(PartitionStats::default())),
             router,
+            capacity_total: None,
         };
         (client, server, stop)
     }

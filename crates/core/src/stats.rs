@@ -26,6 +26,11 @@ pub struct ServerStats {
     pub keys_migrated_out: AtomicU64,
     /// Keys this server absorbed during live re-partitioning.
     pub keys_migrated_in: AtomicU64,
+    /// Request words drained from this server's lanes in its most recent
+    /// loop iteration — a live sample of the inbound queue depth.  The
+    /// migration pacer's feedback mode reads this to decide whether the
+    /// server is falling behind while chunks are being handed off.
+    pub queue_depth: AtomicU64,
 }
 
 impl ServerStats {
@@ -69,6 +74,12 @@ impl ServerStats {
     /// Whether the server has exited.
     pub fn is_stopped(&self) -> bool {
         self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Most recent inbound queue-depth sample (words drained in one loop
+    /// iteration).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 }
 

@@ -83,6 +83,7 @@ impl CpHash {
                 capacity_bytes: config.partition_capacity(),
                 eviction: config.eviction,
                 seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+                migration_chunks: config.migration_chunks,
             });
             let thread = ServerThread {
                 index,
@@ -93,6 +94,7 @@ impl CpHash {
                 stats: Arc::clone(&stats),
                 partition_stats: Arc::clone(&pstats),
                 router: Arc::clone(&router),
+                capacity_total: config.capacity_bytes,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("cphash-server-{index}"))

@@ -24,7 +24,9 @@ pub enum ElementState {
 
 /// One element header: "the key, the reference count, the size of the value
 /// (in bytes), and doubly-linked-list pointers for the bucket and for the
-/// LRU list" (§3.1), plus the allocator handle for the value bytes.
+/// LRU list" (§3.1), plus the allocator handle for the value bytes and the
+/// intrusive links of the per-chunk migration index (so exporting one
+/// migration chunk walks only that chunk's elements, never the whole table).
 #[derive(Debug)]
 pub(crate) struct Element {
     pub key: u64,
@@ -40,10 +42,15 @@ pub(crate) struct Element {
     pub bucket_prev: u32,
     pub lru_next: u32,
     pub lru_prev: u32,
+    /// Migration chunk this key hashes to (cached so unlinking needs no
+    /// re-hash).
+    pub chunk: u32,
+    pub chunk_next: u32,
+    pub chunk_prev: u32,
 }
 
 impl Element {
-    pub(crate) fn new(key: u64, value: ValueHandle, bucket: u32) -> Self {
+    pub(crate) fn new(key: u64, value: ValueHandle, bucket: u32, chunk: u32) -> Self {
         Element {
             key,
             value,
@@ -55,6 +62,9 @@ impl Element {
             bucket_prev: NIL,
             lru_next: NIL,
             lru_prev: NIL,
+            chunk,
+            chunk_next: NIL,
+            chunk_prev: NIL,
         }
     }
 }
@@ -97,9 +107,11 @@ mod tests {
     fn new_elements_start_not_ready_and_linked() {
         let mut a = SlabAllocator::unbounded();
         let v = a.allocate(8).unwrap();
-        let e = Element::new(7, v, 3);
+        let e = Element::new(7, v, 3, 5);
         assert_eq!(e.key, 7);
         assert_eq!(e.bucket, 3);
+        assert_eq!(e.chunk, 5);
+        assert_eq!(e.chunk_next, NIL);
         assert_eq!(e.state, ElementState::NotReady);
         assert!(e.linked);
         assert_eq!(e.refcount, 0);
@@ -111,7 +123,7 @@ mod tests {
     fn slot_accessors() {
         let mut a = SlabAllocator::unbounded();
         let v = a.allocate(8).unwrap();
-        let mut slot = Slot::Occupied(Element::new(1, v, 0));
+        let mut slot = Slot::Occupied(Element::new(1, v, 0, 0));
         assert!(slot.is_occupied());
         assert_eq!(slot.element().key, 1);
         slot.element_mut().refcount += 1;

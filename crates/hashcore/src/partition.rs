@@ -4,7 +4,7 @@
 use cphash_alloc::{SlabAllocator, SlabConfig, ValueHandle};
 
 use crate::element::{Element, ElementId, ElementState, Slot, NIL};
-use crate::hash::bucket_for_key;
+use crate::hash::{bucket_for_key, migration_chunk, MAX_MIGRATION_CHUNKS};
 use crate::policy::EvictionPolicy;
 use crate::stats::PartitionStats;
 
@@ -21,6 +21,12 @@ pub struct PartitionConfig {
     pub eviction: EvictionPolicy,
     /// Seed for the random-eviction PRNG (ignored under LRU).
     pub seed: u64,
+    /// Number of migration chunks the key space is cut into (a power of
+    /// two).  The partition keeps an intrusive per-chunk membership index so
+    /// that exporting one chunk for live re-partitioning walks only that
+    /// chunk's elements instead of scanning the whole table.  Must match the
+    /// table's `migration_chunks`.
+    pub migration_chunks: usize,
 }
 
 impl Default for PartitionConfig {
@@ -30,6 +36,7 @@ impl Default for PartitionConfig {
             capacity_bytes: None,
             eviction: EvictionPolicy::Lru,
             seed: 0x1234_5678,
+            migration_chunks: 64,
         }
     }
 }
@@ -47,6 +54,12 @@ impl PartitionConfig {
     /// Same config with a different eviction policy.
     pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
         self.eviction = eviction;
+        self
+    }
+
+    /// Same config with a different migration-chunk count.
+    pub fn with_migration_chunks(mut self, migration_chunks: usize) -> Self {
+        self.migration_chunks = migration_chunks;
         self
     }
 }
@@ -120,6 +133,11 @@ pub struct Partition {
     /// For each slot, its index in `random_pool` (only meaningful while
     /// linked and under random eviction).
     pool_index: Vec<u32>,
+    /// Heads of the per-chunk intrusive membership lists: every linked
+    /// element sits in exactly one list, chosen by `migration_chunk` of its
+    /// key.  Maintained at insert/unlink time so a per-chunk export walks
+    /// only the chunk's elements.
+    chunk_heads: Vec<u32>,
     len: usize,
     eviction: EvictionPolicy,
     allocator: SlabAllocator,
@@ -131,6 +149,11 @@ impl Partition {
     /// Create an empty partition.
     pub fn new(config: PartitionConfig) -> Self {
         let buckets = config.buckets.next_power_of_two().max(1);
+        assert!(
+            config.migration_chunks.is_power_of_two()
+                && config.migration_chunks <= MAX_MIGRATION_CHUNKS,
+            "migration_chunks must be a power of two, at most {MAX_MIGRATION_CHUNKS}"
+        );
         let alloc_config = SlabConfig {
             capacity_bytes: config.capacity_bytes,
             ..SlabConfig::default()
@@ -144,6 +167,7 @@ impl Partition {
             lru_tail: NIL,
             random_pool: Vec::new(),
             pool_index: Vec::new(),
+            chunk_heads: vec![NIL; config.migration_chunks],
             len: 0,
             eviction: config.eviction,
             allocator: SlabAllocator::new(alloc_config),
@@ -171,6 +195,19 @@ impl Partition {
     /// The partition's byte budget, if bounded.
     pub fn capacity_bytes(&self) -> Option<usize> {
         self.allocator.capacity()
+    }
+
+    /// Re-budget the partition at runtime: live re-partitioning re-splits
+    /// the table's global byte budget over the new partition count.
+    /// Lowering the budget evicts nothing immediately — the next insert
+    /// evicts until it fits under the new budget.
+    pub fn set_capacity_bytes(&mut self, capacity_bytes: Option<usize>) {
+        self.allocator.set_capacity(capacity_bytes);
+    }
+
+    /// Number of migration chunks the per-chunk export index is keyed by.
+    pub fn migration_chunks(&self) -> usize {
+        self.chunk_heads.len()
     }
 
     /// Number of buckets.
@@ -263,13 +300,15 @@ impl Partition {
         };
 
         let bucket = self.bucket_of(key);
-        let idx = self.alloc_slot(Element::new(key, value, bucket as u32));
+        let chunk = migration_chunk(key, self.chunk_heads.len());
+        let idx = self.alloc_slot(Element::new(key, value, bucket as u32, chunk as u32));
         // The new element holds one reference on behalf of the inserting
         // client until `mark_ready` releases it, so it cannot be freed out
         // from under the client while the value bytes are being copied.
         self.slots[idx as usize].element_mut().refcount = 1;
         self.link_into_bucket(idx, bucket);
         self.link_into_recency(idx);
+        self.link_into_chunk(idx, chunk);
         self.len += 1;
         Ok(InsertReservation {
             id: ElementId(idx),
@@ -402,7 +441,9 @@ impl Partition {
     /// This is the server-side primitive behind online repartitioning: the
     /// owning server thread exports the keys that a new partition layout
     /// assigns elsewhere, and the destination absorbs them with
-    /// [`Partition::absorb`].
+    /// [`Partition::absorb`].  Prefer [`Partition::export_chunk`] when the
+    /// leaving set is confined to one migration chunk — this variant scans
+    /// every slot.
     ///
     /// Elements still in NOT-READY state (an insert whose value copy is in
     /// flight) cannot be exported — their bytes are not yet valid — so if any
@@ -411,7 +452,21 @@ impl Partition {
     /// The caller retries once the outstanding `Ready` messages have been
     /// processed, which keeps the export atomic per chunk.
     pub fn export_matching(&mut self, leaving: impl Fn(u64) -> bool) -> ExportOutcome {
-        self.export_inner(leaving, false)
+        let (matching, not_ready) = self.gather_scan(&leaving);
+        self.export_gathered(matching, not_ready, false)
+    }
+
+    /// Extract the linked elements of one migration chunk whose keys match
+    /// `leaving`, using the per-chunk membership index: only the chunk's own
+    /// elements are visited, never the rest of the table.  Semantics
+    /// (NOT-READY deferral included) are identical to filtering
+    /// [`Partition::export_matching`] by the chunk, which debug builds
+    /// assert by cross-checking against the scan path.
+    pub fn export_chunk(&mut self, chunk: usize, leaving: impl Fn(u64) -> bool) -> ExportOutcome {
+        let (matching, not_ready) = self.gather_chunk(chunk, &leaving);
+        #[cfg(debug_assertions)]
+        self.cross_check_chunk_gather(chunk, &leaving, &matching, not_ready);
+        self.export_gathered(matching, not_ready, false)
     }
 
     /// Like [`Partition::export_matching`], but matching NOT-READY elements
@@ -424,16 +479,38 @@ impl Partition {
         &mut self,
         leaving: impl Fn(u64) -> bool,
     ) -> Vec<(u64, Vec<u8>)> {
-        match self.export_inner(leaving, true) {
+        let (matching, not_ready) = self.gather_scan(&leaving);
+        match self.export_gathered(matching, not_ready, true) {
             ExportOutcome::Extracted(entries) => entries,
             ExportOutcome::Pending { .. } => unreachable!("forced export never defers"),
         }
     }
 
-    fn export_inner(&mut self, leaving: impl Fn(u64) -> bool, force: bool) -> ExportOutcome {
+    /// Like [`Partition::export_chunk`], but matching NOT-READY elements are
+    /// *dropped from the export* instead of deferring it (shutdown path; see
+    /// [`Partition::export_matching_abandoning_reservations`]).
+    pub fn export_chunk_abandoning_reservations(
+        &mut self,
+        chunk: usize,
+        leaving: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, Vec<u8>)> {
+        let (matching, not_ready) = self.gather_chunk(chunk, &leaving);
+        #[cfg(debug_assertions)]
+        self.cross_check_chunk_gather(chunk, &leaving, &matching, not_ready);
+        match self.export_gathered(matching, not_ready, true) {
+            ExportOutcome::Extracted(entries) => entries,
+            ExportOutcome::Pending { .. } => unreachable!("forced export never defers"),
+        }
+    }
+
+    /// Collect the export candidates by scanning every slot (the legacy
+    /// path, kept for whole-table exports and as the debug cross-check).
+    fn gather_scan(&mut self, leaving: &impl Fn(u64) -> bool) -> (Vec<u32>, usize) {
+        self.stats.full_export_scans += 1;
         let mut matching: Vec<u32> = Vec::new();
         let mut not_ready = 0usize;
         for (idx, slot) in self.slots.iter().enumerate() {
+            self.stats.export_elements_visited += 1;
             if let Slot::Occupied(e) = slot {
                 if e.linked && leaving(e.key) {
                     if e.state == ElementState::Ready {
@@ -444,6 +521,74 @@ impl Partition {
                 }
             }
         }
+        (matching, not_ready)
+    }
+
+    /// Collect the export candidates by walking one chunk's membership list.
+    fn gather_chunk(&mut self, chunk: usize, leaving: &impl Fn(u64) -> bool) -> (Vec<u32>, usize) {
+        let mut matching: Vec<u32> = Vec::new();
+        let mut not_ready = 0usize;
+        let mut cur = self.chunk_heads[chunk];
+        while cur != NIL {
+            self.stats.export_elements_visited += 1;
+            let e = self.slots[cur as usize].element();
+            debug_assert_eq!(e.chunk as usize, chunk, "element in wrong chunk list");
+            if leaving(e.key) {
+                if e.state == ElementState::Ready {
+                    matching.push(cur);
+                } else {
+                    not_ready += 1;
+                }
+            }
+            cur = e.chunk_next;
+        }
+        (matching, not_ready)
+    }
+
+    /// Debug-build cross-check: the per-chunk index walk must select exactly
+    /// the candidates a full-table scan restricted to the chunk would.
+    #[cfg(debug_assertions)]
+    fn cross_check_chunk_gather(
+        &self,
+        chunk: usize,
+        leaving: &impl Fn(u64) -> bool,
+        matching: &[u32],
+        not_ready: usize,
+    ) {
+        let chunks = self.chunk_heads.len();
+        let mut scan_matching: Vec<u32> = Vec::new();
+        let mut scan_not_ready = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Slot::Occupied(e) = slot {
+                if e.linked && migration_chunk(e.key, chunks) == chunk && leaving(e.key) {
+                    if e.state == ElementState::Ready {
+                        scan_matching.push(idx as u32);
+                    } else {
+                        scan_not_ready += 1;
+                    }
+                }
+            }
+        }
+        let mut indexed: Vec<u32> = matching.to_vec();
+        indexed.sort_unstable();
+        scan_matching.sort_unstable();
+        assert_eq!(
+            indexed, scan_matching,
+            "chunk index selected a different export set than the full scan"
+        );
+        assert_eq!(
+            not_ready, scan_not_ready,
+            "chunk index disagrees with the full scan about NOT-READY blockers"
+        );
+    }
+
+    /// Extract a gathered candidate set (shared tail of both export paths).
+    fn export_gathered(
+        &mut self,
+        matching: Vec<u32>,
+        not_ready: usize,
+        force: bool,
+    ) -> ExportOutcome {
         if not_ready > 0 && !force {
             return ExportOutcome::Pending { not_ready };
         }
@@ -527,6 +672,30 @@ impl Partition {
             }
         }
         assert_eq!(linked_seen, self.len, "len does not match bucket contents");
+
+        // Every chunk list is consistent and together the lists cover
+        // exactly the linked elements, each filed under its key's chunk.
+        let chunks = self.chunk_heads.len();
+        let mut chunk_seen = 0usize;
+        for (c, &head) in self.chunk_heads.iter().enumerate() {
+            let mut cur = head;
+            let mut prev = NIL;
+            while cur != NIL {
+                let e = self.slots[cur as usize].element();
+                assert!(e.linked, "unlinked element in chunk list");
+                assert_eq!(e.chunk as usize, c, "element in wrong chunk list");
+                assert_eq!(
+                    migration_chunk(e.key, chunks),
+                    c,
+                    "element hashed to wrong chunk"
+                );
+                assert_eq!(e.chunk_prev, prev, "broken chunk back-pointer");
+                chunk_seen += 1;
+                prev = cur;
+                cur = e.chunk_next;
+            }
+        }
+        assert_eq!(chunk_seen, self.len, "chunk index does not cover the table");
 
         match self.eviction {
             EvictionPolicy::Lru => {
@@ -646,6 +815,37 @@ impl Partition {
         }
     }
 
+    fn link_into_chunk(&mut self, idx: u32, chunk: usize) {
+        let head = self.chunk_heads[chunk];
+        {
+            let e = self.slots[idx as usize].element_mut();
+            e.chunk_next = head;
+            e.chunk_prev = NIL;
+        }
+        if head != NIL {
+            self.slots[head as usize].element_mut().chunk_prev = idx;
+        }
+        self.chunk_heads[chunk] = idx;
+    }
+
+    fn unlink_from_chunk(&mut self, idx: u32) {
+        let (prev, next, chunk) = {
+            let e = self.slots[idx as usize].element();
+            (e.chunk_prev, e.chunk_next, e.chunk as usize)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].element_mut().chunk_next = next;
+        } else {
+            self.chunk_heads[chunk] = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].element_mut().chunk_prev = prev;
+        }
+        let e = self.slots[idx as usize].element_mut();
+        e.chunk_next = NIL;
+        e.chunk_prev = NIL;
+    }
+
     fn link_into_recency(&mut self, idx: u32) {
         match self.eviction {
             EvictionPolicy::Lru => self.lru_push_head(idx),
@@ -676,6 +876,7 @@ impl Partition {
     fn unlink(&mut self, idx: u32) {
         self.unlink_from_bucket(idx);
         self.unlink_from_recency(idx);
+        self.unlink_from_chunk(idx);
         self.len -= 1;
         let refcount = {
             let e = self.slots[idx as usize].element_mut();
@@ -1091,6 +1292,126 @@ mod tests {
         assert_eq!(entries, vec![(2, vec![1; 8])]);
         assert!(!p.contains(2));
         assert_eq!(p.len(), 1, "the abandoned reservation is still linked");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn export_chunk_touches_only_the_chunks_elements() {
+        use crate::hash::migration_chunk;
+        let chunks = 16;
+        let mut p = Partition::new(PartitionConfig::new(1024, None).with_migration_chunks(chunks));
+        const N: u64 = 4_000;
+        for key in 0..N {
+            p.insert_copy(key, &key.to_le_bytes()).unwrap();
+        }
+        p.reset_stats();
+
+        let target = 3usize;
+        let expected: Vec<u64> = (0..N)
+            .filter(|&k| migration_chunk(k, chunks) == target && k % 2 == 0)
+            .collect();
+        let entries = match p.export_chunk(target, |k| k % 2 == 0) {
+            ExportOutcome::Extracted(entries) => entries,
+            other => panic!("expected extraction, got {other:?}"),
+        };
+        let mut got: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+
+        // The acceptance criterion: no full-table scan happened, and the
+        // walk visited only the chunk's population (~N/chunks elements),
+        // not the N slots a scan would touch.
+        let s = p.stats();
+        assert_eq!(s.full_export_scans, 0, "chunk export must not scan");
+        assert!(
+            s.export_elements_visited < N / chunks as u64 * 2,
+            "visited {} elements for a chunk holding ~{}",
+            s.export_elements_visited,
+            N / chunks as u64
+        );
+        p.check_invariants();
+
+        // The scan path, by contrast, visits every slot and says so.
+        p.reset_stats();
+        match p.export_matching(|k| migration_chunk(k, chunks) == target) {
+            ExportOutcome::Extracted(entries) => assert!(entries.len() < 300),
+            other => panic!("expected extraction, got {other:?}"),
+        }
+        let s = p.stats();
+        assert_eq!(s.full_export_scans, 1);
+        assert!(s.export_elements_visited >= N - expected.len() as u64);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn export_chunk_defers_on_not_ready_and_abandons_when_forced() {
+        use crate::hash::migration_chunk;
+        let chunks = 8;
+        let mut p = Partition::new(PartitionConfig::new(64, None).with_migration_chunks(chunks));
+        // Find two keys in the same chunk.
+        let target = 0usize;
+        let mut in_chunk = (0..).filter(|&k| migration_chunk(k, chunks) == target);
+        let ready_key = in_chunk.next().unwrap();
+        let pending_key = in_chunk.next().unwrap();
+        p.insert_copy(ready_key, &[1; 8]).unwrap();
+        let r = p.insert(pending_key, 8).unwrap();
+        assert_eq!(
+            p.export_chunk(target, |_| true),
+            ExportOutcome::Pending { not_ready: 1 }
+        );
+        assert!(p.contains(ready_key), "pending export must not remove");
+        // Forced export moves the READY element and strands the reservation.
+        let entries = p.export_chunk_abandoning_reservations(target, |_| true);
+        assert_eq!(entries, vec![(ready_key, vec![1; 8])]);
+        assert_eq!(p.len(), 1);
+        p.fill_and_ready(r.id, &[2; 8]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn chunk_index_survives_churn_and_eviction() {
+        let chunks = 8;
+        let mut p =
+            Partition::new(PartitionConfig::new(64, Some(256)).with_migration_chunks(chunks));
+        assert_eq!(p.migration_chunks(), chunks);
+        for round in 0..20u64 {
+            for key in 0..64u64 {
+                p.insert_copy(round * 1_000 + key, &[0; 8]).unwrap();
+            }
+            for key in 0..16u64 {
+                p.delete(round * 1_000 + key);
+            }
+            p.check_invariants();
+        }
+        // Export every chunk; everything must leave, through the index.
+        p.reset_stats();
+        let mut total = 0usize;
+        for chunk in 0..chunks {
+            match p.export_chunk(chunk, |_| true) {
+                ExportOutcome::Extracted(entries) => total += entries.len(),
+                other => panic!("chunk {chunk}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(total, p.stats().exported as usize);
+        assert!(p.is_empty());
+        assert_eq!(p.stats().full_export_scans, 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn capacity_rebudget_applies_to_future_inserts() {
+        let mut p = small(Some(64));
+        for key in 0..8u64 {
+            p.insert_copy(key, &key.to_le_bytes()).unwrap();
+        }
+        assert_eq!(p.len(), 8);
+        // Halve the budget: nothing is evicted eagerly...
+        p.set_capacity_bytes(Some(32));
+        assert_eq!(p.capacity_bytes(), Some(32));
+        assert_eq!(p.len(), 8);
+        // ...but the next insert evicts down under the new budget.
+        p.insert_copy(100, &[9; 8]).unwrap();
+        assert!(p.len() <= 4, "len {} exceeds the new budget", p.len());
         p.check_invariants();
     }
 

@@ -27,6 +27,13 @@ pub struct PartitionStats {
     pub exported: u64,
     /// Elements absorbed from another partition by live migration.
     pub absorbed: u64,
+    /// Slots / chunk-list nodes visited while selecting export candidates.
+    /// Per-chunk exports keep this proportional to the chunk's population;
+    /// full-table exports add the whole slot count per call.
+    pub export_elements_visited: u64,
+    /// Export calls that scanned every slot (the legacy whole-table path).
+    /// Stays zero when migration uses the per-chunk index.
+    pub full_export_scans: u64,
 }
 
 impl PartitionStats {
@@ -52,6 +59,8 @@ impl PartitionStats {
         self.failed_inserts += other.failed_inserts;
         self.exported += other.exported;
         self.absorbed += other.absorbed;
+        self.export_elements_visited += other.export_elements_visited;
+        self.full_export_scans += other.full_export_scans;
     }
 
     /// Zero every counter.

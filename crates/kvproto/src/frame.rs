@@ -12,9 +12,32 @@ pub enum RequestKind {
     Lookup = 1,
     /// Store a value under a key (no response).
     Insert = 2,
-    /// Admin: re-partition the live table to `key` server threads. The
-    /// response value is a status string (`partitions=N ...` or `ERR ...`).
+    /// Admin: re-partition the live table. The key field packs the target
+    /// partition count in its low 16 bits and an optional pacing budget
+    /// (chunk hand-offs per second, 0 = use the server's configured
+    /// default) in bits 16..48 — see [`pack_resize`]. The response value is
+    /// a status string (`partitions=N ...` or `ERR ...`).
     Resize = 3,
+}
+
+/// Pack a RESIZE key field: target partition count plus an optional pacing
+/// budget in chunk hand-offs per second (0 keeps the server's default).
+pub fn pack_resize(partitions: u64, chunks_per_sec: u32) -> u64 {
+    (partitions & 0xFFFF) | ((chunks_per_sec as u64) << 16)
+}
+
+/// The target partition count packed in a RESIZE key field.
+pub fn resize_partitions(key: u64) -> usize {
+    (key & 0xFFFF) as usize
+}
+
+/// The pacing budget packed in a RESIZE key field (`None` when the client
+/// left it zero, i.e. "use the server's default pacing").
+pub fn resize_chunks_per_sec(key: u64) -> Option<u32> {
+    match ((key >> 16) & 0xFFFF_FFFF) as u32 {
+        0 => None,
+        rate => Some(rate),
+    }
 }
 
 impl RequestKind {
@@ -59,11 +82,21 @@ impl Request {
         }
     }
 
-    /// Build a resize admin request.
+    /// Build a resize admin request (server-default pacing).
     pub fn resize(partitions: u64) -> Request {
         Request {
             kind: RequestKind::Resize,
-            key: partitions & MAX_KEY,
+            key: pack_resize(partitions, 0),
+            value: Vec::new(),
+        }
+    }
+
+    /// Build a resize admin request with an explicit pacing budget in chunk
+    /// hand-offs per second.
+    pub fn resize_paced(partitions: u64, chunks_per_sec: u32) -> Request {
+        Request {
+            kind: RequestKind::Resize,
+            key: pack_resize(partitions, chunks_per_sec),
             value: Vec::new(),
         }
     }
@@ -100,12 +133,19 @@ pub fn encode_insert(out: &mut BytesMut, key: u64, value: &[u8]) {
 }
 
 /// Append an encoded RESIZE admin request to `out`: re-partition the live
-/// table to `partitions` server threads. The server answers with a status
-/// string framed like a lookup response.
+/// table to `partitions` server threads using the server's default pacing.
+/// The server answers with a status string framed like a lookup response.
 pub fn encode_resize(out: &mut BytesMut, partitions: u64) {
+    encode_resize_paced(out, partitions, 0);
+}
+
+/// Append an encoded RESIZE admin request with an explicit migration pacing
+/// budget (`chunks_per_sec` chunk hand-offs per second; 0 = server
+/// default).
+pub fn encode_resize_paced(out: &mut BytesMut, partitions: u64, chunks_per_sec: u32) {
     out.reserve(REQUEST_HEADER_BYTES);
     out.put_u8(RequestKind::Resize as u8);
-    out.put_u64_le(partitions & MAX_KEY);
+    out.put_u64_le(pack_resize(partitions, chunks_per_sec));
     out.put_u32_le(0);
 }
 
@@ -206,5 +246,30 @@ mod tests {
         let mut decoder = crate::RequestDecoder::new();
         decoder.feed(&buf);
         assert_eq!(decoder.next_request().unwrap(), Some(Request::resize(8)));
+    }
+
+    #[test]
+    fn resize_key_packs_partitions_and_pacing() {
+        // Plain resize: partition count only, "default pacing" marker.
+        let plain = Request::resize(8);
+        assert_eq!(resize_partitions(plain.key), 8);
+        assert_eq!(resize_chunks_per_sec(plain.key), None);
+
+        // Paced resize round-trips both fields through the wire.
+        let mut buf = BytesMut::new();
+        encode_resize_paced(&mut buf, 4, 250);
+        let mut decoder = crate::RequestDecoder::new();
+        decoder.feed(&buf);
+        let decoded = decoder.next_request().unwrap().expect("one frame");
+        assert_eq!(decoded, Request::resize_paced(4, 250));
+        assert_eq!(resize_partitions(decoded.key), 4);
+        assert_eq!(resize_chunks_per_sec(decoded.key), Some(250));
+
+        // The packing keeps the two fields independent.
+        assert_eq!(resize_partitions(pack_resize(0xFFFF, u32::MAX)), 0xFFFF);
+        assert_eq!(
+            resize_chunks_per_sec(pack_resize(3, u32::MAX)),
+            Some(u32::MAX)
+        );
     }
 }

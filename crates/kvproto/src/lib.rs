@@ -30,8 +30,9 @@ pub mod frame;
 
 pub use decode::{DecodeError, RequestDecoder, ResponseDecoder};
 pub use frame::{
-    encode_insert, encode_lookup, encode_request, encode_resize, encode_response, Request,
-    RequestKind, Response,
+    encode_insert, encode_lookup, encode_request, encode_resize, encode_resize_paced,
+    encode_response, pack_resize, resize_chunks_per_sec, resize_partitions, Request, RequestKind,
+    Response,
 };
 
 /// Largest value size the servers accept, to bound memory per request

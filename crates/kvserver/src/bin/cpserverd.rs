@@ -8,6 +8,7 @@
 
 use std::time::Duration;
 
+use cphash::MigrationPacing;
 use cphash_kvserver::{CpServer, CpServerConfig};
 
 struct Args {
@@ -17,6 +18,11 @@ struct Args {
     client_threads: usize,
     capacity_mb: usize,
     stats_secs: u64,
+    /// Default chunk hand-offs per second for live resizes (0 = unpaced).
+    migrate_rate: f64,
+    /// Queue-depth feedback: back off the migration rate while servers
+    /// fall behind.
+    migrate_feedback: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +33,8 @@ fn parse_args() -> Result<Args, String> {
         client_threads: 2,
         capacity_mb: 64,
         stats_secs: 5,
+        migrate_rate: 0.0,
+        migrate_feedback: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -53,8 +61,14 @@ fn parse_args() -> Result<Args, String> {
             "--stats-secs" => {
                 args.stats_secs = value("--stats-secs")?.parse().map_err(|e| format!("bad stats-secs: {e}"))?
             }
+            "--migrate-rate" => {
+                args.migrate_rate = value("--migrate-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad migrate-rate: {e}"))?
+            }
+            "--migrate-feedback" => args.migrate_feedback = true,
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -71,6 +85,14 @@ fn main() {
         }
     };
 
+    let migration_pacing = match (args.migrate_rate, args.migrate_feedback) {
+        (rate, true) if rate > 0.0 => MigrationPacing::feedback(rate),
+        (_, true) => MigrationPacing::feedback(1_000.0),
+        (rate, false) if rate > 0.0 => MigrationPacing::Rate {
+            chunks_per_sec: rate,
+        },
+        _ => MigrationPacing::Unpaced,
+    };
     let config = CpServerConfig {
         bind: format!("0.0.0.0:{}", args.port)
             .parse()
@@ -80,6 +102,7 @@ fn main() {
         max_partitions: args.max_partitions,
         capacity_bytes: Some(args.capacity_mb * 1024 * 1024),
         typical_value_bytes: 64,
+        migration_pacing,
         ..Default::default()
     };
     let server = match CpServer::start(config) {
@@ -98,9 +121,10 @@ fn main() {
     );
     if args.max_partitions > args.partitions {
         println!(
-            "live resize enabled up to {} partitions (send a RESIZE frame, opcode 3, key = new count)",
+            "live resize enabled up to {} partitions (send a RESIZE frame, opcode 3; key bits 0..16 = new count, bits 16..48 = optional chunks/sec budget)",
             args.max_partitions
         );
+        println!("default migration pacing: {migration_pacing:?}");
     }
     println!("press Ctrl-C to stop");
 

@@ -7,10 +7,10 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy};
+use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy, MigrationPacing};
 use cphash_affinity::HwThreadId;
-use cphash_kvproto::{encode_response, RequestKind};
-use cphash_migrate::RepartitionCoordinator;
+use cphash_kvproto::{encode_response, resize_chunks_per_sec, resize_partitions, RequestKind};
+use cphash_migrate::{MigrationPacer, RepartitionCoordinator};
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
@@ -20,22 +20,38 @@ use crate::metrics::ServerMetrics;
 /// thread that owns the repartition coordinator.
 struct AdminRequest {
     new_partitions: usize,
+    /// Per-request pacing override from the wire (`None` = the server's
+    /// configured default pacing).
+    chunks_per_sec: Option<u32>,
     reply: mpsc::Sender<String>,
 }
 
-/// The admin thread: serializes resize requests onto the coordinator.
+/// The admin thread: serializes resize requests onto the coordinator,
+/// pacing each through the server's default pacer (which keeps its feedback
+/// state across resizes) or a per-request rate override from the wire.
 fn admin_worker(
     mut coordinator: RepartitionCoordinator,
+    mut default_pacer: MigrationPacer,
     requests: mpsc::Receiver<AdminRequest>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match requests.recv_timeout(Duration::from_millis(20)) {
             Ok(request) => {
-                let status = match coordinator.resize_to(request.new_partitions) {
+                let result = match request.chunks_per_sec {
+                    Some(rate) => {
+                        let mut override_pacer =
+                            MigrationPacer::from_config(MigrationPacing::Rate {
+                                chunks_per_sec: rate as f64,
+                            });
+                        coordinator.resize_to_paced(request.new_partitions, &mut override_pacer)
+                    }
+                    None => coordinator.resize_to_paced(request.new_partitions, &mut default_pacer),
+                };
+                let status = match result {
                     Ok(report) => format!(
-                        "partitions={} moved={} chunks={}",
-                        report.to_partitions, report.keys_moved, report.chunks
+                        "partitions={} moved={} chunks={} paced_waits={}",
+                        report.to_partitions, report.keys_moved, report.chunks, report.paced_waits
                     ),
                     Err(e) => format!("ERR {e}"),
                 };
@@ -72,6 +88,9 @@ pub struct CpServerConfig {
     /// enabled when this exceeds `partitions`; otherwise (0 or equal) the
     /// table is static and RESIZE frames are refused.
     pub max_partitions: usize,
+    /// Default pacing for live resizes (RESIZE frames may override it per
+    /// request with an explicit chunks-per-second budget).
+    pub migration_pacing: MigrationPacing,
 }
 
 impl Default for CpServerConfig {
@@ -86,6 +105,7 @@ impl Default for CpServerConfig {
             server_pins: Vec::new(),
             batch: 1024,
             max_partitions: 0,
+            migration_pacing: MigrationPacing::Unpaced,
         }
     }
 }
@@ -110,6 +130,7 @@ impl CpServer {
         table_config.eviction = config.eviction;
         table_config.server_pins = config.server_pins.clone();
         table_config.max_partitions = config.max_partitions;
+        table_config.migration_pacing = config.migration_pacing;
         let (table, handles) = CpHash::new(table_config);
 
         let listener = TcpListener::bind(config.bind)?;
@@ -129,11 +150,14 @@ impl CpServer {
         if resize_enabled {
             let coordinator =
                 RepartitionCoordinator::new(table.take_control().expect("fresh table has control"));
+            // The default pacer samples the table's own queue-depth gauges,
+            // so feedback mode works out of the box.
+            let pacer = MigrationPacer::for_table(&table, config.migration_pacing);
             let stop = Arc::clone(&stop);
             threads.push(
                 std::thread::Builder::new()
                     .name("cpserver-admin".into())
-                    .spawn(move || admin_worker(coordinator, admin_rx, stop))
+                    .spawn(move || admin_worker(coordinator, pacer, admin_rx, stop))
                     .expect("spawning the admin thread"),
             );
         } else {
@@ -387,7 +411,8 @@ fn client_worker(
                         let (reply_tx, reply_rx) = mpsc::channel();
                         let sent = admin
                             .send(AdminRequest {
-                                new_partitions: request.key as usize,
+                                new_partitions: resize_partitions(request.key),
+                                chunks_per_sec: resize_chunks_per_sec(request.key),
                                 reply: reply_tx,
                             })
                             .is_ok();
@@ -643,6 +668,63 @@ mod tests {
         stream.write_all(&wire).unwrap();
         let got = lookup_roundtrip(&mut stream, &mut decoder, 5);
         assert_eq!(got.as_deref(), Some(&b"still works"[..]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn paced_resize_over_the_wire_reports_paced_waits() {
+        use cphash_kvproto::encode_resize_paced;
+        let mut server = CpServer::start(CpServerConfig {
+            partitions: 2,
+            max_partitions: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        for key in 0..200u64 {
+            let mut wire = BytesMut::new();
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+            stream.write_all(&wire).unwrap();
+        }
+        // Resize 2 -> 4 with an explicit budget of 250 chunk hand-offs/sec
+        // (64 chunks ≈ 256 ms minimum — well above the unpaced hand-off
+        // latency, so the bucket must actually delay), overriding the
+        // server's default (unpaced) configuration.
+        let mut wire = BytesMut::new();
+        encode_resize_paced(&mut wire, 4, 250);
+        stream.write_all(&wire).unwrap();
+        let status = {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(resp) = decoder.next_response().unwrap() {
+                    break String::from_utf8(resp.value.expect("status string")).unwrap();
+                }
+                let n = stream.read(&mut buf).unwrap();
+                assert!(n > 0, "server closed the connection");
+                decoder.feed(&buf[..n]);
+            }
+        };
+        assert!(
+            status.starts_with("partitions=4"),
+            "unexpected status {status:?}"
+        );
+        let paced_waits: u64 = status
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("paced_waits="))
+            .expect("status reports paced_waits")
+            .parse()
+            .unwrap();
+        assert!(
+            paced_waits > 0,
+            "a finite budget must delay some hand-offs: {status:?}"
+        );
+        // Data still intact after the paced transition.
+        for key in 0..200u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+        }
         server.shutdown();
     }
 

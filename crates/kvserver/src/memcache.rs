@@ -84,6 +84,8 @@ impl MemcacheCluster {
                 capacity_bytes: config.capacity_bytes_per_instance,
                 eviction: config.eviction,
                 seed: 0x4D45_4D43 ^ index as u64,
+                // The memcached-style baseline never migrates.
+                migration_chunks: 1,
             })));
             instances.push(Instance {
                 addr,

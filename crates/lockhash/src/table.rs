@@ -38,6 +38,9 @@ impl LockHash {
                     capacity_bytes: config.partition_capacity(),
                     eviction: config.eviction,
                     seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    // LockHash never migrates; a single chunk keeps the
+                    // membership index to one list with no per-key cost.
+                    migration_chunks: 1,
                 }))
             })
             .collect();

@@ -9,6 +9,8 @@ use cphash::router::TransitionError;
 use cphash::{Recommendation, TableError};
 use cphash_hashcore::partition_for_key;
 
+use crate::pacer::MigrationPacer;
+
 /// Why a resize could not run (the table itself is unharmed: either nothing
 /// started, or — for [`MigrateError::ServerGone`] — the table is already
 /// shutting down).
@@ -58,6 +60,10 @@ pub struct MigrationReport {
     pub batches: usize,
     /// Wall-clock duration of the whole transition.
     pub duration: Duration,
+    /// Chunk hand-offs this transition delayed to honour the pacing budget.
+    pub paced_waits: u64,
+    /// Total time this transition spent waiting on the pacer.
+    pub paced_wait: Duration,
 }
 
 impl core::fmt::Display for MigrationReport {
@@ -71,7 +77,15 @@ impl core::fmt::Display for MigrationReport {
             self.batches,
             self.chunks,
             self.duration
-        )
+        )?;
+        if self.paced_waits > 0 {
+            write!(
+                f,
+                " ({} paced waits totalling {:.1?})",
+                self.paced_waits, self.paced_wait
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -106,23 +120,46 @@ impl RepartitionCoordinator {
         &mut self,
         recommendation: Recommendation,
     ) -> Result<Option<MigrationReport>, MigrateError> {
+        self.apply_paced(recommendation, &mut MigrationPacer::unpaced())
+    }
+
+    /// Like [`RepartitionCoordinator::apply`], but pacing the chunk
+    /// hand-offs through `pacer`.
+    pub fn apply_paced(
+        &mut self,
+        recommendation: Recommendation,
+        pacer: &mut MigrationPacer,
+    ) -> Result<Option<MigrationReport>, MigrateError> {
         match recommendation {
             Recommendation::Keep(_) => Ok(None),
             Recommendation::Grow(n) | Recommendation::Shrink(n) => {
                 if n == self.active_partitions() {
                     return Ok(None);
                 }
-                self.resize_to(n).map(Some)
+                self.resize_to_paced(n, pacer).map(Some)
             }
         }
     }
 
     /// Re-partition the live table to `new_partitions` server threads,
-    /// migrating keys chunk by chunk while clients keep operating.
+    /// migrating keys chunk by chunk while clients keep operating, with
+    /// hand-offs fired back-to-back (no pacing).
     pub fn resize_to(&mut self, new_partitions: usize) -> Result<MigrationReport, MigrateError> {
+        self.resize_to_paced(new_partitions, &mut MigrationPacer::unpaced())
+    }
+
+    /// Like [`RepartitionCoordinator::resize_to`], but before every chunk
+    /// hand-off the coordinator waits for `pacer` — bounding how much
+    /// migration work competes with foreground traffic per unit time.
+    pub fn resize_to_paced(
+        &mut self,
+        new_partitions: usize,
+        pacer: &mut MigrationPacer,
+    ) -> Result<MigrationReport, MigrateError> {
         let router = std::sync::Arc::clone(self.control.router());
         let chunks = router.chunks();
         let start = Instant::now();
+        let pacer_before = pacer.stats();
         if new_partitions == router.active_partitions() {
             return Ok(MigrationReport {
                 from_partitions: new_partitions,
@@ -131,6 +168,8 @@ impl RepartitionCoordinator {
                 keys_moved: 0,
                 batches: 0,
                 duration: start.elapsed(),
+                paced_waits: 0,
+                paced_wait: Duration::ZERO,
             });
         }
         let before = router.begin_transition(new_partitions)?;
@@ -139,6 +178,7 @@ impl RepartitionCoordinator {
         let mut batches = 0usize;
 
         for chunk in 0..chunks {
+            pacer.before_chunk();
             let step = MigrationStep {
                 chunk,
                 old_partitions: old,
@@ -157,6 +197,7 @@ impl RepartitionCoordinator {
             router.advance_watermark(chunk + 1);
         }
 
+        let pacer_after = pacer.stats();
         Ok(MigrationReport {
             from_partitions: old,
             to_partitions: new_partitions,
@@ -164,6 +205,10 @@ impl RepartitionCoordinator {
             keys_moved,
             batches,
             duration: start.elapsed(),
+            paced_waits: pacer_after.paced_waits - pacer_before.paced_waits,
+            paced_wait: pacer_after
+                .total_wait
+                .saturating_sub(pacer_before.total_wait),
         })
     }
 

@@ -44,5 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod pacer;
 
 pub use coordinator::{MigrateError, MigrationReport, RepartitionCoordinator};
+pub use pacer::{MigrationPacer, PacerStats};
+
+// Re-export the pacing knob so callers configuring a pacer need only this
+// crate (the type lives in `cphash::config` so table configs can carry it).
+pub use cphash::MigrationPacing;

@@ -1,0 +1,285 @@
+//! Pacing for live re-partitioning: bound the foreground cost of a
+//! transition by spacing chunk hand-offs out in time.
+//!
+//! PR 1's coordinator fired chunk hand-offs back-to-back, so the throughput
+//! dip a resize causes was bounded only by the table size.  The
+//! [`MigrationPacer`] turns the hand-off rate into an operator-chosen
+//! budget:
+//!
+//! * **rate mode** — a token bucket allowing at most `chunks_per_sec`
+//!   hand-offs per second;
+//! * **feedback mode** — the same bucket, but between hand-offs the pacer
+//!   samples the per-partition inbound queue depth (the
+//!   [`cphash::ServerStats::queue_depth`] gauge each server publishes every
+//!   loop iteration, smoothed through a [`cphash_perfmon::EwmaGauge`]) and
+//!   halves the rate while servers are falling behind, recovering it while
+//!   they keep up.
+//!
+//! The pacer is owned by whoever drives the coordinator (CPSERVER's admin
+//! thread, the benchmark harness) and threaded through
+//! [`crate::RepartitionCoordinator::resize_to_paced`].
+
+use std::time::{Duration, Instant};
+
+use cphash::{CpHash, MigrationPacing};
+use cphash_perfmon::EwmaGauge;
+
+/// Token-bucket burst: how many hand-offs may fire without waiting after an
+/// idle period.  1.0 keeps the spacing strict.
+const BURST_TOKENS: f64 = 1.0;
+
+/// Feedback never slows below this fraction of the configured rate, so a
+/// permanently saturated table still finishes its transition.
+const MIN_RATE_FRACTION: f64 = 1.0 / 64.0;
+
+/// Multiplicative-increase factor applied while servers keep up.
+const RECOVERY_FACTOR: f64 = 1.25;
+
+/// EWMA smoothing for queue-depth samples.
+const DEPTH_ALPHA: f64 = 0.3;
+
+/// What a pacer has done so far (cumulative; the coordinator reports
+/// per-resize deltas in its [`crate::MigrationReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PacerStats {
+    /// Chunk hand-offs that had to wait for the token bucket.
+    pub paced_waits: u64,
+    /// Total time spent waiting on the bucket.
+    pub total_wait: Duration,
+    /// Feedback decisions that halved the rate (servers falling behind).
+    pub backoffs: u64,
+    /// Feedback decisions that raised the rate back up.
+    pub recoveries: u64,
+    /// Queue-depth samples taken.
+    pub depth_samples: u64,
+}
+
+/// Paces chunk hand-offs (see the module docs).
+pub struct MigrationPacer {
+    pacing: MigrationPacing,
+    /// Current rate in chunks/sec (feedback moves it inside
+    /// `[min_rate, max_rate]`; rate mode keeps it fixed).
+    rate: f64,
+    max_rate: f64,
+    min_rate: f64,
+    tokens: f64,
+    last_refill: Option<Instant>,
+    gauge: EwmaGauge,
+    probe: Option<Box<dyn FnMut() -> f64 + Send>>,
+    stats: PacerStats,
+}
+
+impl MigrationPacer {
+    /// A pacer that never waits (PR 1 behaviour).
+    pub fn unpaced() -> Self {
+        Self::from_config(MigrationPacing::Unpaced)
+    }
+
+    /// Build a pacer from a pacing configuration.  Feedback mode needs a
+    /// queue-depth probe ([`MigrationPacer::with_queue_depth_probe`] or
+    /// [`MigrationPacer::for_table`]); without one it degrades to plain
+    /// rate mode at the configured rate.
+    pub fn from_config(pacing: MigrationPacing) -> Self {
+        pacing.validate();
+        let rate = match pacing {
+            MigrationPacing::Unpaced => f64::INFINITY,
+            MigrationPacing::Rate { chunks_per_sec }
+            | MigrationPacing::Feedback { chunks_per_sec, .. } => chunks_per_sec,
+        };
+        MigrationPacer {
+            pacing,
+            rate,
+            max_rate: rate,
+            min_rate: (rate * MIN_RATE_FRACTION).max(f64::MIN_POSITIVE),
+            tokens: BURST_TOKENS,
+            last_refill: None,
+            gauge: EwmaGauge::new(DEPTH_ALPHA),
+            probe: None,
+            stats: PacerStats::default(),
+        }
+    }
+
+    /// Attach a queue-depth probe for feedback mode.  The probe returns the
+    /// current depth (words drained per server loop iteration, maximum over
+    /// the partitions of interest).
+    pub fn with_queue_depth_probe(mut self, probe: impl FnMut() -> f64 + Send + 'static) -> Self {
+        self.probe = Some(Box::new(probe));
+        self
+    }
+
+    /// Convenience: a pacer whose feedback probe reads the given table's
+    /// per-server queue-depth gauges (maximum over all spawned servers —
+    /// idle servers report zero, so they never distort the signal).
+    pub fn for_table(table: &CpHash, pacing: MigrationPacing) -> Self {
+        let stats: Vec<_> = table.server_stats().to_vec();
+        Self::from_config(pacing).with_queue_depth_probe(move || {
+            stats.iter().map(|s| s.queue_depth()).max().unwrap_or(0) as f64
+        })
+    }
+
+    /// The pacing configuration this pacer was built from.
+    pub fn pacing(&self) -> MigrationPacing {
+        self.pacing
+    }
+
+    /// The current hand-off rate in chunks/sec (`f64::INFINITY` when
+    /// unpaced; feedback mode moves this between backoffs and recoveries).
+    pub fn current_rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Cumulative pacer statistics.
+    pub fn stats(&self) -> PacerStats {
+        self.stats
+    }
+
+    /// Block until the next chunk hand-off is allowed to start.  Called by
+    /// the coordinator before every chunk; a no-op when unpaced.
+    pub fn before_chunk(&mut self) {
+        if matches!(self.pacing, MigrationPacing::Unpaced) {
+            return;
+        }
+        self.apply_feedback();
+
+        let now = Instant::now();
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return;
+        }
+        let deficit = 1.0 - self.tokens;
+        let wait = Duration::from_secs_f64(deficit / self.rate);
+        self.stats.paced_waits += 1;
+        self.stats.total_wait += wait;
+        std::thread::sleep(wait);
+        self.refill(Instant::now());
+        self.tokens = (self.tokens - 1.0).max(0.0);
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let last = self.last_refill.replace(now).unwrap_or(now);
+        let elapsed = now.saturating_duration_since(last).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate).min(BURST_TOKENS);
+    }
+
+    /// Sample the queue-depth probe and adjust the rate (feedback mode with
+    /// a probe attached only).
+    fn apply_feedback(&mut self) {
+        let MigrationPacing::Feedback {
+            high_depth,
+            low_depth,
+            ..
+        } = self.pacing
+        else {
+            return;
+        };
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        let depth = self.gauge.sample(probe());
+        self.stats.depth_samples += 1;
+        if depth > high_depth && self.rate > self.min_rate {
+            self.rate = (self.rate * 0.5).max(self.min_rate);
+            self.stats.backoffs += 1;
+        } else if depth < low_depth && self.rate < self.max_rate {
+            self.rate = (self.rate * RECOVERY_FACTOR).min(self.max_rate);
+            self.stats.recoveries += 1;
+        }
+    }
+}
+
+impl core::fmt::Debug for MigrationPacer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MigrationPacer")
+            .field("pacing", &self.pacing)
+            .field("rate", &self.rate)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn unpaced_never_waits() {
+        let mut pacer = MigrationPacer::unpaced();
+        let start = Instant::now();
+        for _ in 0..1_000 {
+            pacer.before_chunk();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(pacer.stats().paced_waits, 0);
+    }
+
+    #[test]
+    fn rate_mode_spaces_hand_offs() {
+        let mut pacer = MigrationPacer::from_config(MigrationPacing::Rate {
+            chunks_per_sec: 1_000.0,
+        });
+        let start = Instant::now();
+        for _ in 0..6 {
+            pacer.before_chunk();
+        }
+        // First hand-off is free (burst of one); the next five wait ~1 ms
+        // each.
+        assert!(
+            start.elapsed() >= Duration::from_millis(4),
+            "6 hand-offs at 1000/s finished in {:?}",
+            start.elapsed()
+        );
+        assert!(pacer.stats().paced_waits >= 4);
+        assert!(pacer.stats().total_wait >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn feedback_backs_off_under_load_and_recovers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let depth = Arc::new(AtomicU64::new(10_000));
+        let probe_depth = Arc::clone(&depth);
+        let mut pacer = MigrationPacer::from_config(MigrationPacing::Feedback {
+            chunks_per_sec: 10_000.0,
+            high_depth: 128.0,
+            low_depth: 32.0,
+        })
+        .with_queue_depth_probe(move || probe_depth.load(Ordering::Relaxed) as f64);
+
+        for _ in 0..4 {
+            pacer.before_chunk();
+        }
+        assert!(pacer.stats().backoffs >= 3, "{:?}", pacer.stats());
+        let slowed = pacer.current_rate();
+        assert!(slowed < 10_000.0 / 4.0, "rate still {slowed}");
+
+        // Load clears: the rate climbs back towards the configured maximum.
+        depth.store(0, Ordering::Relaxed);
+        for _ in 0..64 {
+            pacer.before_chunk();
+        }
+        assert!(pacer.current_rate() > slowed);
+        assert!(pacer.stats().recoveries > 0);
+        assert!(pacer.stats().depth_samples >= 68);
+    }
+
+    #[test]
+    fn feedback_without_probe_degrades_to_rate_mode() {
+        let mut pacer = MigrationPacer::from_config(MigrationPacing::feedback(5_000.0));
+        for _ in 0..8 {
+            pacer.before_chunk();
+        }
+        assert_eq!(pacer.stats().depth_samples, 0);
+        assert_eq!(pacer.current_rate(), 5_000.0);
+        assert!(pacer.stats().paced_waits > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn invalid_config_is_rejected_at_construction() {
+        MigrationPacer::from_config(MigrationPacing::Rate {
+            chunks_per_sec: -1.0,
+        });
+    }
+}

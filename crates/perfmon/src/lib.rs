@@ -13,16 +13,20 @@
 //!   extraction.
 //! * [`series`] — labelled (x, y) series and CSV/gnuplot-style rendering,
 //!   the output format of every figure-regenerating benchmark binary.
+//! * [`load`] — smoothed load gauges (EWMA), the low-pass filter behind the
+//!   migration pacer's queue-depth feedback loop.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cycles;
 pub mod histogram;
+pub mod load;
 pub mod series;
 pub mod timer;
 
 pub use cycles::{cycles_now, estimate_cycles_per_second, CycleSpan};
 pub use histogram::LatencyHistogram;
+pub use load::EwmaGauge;
 pub use series::{DataPoint, DataSeries, FigureReport};
 pub use timer::{Stopwatch, ThroughputMeter};

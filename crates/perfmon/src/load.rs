@@ -1,0 +1,103 @@
+//! Smoothed load gauges.
+//!
+//! The migration pacer (in `cphash-migrate`) samples per-partition queue
+//! depth between chunk hand-offs.  Raw samples are spiky — one loop
+//! iteration drains a burst, the next drains nothing — so feedback control
+//! on the raw signal would oscillate.  [`EwmaGauge`] smooths the samples
+//! with an exponentially weighted moving average, the classic low-pass
+//! filter for this kind of control loop.
+
+/// An exponentially weighted moving average over irregular samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaGauge {
+    alpha: f64,
+    value: Option<f64>,
+    samples: u64,
+}
+
+impl EwmaGauge {
+    /// A gauge with smoothing factor `alpha` in `(0, 1]`: each new sample
+    /// contributes `alpha` of the new value (1.0 = no smoothing).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        EwmaGauge {
+            alpha,
+            value: None,
+            samples: 0,
+        }
+    }
+
+    /// Feed one sample and return the updated smoothed value.
+    pub fn sample(&mut self, v: f64) -> f64 {
+        let next = match self.value {
+            Some(current) => current + self.alpha * (v - current),
+            None => v,
+        };
+        self.value = Some(next);
+        self.samples += 1;
+        next
+    }
+
+    /// The current smoothed value (`None` before the first sample).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// How many samples have been fed in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_the_average() {
+        let mut g = EwmaGauge::new(0.25);
+        assert_eq!(g.value(), None);
+        assert_eq!(g.sample(100.0), 100.0);
+        assert_eq!(g.value(), Some(100.0));
+        assert_eq!(g.samples(), 1);
+    }
+
+    #[test]
+    fn smoothing_converges_towards_a_steady_signal() {
+        let mut g = EwmaGauge::new(0.5);
+        g.sample(0.0);
+        for _ in 0..20 {
+            g.sample(64.0);
+        }
+        let v = g.value().unwrap();
+        assert!((v - 64.0).abs() < 1e-3, "converged to {v}");
+    }
+
+    #[test]
+    fn spikes_are_damped() {
+        let mut g = EwmaGauge::new(0.1);
+        g.sample(10.0);
+        let after_spike = g.sample(1000.0);
+        assert!(
+            after_spike < 120.0,
+            "one spike moved the gauge to {after_spike}"
+        );
+        g.reset();
+        assert_eq!(g.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_is_rejected() {
+        EwmaGauge::new(0.0);
+    }
+}

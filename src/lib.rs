@@ -51,8 +51,9 @@ pub use cphash_perfmon as perfmon;
 // The names most callers want, at the top level.
 pub use cphash::{
     AnyKeyClient, ClientHandle, Completion, CompletionKind, CpHash, CpHashConfig, EvictionPolicy,
-    PartitionStats, TableError, ValueBytes, MAX_KEY,
+    MigrationPacing, PartitionStats, TableError, ValueBytes, MAX_KEY,
 };
 pub use cphash_kvserver::{CpServer, CpServerConfig, LockServer, LockServerConfig};
 pub use cphash_loadgen::{DriverOptions, RunResult, WorkloadSpec};
 pub use cphash_lockhash::{LockHash, LockHashConfig};
+pub use cphash_migrate::{MigrationPacer, RepartitionCoordinator};

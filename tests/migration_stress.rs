@@ -10,13 +10,22 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cphash_suite::migrate::RepartitionCoordinator;
-use cphash_suite::{CpHash, CpHashConfig};
+use cphash_suite::migrate::{MigrationPacer, RepartitionCoordinator};
+use cphash_suite::perfmon::LatencyHistogram;
+use cphash_suite::{CpHash, CpHashConfig, MigrationPacing};
 
 const WORKERS: usize = 3;
-const KEYS_PER_WORKER: u64 = 300;
+
+/// Keys per worker; `MIGRATION_STRESS_KEYS` overrides for the CI
+/// sanitizer-friendly profile (smaller table, same fixed per-worker seeds).
+fn keys_per_worker() -> u64 {
+    std::env::var("MIGRATION_STRESS_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
 
 /// Deterministic per-worker operation stream.
 fn xorshift(state: &mut u64) -> u64 {
@@ -41,6 +50,7 @@ fn grow_and_shrink_lose_no_keys_under_concurrent_load() {
         .map(|(worker, mut client)| {
             let stop = Arc::clone(&stop);
             let total_ops = Arc::clone(&total_ops);
+            let keys_per_worker = keys_per_worker();
             std::thread::spawn(move || {
                 // This worker exclusively owns keys ≡ worker (mod WORKERS).
                 let mut model: HashMap<u64, u64> = HashMap::new();
@@ -48,7 +58,7 @@ fn grow_and_shrink_lose_no_keys_under_concurrent_load() {
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let r = xorshift(&mut rng);
-                    let key = (r >> 8) % KEYS_PER_WORKER * WORKERS as u64 + worker as u64;
+                    let key = (r >> 8) % keys_per_worker * WORKERS as u64 + worker as u64;
                     match r % 10 {
                         0..=4 => {
                             let value = r >> 16;
@@ -83,7 +93,7 @@ fn grow_and_shrink_lose_no_keys_under_concurrent_load() {
                 // current; every key it does not hold must miss.
                 for key in (worker as u64..)
                     .step_by(WORKERS)
-                    .take(KEYS_PER_WORKER as usize)
+                    .take(keys_per_worker as usize)
                 {
                     match (client.get(key).unwrap(), model.get(&key)) {
                         (Some(got), Some(expected)) => assert_eq!(
@@ -139,4 +149,132 @@ fn grow_and_shrink_lose_no_keys_under_concurrent_load() {
          {} exported / {} absorbed",
         stats.exported, stats.absorbed
     );
+}
+
+/// While a *paced* resize runs, foreground operation latency must stay
+/// bounded: the pacer spreads the chunk hand-offs out, so no synchronous
+/// operation should ever stall for anything near the full transition time.
+#[test]
+fn paced_resize_keeps_foreground_p99_bounded() {
+    let mut config = CpHashConfig::new(2, WORKERS).with_max_partitions(4);
+    config.migration_chunks = 64;
+    let (mut table, clients) = CpHash::new(config);
+    let mut coordinator = RepartitionCoordinator::new(table.take_control().expect("control"));
+    // 100 chunks/sec: a 10 ms hand-off interval, comfortably above the
+    // natural per-chunk latency even on a loaded single-CPU host, so the
+    // bucket genuinely paces (64 chunks ≈ 640 ms transition).
+    let mut pacer = MigrationPacer::for_table(
+        &table,
+        MigrationPacing::Rate {
+            chunks_per_sec: 100.0,
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(worker, mut client)| {
+            let stop = Arc::clone(&stop);
+            let keys_per_worker = keys_per_worker();
+            std::thread::spawn(move || {
+                let mut latencies = LatencyHistogram::new();
+                let mut rng = 0xDEAD_BEEF ^ ((worker as u64) << 32) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut rng);
+                    let key = (r >> 8) % keys_per_worker * WORKERS as u64 + worker as u64;
+                    let started = Instant::now();
+                    if r.is_multiple_of(4) {
+                        client.insert(key, &r.to_le_bytes()).unwrap();
+                    } else {
+                        let _ = client.get(key).unwrap();
+                    }
+                    latencies.record(started.elapsed().as_micros() as u64);
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    // Let the load settle, then run a paced 2→4 grow under it.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = coordinator
+        .resize_to_paced(4, &mut pacer)
+        .expect("paced grow");
+    assert_eq!(report.to_partitions, 4);
+    assert!(
+        report.paced_waits > 0,
+        "the finite budget never delayed a hand-off: {report:?}"
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies = LatencyHistogram::new();
+    for worker in workers {
+        latencies.merge(&worker.join().expect("worker"));
+    }
+    assert!(
+        latencies.count() > 500,
+        "workers made progress ({} ops)",
+        latencies.count()
+    );
+    let p99_us = latencies.percentile(99.0);
+    // Generous for an oversubscribed CI host, but far below the paced
+    // transition time (64 chunks at 100/s ≈ 640 ms): a foreground op that
+    // blocked on the whole migration would blow straight through it.
+    assert!(
+        p99_us < 100_000,
+        "foreground p99 {p99_us} µs during a paced resize (max {} µs)",
+        latencies.max()
+    );
+    eprintln!(
+        "paced resize p99: {} ops, p50 {} µs, p99 {p99_us} µs, max {} µs, {}",
+        latencies.count(),
+        latencies.percentile(50.0),
+        latencies.max(),
+        report
+    );
+    table.shutdown();
+}
+
+/// Growing the table re-splits the *global* byte budget over the new
+/// partition count.  Before this fix every new partition inherited the old
+/// per-partition share, so a 2→4 grow silently doubled the table's memory
+/// budget.
+#[test]
+fn grow_resplits_the_global_capacity_budget() {
+    const BUDGET: usize = 16 * 1024; // 2048 8-byte values
+    let mut config = CpHashConfig::new(2, 1).with_max_partitions(4);
+    config.capacity_bytes = Some(BUDGET);
+    let (mut table, mut clients) = CpHash::new(config);
+    let mut coordinator = RepartitionCoordinator::new(table.take_control().expect("control"));
+    let client = &mut clients[0];
+
+    // Overfill at 2 partitions, grow live, then overfill again at 4.
+    for key in 0..4_000u64 {
+        assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+    }
+    let report = coordinator.resize_to(4).expect("grow");
+    assert_eq!(report.to_partitions, 4);
+    for key in 4_000..8_000u64 {
+        assert!(client.insert(key, &key.to_le_bytes()).unwrap());
+    }
+
+    let survivors = (0..8_000u64)
+        .filter(|&k| client.get(k).unwrap().is_some())
+        .count();
+    let max_elements = BUDGET / 8;
+    // With the old per-partition share, 4 partitions retained ~2x the
+    // budget (~4096 elements).  Re-splitting keeps the global budget: at
+    // most ~2048, give or take hash skew.
+    assert!(
+        survivors <= max_elements * 5 / 4,
+        "{survivors} survivors exceed the re-split global budget of {max_elements} elements"
+    );
+    assert!(
+        survivors >= max_elements / 2,
+        "{survivors} survivors — the table dropped far below its budget"
+    );
+    drop(clients);
+    table.shutdown();
 }
