@@ -1,0 +1,150 @@
+//! Ablation: the event-driven front-end vs the legacy busy-poll, under a
+//! connection-scaling workload.
+//!
+//! Starts CPSERVER twice — once per `--frontend` kind — parks a herd of
+//! idle connections on it, drives the same paced request stream over a few
+//! active connections, and compares what the front-end *did* to serve it:
+//! reactor wake-ups, events per wake-up and idle sleeps
+//! (`FrontendStats`), plus client-observed batch p99.
+//!
+//! The claim under test (ISSUE 3 acceptance): with 1k+ idle connections at
+//! a fixed request rate, the epoll front-end wakes at least 10× less often
+//! than the busy-poll front-end at equal throughput — wake-ups bounded by
+//! activity, not by connection count.
+//!
+//! ```text
+//! cargo run --release -p cphash-bench --bin ablate_frontend -- \
+//!     [--idle 1000] [--requests 50000] [--rate 20000] [--strict]
+//! ```
+//!
+//! `--strict` exits nonzero if the ratio falls below 10× while a real
+//! epoll backend is available (used by CI as a regression gate).
+
+use cphash_kvserver::reactor::{reactor_available, FrontendKind};
+use cphash_kvserver::{CpServer, CpServerConfig};
+use cphash_loadgen::{run_connection_scaling, ConnectionScalingOptions, ConnectionScalingResult};
+
+struct Args {
+    idle: usize,
+    requests: u64,
+    rate: f64,
+    strict: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        idle: 1000,
+        requests: 50_000,
+        rate: 20_000.0,
+        strict: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--idle" => args.idle = value("--idle").parse().expect("bad --idle"),
+            "--requests" => args.requests = value("--requests").parse().expect("bad --requests"),
+            "--rate" => args.rate = value("--rate").parse().expect("bad --rate"),
+            "--strict" => args.strict = true,
+            other => panic!("unknown flag {other:?} (--idle N --requests N --rate RPS --strict)"),
+        }
+    }
+    args
+}
+
+struct Outcome {
+    kind: FrontendKind,
+    result: ConnectionScalingResult,
+    wakeups: u64,
+    events_per_wakeup: f64,
+    idle_sleeps: u64,
+}
+
+fn run_one(kind: FrontendKind, args: &Args) -> Outcome {
+    let mut server = CpServer::start(CpServerConfig {
+        client_threads: 2,
+        partitions: 2,
+        capacity_bytes: Some(16 * 1024 * 1024),
+        typical_value_bytes: 8,
+        frontend: kind,
+        ..Default::default()
+    })
+    .expect("starting CPSERVER");
+    let result = run_connection_scaling(&ConnectionScalingOptions {
+        addr: server.addr(),
+        idle_connections: args.idle,
+        active_connections: 2,
+        requests: args.requests,
+        pipeline: 64,
+        target_rps: Some(args.rate),
+    })
+    .expect("scaling run");
+    let frontend = &server.metrics().frontend;
+    let outcome = Outcome {
+        kind,
+        result,
+        wakeups: frontend.wakeups(),
+        events_per_wakeup: frontend.events_per_wakeup(),
+        idle_sleeps: frontend.idle_sleeps(),
+    };
+    server.shutdown();
+    outcome
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "connection-scaling ablation: {} idle connections, {} requests at {:.0} req/s",
+        args.idle, args.requests, args.rate
+    );
+    let epoll_real = reactor_available(FrontendKind::Epoll);
+    if !epoll_real {
+        println!("note: no epoll on this host; the 'epoll' run degrades to busy-poll");
+    }
+
+    let outcomes: Vec<Outcome> = [FrontendKind::Epoll, FrontendKind::Poll]
+        .into_iter()
+        .map(|kind| run_one(kind, &args))
+        .collect();
+
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "frontend", "idle-open", "throughput", "wakeups", "ev/wakeup", "idle-sleeps", "p99(us)"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<8} {:>10} {:>12.0} {:>12} {:>12.1} {:>12} {:>10}",
+            o.kind.as_str(),
+            o.result.idle_open,
+            o.result.throughput(),
+            o.wakeups,
+            o.events_per_wakeup,
+            o.idle_sleeps,
+            o.result.batch_p99_us
+        );
+    }
+
+    let epoll = &outcomes[0];
+    let poll = &outcomes[1];
+    let ratio = poll.wakeups as f64 / epoll.wakeups.max(1) as f64;
+    println!(
+        "\nbusy-poll woke {:.1}x more often than {} at ~equal throughput ({:.0} vs {:.0} req/s)",
+        ratio,
+        epoll.kind.as_str(),
+        poll.result.throughput(),
+        epoll.result.throughput()
+    );
+    if epoll_real {
+        if ratio >= 10.0 {
+            println!("PASS: event-driven front-end wake-ups are >=10x lower (bounded by activity, not connections)");
+        } else {
+            println!("FAIL: expected >=10x fewer wake-ups with the epoll front-end");
+            if args.strict {
+                std::process::exit(1);
+            }
+        }
+    }
+}

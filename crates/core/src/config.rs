@@ -1,6 +1,6 @@
 //! CPHash table configuration.
 
-use cphash_affinity::{HwThreadId, Topology};
+use cphash_affinity::{HwThreadId, PlacementPlan, Role, ThreadAssignment, Topology};
 use cphash_hashcore::EvictionPolicy;
 
 /// How the repartition coordinator paces chunk hand-offs during a live
@@ -187,6 +187,55 @@ impl CpHashConfig {
         self
     }
 
+    /// Apply the server assignments of a [`PlacementPlan`] as
+    /// `server_pins`, in server-index order.  The plan must provide at
+    /// least one server assignment per spawnable server thread
+    /// ([`CpHashConfig::spawned_partitions`]), so that partitions activated
+    /// by a later live grow are pinned too — not just the initial set.
+    pub fn with_placement_plan(mut self, plan: &PlacementPlan) -> Self {
+        let mut pins: Vec<(usize, HwThreadId)> = plan
+            .assignments
+            .iter()
+            .filter(|a| a.role == Role::Server)
+            .map(|a| (a.index, a.hw_thread))
+            .collect();
+        pins.sort_by_key(|(index, _)| *index);
+        assert!(
+            pins.len() >= self.spawned_partitions(),
+            "placement plan covers {} servers but the table can grow to {}",
+            pins.len(),
+            self.spawned_partitions()
+        );
+        self.server_pins = pins.into_iter().map(|(_, hw)| hw).collect();
+        self
+    }
+
+    /// NUMA-aware placement for elastic tables: build a plan with one
+    /// server assignment per *spawnable* thread — grown partitions included
+    /// — walking the topology's cores in socket order (second SMT sibling,
+    /// as in §6.1), and wire it into `server_pins`.  Partition memory is
+    /// first-touch allocated by its own server thread, so pinning the
+    /// thread that a grow will activate is what keeps the new partition's
+    /// memory local to its socket.
+    pub fn with_numa_placement(self, topo: &Topology) -> Self {
+        let spawned = self.spawned_partitions();
+        let assignments = (0..spawned)
+            .map(|index| {
+                let core = cphash_affinity::CoreId(index % topo.total_cores());
+                ThreadAssignment {
+                    role: Role::Server,
+                    index,
+                    hw_thread: topo.hw_thread(core, (topo.threads_per_core - 1).min(1)),
+                }
+            })
+            .collect();
+        let plan = PlacementPlan {
+            label: format!("numa-elastic-{spawned}-servers"),
+            assignments,
+        };
+        self.with_placement_plan(&plan)
+    }
+
     /// The number of server threads the table spawns: `max_partitions`,
     /// defaulting to the initial `partitions` when unset.
     pub fn spawned_partitions(&self) -> usize {
@@ -252,6 +301,61 @@ mod tests {
         // 1 MiB / 8 B = 131072 elements over 8 partitions → 16384 buckets.
         assert_eq!(c.buckets_per_partition, 16_384);
         c.validate();
+    }
+
+    #[test]
+    fn numa_placement_pins_grown_servers_too() {
+        let topo = Topology::paper_machine();
+        // Table starts at 4 partitions but can grow to 16: all 16 spawnable
+        // server threads must get a pin, so a live grow lands new
+        // partitions on pre-placed threads.
+        let c = CpHashConfig::new(4, 4)
+            .with_max_partitions(16)
+            .with_numa_placement(&topo);
+        assert_eq!(c.server_pins.len(), 16);
+        c.validate();
+        // Server i sits on the SMT sibling of core i (paper §6.1 shape).
+        for (i, pin) in c.server_pins.iter().enumerate() {
+            assert_eq!(topo.core_of_hw_thread(*pin), cphash_affinity::CoreId(i));
+        }
+        // The grown servers (indices 4..16) spread across sockets rather
+        // than piling onto socket 0.
+        let sockets: std::collections::HashSet<usize> = c.server_pins[4..]
+            .iter()
+            .map(|hw| topo.socket_of_hw_thread(*hw).0)
+            .collect();
+        assert!(sockets.len() > 1, "grown pins span sockets: {sockets:?}");
+    }
+
+    #[test]
+    fn placement_plan_wires_server_assignments_in_index_order() {
+        let topo = Topology::paper_machine();
+        let cores: Vec<usize> = (0..8).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        let c = CpHashConfig::new(8, 8).with_placement_plan(&plan);
+        assert_eq!(c.server_pins.len(), 8);
+        for (i, pin) in c.server_pins.iter().enumerate() {
+            let expected = plan
+                .assignments
+                .iter()
+                .find(|a| a.role == Role::Server && a.index == i)
+                .unwrap()
+                .hw_thread;
+            assert_eq!(*pin, expected);
+        }
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "placement plan covers")]
+    fn short_placement_plan_is_rejected() {
+        let topo = Topology::paper_machine();
+        let cores: Vec<usize> = (0..4).collect();
+        let plan = PlacementPlan::cphash_paired(&topo, &cores);
+        // 4 server assignments cannot cover a table that grows to 8.
+        let _ = CpHashConfig::new(4, 1)
+            .with_max_partitions(8)
+            .with_placement_plan(&plan);
     }
 
     #[test]

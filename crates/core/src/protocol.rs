@@ -323,16 +323,37 @@ impl Response {
 /// paper uses for values — as a leaked `Box` whose ownership transfers with
 /// the message: source server → coordinator (via [`Response::with_batch`]),
 /// then coordinator → destination server (via [`Request::MigrateIn`]).
+///
+/// A chunk's delivery to one destination may be *split* into several
+/// batches (the coordinator bounds each delivery by a byte budget so one
+/// huge chunk cannot stall its receiving server); only the delivery with
+/// `last == true` completes the chunk at the receiver.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MigrationBatch {
     /// The moved elements.
     pub entries: Vec<(u64, Vec<u8>)>,
+    /// Whether this is the final delivery of its chunk to this receiver.
+    /// Until the final batch lands, the receiver keeps treating the chunk
+    /// as in flight (holding off requests for not-yet-absorbed keys).
+    pub last: bool,
 }
 
 impl MigrationBatch {
-    /// Wrap extracted entries.
+    /// Wrap extracted entries as a complete (single-delivery) batch.
     pub fn new(entries: Vec<(u64, Vec<u8>)>) -> Self {
-        MigrationBatch { entries }
+        MigrationBatch {
+            entries,
+            last: true,
+        }
+    }
+
+    /// Wrap entries as a non-final delivery: more batches of the same chunk
+    /// follow for this receiver.
+    pub fn partial(entries: Vec<(u64, Vec<u8>)>) -> Self {
+        MigrationBatch {
+            entries,
+            last: false,
+        }
     }
 
     /// Leak onto the heap, returning the address to ship over a ring.

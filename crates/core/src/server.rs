@@ -336,11 +336,16 @@ impl ServerThread {
                     };
                     let step = MigrationStep::from_payload(payload);
                     let mut absorbed = 0usize;
+                    // The sentinel address 1 is an empty (and final)
+                    // delivery; real batches say themselves whether more
+                    // deliveries of this chunk follow.
+                    let mut is_final = true;
                     if addr > 1 {
                         // SAFETY: the coordinator leaked exactly this batch
                         // with `into_addr` and transfers ownership with this
                         // message.
                         let batch = unsafe { MigrationBatch::from_addr(addr) };
+                        is_final = batch.last;
                         for (key, value) in batch.entries {
                             // A failed absorb (value larger than this
                             // partition's budget) drops the entry, exactly
@@ -350,7 +355,12 @@ impl ServerThread {
                             }
                         }
                     }
-                    migration.incoming.remove(&step.chunk);
+                    if is_final {
+                        // Only the final delivery completes the chunk: keys
+                        // still travelling in a later split batch must keep
+                        // getting "retry here" answers until they land.
+                        migration.incoming.remove(&step.chunk);
+                    }
                     self.stats
                         .keys_migrated_in
                         .fetch_add(absorbed as u64, Ordering::Relaxed);

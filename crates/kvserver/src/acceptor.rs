@@ -3,6 +3,11 @@
 //! "The CPSERVER also has an additional thread that accepts new connections.
 //! When a connection is made, it is assigned to a client thread with the
 //! smallest number of current active connections." (§4.1)
+//!
+//! The hand-off is event-aware: each worker slot carries a
+//! [`Waker`], so a worker sleeping in its reactor's `epoll_wait` is woken
+//! the moment a connection is assigned to it instead of discovering it on a
+//! poll tick.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -10,6 +15,8 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::reactor::{FrontendKind, Waker};
 
 /// The acceptor's handle to one worker: where to send new connections and
 /// how loaded that worker currently is.
@@ -19,6 +26,8 @@ pub struct WorkerSlot {
     /// Number of connections the worker currently services; the worker
     /// decrements it when a connection closes.
     pub active: Arc<AtomicUsize>,
+    /// Wakes the worker's reactor after a hand-off.
+    pub waker: Waker,
 }
 
 /// Receiving side handed to each worker thread.
@@ -27,20 +36,33 @@ pub struct WorkerInbox {
     pub receiver: Receiver<TcpStream>,
     /// Shared active-connection counter (decrement on close).
     pub active: Arc<AtomicUsize>,
+    /// The worker's waker; register its fd under
+    /// [`crate::reactor::WAKER_TOKEN`] and drain it on wake-up.
+    pub waker: Waker,
 }
 
-/// Create `workers` connected slot/inbox pairs.
-pub fn worker_channels(workers: usize) -> (Vec<WorkerSlot>, Vec<WorkerInbox>) {
+/// Create `workers` connected slot/inbox pairs whose wakers match the
+/// chosen front-end.
+pub fn worker_channels(
+    workers: usize,
+    frontend: FrontendKind,
+) -> (Vec<WorkerSlot>, Vec<WorkerInbox>) {
     let mut slots = Vec::with_capacity(workers);
     let mut inboxes = Vec::with_capacity(workers);
     for _ in 0..workers {
         let (sender, receiver) = std::sync::mpsc::channel();
         let active = Arc::new(AtomicUsize::new(0));
+        let waker = Waker::new(frontend);
         slots.push(WorkerSlot {
             sender,
             active: Arc::clone(&active),
+            waker: waker.clone(),
         });
-        inboxes.push(WorkerInbox { receiver, active });
+        inboxes.push(WorkerInbox {
+            receiver,
+            active,
+            waker,
+        });
     }
     (slots, inboxes)
 }
@@ -74,7 +96,9 @@ pub fn spawn_acceptor(
                         slots[target].active.fetch_add(1, Ordering::Relaxed);
                         // If the worker is gone the server is shutting down;
                         // dropping the stream closes the connection.
-                        let _ = slots[target].sender.send(stream);
+                        if slots[target].sender.send(stream).is_ok() {
+                            slots[target].waker.wake();
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_micros(200));
@@ -94,7 +118,7 @@ mod tests {
 
     #[test]
     fn least_loaded_picks_the_emptiest_worker() {
-        let (slots, _inboxes) = worker_channels(3);
+        let (slots, _inboxes) = worker_channels(3, FrontendKind::Poll);
         slots[0].active.store(5, Ordering::Relaxed);
         slots[1].active.store(2, Ordering::Relaxed);
         slots[2].active.store(9, Ordering::Relaxed);
@@ -104,7 +128,7 @@ mod tests {
     #[test]
     fn acceptor_balances_connections_across_workers() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let (slots, inboxes) = worker_channels(2);
+        let (slots, inboxes) = worker_channels(2, FrontendKind::from_env());
         let stop = Arc::new(AtomicBool::new(false));
         let (addr, handle) = spawn_acceptor(listener, slots, Arc::clone(&stop)).unwrap();
 
@@ -123,6 +147,42 @@ mod tests {
         assert_eq!(received.iter().sum::<usize>(), 4);
         assert_eq!(received[0], 2);
         assert_eq!(received[1], 2);
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn hand_off_signals_the_worker_waker() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (slots, inboxes) = worker_channels(1, FrontendKind::Epoll);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr, handle) = spawn_acceptor(listener, slots, Arc::clone(&stop)).unwrap();
+
+        let _conn = TcpStream::connect(addr).unwrap();
+        let inbox = &inboxes[0];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+        let mut got = false;
+        while !got && std::time::Instant::now() < deadline {
+            got = inbox.receiver.try_recv().is_ok();
+        }
+        assert!(got, "the stream reached the worker inbox");
+        // On Linux/epoll the waker is an eventfd and must now be readable;
+        // registering it on a reactor and waiting proves the signal arrived.
+        if let Some(fd) = inbox.waker.fd() {
+            use crate::reactor::{Reactor, WAKER_TOKEN};
+            let mut reactor = Reactor::new(
+                FrontendKind::Epoll,
+                Arc::new(crate::metrics::FrontendStats::default()),
+            );
+            reactor.register(fd, WAKER_TOKEN, false).unwrap();
+            let mut ready = Vec::new();
+            reactor
+                .wait(&mut ready, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(ready.contains(&WAKER_TOKEN));
+            inbox.waker.drain();
+        }
 
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();

@@ -8,8 +8,9 @@
 
 use std::time::Duration;
 
-use cphash::MigrationPacing;
-use cphash_kvserver::{CpServer, CpServerConfig};
+use cphash::{CpHashConfig, MigrationPacing};
+use cphash_affinity::Topology;
+use cphash_kvserver::{CpServer, CpServerConfig, FrontendKind};
 
 struct Args {
     port: u16,
@@ -23,6 +24,12 @@ struct Args {
     /// Queue-depth feedback: back off the migration rate while servers
     /// fall behind.
     migrate_feedback: bool,
+    /// Front-end driving the client threads (epoll | poll).
+    frontend: FrontendKind,
+    /// NUMA-aware server placement: pin every spawnable server thread
+    /// (including ones only activated by a later grow) per the detected
+    /// topology.
+    numa: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
         stats_secs: 5,
         migrate_rate: 0.0,
         migrate_feedback: false,
+        frontend: FrontendKind::from_env(),
+        numa: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -67,8 +76,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad migrate-rate: {e}"))?
             }
             "--migrate-feedback" => args.migrate_feedback = true,
+            "--frontend" => args.frontend = FrontendKind::parse(&value("--frontend")?)?,
+            "--numa" => args.numa = true,
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--frontend epoll|poll] [--numa]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -93,6 +104,19 @@ fn main() {
         },
         _ => MigrationPacing::Unpaced,
     };
+    // NUMA-aware placement: derive pins for *every* spawnable server
+    // thread (the grown ones included) from the detected topology, so a
+    // live resize lands new partitions on the cores nearest the memory
+    // they will allocate from.
+    let server_pins = if args.numa {
+        let topo = Topology::detect();
+        CpHashConfig::new(args.partitions, args.client_threads)
+            .with_max_partitions(args.max_partitions)
+            .with_numa_placement(&topo)
+            .server_pins
+    } else {
+        Vec::new()
+    };
     let config = CpServerConfig {
         bind: format!("0.0.0.0:{}", args.port)
             .parse()
@@ -103,6 +127,8 @@ fn main() {
         capacity_bytes: Some(args.capacity_mb * 1024 * 1024),
         typical_value_bytes: 64,
         migration_pacing,
+        frontend: args.frontend,
+        server_pins,
         ..Default::default()
     };
     let server = match CpServer::start(config) {
@@ -113,11 +139,13 @@ fn main() {
         }
     };
     println!(
-        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache)",
+        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache, {} front-end{})",
         server.addr(),
         args.partitions,
         args.client_threads,
-        args.capacity_mb
+        args.capacity_mb,
+        args.frontend,
+        if args.numa { ", NUMA pinning" } else { "" }
     );
     if args.max_partitions > args.partitions {
         println!(
@@ -129,20 +157,28 @@ fn main() {
     println!("press Ctrl-C to stop");
 
     let mut last_requests = 0u64;
+    let mut last_wakeups = 0u64;
     loop {
         std::thread::sleep(Duration::from_secs(args.stats_secs.max(1)));
         let requests = server.metrics().requests();
         let stats = server.table_stats();
+        let frontend = &server.metrics().frontend;
+        let wakeups = frontend.wakeups();
         println!(
-            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}",
+            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}   frontend: wakeups={} (+{}) ev/wakeup={:.1} idle_sleeps={}",
             requests,
             requests - last_requests,
             args.stats_secs,
             server.metrics().hit_rate() * 100.0,
             stats.lookups,
             stats.inserts,
-            stats.evictions
+            stats.evictions,
+            wakeups,
+            wakeups - last_wakeups,
+            frontend.events_per_wakeup(),
+            frontend.idle_sleeps()
         );
         last_requests = requests;
+        last_wakeups = wakeups;
     }
 }

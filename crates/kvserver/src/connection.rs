@@ -6,18 +6,25 @@ use std::net::TcpStream;
 use bytes::BytesMut;
 use cphash_kvproto::{Request, RequestDecoder};
 
+use crate::reactor::{RawFd, Reactor};
+
 /// A non-blocking TCP connection with streaming request decoding and a
 /// buffered response path.
 ///
-/// Worker threads own a set of these and poll them round-robin, which is
-/// how the paper's client threads "monitor TCP connections assigned to
-/// [them] and gather as many requests as possible".
+/// Worker threads own a set of these registered on a
+/// [`crate::reactor::Reactor`]; the reactor reports which are ready and the
+/// worker drains each fully, which is how the paper's client threads
+/// "monitor TCP connections assigned to [them] and gather as many requests
+/// as possible".
 pub struct Connection {
     stream: TcpStream,
     decoder: RequestDecoder,
     outgoing: BytesMut,
     closed: bool,
     read_buf: Vec<u8>,
+    /// Whether the owning reactor currently has write interest registered
+    /// for this connection (output was back-logged at the last flush).
+    want_write: bool,
 }
 
 impl Connection {
@@ -31,7 +38,23 @@ impl Connection {
             outgoing: BytesMut::with_capacity(16 * 1024),
             closed: false,
             read_buf: vec![0u8; 64 * 1024],
+            want_write: false,
         })
+    }
+
+    /// The raw descriptor, for reactor registration.
+    pub fn raw_fd(&self) -> RawFd {
+        crate::reactor::raw_fd_of(&self.stream)
+    }
+
+    /// Does the reactor currently watch this connection for writability?
+    pub fn wants_write(&self) -> bool {
+        self.want_write
+    }
+
+    /// Record the write-interest state the owning reactor last registered.
+    pub fn set_wants_write(&mut self, want: bool) {
+        self.want_write = want;
     }
 
     /// Has the peer closed the connection (or a protocol error occurred)?
@@ -111,12 +134,100 @@ impl Connection {
     }
 }
 
+/// Insert into the first free slot of a connection slab (slot indices stay
+/// stable, so they double as reactor tokens) and return the slot.
+pub(crate) fn slab_insert<T>(slab: &mut Vec<Option<T>>, item: T) -> usize {
+    match slab.iter_mut().position(|entry| entry.is_none()) {
+        Some(slot) => {
+            slab[slot] = Some(item);
+            slot
+        }
+        None => {
+            slab.push(Some(item));
+            slab.len() - 1
+        }
+    }
+}
+
+/// Adopt a new connection into a worker: insert it into the slab's first
+/// free slot, register it with the reactor under that slot, and push the
+/// slot onto `ready` so any bytes that arrived before registration are
+/// served this pass.  On registration failure the slot is rolled back and
+/// `false` returned (the caller owns any accept-side accounting).
+///
+/// `conn_of` projects the slab element to its [`Connection`] (identity for
+/// plain slabs; the `ConnState` wrapper for CPSERVER).
+pub(crate) fn adopt<T>(
+    slab: &mut Vec<Option<T>>,
+    reactor: &mut Reactor,
+    ready: &mut Vec<usize>,
+    item: T,
+    conn_of: impl Fn(&T) -> &Connection,
+) -> bool {
+    let slot = slab_insert(slab, item);
+    let fd = conn_of(slab[slot].as_ref().expect("just inserted")).raw_fd();
+    if reactor.register(fd, slot, false).is_ok() {
+        ready.push(slot);
+        true
+    } else {
+        slab[slot] = None;
+        false
+    }
+}
+
+/// What [`settle`] decided about a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Settle {
+    /// Peer gone: the fd was deregistered; the caller must clear the slot
+    /// (and do any per-server bookkeeping tied to it).
+    Retired,
+    /// Still open; the reactor's write interest matches the output backlog.
+    Open,
+}
+
+/// The shared tail of every worker loop: flush queued output, then either
+/// retire a closed connection from the reactor or keep the reactor's write
+/// interest in sync with any back-logged output.  Returns the bytes written
+/// and the verdict.
+pub(crate) fn settle(
+    conn: &mut Connection,
+    reactor: &mut Reactor,
+    token: usize,
+) -> (usize, Settle) {
+    let written = conn.flush();
+    if conn.is_closed() {
+        // Once the peer is gone no remaining output can be delivered
+        // (`flush` refuses closed connections), so reclaim immediately —
+        // churn cannot leak fds or slots.
+        let _ = reactor.deregister(conn.raw_fd(), token);
+        (written, Settle::Retired)
+    } else {
+        let backlogged = conn.pending_output() > 0;
+        if backlogged != conn.wants_write() {
+            let _ = reactor.rearm(conn.raw_fd(), token, backlogged);
+            conn.set_wants_write(backlogged);
+        }
+        (written, Settle::Open)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bytes::BytesMut;
     use cphash_kvproto::{encode_insert, encode_lookup, encode_response, RequestKind};
     use std::net::TcpListener;
+
+    #[test]
+    fn slab_insert_reuses_freed_slots() {
+        let mut slab: Vec<Option<u32>> = Vec::new();
+        assert_eq!(slab_insert(&mut slab, 10), 0);
+        assert_eq!(slab_insert(&mut slab, 11), 1);
+        slab[0] = None;
+        assert_eq!(slab_insert(&mut slab, 12), 0);
+        assert_eq!(slab_insert(&mut slab, 13), 2);
+        assert_eq!(slab, vec![Some(12), Some(11), Some(13)]);
+    }
 
     #[test]
     fn decodes_requests_and_writes_responses() {

@@ -15,6 +15,7 @@ use cphash_migrate::{MigrationPacer, RepartitionCoordinator};
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
 use crate::metrics::ServerMetrics;
+use crate::reactor::{FrontendKind, Reactor, WAKER_TOKEN};
 
 /// An admin resize request in flight from a client thread to the admin
 /// thread that owns the repartition coordinator.
@@ -91,6 +92,10 @@ pub struct CpServerConfig {
     /// Default pacing for live resizes (RESIZE frames may override it per
     /// request with an explicit chunks-per-second budget).
     pub migration_pacing: MigrationPacing,
+    /// Front-end driving the client-thread loops: readiness-based (`epoll`,
+    /// the default, falling back to busy-poll off Linux) or the legacy
+    /// busy-poll (`poll`).
+    pub frontend: FrontendKind,
 }
 
 impl Default for CpServerConfig {
@@ -106,6 +111,7 @@ impl Default for CpServerConfig {
             batch: 1024,
             max_partitions: 0,
             migration_pacing: MigrationPacing::Unpaced,
+            frontend: FrontendKind::from_env(),
         }
     }
 }
@@ -136,7 +142,7 @@ impl CpServer {
         let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
-        let (slots, inboxes) = worker_channels(config.client_threads);
+        let (slots, inboxes) = worker_channels(config.client_threads, config.frontend);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 
         // The admin thread owns the table's repartition coordinator and
@@ -169,10 +175,13 @@ impl CpServer {
             let metrics = Arc::clone(&metrics);
             let batch = config.batch;
             let admin = resize_enabled.then(|| admin_tx.clone());
+            let frontend = config.frontend;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cpserver-client-{index}"))
-                    .spawn(move || client_worker(handle, inbox, stop, metrics, batch, admin))
+                    .spawn(move || {
+                        client_worker(handle, inbox, stop, metrics, batch, admin, frontend)
+                    })
                     .expect("spawning a client thread"),
             );
         }
@@ -290,8 +299,9 @@ impl ConnState {
     }
 
     /// Write out every response whose predecessors have all been written.
-    fn flush_ready_responses(&mut self) -> bool {
-        let mut wrote = false;
+    /// Returns how many responses were queued.
+    fn flush_ready_responses(&mut self) -> usize {
+        let mut wrote = 0usize;
         while matches!(
             self.lookups.front(),
             Some(PendingLookup {
@@ -307,14 +317,21 @@ impl ConnState {
                 self.conn.queue_response(),
                 value.as_ref().map(|v| v.as_slice()),
             );
-            wrote = true;
+            wrote += 1;
         }
         wrote
     }
 }
 
-/// One CPSERVER client thread: gathers requests from its connections, ships
-/// them to the CPHash servers, and writes responses back.
+/// One CPSERVER client thread: waits for readiness on its connections,
+/// drains every ready connection fully, ships the gathered requests to the
+/// CPHash servers, and writes responses back.
+///
+/// The loop only sleeps (in the reactor) when it is *quiescent*: no
+/// hash-table operations in flight, no ordered responses waiting and no
+/// admin commands pending.  Everything that can unblock it from outside is
+/// a readiness event — socket bytes, socket writability for back-logged
+/// output, or the acceptor's waker — so idle connections cost nothing.
 fn client_worker(
     mut handle: ClientHandle,
     inbox: WorkerInbox,
@@ -322,9 +339,15 @@ fn client_worker(
     metrics: Arc<ServerMetrics>,
     batch: usize,
     admin: Option<mpsc::Sender<AdminRequest>>,
+    frontend: FrontendKind,
 ) {
-    // Connection slab: indices stay stable so in-flight tokens can refer to
-    // their connection even as others close.
+    let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
+    if let Some(fd) = inbox.waker.fd() {
+        let _ = reactor.register(fd, WAKER_TOKEN, false);
+    }
+    // Connection slab: indices stay stable (they double as reactor tokens)
+    // so in-flight tokens can refer to their connection even as others
+    // close.
     let mut connections: Vec<Option<ConnState>> = Vec::new();
     // Lookup token -> (connection slot, sequence number).
     let mut lookup_tokens: HashMap<u64, (usize, u64)> = HashMap::new();
@@ -340,47 +363,81 @@ fn client_worker(
     let mut pending_admin: Vec<(usize, u64, mpsc::Receiver<String>)> = Vec::new();
     let mut requests = Vec::with_capacity(256);
     let mut completions = Vec::with_capacity(256);
-    let mut idle_streak = 0u32;
+    let mut ready: Vec<usize> = Vec::with_capacity(256);
+    // Connection slots whose response path must run this iteration.
+    let mut touched: Vec<usize> = Vec::new();
+    // Ordered responses not yet queued for writing (lookups awaiting their
+    // completion, or blocked behind one that is).  While nonzero the worker
+    // must keep polling the completion rings instead of sleeping.
+    let mut waiting_responses: usize = 0;
 
     while !stop.load(Ordering::Relaxed) {
-        let mut did_work = false;
+        // Sleep only when nothing can complete without a readiness event.
+        // While a resize is the *only* thing in flight (its reply arrives on
+        // an mpsc channel, not an fd), nap briefly instead of hot-spinning:
+        // a paced migration can take minutes.
+        let quiescent =
+            handle.outstanding() == 0 && pending_admin.is_empty() && waiting_responses == 0;
+        let timeout = if quiescent {
+            Some(Duration::from_millis(25))
+        } else if handle.outstanding() == 0 && !pending_admin.is_empty() {
+            Some(Duration::from_millis(1))
+        } else {
+            None
+        };
+        ready.clear();
+        let _ = reactor.wait(&mut ready, timeout);
+        touched.clear();
 
-        // Adopt newly assigned connections.
+        // Adopt newly assigned connections (the waker made a sleeping
+        // reactor return; the channel itself is checked every iteration).
+        // The waker must be drained *before* the channel is polled: drained
+        // after, a hand-off landing between the two steps would have its
+        // wake-up consumed and sit unadopted through the next sleep.
+        if ready.contains(&WAKER_TOKEN) {
+            inbox.waker.drain();
+        }
         while let Ok(stream) = inbox.receiver.try_recv() {
-            match Connection::new(stream) {
-                Ok(conn) => {
-                    metrics.note_connection();
-                    let state = ConnState::new(conn);
-                    if let Some(slot) = connections.iter_mut().position(|c| c.is_none()) {
-                        connections[slot] = Some(state);
-                    } else {
-                        connections.push(Some(state));
-                    }
-                    did_work = true;
-                }
-                Err(_) => {
-                    inbox.active.fetch_sub(1, Ordering::Relaxed);
-                }
+            let adopted = Connection::new(stream).is_ok_and(|conn| {
+                crate::connection::adopt(
+                    &mut connections,
+                    &mut reactor,
+                    &mut ready,
+                    ConnState::new(conn),
+                    |state| &state.conn,
+                )
+            });
+            if adopted {
+                metrics.note_connection();
+            } else {
+                inbox.active.fetch_sub(1, Ordering::Relaxed);
             }
         }
 
-        // Gather a batch of requests from every connection and forward them
-        // to the hash-table servers without waiting for answers.
-        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
-        for idx in 0..connections.len() {
-            let Some(state) = connections[idx].as_mut() else {
+        // Drain every ready connection fully and forward its requests to
+        // the hash-table servers without waiting for answers.
+        for &idx in ready.iter() {
+            if idx == WAKER_TOKEN {
+                continue; // drained above, before the inbox poll
+            }
+            let Some(state) = connections.get_mut(idx).and_then(|c| c.as_mut()) else {
                 continue;
             };
+            touched.push(idx);
             if handle.outstanding() >= batch {
-                break;
+                // Window full: leave the bytes in the socket.  The
+                // level-triggered reactor reports the connection again once
+                // completions free the window (and the worker will not
+                // sleep while operations are outstanding).
+                continue;
             }
             requests.clear();
             let read = state.conn.poll_requests(&mut requests);
             metrics.note_io(read, 0);
             for request in requests.drain(..) {
-                did_work = true;
                 match request.kind {
                     RequestKind::Lookup => {
+                        waiting_responses += 1;
                         if let Some(pending) = inflight_inserts.get_mut(&request.key) {
                             let seq = state.enqueue_lookup(LookupState::WaitingInsert);
                             pending.deferred.push((idx, seq));
@@ -398,6 +455,7 @@ fn client_worker(
                     }
                     RequestKind::Resize => {
                         metrics.note_admin();
+                        waiting_responses += 1;
                         let seq = state.enqueue_lookup(LookupState::Submitted);
                         let Some(admin) = admin.as_ref() else {
                             state.resolve(
@@ -430,6 +488,7 @@ fn client_worker(
         }
 
         // Resolve finished resize commands against their connections.
+        let touched_ref = &mut touched;
         pending_admin.retain(|(conn_idx, seq, reply_rx)| match reply_rx.try_recv() {
             Ok(status) => {
                 if let Some(state) = connections.get_mut(*conn_idx).and_then(|c| c.as_mut()) {
@@ -437,8 +496,8 @@ fn client_worker(
                         *seq,
                         Some(cphash::ValueBytes::from_slice(status.as_bytes())),
                     );
+                    touched_ref.push(*conn_idx);
                 }
-                did_work = true;
                 false
             }
             Err(mpsc::TryRecvError::Empty) => true,
@@ -448,6 +507,7 @@ fn client_worker(
                         *seq,
                         Some(cphash::ValueBytes::from_slice(b"ERR admin unavailable")),
                     );
+                    touched_ref.push(*conn_idx);
                 }
                 false
             }
@@ -464,18 +524,18 @@ fn client_worker(
                     if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
                         if let Some(state) = connections[idx].as_mut() {
                             state.resolve(seq, Some(value));
+                            touched.push(idx);
                         }
                     }
-                    did_work = true;
                 }
                 CompletionKind::LookupMiss => {
                     metrics.note_lookup(false);
                     if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
                         if let Some(state) = connections[idx].as_mut() {
                             state.resolve(seq, None);
+                            touched.push(idx);
                         }
                     }
-                    did_work = true;
                 }
                 // Inserts and deletes carry no TCP response (§4.1), but a
                 // completed insert releases any lookups for the same key
@@ -507,24 +567,25 @@ fn client_worker(
                             }
                         }
                     }
-                    did_work = true;
                 }
                 CompletionKind::Deleted(_) => {}
             }
         }
 
-        // Write out in-order responses and retire closed connections.
-        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
-        for idx in 0..connections.len() {
+        // Write out in-order responses on every connection something
+        // happened to this iteration, keep the reactor's write interest in
+        // sync with back-logged output, and retire closed connections.
+        touched.sort_unstable();
+        touched.dedup();
+        for &idx in touched.iter() {
             let Some(state) = connections[idx].as_mut() else {
                 continue;
             };
-            if state.flush_ready_responses() {
-                did_work = true;
-            }
-            let written = state.conn.flush();
+            waiting_responses -= state.flush_ready_responses();
+            let (written, verdict) = crate::connection::settle(&mut state.conn, &mut reactor, idx);
             metrics.note_io(0, written);
-            if state.conn.is_closed() && state.conn.pending_output() == 0 {
+            if verdict == crate::connection::Settle::Retired {
+                waiting_responses -= state.lookups.len();
                 connections[idx] = None;
                 inbox.active.fetch_sub(1, Ordering::Relaxed);
                 lookup_tokens.retain(|_, (c, _)| *c != idx);
@@ -536,15 +597,6 @@ fn client_worker(
                 // late resize status must not resolve against a successor
                 // connection's lookup of the same seq.
                 pending_admin.retain(|(c, _, _)| *c != idx);
-            }
-        }
-
-        if did_work {
-            idle_streak = 0;
-        } else {
-            idle_streak = idle_streak.saturating_add(1);
-            if idle_streak > 256 {
-                std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
     }

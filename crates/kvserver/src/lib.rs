@@ -23,14 +23,21 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+//! All three front-ends are event-driven: each worker sits on a
+//! [`reactor::Reactor`] (epoll on Linux, with a portable busy-poll fallback
+//! and a `--frontend poll` baseline behind the same trait), so idle
+//! connections cost nothing and worker CPU scales with requests served.
+
 pub mod acceptor;
 pub mod connection;
 pub mod cpserver;
 pub mod lockserver;
 pub mod memcache;
 pub mod metrics;
+pub mod reactor;
 
 pub use cpserver::{CpServer, CpServerConfig};
 pub use lockserver::{LockServer, LockServerConfig};
 pub use memcache::{MemcacheCluster, MemcacheConfig};
-pub use metrics::ServerMetrics;
+pub use metrics::{FrontendStats, ServerMetrics};
+pub use reactor::{FrontendKind, Reactor};

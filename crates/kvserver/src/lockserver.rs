@@ -4,6 +4,7 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cphash_kvproto::{encode_response, RequestKind};
 use cphash_lockhash::{EvictionPolicy, LockHash, LockHashConfig, LockKind};
@@ -11,6 +12,7 @@ use cphash_lockhash::{EvictionPolicy, LockHash, LockHashConfig, LockKind};
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
 use crate::metrics::ServerMetrics;
+use crate::reactor::{FrontendKind, Reactor, WAKER_TOKEN};
 
 /// Configuration for [`LockServer`].
 #[derive(Debug, Clone)]
@@ -30,6 +32,8 @@ pub struct LockServerConfig {
     pub eviction: EvictionPolicy,
     /// Lock algorithm.
     pub lock_kind: LockKind,
+    /// Front-end driving the worker loops (readiness-based or busy-poll).
+    pub frontend: FrontendKind,
 }
 
 impl Default for LockServerConfig {
@@ -42,6 +46,7 @@ impl Default for LockServerConfig {
             typical_value_bytes: 64,
             eviction: EvictionPolicy::Lru,
             lock_kind: LockKind::Spin,
+            frontend: FrontendKind::from_env(),
         }
     }
 }
@@ -69,7 +74,7 @@ impl LockServer {
         let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
-        let (slots, inboxes) = worker_channels(config.worker_threads);
+        let (slots, inboxes) = worker_channels(config.worker_threads, config.frontend);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 
         let mut threads = vec![acceptor];
@@ -77,10 +82,11 @@ impl LockServer {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics);
             let table = Arc::clone(&table);
+            let frontend = config.frontend;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("lockserver-worker-{index}"))
-                    .spawn(move || lock_worker(table, inbox, stop, metrics))
+                    .spawn(move || lock_worker(table, inbox, stop, metrics, frontend))
                     .expect("spawning a worker thread"),
             );
         }
@@ -124,51 +130,68 @@ impl Drop for LockServer {
     }
 }
 
-/// One LOCKSERVER worker thread: reads requests from its connections and
-/// executes them directly against the lock-based table ("first acquiring the
-/// lock for the appropriate partition, then performing the query, updating
-/// the LRU list and, finally, releasing the lock", §4.2).
+/// One LOCKSERVER worker thread: waits for readiness on its connections and
+/// executes their requests directly against the lock-based table ("first
+/// acquiring the lock for the appropriate partition, then performing the
+/// query, updating the LRU list and, finally, releasing the lock", §4.2).
+///
+/// Responses are synchronous, so the worker can always sleep in the reactor
+/// between events; back-logged output is watched via write interest.
 fn lock_worker(
     table: Arc<LockHash>,
     inbox: WorkerInbox,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    frontend: FrontendKind,
 ) {
+    let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
+    if let Some(fd) = inbox.waker.fd() {
+        let _ = reactor.register(fd, WAKER_TOKEN, false);
+    }
     let mut connections: Vec<Option<Connection>> = Vec::new();
     let mut requests = Vec::with_capacity(256);
     let mut value_buf = Vec::with_capacity(256);
-    let mut idle_streak = 0u32;
+    let mut ready: Vec<usize> = Vec::with_capacity(256);
+    // Whether the previous iteration served anything: while it did, poll
+    // the reactor without blocking so the busy-poll backend's idle back-off
+    // resets under load (the legacy loop's `did_work` behaviour).
+    let mut did_work = false;
 
     while !stop.load(Ordering::Relaxed) {
-        let mut did_work = false;
+        ready.clear();
+        let timeout = (!did_work).then(|| Duration::from_millis(25));
+        let _ = reactor.wait(&mut ready, timeout);
+        did_work = false;
 
+        // Drain the waker *before* polling the channel so a hand-off racing
+        // this iteration cannot have its wake-up consumed (see cpserver).
+        if ready.contains(&WAKER_TOKEN) {
+            inbox.waker.drain();
+        }
         while let Ok(stream) = inbox.receiver.try_recv() {
-            match Connection::new(stream) {
-                Ok(conn) => {
-                    metrics.note_connection();
-                    if let Some(slot) = connections.iter_mut().position(|c| c.is_none()) {
-                        connections[slot] = Some(conn);
-                    } else {
-                        connections.push(Some(conn));
-                    }
-                    did_work = true;
-                }
-                Err(_) => {
-                    inbox.active.fetch_sub(1, Ordering::Relaxed);
-                }
+            let adopted = Connection::new(stream).is_ok_and(|conn| {
+                crate::connection::adopt(&mut connections, &mut reactor, &mut ready, conn, |c| c)
+            });
+            if adopted {
+                metrics.note_connection();
+                did_work = true;
+            } else {
+                inbox.active.fetch_sub(1, Ordering::Relaxed);
             }
         }
 
-        #[allow(clippy::needless_range_loop)] // idx is the stable slab slot id
-        for idx in 0..connections.len() {
-            let Some(conn) = connections[idx].as_mut() else {
+        for &idx in ready.iter() {
+            if idx == WAKER_TOKEN {
+                continue; // drained above, before the inbox poll
+            }
+            let Some(conn) = connections.get_mut(idx).and_then(|c| c.as_mut()) else {
                 continue;
             };
             requests.clear();
             let read = conn.poll_requests(&mut requests);
             metrics.note_io(read, 0);
+            did_work |= !requests.is_empty();
             for request in requests.drain(..) {
-                did_work = true;
                 match request.kind {
                     RequestKind::Lookup => {
                         let hit = table.lookup(request.key, &mut value_buf);
@@ -197,20 +220,11 @@ fn lock_worker(
                     }
                 }
             }
-            let written = conn.flush();
+            let (written, verdict) = crate::connection::settle(conn, &mut reactor, idx);
             metrics.note_io(0, written);
-            if conn.is_closed() && conn.pending_output() == 0 {
+            if verdict == crate::connection::Settle::Retired {
                 connections[idx] = None;
                 inbox.active.fetch_sub(1, Ordering::Relaxed);
-            }
-        }
-
-        if did_work {
-            idle_streak = 0;
-        } else {
-            idle_streak = idle_streak.saturating_add(1);
-            if idle_streak > 256 {
-                std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
     }

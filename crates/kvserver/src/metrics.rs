@@ -1,6 +1,63 @@
 //! Shared request metrics for the key/value servers.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Front-end reactor counters: how often workers wake and how much each
+/// wake-up accomplishes.
+///
+/// The interesting property is what bounds `wakeups`: with the epoll
+/// front-end it is bounded by *activity* (batches of bytes arriving), with
+/// the busy-poll front-end by *loop iterations* — which is why the
+/// connection-scaling benchmark compares exactly this counter at equal
+/// throughput.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    /// `wait` calls that delivered at least one readiness event.
+    pub wakeups: AtomicU64,
+    /// Total readiness events delivered.
+    pub events: AtomicU64,
+    /// Blocking `wait` calls that timed out with nothing to do.
+    pub idle_sleeps: AtomicU64,
+}
+
+impl FrontendStats {
+    /// Wake-ups observed so far.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Readiness events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Idle sleeps observed so far.
+    pub fn idle_sleeps(&self) -> u64 {
+        self.idle_sleeps.load(Ordering::Relaxed)
+    }
+
+    /// Mean events delivered per wake-up (0 when there were none).
+    pub fn events_per_wakeup(&self) -> f64 {
+        let wakeups = self.wakeups();
+        if wakeups == 0 {
+            0.0
+        } else {
+            self.events() as f64 / wakeups as f64
+        }
+    }
+
+    /// Record a wait that delivered `events` readiness events.
+    pub fn note_wakeup(&self, events: u64) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Record a blocking wait that timed out empty.
+    pub fn note_idle_sleep(&self) {
+        self.idle_sleeps.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Request counters, updated by worker threads and read by benchmarks.
 #[derive(Debug, Default)]
@@ -21,6 +78,8 @@ pub struct ServerMetrics {
     pub connections: AtomicU64,
     /// Admin commands (resize) received.
     pub admin_commands: AtomicU64,
+    /// Reactor counters, shared by every worker's front-end.
+    pub frontend: Arc<FrontendStats>,
 }
 
 impl ServerMetrics {
@@ -94,5 +153,18 @@ mod tests {
         assert_eq!(m.bytes_in.load(Ordering::Relaxed), 100);
         assert_eq!(m.bytes_out.load(Ordering::Relaxed), 50);
         assert_eq!(m.connections.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn frontend_stats_ratios() {
+        let f = FrontendStats::default();
+        assert_eq!(f.events_per_wakeup(), 0.0);
+        f.note_wakeup(4);
+        f.note_wakeup(2);
+        f.note_idle_sleep();
+        assert_eq!(f.wakeups(), 2);
+        assert_eq!(f.events(), 6);
+        assert_eq!(f.idle_sleeps(), 1);
+        assert!((f.events_per_wakeup() - 3.0).abs() < 1e-12);
     }
 }

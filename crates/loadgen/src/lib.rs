@@ -17,15 +17,20 @@
 //!   return throughput plus table statistics.
 //! * [`tcp`] — a TCP load generator speaking the CPSERVER/LOCKSERVER wire
 //!   protocol, used by the Figure 13/14 harnesses.
+//! * [`scaling`] — the connection-scaling scenario: park thousands of idle
+//!   connections and drive a paced request stream, used to compare the
+//!   epoll and busy-poll front-ends.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod driver;
 pub mod ops;
+pub mod scaling;
 pub mod tcp;
 pub mod workload;
 
 pub use driver::{run_cphash, run_lockhash, DriverOptions, RunResult};
 pub use ops::{KeyDistribution, Op, OpStream};
+pub use scaling::{run_connection_scaling, ConnectionScalingOptions, ConnectionScalingResult};
 pub use workload::WorkloadSpec;

@@ -89,6 +89,14 @@ impl core::fmt::Display for MigrationReport {
     }
 }
 
+/// Default ceiling on the payload bytes of one `MigrateIn` delivery.
+///
+/// A receiving server absorbs a delivery in one go between serving
+/// requests, so the ceiling bounds the worst-case single-server stall a
+/// migration step can cause — the per-chunk analogue of what the pacer does
+/// across chunks.
+pub const DEFAULT_MAX_BATCH_BYTES: usize = 256 * 1024;
+
 /// Drives live grow/shrink transitions over a table's control plane.
 ///
 /// Owns the table's unique [`ControlHandle`]; construct with
@@ -96,12 +104,31 @@ impl core::fmt::Display for MigrationReport {
 /// enforces this even across handles).
 pub struct RepartitionCoordinator {
     control: ControlHandle,
+    /// Split `MigrateIn` deliveries above this many payload bytes.
+    max_batch_bytes: usize,
 }
 
 impl RepartitionCoordinator {
     /// Wrap a table's control handle.
     pub fn new(control: ControlHandle) -> Self {
-        RepartitionCoordinator { control }
+        RepartitionCoordinator {
+            control,
+            max_batch_bytes: DEFAULT_MAX_BATCH_BYTES,
+        }
+    }
+
+    /// Override the per-delivery byte ceiling (a chunk whose extracted
+    /// entries exceed it is handed to its receiver in several batches, each
+    /// individually acknowledged).
+    pub fn with_max_batch_bytes(mut self, max_batch_bytes: usize) -> Self {
+        assert!(max_batch_bytes > 0, "batch ceiling must be positive");
+        self.max_batch_bytes = max_batch_bytes;
+        self
+    }
+
+    /// The current per-delivery byte ceiling.
+    pub fn max_batch_bytes(&self) -> usize {
+        self.max_batch_bytes
     }
 
     /// The current active partition count.
@@ -257,20 +284,63 @@ impl RepartitionCoordinator {
         // 4. Deliver to every prepared receiver — including empty batches
         //    (address sentinel 1), which clear the receiver's incoming state
         //    promptly instead of leaving it to expire at the watermark.
+        //    Deliveries above the byte ceiling are split so one huge chunk
+        //    cannot stall its receiving server; each split is acknowledged
+        //    before the next is sent, and only the final one completes the
+        //    chunk at the receiver.
         for dest in receivers {
             let entries = per_dest.remove(&dest).unwrap_or_default();
             *keys_moved += entries.len();
-            let batch_addr = if entries.is_empty() {
-                1
-            } else {
+            if entries.is_empty() {
+                self.control.round_trip(
+                    dest,
+                    &Request::MigrateIn {
+                        step,
+                        batch_addr: 1,
+                    },
+                )?;
+                continue;
+            }
+            let mut splits = split_entries(entries, self.max_batch_bytes)
+                .into_iter()
+                .peekable();
+            while let Some(split) = splits.next() {
                 *batches += 1;
-                MigrationBatch::new(entries).into_addr()
-            };
-            self.control
-                .round_trip(dest, &Request::MigrateIn { step, batch_addr })?;
+                let last = splits.peek().is_none();
+                let batch = if last {
+                    MigrationBatch::new(split)
+                } else {
+                    MigrationBatch::partial(split)
+                };
+                let batch_addr = batch.into_addr();
+                self.control
+                    .round_trip(dest, &Request::MigrateIn { step, batch_addr })?;
+            }
         }
         Ok(())
     }
+}
+
+/// Cut `entries` into consecutive runs whose payload (key + value bytes)
+/// stays at or below `max_bytes`; an entry larger than the ceiling travels
+/// alone.  Never returns an empty split.
+fn split_entries(entries: Vec<(u64, Vec<u8>)>, max_bytes: usize) -> Vec<Vec<(u64, Vec<u8>)>> {
+    let mut splits = Vec::new();
+    let mut current: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut current_bytes = 0usize;
+    for entry in entries {
+        let cost = 8 + entry.1.len();
+        if !current.is_empty() && current_bytes + cost > max_bytes {
+            splits.push(core::mem::take(&mut current));
+            current_bytes = 0;
+        }
+        current_bytes += cost;
+        current.push(entry);
+    }
+    if !current.is_empty() {
+        splits.push(current);
+    }
+    splits
 }
 
 impl core::fmt::Debug for RepartitionCoordinator {
@@ -279,5 +349,57 @@ impl core::fmt::Debug for RepartitionCoordinator {
             .field("active", &self.active_partitions())
             .field("max", &self.max_partitions())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: u64, len: usize) -> (u64, Vec<u8>) {
+        (key, vec![0u8; len])
+    }
+
+    #[test]
+    fn small_batches_are_not_split() {
+        let splits = split_entries(vec![entry(1, 10), entry(2, 10)], 1024);
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].len(), 2);
+    }
+
+    #[test]
+    fn oversized_batches_split_on_the_byte_ceiling() {
+        // 4 entries of 100 payload bytes (108 with key) against a 256-byte
+        // ceiling: two per split.
+        let splits = split_entries(
+            vec![entry(1, 100), entry(2, 100), entry(3, 100), entry(4, 100)],
+            256,
+        );
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0].len(), 2);
+        assert_eq!(splits[1].len(), 2);
+        // Order is preserved across splits.
+        let keys: Vec<u64> = splits.into_iter().flatten().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_ceiling_travels_alone() {
+        let splits = split_entries(vec![entry(1, 10), entry(2, 5000), entry(3, 10)], 256);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[1].len(), 1);
+        assert_eq!(splits[1][0].0, 2);
+    }
+
+    #[test]
+    fn no_split_is_empty() {
+        for ceiling in [1, 8, 64, 1024] {
+            let splits = split_entries(
+                (0..32).map(|k| entry(k, (k as usize) * 7 % 200)).collect(),
+                ceiling,
+            );
+            assert!(splits.iter().all(|s| !s.is_empty()), "ceiling {ceiling}");
+            assert_eq!(splits.iter().map(Vec::len).sum::<usize>(), 32);
+        }
     }
 }

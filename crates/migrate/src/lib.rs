@@ -46,7 +46,9 @@
 pub mod coordinator;
 pub mod pacer;
 
-pub use coordinator::{MigrateError, MigrationReport, RepartitionCoordinator};
+pub use coordinator::{
+    MigrateError, MigrationReport, RepartitionCoordinator, DEFAULT_MAX_BATCH_BYTES,
+};
 pub use pacer::{MigrationPacer, PacerStats};
 
 // Re-export the pacing knob so callers configuring a pacer need only this

@@ -138,3 +138,55 @@ fn resize_after_shutdown_reports_server_gone() {
     table.shutdown();
     assert_eq!(coordinator.resize_to(4), Err(MigrateError::ServerGone));
 }
+
+#[test]
+fn oversized_chunk_deliveries_are_split_and_lose_nothing() {
+    const KEYS: u64 = 300;
+    const VALUE_LEN: usize = 512;
+    let (table, mut clients) = CpHash::new(CpHashConfig::new(1, 1).with_max_partitions(4));
+    // A tiny per-delivery ceiling: with 512-byte values, at most ~3 entries
+    // fit per batch, so every populated chunk delivery must split.
+    let mut coordinator =
+        RepartitionCoordinator::new(table.take_control().expect("control handle"))
+            .with_max_batch_bytes(2 * 1024);
+    assert_eq!(coordinator.max_batch_bytes(), 2 * 1024);
+    let mut table = table;
+    let client = &mut clients[0];
+    let value = vec![0xA5u8; VALUE_LEN];
+    for key in 0..KEYS {
+        assert!(client.insert(key, &value).unwrap());
+    }
+
+    let report = coordinator.resize_to(4).unwrap();
+    assert_eq!(report.to_partitions, 4);
+    // Roughly 3 in 4 keys leave partition 0 (hash-distributed).
+    assert!(report.keys_moved as u64 > KEYS / 2);
+    // The ceiling forces strictly more deliveries than the unsplit path's
+    // upper bound of one batch per (chunk, receiver) pair.
+    let unsplit_upper_bound = report.chunks * 4;
+    assert!(
+        report.batches > unsplit_upper_bound / 2,
+        "expected heavy splitting, got {} batches over {} chunks",
+        report.batches,
+        report.chunks
+    );
+    let min_batches = (report.keys_moved * (VALUE_LEN + 8)).div_ceil(2 * 1024);
+    assert!(
+        report.batches >= min_batches,
+        "{} batches cannot carry {} keys under the ceiling (need >= {})",
+        report.batches,
+        report.keys_moved,
+        min_batches
+    );
+
+    // Nothing lost or corrupted by the split deliveries.
+    for key in 0..KEYS {
+        let v = client
+            .get(key)
+            .unwrap()
+            .unwrap_or_else(|| panic!("key {key} lost in split-batch grow"));
+        assert_eq!(v.as_slice(), value.as_slice());
+    }
+    drop(clients);
+    table.shutdown();
+}

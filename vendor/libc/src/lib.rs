@@ -1,12 +1,21 @@
-//! Minimal offline shim for the `libc` crate: only the CPU-affinity pieces
-//! `cphash-affinity` uses, declared directly against the system C library
-//! (which std already links).
+//! Minimal offline shim for the `libc` crate: the CPU-affinity pieces
+//! `cphash-affinity` uses plus the epoll/eventfd surface behind
+//! `cphash-kvserver`'s event-driven front-end, declared directly against
+//! the system C library (which std already links).
 
 #![allow(non_camel_case_types)]
 #![allow(non_snake_case)]
 
 /// C `int`.
 pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `void` for raw buffer pointers.
+pub type c_void = core::ffi::c_void;
+/// `size_t` as on Linux.
+pub type size_t = usize;
+/// `ssize_t` as on Linux.
+pub type ssize_t = isize;
 /// `pid_t` as on Linux.
 pub type pid_t = i32;
 
@@ -45,6 +54,72 @@ extern "C" {
     pub fn sched_getcpu() -> c_int;
 }
 
+// ---------------------------------------------------------------------------
+// epoll + eventfd (Linux readiness notification, used by the kvserver
+// reactor).  Constants and the `epoll_event` layout match the kernel UAPI.
+// ---------------------------------------------------------------------------
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to request it).
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hang-up (always reported, no need to request it).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: add a file descriptor to the interest list.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: remove a file descriptor from the interest list.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change the event mask of a registered descriptor.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: c_int = 0x80000;
+
+/// `eventfd` flag: close-on-exec.
+pub const EFD_CLOEXEC: c_int = 0x80000;
+/// `eventfd` flag: non-blocking reads/writes.
+pub const EFD_NONBLOCK: c_int = 0x800;
+
+/// One epoll readiness record: an event mask plus the 64-bit user datum
+/// registered with the descriptor.  Packed on x86-64 exactly as the kernel
+/// (and glibc's `__EPOLL_PACKED`) lay it out.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct epoll_event {
+    /// Ready-event bit mask (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// The user datum supplied at registration (the `data.u64` member).
+    pub u64: u64,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Create an epoll instance; returns its file descriptor or -1.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Add/modify/remove `fd` on the epoll instance `epfd`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Wait up to `timeout` ms (0 = poll, -1 = forever) for readiness.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Create an eventfd counter object (the reactor's cross-thread waker).
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    /// Read raw bytes from a file descriptor.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Write raw bytes to a file descriptor.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Close a file descriptor.
+    pub fn close(fd: c_int) -> c_int;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +143,48 @@ mod tests {
     fn sched_getcpu_reports_a_cpu() {
         let cpu = unsafe { sched_getcpu() };
         assert!(cpu >= -1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_and_eventfd_round_trip() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0, "epoll_create1 failed");
+            let efd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(efd >= 0, "eventfd failed");
+
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 0xDEAD_BEEF,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, efd, &mut ev), 0);
+
+            // Nothing signalled yet: a zero-timeout wait returns no events.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // Signal the eventfd and observe the readiness record.
+            let one: u64 = 1;
+            assert_eq!(
+                write(efd, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let datum = out[0].u64;
+            assert_eq!(datum, 0xDEAD_BEEF);
+
+            // Drain and confirm the level-triggered readiness clears.
+            let mut counter: u64 = 0;
+            assert_eq!(read(efd, (&mut counter as *mut u64).cast(), 8), 8);
+            assert_eq!(counter, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_DEL, efd, core::ptr::null_mut()), 0);
+            assert_eq!(close(efd), 0);
+            assert_eq!(close(ep), 0);
+        }
     }
 }
