@@ -1,0 +1,124 @@
+//! The `anykey_mixed` scenario — memcached-style byte-string keys with a
+//! configurable get/set/delete mix — run through the unified `KvClient`
+//! trait against every backend: the in-process table, CPSERVER over TCP
+//! (kvproto v2), and the memcached-style baseline cluster behind
+//! client-side partitioning.
+//!
+//! Because all three drive the *same* deterministic operation stream, the
+//! observable outcomes (hits, delete-hits, failures) must agree — the
+//! binary asserts that — and the interesting output is the throughput
+//! spread between the backends.
+//!
+//! ```text
+//! cargo run --release -p cphash-bench --bin anykey_mixed -- \
+//!     [--ops 200000] [--keys 20000] [--value-bytes 32] \
+//!     [--set-ratio 0.25] [--delete-ratio 0.05] [--window 256]
+//! ```
+
+use cphash::{CpHash, CpHashConfig, PartitionedClient, RemoteClient};
+use cphash_kvserver::{CpServer, CpServerConfig, MemcacheCluster, MemcacheConfig};
+use cphash_loadgen::{run_anykey_mixed, AnyKeyMixOptions, AnyKeyMixResult};
+
+fn parse_args() -> AnyKeyMixOptions {
+    let mut opts = AnyKeyMixOptions {
+        operations: 200_000,
+        distinct_keys: 20_000,
+        ..Default::default()
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--ops" => opts.operations = value("--ops").parse().expect("bad --ops"),
+            "--keys" => opts.distinct_keys = value("--keys").parse().expect("bad --keys"),
+            "--value-bytes" => {
+                opts.value_bytes = value("--value-bytes").parse().expect("bad --value-bytes")
+            }
+            "--set-ratio" => {
+                opts.set_ratio = value("--set-ratio").parse().expect("bad --set-ratio")
+            }
+            "--delete-ratio" => {
+                opts.delete_ratio = value("--delete-ratio").parse().expect("bad --delete-ratio")
+            }
+            "--window" => opts.window = value("--window").parse().expect("bad --window"),
+            other => panic!(
+                "unknown flag {other:?} (--ops N --keys N --value-bytes N --set-ratio F --delete-ratio F --window N)"
+            ),
+        }
+    }
+    opts
+}
+
+fn report(name: &str, r: &AnyKeyMixResult) {
+    println!(
+        "{name:<22} {:>10.0} ops/s   gets={} (hits {:.1}%)  sets={}  deletes={} (hits {})  failures={}",
+        r.throughput(),
+        r.gets,
+        100.0 * r.get_hits as f64 / r.gets.max(1) as f64,
+        r.sets,
+        r.deletes,
+        r.delete_hits,
+        r.failures,
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    opts.validate();
+    println!(
+        "anykey_mixed: {} ops over {} byte-string keys ({}% set / {}% delete), window {}\n",
+        opts.operations,
+        opts.distinct_keys,
+        100.0 * opts.set_ratio,
+        100.0 * opts.delete_ratio,
+        opts.window
+    );
+
+    // --- in-process -----------------------------------------------------
+    let (mut table, mut clients) = CpHash::new(CpHashConfig::new(2, 1));
+    let in_proc = run_anykey_mixed(&mut clients[0], &opts).expect("in-process run");
+    report("in-process", &in_proc);
+    drop(clients);
+    table.shutdown();
+
+    // --- CPSERVER over TCP (kvproto v2) ---------------------------------
+    let mut server = CpServer::start(CpServerConfig {
+        client_threads: 2,
+        partitions: 2,
+        ..Default::default()
+    })
+    .expect("start CPSERVER");
+    let mut remote = RemoteClient::connect(server.addr()).expect("connect");
+    assert_eq!(remote.protocol_version(), 2);
+    let cpserver = run_anykey_mixed(&mut remote, &opts).expect("cpserver run");
+    report("cpserver (kvproto v2)", &cpserver);
+    drop(remote);
+    server.shutdown();
+
+    // --- memcached-style baseline ---------------------------------------
+    let mut cluster = MemcacheCluster::start(MemcacheConfig {
+        instances: 2,
+        ..Default::default()
+    })
+    .expect("start cluster");
+    let mut partitioned = PartitionedClient::connect(&cluster.addrs()).expect("connect cluster");
+    let memcache = run_anykey_mixed(&mut partitioned, &opts).expect("memcache run");
+    report("memcache baseline", &memcache);
+    drop(partitioned);
+    cluster.shutdown();
+
+    assert_eq!(
+        in_proc.observation(),
+        cpserver.observation(),
+        "backends disagree on observable results"
+    );
+    assert_eq!(
+        in_proc.observation(),
+        memcache.observation(),
+        "backends disagree on observable results"
+    );
+    println!("\nall three backends agree on every observable outcome ✓");
+}

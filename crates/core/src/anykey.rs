@@ -11,11 +11,17 @@
 //! [`AnyKeyClient`] implements exactly that envelope encoding over any
 //! [`ClientHandle`].
 
-use cphash_hashcore::{hash64, MAX_KEY};
+use cphash_kvproto::envelope::{decode_envelope, encode_envelope, hash_key};
 
 use crate::client::{ClientHandle, TableError};
 
 /// Adapter giving a [`ClientHandle`] a byte-string key API.
+///
+/// Since kvproto v2 the envelope encoding itself lives in the protocol
+/// layer (`cphash_kvproto::envelope`) so servers share it; this adapter
+/// remains the zero-cost in-process convenience.  For code that must run
+/// against remote backends too, use the [`crate::kv::KvClient`] trait with
+/// [`crate::kv::KeyRef::Bytes`] instead.
 pub struct AnyKeyClient<'a> {
     client: &'a mut ClientHandle,
 }
@@ -28,14 +34,7 @@ impl<'a> AnyKeyClient<'a> {
 
     /// The 60-bit hash key used for a byte-string key.
     pub fn hash_key(key: &[u8]) -> u64 {
-        // Hash the bytes 8 at a time through the same mixer the table uses.
-        let mut acc: u64 = 0x9E37_79B9_97F4_A7C1 ^ (key.len() as u64);
-        for chunk in key.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            acc = hash64(acc ^ u64::from_le_bytes(word));
-        }
-        acc & MAX_KEY
+        hash_key(key)
     }
 
     /// Insert `value` under a byte-string `key`.
@@ -69,51 +68,16 @@ impl<'a> AnyKeyClient<'a> {
     }
 }
 
-/// `[key_len: u32 LE][key bytes][value bytes]`.
-fn encode_envelope(key: &[u8], value: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + key.len() + value.len());
-    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
-    out.extend_from_slice(key);
-    out.extend_from_slice(value);
-    out
-}
-
-/// Split an envelope back into key and value.
-fn decode_envelope(envelope: &[u8]) -> Option<(&[u8], &[u8])> {
-    if envelope.len() < 4 {
-        return None;
-    }
-    let key_len = u32::from_le_bytes(envelope[..4].try_into().ok()?) as usize;
-    if envelope.len() < 4 + key_len {
-        return None;
-    }
-    Some((&envelope[4..4 + key_len], &envelope[4 + key_len..]))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::table::CpHash;
 
     #[test]
-    fn envelope_round_trips() {
-        let e = encode_envelope(b"key", b"value bytes");
-        assert_eq!(
-            decode_envelope(&e),
-            Some((&b"key"[..], &b"value bytes"[..]))
-        );
-        assert_eq!(decode_envelope(&[1, 2]), None);
-        assert_eq!(decode_envelope(&[200, 0, 0, 0, 1]), None);
-    }
-
-    #[test]
-    fn hash_keys_are_60_bit_and_deterministic() {
-        let a = AnyKeyClient::hash_key(b"hello");
-        let b = AnyKeyClient::hash_key(b"hello");
-        let c = AnyKeyClient::hash_key(b"hellp");
-        assert_eq!(a, b);
-        assert_ne!(a, c);
-        assert!(a <= MAX_KEY);
+    fn hash_keys_match_the_protocol_layer() {
+        // One hash for a byte key everywhere: adapter == protocol layer.
+        assert_eq!(AnyKeyClient::hash_key(b"hello"), hash_key(b"hello"));
+        assert!(AnyKeyClient::hash_key(b"hello") <= cphash_hashcore::MAX_KEY);
     }
 
     #[test]

@@ -104,6 +104,49 @@ impl ValueBytes {
     }
 }
 
+/// Why an operation failed with [`CompletionKind::Failed`].  Mirrors the
+/// wire protocol's `Err{code}` (`cphash_kvproto::ErrCode`) so remote and
+/// in-process backends report failures through one vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// The table could not make room.
+    Capacity,
+    /// The backend does not support this operation (e.g. DELETE over a v1
+    /// connection).
+    Unsupported,
+    /// The admin path rejected or could not complete the request.
+    Admin,
+    /// Internal backend error.
+    Internal,
+    /// A wire error code this client does not know.
+    Other(u8),
+}
+
+impl From<cphash_kvproto::ErrCode> for OpError {
+    fn from(code: cphash_kvproto::ErrCode) -> OpError {
+        use cphash_kvproto::ErrCode;
+        match code {
+            ErrCode::Capacity => OpError::Capacity,
+            ErrCode::Unsupported => OpError::Unsupported,
+            ErrCode::Admin => OpError::Admin,
+            ErrCode::None | ErrCode::Internal => OpError::Internal,
+            ErrCode::Other(b) => OpError::Other(b),
+        }
+    }
+}
+
+impl core::fmt::Display for OpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OpError::Capacity => f.write_str("out of capacity"),
+            OpError::Unsupported => f.write_str("operation unsupported by this backend"),
+            OpError::Admin => f.write_str("admin error"),
+            OpError::Internal => f.write_str("internal error"),
+            OpError::Other(b) => write!(f, "error code {b}"),
+        }
+    }
+}
+
 /// Outcome of one pipelined operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompletionKind {
@@ -118,6 +161,8 @@ pub enum CompletionKind {
     InsertFailed,
     /// Delete completed; the payload says whether the key was present.
     Deleted(bool),
+    /// The operation failed outright (remote backends: a typed wire error).
+    Failed(OpError),
 }
 
 /// A completed pipelined operation: the token returned by the submit call
@@ -235,6 +280,10 @@ pub struct ClientHandle {
     /// Writes held back (at least once) to preserve per-key write order
     /// (diagnostic counter).
     deferred_writes: u64,
+    /// Byte-string keys of lookups submitted through the [`crate::kv::KvClient`]
+    /// trait, by token: their raw completions carry the §8.2 envelope and
+    /// are translated (collision check included) by the trait's poll.
+    pub(crate) anykey_gets: HashMap<u64, Vec<u8>>,
 }
 
 impl ClientHandle {
@@ -254,7 +303,13 @@ impl ClientHandle {
             retries: 0,
             write_order: WriteOrderMap::default(),
             deferred_writes: 0,
+            anykey_gets: HashMap::new(),
         }
+    }
+
+    /// Are all server threads still alive?
+    pub fn servers_alive(&self) -> bool {
+        self.lanes.iter().all(|l| l.channel.is_server_alive())
     }
 
     /// Number of *active* partitions in the table (the target count while a

@@ -47,18 +47,22 @@ pub mod client;
 pub mod config;
 pub mod control;
 pub mod dynamic;
+pub mod kv;
 pub mod protocol;
+pub mod remote;
 pub mod router;
 mod server;
 pub mod stats;
 pub mod table;
 
 pub use anykey::AnyKeyClient;
-pub use client::{ClientHandle, Completion, CompletionKind, TableError, ValueBytes};
+pub use client::{ClientHandle, Completion, CompletionKind, OpError, TableError, ValueBytes};
 pub use config::{CpHashConfig, MigrationPacing};
 pub use control::ControlHandle;
 pub use dynamic::{Recommendation, ServerLoadController};
+pub use kv::{KeyRef, KvClient, KvError, KvOp};
 pub use protocol::{MigrationBatch, MigrationStep, OpCode, Request, Response};
+pub use remote::{PartitionedClient, RemoteClient};
 pub use router::{EpochRouter, RouterSnapshot, TransitionError};
 pub use stats::{ServerStats, TableSnapshot};
 pub use table::CpHash;

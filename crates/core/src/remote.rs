@@ -1,0 +1,485 @@
+//! TCP backends for the unified [`crate::kv::KvClient`] API.
+//!
+//! [`RemoteClient`] drives one CPSERVER / LOCKSERVER / memcache-instance
+//! connection.  It speaks kvproto v2 (typed ops, byte-string keys, DELETE,
+//! status codes) when the server acks the connect-time handshake, and
+//! falls back transparently to v1 — against a v1-only server the handshake
+//! is an unknown opcode, the server drops the connection, and the client
+//! reconnects speaking v1 (byte-string keys then ride the §8.2 envelope
+//! client-side, exactly what `AnyKeyClient` did; DELETE completes as
+//! `Failed(Unsupported)` because v1 has no such opcode).
+//!
+//! [`PartitionedClient`] fans one logical client out over several
+//! `RemoteClient`s with client-side key partitioning — the paper's §7
+//! memcached comparison "configured the client to partition the key space
+//! across these multiple MEMCACHED instances", and this is that client.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bytes::BytesMut;
+use cphash_kvproto::{
+    encode_hello, encode_op, envelope, parse_hello, ErrCode, OpFrame, OpKind, ReplyDecoder,
+    ResponseDecoder, Status, WireKey, HELLO_BYTES, VERSION_1, VERSION_2,
+};
+
+use crate::client::{Completion, CompletionKind, OpError, ValueBytes};
+use crate::kv::{KeyRef, KvClient, KvError, KvOp};
+
+/// Default pipelined-window recommendation for remote backends.
+const DEFAULT_WINDOW: usize = 256;
+
+/// How long to wait for the server's HELLO-ACK before giving up on the
+/// connection attempt (a v1 server answers faster than this: it *closes*).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One operation awaiting its reply, in request order.
+struct PendingRemote {
+    token: u64,
+    /// The logical operation, kept so a `Retry` reply can resubmit it and
+    /// so v1 byte-key lookups can verify the envelope client-side.
+    frame: OpFrame,
+}
+
+/// A [`KvClient`] over one TCP connection speaking kvproto.
+pub struct RemoteClient {
+    stream: TcpStream,
+    version: u8,
+    outgoing: BytesMut,
+    reply_decoder: ReplyDecoder,
+    v1_decoder: ResponseDecoder,
+    pending: VecDeque<PendingRemote>,
+    /// Completions resolved client-side (v1 fire-and-forget inserts, v1
+    /// deletes), delivered by the next poll.
+    immediate: VecDeque<Completion>,
+    next_token: u64,
+    window: usize,
+    read_buf: Vec<u8>,
+    dead: Option<ErrorKind>,
+    retries: u64,
+}
+
+impl RemoteClient {
+    /// Connect preferring v2, with transparent v1 fallback.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<RemoteClient> {
+        Self::connect_capped(addr, VERSION_2)
+    }
+
+    /// Connect speaking at most `max_version` (1 forces the legacy
+    /// protocol; useful for compatibility testing).
+    pub fn connect_capped(addr: SocketAddr, max_version: u8) -> std::io::Result<RemoteClient> {
+        // Any handshake failure — connection closed by a v1 server that
+        // read our magic as a bad opcode, timeout, short read — falls back
+        // to a fresh v1 connection.
+        if max_version >= VERSION_2 {
+            if let Ok(client) = Self::try_handshake(addr) {
+                return Ok(client);
+            }
+        }
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, VERSION_1)
+    }
+
+    fn try_handshake(addr: SocketAddr) -> std::io::Result<RemoteClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut hello = BytesMut::new();
+        encode_hello(&mut hello, VERSION_2);
+        stream.write_all(&hello)?;
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        let mut ack = [0u8; HELLO_BYTES];
+        stream.read_exact(&mut ack)?;
+        let negotiated = parse_hello(&ack)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?
+            .min(VERSION_2);
+        stream.set_read_timeout(None)?;
+        // A graceful downgrade (server acked v1) keeps this connection and
+        // switches framing; the server has done the same.
+        Self::from_stream(stream, negotiated)
+    }
+
+    fn from_stream(stream: TcpStream, version: u8) -> std::io::Result<RemoteClient> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(RemoteClient {
+            stream,
+            version,
+            outgoing: BytesMut::with_capacity(16 * 1024),
+            reply_decoder: ReplyDecoder::new(),
+            v1_decoder: ResponseDecoder::new(),
+            pending: VecDeque::new(),
+            immediate: VecDeque::new(),
+            next_token: 1,
+            window: DEFAULT_WINDOW,
+            read_buf: vec![0u8; 64 * 1024],
+            dead: None,
+            retries: 0,
+        })
+    }
+
+    /// The protocol version this connection negotiated (1 or 2).
+    pub fn protocol_version(&self) -> u8 {
+        self.version
+    }
+
+    /// Operations resubmitted after a `Retry` reply.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Override the recommended pipelined window.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    fn take_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Queue the wire bytes for a logical op.  In v1 mode byte keys are
+    /// enveloped client-side and the hash key goes on the wire.
+    fn encode_for_wire(&mut self, frame: &OpFrame) {
+        if self.version >= VERSION_2 {
+            encode_op(&mut self.outgoing, frame);
+            return;
+        }
+        match (&frame.kind, &frame.key) {
+            (OpKind::Lookup, key) => cphash_kvproto::encode_lookup(&mut self.outgoing, key.hash()),
+            (OpKind::Insert, WireKey::Hash(k)) => {
+                cphash_kvproto::encode_insert(&mut self.outgoing, *k, &frame.value)
+            }
+            (OpKind::Insert, WireKey::Bytes(b)) => cphash_kvproto::encode_insert(
+                &mut self.outgoing,
+                envelope::hash_key(b),
+                &envelope::encode_envelope(b, &frame.value),
+            ),
+            (OpKind::Resize, key) => {
+                // The packed resize key must pass through unmasked.
+                let WireKey::Hash(packed) = key else {
+                    unreachable!("resize frames carry packed hash keys")
+                };
+                cphash_kvproto::frame::encode_resize_packed(&mut self.outgoing, *packed);
+            }
+            (OpKind::Delete, _) => unreachable!("v1 deletes complete client-side"),
+        }
+    }
+
+    /// Write queued bytes until the socket would block.
+    fn flush_outgoing(&mut self) {
+        while !self.outgoing.is_empty() && self.dead.is_none() {
+            match self.stream.write(&self.outgoing) {
+                Ok(0) => self.dead = Some(ErrorKind::WriteZero),
+                Ok(n) => {
+                    let _ = self.outgoing.split_to(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => self.dead = Some(e.kind()),
+            }
+        }
+    }
+
+    /// Read available bytes into the right decoder.
+    fn pump_reads(&mut self) {
+        while self.dead.is_none() {
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => self.dead = Some(ErrorKind::UnexpectedEof),
+                Ok(n) => {
+                    if self.version >= VERSION_2 {
+                        self.reply_decoder.feed(&self.read_buf[..n]);
+                    } else {
+                        self.v1_decoder.feed(&self.read_buf[..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => self.dead = Some(e.kind()),
+            }
+        }
+    }
+
+    /// Decode replies and resolve them against pending ops in FIFO order.
+    fn resolve_replies(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut produced = 0usize;
+        loop {
+            if self.version >= VERSION_2 {
+                let reply = match self.reply_decoder.next_reply() {
+                    Ok(Some(reply)) => reply,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.dead = Some(ErrorKind::InvalidData);
+                        break;
+                    }
+                };
+                let Some(pending) = self.pending.pop_front() else {
+                    // A reply with nothing pending: protocol desync.
+                    self.dead = Some(ErrorKind::InvalidData);
+                    break;
+                };
+                if reply.status == Status::Retry {
+                    // Resubmit transparently; the token survives the trip.
+                    self.retries += 1;
+                    self.encode_for_wire(&pending.frame);
+                    self.pending.push_back(pending);
+                    continue;
+                }
+                let kind = match (pending.frame.kind, reply.status) {
+                    (OpKind::Lookup, Status::Ok) => {
+                        CompletionKind::LookupHit(ValueBytes::from_slice(&reply.value))
+                    }
+                    (OpKind::Lookup, Status::Miss) => CompletionKind::LookupMiss,
+                    (OpKind::Insert, Status::Ok) => CompletionKind::Inserted,
+                    (OpKind::Insert, Status::Err) if reply.code == ErrCode::Capacity => {
+                        CompletionKind::InsertFailed
+                    }
+                    (OpKind::Delete, Status::Ok) => CompletionKind::Deleted(true),
+                    (OpKind::Delete, Status::Miss) => CompletionKind::Deleted(false),
+                    // Admin replies surface their status string as a hit;
+                    // only the blocking admin path submits resizes.
+                    (OpKind::Resize, Status::Ok) => {
+                        CompletionKind::LookupHit(ValueBytes::from_slice(&reply.value))
+                    }
+                    (_, Status::Err) => CompletionKind::Failed(reply.code.into()),
+                    _ => CompletionKind::Failed(OpError::Internal),
+                };
+                out.push(Completion {
+                    token: pending.token,
+                    kind,
+                });
+                produced += 1;
+            } else {
+                let response = match self.v1_decoder.next_response() {
+                    Ok(Some(response)) => response,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.dead = Some(ErrorKind::InvalidData);
+                        break;
+                    }
+                };
+                let Some(pending) = self.pending.pop_front() else {
+                    self.dead = Some(ErrorKind::InvalidData);
+                    break;
+                };
+                // v1 responses exist only for lookups (and resize, which the
+                // blocking admin path consumes before submitting more work).
+                let kind = match (&pending.frame.key, response.value) {
+                    (_, None) => CompletionKind::LookupMiss,
+                    (WireKey::Hash(_), Some(value)) => {
+                        CompletionKind::LookupHit(ValueBytes::from_slice(&value))
+                    }
+                    (WireKey::Bytes(wanted), Some(stored)) => {
+                        match envelope::unwrap_matching(&stored, wanted) {
+                            Some(value) => CompletionKind::LookupHit(ValueBytes::from_slice(value)),
+                            None => CompletionKind::LookupMiss,
+                        }
+                    }
+                };
+                out.push(Completion {
+                    token: pending.token,
+                    kind,
+                });
+                produced += 1;
+            }
+        }
+        produced
+    }
+}
+
+impl KvClient for RemoteClient {
+    fn backend(&self) -> &'static str {
+        if self.version >= VERSION_2 {
+            "remote-v2"
+        } else {
+            "remote-v1"
+        }
+    }
+
+    fn submit(&mut self, op: KvOp<'_>) -> u64 {
+        let token = self.take_token();
+        let frame = match op {
+            KvOp::Get(KeyRef::Hash(k)) => OpFrame::lookup(k),
+            KvOp::Get(KeyRef::Bytes(b)) => OpFrame::lookup_bytes(b.to_vec()),
+            KvOp::Insert(KeyRef::Hash(k), v) => OpFrame::insert(k, v.to_vec()),
+            KvOp::Insert(KeyRef::Bytes(b), v) => OpFrame::insert_bytes(b.to_vec(), v.to_vec()),
+            KvOp::Delete(KeyRef::Hash(k)) => OpFrame::delete(k),
+            KvOp::Delete(KeyRef::Bytes(b)) => OpFrame::delete_bytes(b.to_vec()),
+        };
+        if self.version < VERSION_2 {
+            // v1 has no DELETE and answers no INSERT; complete those here.
+            match frame.kind {
+                OpKind::Delete => {
+                    self.immediate.push_back(Completion {
+                        token,
+                        kind: CompletionKind::Failed(OpError::Unsupported),
+                    });
+                    return token;
+                }
+                OpKind::Insert => {
+                    self.encode_for_wire(&frame);
+                    self.flush_outgoing();
+                    self.immediate.push_back(Completion {
+                        token,
+                        kind: CompletionKind::Inserted,
+                    });
+                    return token;
+                }
+                _ => {}
+            }
+        }
+        self.encode_for_wire(&frame);
+        self.pending.push_back(PendingRemote { token, frame });
+        self.flush_outgoing();
+        token
+    }
+
+    fn poll_completions(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut produced = 0usize;
+        while let Some(c) = self.immediate.pop_front() {
+            out.push(c);
+            produced += 1;
+        }
+        self.flush_outgoing();
+        self.pump_reads();
+        produced += self.resolve_replies(out);
+        // A retry resubmission queued above should leave this poll's
+        // process, not wait for the next one.
+        self.flush_outgoing();
+        produced
+    }
+
+    fn pending_ops(&self) -> usize {
+        self.pending.len() + self.immediate.len()
+    }
+
+    fn recommended_window(&self) -> usize {
+        self.window
+    }
+
+    fn is_alive(&self) -> bool {
+        self.dead.is_none()
+    }
+
+    fn admin_resize(&mut self, partitions: usize, chunks_per_sec: u32) -> Result<String, KvError> {
+        let mut buf = Vec::new();
+        self.drain_completions(&mut buf)?;
+        drop(buf);
+        let frame = OpFrame::resize_paced(partitions as u64, chunks_per_sec);
+        let token = self.take_token();
+        self.encode_for_wire(&frame);
+        self.pending.push_back(PendingRemote { token, frame });
+        // Resizes can take minutes when paced; spin-with-yield politely.
+        let mut out = Vec::new();
+        let mut idle: u32 = 0;
+        while out.is_empty() {
+            if self.poll_completions(&mut out) == 0 {
+                if !self.is_alive() {
+                    return Err(self.dead.map(KvError::Io).unwrap_or(KvError::Disconnected));
+                }
+                idle = idle.saturating_add(1);
+                if idle > 64 {
+                    std::thread::sleep(Duration::from_millis(1));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        match out.remove(0).kind {
+            // v2 servers answer Ok with the status string, or Err{Admin}.
+            CompletionKind::LookupHit(v) => Ok(String::from_utf8_lossy(v.as_slice()).into_owned()),
+            CompletionKind::Failed(e) => Err(KvError::Op(e)),
+            CompletionKind::LookupMiss => Err(KvError::Protocol),
+            other => Err(KvError::Op(match other {
+                CompletionKind::InsertFailed => OpError::Capacity,
+                _ => OpError::Internal,
+            })),
+        }
+    }
+}
+
+/// A [`KvClient`] that partitions the key space across several
+/// [`RemoteClient`]s — the §7 memcached-comparison client.
+pub struct PartitionedClient {
+    shards: Vec<RemoteClient>,
+    /// Per-shard translation from the shard's token to ours.
+    token_maps: Vec<HashMap<u64, u64>>,
+    next_token: u64,
+    scratch: Vec<Completion>,
+}
+
+impl PartitionedClient {
+    /// Connect one shard per address (v2 preferred, v1 fallback each).
+    pub fn connect(addrs: &[SocketAddr]) -> std::io::Result<PartitionedClient> {
+        assert!(!addrs.is_empty(), "need at least one shard");
+        let shards = addrs
+            .iter()
+            .map(|a| RemoteClient::connect(*a))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let token_maps = addrs.iter().map(|_| HashMap::new()).collect();
+        Ok(PartitionedClient {
+            shards,
+            token_maps,
+            next_token: 1,
+            scratch: Vec::with_capacity(256),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to (stable hash partitioning, as the paper's
+    /// clients did for memcached).
+    fn shard_of(&self, key: &KeyRef<'_>) -> usize {
+        (key.hash() % self.shards.len() as u64) as usize
+    }
+}
+
+impl KvClient for PartitionedClient {
+    fn backend(&self) -> &'static str {
+        "partitioned-remote"
+    }
+
+    fn submit(&mut self, op: KvOp<'_>) -> u64 {
+        let shard = match &op {
+            KvOp::Get(k) | KvOp::Delete(k) | KvOp::Insert(k, _) => self.shard_of(k),
+        };
+        let inner = self.shards[shard].submit(op);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.token_maps[shard].insert(inner, token);
+        token
+    }
+
+    fn poll_completions(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut produced = 0usize;
+        for (shard, client) in self.shards.iter_mut().enumerate() {
+            self.scratch.clear();
+            client.poll_completions(&mut self.scratch);
+            for mut completion in self.scratch.drain(..) {
+                if let Some(outer) = self.token_maps[shard].remove(&completion.token) {
+                    completion.token = outer;
+                    out.push(completion);
+                    produced += 1;
+                }
+            }
+        }
+        produced
+    }
+
+    fn pending_ops(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_ops()).sum()
+    }
+
+    fn recommended_window(&self) -> usize {
+        self.shards.iter().map(|s| s.recommended_window()).sum()
+    }
+
+    fn is_alive(&self) -> bool {
+        self.shards.iter().all(|s| s.is_alive())
+    }
+}

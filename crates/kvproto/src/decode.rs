@@ -9,7 +9,11 @@
 use bytes::{Buf, BytesMut};
 
 use crate::frame::{Request, RequestKind, Response, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES};
-use crate::MAX_VALUE_BYTES;
+use crate::v2::{
+    OpFrame, OpKind, Reply, Status, WireKey, FLAG_BYTE_KEY, HELLO_BYTES, OP_HEADER_BYTES,
+    REPLY_HEADER_BYTES, VERSION_1, VERSION_2,
+};
+use crate::{MAX_KEY, MAX_VALUE_BYTES};
 
 /// Why decoding failed (the connection should be dropped).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +22,15 @@ pub enum DecodeError {
     BadOpcode(u8),
     /// Value size field exceeds [`MAX_VALUE_BYTES`].
     ValueTooLarge(u64),
+    /// First byte looked like a handshake but the magic did not match.
+    BadMagic(u8),
+    /// Handshake version byte is not a version this peer can speak.
+    BadVersion(u8),
+    /// Unknown reply status byte.
+    BadStatus(u8),
+    /// Frame fields contradict each other (e.g. a byte-key flag with a
+    /// nonzero hash-key field, or a hash-key frame with a key length).
+    Malformed,
 }
 
 impl core::fmt::Display for DecodeError {
@@ -27,6 +40,10 @@ impl core::fmt::Display for DecodeError {
             DecodeError::ValueTooLarge(n) => {
                 write!(f, "value of {n} bytes exceeds the protocol limit")
             }
+            DecodeError::BadMagic(b) => write!(f, "bad handshake magic (first byte {b:#04x})"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadStatus(b) => write!(f, "unknown reply status byte {b:#04x}"),
+            DecodeError::Malformed => f.write_str("malformed frame"),
         }
     }
 }
@@ -131,11 +148,293 @@ impl ResponseDecoder {
     }
 }
 
+/// A decoded server-side event: either a request, or the connection's
+/// one-time handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// The client sent a HELLO requesting `version`; the server must answer
+    /// with a HELLO-ACK carrying the negotiated version (and, if it
+    /// negotiates down to v1, call [`ServerDecoder::set_wire_version`]).
+    Hello {
+        /// The version the client asked for.
+        requested: u8,
+    },
+    /// A complete request.
+    Op(ServerOp),
+}
+
+/// One decoded request plus its response obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOp {
+    /// The operation.
+    pub frame: OpFrame,
+    /// Whether the client expects a reply frame.  Every v2 request does;
+    /// v1 INSERTs are fire-and-forget ("the server silently performs INSERT
+    /// requests", §4.1).
+    pub wants_response: bool,
+}
+
+/// Which framing a connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireMode {
+    /// Nothing received yet: the first byte decides.
+    Detect,
+    /// Legacy unversioned frames.
+    V1,
+    /// Versioned typed frames.
+    V2,
+}
+
+/// Streaming, version-negotiating decoder for the server side of a
+/// connection.
+///
+/// The first byte received decides the mode: a v1 opcode (1..=3) locks the
+/// connection to v1 framing; the handshake magic starts a v2 session.
+/// Anything else is an error and the connection should be dropped — which
+/// is exactly what a pre-versioning server did with the magic byte, and
+/// what v2 clients rely on for transparent fallback.
+#[derive(Debug)]
+pub struct ServerDecoder {
+    buffer: BytesMut,
+    mode: WireMode,
+    hello_seen: bool,
+}
+
+impl Default for ServerDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerDecoder {
+    /// New decoder in detection state.
+    pub fn new() -> Self {
+        ServerDecoder {
+            buffer: BytesMut::with_capacity(4096),
+            mode: WireMode::Detect,
+            hello_seen: false,
+        }
+    }
+
+    /// Feed freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The framing this connection resolved to (`None` until the first byte
+    /// arrives): [`VERSION_1`] or [`VERSION_2`].
+    pub fn wire_version(&self) -> Option<u8> {
+        match self.mode {
+            WireMode::Detect => None,
+            WireMode::V1 => Some(VERSION_1),
+            WireMode::V2 => Some(VERSION_2),
+        }
+    }
+
+    /// Force the framing for subsequent bytes.  Servers that negotiate a
+    /// HELLO down to v1 call this so the client's following v1 frames parse.
+    pub fn set_wire_version(&mut self, version: u8) {
+        self.mode = if version <= VERSION_1 {
+            WireMode::V1
+        } else {
+            WireMode::V2
+        };
+    }
+
+    /// Try to decode the next event.  `Ok(None)` means more bytes are
+    /// needed.
+    pub fn next_event(&mut self) -> Result<Option<ServerEvent>, DecodeError> {
+        loop {
+            match self.mode {
+                WireMode::Detect => {
+                    let Some(&first) = self.buffer.first() else {
+                        return Ok(None);
+                    };
+                    if first == crate::v2::MAGIC[0] {
+                        self.mode = WireMode::V2;
+                    } else if RequestKind::from_byte(first).is_some() {
+                        self.mode = WireMode::V1;
+                    } else {
+                        return Err(DecodeError::BadOpcode(first));
+                    }
+                }
+                WireMode::V1 => {
+                    return Ok(self.next_v1()?.map(ServerEvent::Op));
+                }
+                WireMode::V2 => {
+                    if !self.hello_seen {
+                        if self.buffer.len() < HELLO_BYTES {
+                            return Ok(None);
+                        }
+                        let hello: [u8; HELLO_BYTES] = self.buffer[..HELLO_BYTES]
+                            .try_into()
+                            .expect("length checked");
+                        let requested = crate::v2::parse_hello(&hello)?;
+                        self.buffer.advance(HELLO_BYTES);
+                        self.hello_seen = true;
+                        return Ok(Some(ServerEvent::Hello { requested }));
+                    }
+                    return Ok(self.next_v2()?.map(ServerEvent::Op));
+                }
+            }
+        }
+    }
+
+    /// Decode every complete event currently buffered.
+    pub fn drain(&mut self, out: &mut Vec<ServerEvent>) -> Result<usize, DecodeError> {
+        let before = out.len();
+        while let Some(event) = self.next_event()? {
+            out.push(event);
+        }
+        Ok(out.len() - before)
+    }
+
+    fn next_v1(&mut self) -> Result<Option<ServerOp>, DecodeError> {
+        if self.buffer.len() < REQUEST_HEADER_BYTES {
+            return Ok(None);
+        }
+        let opcode = self.buffer[0];
+        let kind = RequestKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
+        let key = u64::from_le_bytes(self.buffer[1..9].try_into().expect("header present"));
+        let size =
+            u32::from_le_bytes(self.buffer[9..13].try_into().expect("header present")) as usize;
+        if size > MAX_VALUE_BYTES {
+            return Err(DecodeError::ValueTooLarge(size as u64));
+        }
+        let body = if kind == RequestKind::Insert { size } else { 0 };
+        if self.buffer.len() < REQUEST_HEADER_BYTES + body {
+            return Ok(None);
+        }
+        self.buffer.advance(REQUEST_HEADER_BYTES);
+        let value = self.buffer.split_to(body).to_vec();
+        let (kind, wants_response) = match kind {
+            RequestKind::Lookup => (OpKind::Lookup, true),
+            RequestKind::Insert => (OpKind::Insert, false),
+            RequestKind::Resize => (OpKind::Resize, true),
+        };
+        Ok(Some(ServerOp {
+            frame: OpFrame {
+                kind,
+                // RESIZE keys pack partitions+pacing and must not be masked.
+                key: WireKey::Hash(if kind == OpKind::Resize {
+                    key
+                } else {
+                    key & MAX_KEY
+                }),
+                value,
+            },
+            wants_response,
+        }))
+    }
+
+    fn next_v2(&mut self) -> Result<Option<ServerOp>, DecodeError> {
+        if self.buffer.len() < OP_HEADER_BYTES {
+            return Ok(None);
+        }
+        let opcode = self.buffer[0];
+        let kind = OpKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
+        let flags = self.buffer[1];
+        let key_len =
+            u16::from_le_bytes(self.buffer[2..4].try_into().expect("header present")) as usize;
+        let val_len =
+            u32::from_le_bytes(self.buffer[4..8].try_into().expect("header present")) as usize;
+        let key_field = u64::from_le_bytes(self.buffer[8..16].try_into().expect("header present"));
+        if val_len > MAX_VALUE_BYTES {
+            return Err(DecodeError::ValueTooLarge(val_len as u64));
+        }
+        let byte_key = flags & FLAG_BYTE_KEY != 0;
+        // Contradictory frames mean a desynced or buggy peer; drop it
+        // rather than guessing (unknown future flag bits are also refused:
+        // they could change the meaning of the fields we just parsed).
+        if flags & !FLAG_BYTE_KEY != 0
+            || (byte_key && key_field != 0)
+            || (!byte_key && key_len != 0)
+        {
+            return Err(DecodeError::Malformed);
+        }
+        if self.buffer.len() < OP_HEADER_BYTES + key_len + val_len {
+            return Ok(None);
+        }
+        self.buffer.advance(OP_HEADER_BYTES);
+        let key = if byte_key {
+            WireKey::Bytes(self.buffer.split_to(key_len).to_vec())
+        } else {
+            // RESIZE keys pack partitions+pacing and must not be masked.
+            WireKey::Hash(if kind == OpKind::Resize {
+                key_field
+            } else {
+                key_field & MAX_KEY
+            })
+        };
+        let value = self.buffer.split_to(val_len).to_vec();
+        Ok(Some(ServerOp {
+            frame: OpFrame { kind, key, value },
+            wants_response: true,
+        }))
+    }
+}
+
+/// Streaming decoder for v2 reply frames (client side).
+#[derive(Debug, Default)]
+pub struct ReplyDecoder {
+    buffer: BytesMut,
+}
+
+impl ReplyDecoder {
+    /// New empty decoder.
+    pub fn new() -> Self {
+        ReplyDecoder {
+            buffer: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Feed freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Try to decode the next complete reply.  `Ok(None)` means more bytes
+    /// are needed.
+    pub fn next_reply(&mut self) -> Result<Option<Reply>, DecodeError> {
+        if self.buffer.len() < REPLY_HEADER_BYTES {
+            return Ok(None);
+        }
+        let status =
+            Status::from_byte(self.buffer[0]).ok_or(DecodeError::BadStatus(self.buffer[0]))?;
+        let code = crate::v2::ErrCode::from_byte(self.buffer[1]);
+        let val_len =
+            u32::from_le_bytes(self.buffer[4..8].try_into().expect("header present")) as usize;
+        if val_len > MAX_VALUE_BYTES {
+            return Err(DecodeError::ValueTooLarge(val_len as u64));
+        }
+        if self.buffer.len() < REPLY_HEADER_BYTES + val_len {
+            return Ok(None);
+        }
+        self.buffer.advance(REPLY_HEADER_BYTES);
+        let value = self.buffer.split_to(val_len).to_vec();
+        Ok(Some(Reply {
+            status,
+            code,
+            value,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::frame::{encode_insert, encode_lookup, encode_response};
-    use bytes::BytesMut;
+    use bytes::{BufMut, BytesMut};
 
     #[test]
     fn decodes_back_to_back_requests() {
@@ -204,6 +503,158 @@ mod tests {
         // protocol (size 0), exactly as in the paper's description.
         assert_eq!(dec.next_response().unwrap(), Some(Response { value: None }));
         assert_eq!(dec.next_response().unwrap(), None);
+    }
+
+    #[test]
+    fn server_decoder_detects_v1_from_the_first_byte() {
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, 11);
+        encode_insert(&mut wire, 22, b"hello");
+        let mut dec = ServerDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.wire_version(), None);
+        let mut events = Vec::new();
+        assert_eq!(dec.drain(&mut events).unwrap(), 2);
+        assert_eq!(dec.wire_version(), Some(VERSION_1));
+        assert_eq!(
+            events[0],
+            ServerEvent::Op(ServerOp {
+                frame: OpFrame::lookup(11),
+                wants_response: true
+            })
+        );
+        assert_eq!(
+            events[1],
+            ServerEvent::Op(ServerOp {
+                frame: OpFrame::insert(22, b"hello".to_vec()),
+                wants_response: false
+            })
+        );
+    }
+
+    #[test]
+    fn server_decoder_handshakes_then_decodes_v2_ops() {
+        let mut wire = BytesMut::new();
+        crate::v2::encode_hello(&mut wire, VERSION_2);
+        crate::v2::encode_op(
+            &mut wire,
+            &OpFrame::insert_bytes(b"k".to_vec(), b"v".to_vec()),
+        );
+        crate::v2::encode_op(&mut wire, &OpFrame::delete(9));
+        let mut dec = ServerDecoder::new();
+        // One byte at a time: every partial state must hold.
+        let mut events = Vec::new();
+        for &b in wire.iter() {
+            dec.feed(&[b]);
+            dec.drain(&mut events).unwrap();
+        }
+        assert_eq!(dec.wire_version(), Some(VERSION_2));
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0],
+            ServerEvent::Hello {
+                requested: VERSION_2
+            }
+        );
+        assert_eq!(
+            events[1],
+            ServerEvent::Op(ServerOp {
+                frame: OpFrame::insert_bytes(b"k".to_vec(), b"v".to_vec()),
+                wants_response: true
+            })
+        );
+        assert_eq!(
+            events[2],
+            ServerEvent::Op(ServerOp {
+                frame: OpFrame::delete(9),
+                wants_response: true
+            })
+        );
+    }
+
+    #[test]
+    fn server_decoder_can_negotiate_down_to_v1_framing() {
+        let mut dec = ServerDecoder::new();
+        let mut wire = BytesMut::new();
+        crate::v2::encode_hello(&mut wire, 7); // future version
+        dec.feed(&wire);
+        assert_eq!(
+            dec.next_event().unwrap(),
+            Some(ServerEvent::Hello { requested: 7 })
+        );
+        // Server decides v1 is the common ground; subsequent frames are v1.
+        dec.set_wire_version(VERSION_1);
+        let mut wire = BytesMut::new();
+        encode_lookup(&mut wire, 5);
+        dec.feed(&wire);
+        assert_eq!(
+            dec.next_event().unwrap(),
+            Some(ServerEvent::Op(ServerOp {
+                frame: OpFrame::lookup(5),
+                wants_response: true
+            }))
+        );
+    }
+
+    #[test]
+    fn server_decoder_rejects_garbage_and_contradictions() {
+        // Garbage first byte.
+        let mut dec = ServerDecoder::new();
+        dec.feed(&[0x77]);
+        assert_eq!(dec.next_event(), Err(DecodeError::BadOpcode(0x77)));
+
+        // Bad magic tail.
+        let mut dec = ServerDecoder::new();
+        dec.feed(&[crate::v2::MAGIC[0], b'X', b'P', 2]);
+        assert!(matches!(dec.next_event(), Err(DecodeError::BadMagic(_))));
+
+        // Byte-key flag with a nonzero hash field.
+        let mut dec = ServerDecoder::new();
+        let mut wire = BytesMut::new();
+        crate::v2::encode_hello(&mut wire, VERSION_2);
+        wire.put_u8(OpKind::Lookup as u8);
+        wire.put_u8(FLAG_BYTE_KEY);
+        wire.put_u16_le(1);
+        wire.put_u32_le(0);
+        wire.put_u64_le(5);
+        wire.put_u8(b'k');
+        dec.feed(&wire);
+        assert_eq!(
+            dec.next_event().unwrap(),
+            Some(ServerEvent::Hello {
+                requested: VERSION_2
+            })
+        );
+        assert_eq!(dec.next_event(), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn reply_decoder_round_trips_every_status() {
+        use crate::v2::{encode_reply, ErrCode};
+        let replies = [
+            Reply::ok_value(b"value".to_vec()),
+            Reply::ok(),
+            Reply::miss(),
+            Reply::retry(),
+            Reply::err(ErrCode::Capacity, b"no room".to_vec()),
+        ];
+        let mut wire = BytesMut::new();
+        for r in &replies {
+            encode_reply(&mut wire, r);
+        }
+        let mut dec = ReplyDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in wire.iter() {
+            dec.feed(&[b]);
+            while let Some(r) = dec.next_reply().unwrap() {
+                decoded.push(r);
+            }
+        }
+        assert_eq!(decoded, replies);
+        assert_eq!(dec.buffered(), 0);
+        let mut dec = ReplyDecoder::new();
+        dec.feed(&[9u8; REPLY_HEADER_BYTES]);
+        assert_eq!(dec.next_reply(), Err(DecodeError::BadStatus(9)));
     }
 
     #[test]

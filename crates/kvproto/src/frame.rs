@@ -143,9 +143,15 @@ pub fn encode_resize(out: &mut BytesMut, partitions: u64) {
 /// budget (`chunks_per_sec` chunk hand-offs per second; 0 = server
 /// default).
 pub fn encode_resize_paced(out: &mut BytesMut, partitions: u64, chunks_per_sec: u32) {
+    encode_resize_packed(out, pack_resize(partitions, chunks_per_sec));
+}
+
+/// Append an encoded RESIZE admin request whose key field is already
+/// packed (see [`pack_resize`]).
+pub fn encode_resize_packed(out: &mut BytesMut, packed_key: u64) {
     out.reserve(REQUEST_HEADER_BYTES);
     out.put_u8(RequestKind::Resize as u8);
-    out.put_u64_le(pack_resize(partitions, chunks_per_sec));
+    out.put_u64_le(packed_key);
     out.put_u32_le(0);
 }
 

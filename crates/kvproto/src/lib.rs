@@ -1,38 +1,47 @@
-//! The CPSERVER / LOCKSERVER binary wire protocol.
+//! The CPSERVER / LOCKSERVER wire protocol, in two generations.
 //!
-//! §4.1 of the paper: "CPSERVER uses a simple binary protocol with two
-//! message types":
-//!
-//! * **LOOKUP** — the client sends a hash key; the server replies with the
-//!   size of the value followed by that many bytes, or a size of zero if
-//!   the key is absent.
-//! * **INSERT** — the client sends a hash key, a size, and `size` bytes of
-//!   value; "the server silently performs INSERT requests and returns no
-//!   response".
-//!
-//! The concrete framing (the paper does not spell out byte offsets) is:
+//! **v1** is the paper's protocol (§4.1): "CPSERVER uses a simple binary
+//! protocol with two message types" — u64-keyed LOOKUP (answered with a
+//! size-prefixed value, size 0 on a miss) and silent INSERT — plus this
+//! reproduction's RESIZE admin opcode.  It is unversioned:
 //!
 //! ```text
 //! request  := opcode:u8  key:u64le  size:u32le  value[size]      (size = 0 for LOOKUP)
 //! response := size:u32le value[size]                             (LOOKUP only)
 //! ```
 //!
-//! Keys are 60-bit integers like everywhere else in the system.  The crate
-//! provides zero-copy-ish encoding into reusable buffers plus an
-//! incremental [`RequestDecoder`]/[`ResponseDecoder`] pair that handle
-//! partial reads from a TCP stream.
+//! **v2** ([`v2`]) is the typed operations protocol: a connect-time
+//! handshake (magic + version byte, acked with the negotiated version),
+//! one unified `Lookup | Insert | Delete | Resize` request frame over both
+//! u64 and byte-string keys (the §8.2 envelope, [`envelope`], lives here so
+//! servers verify key-collision mismatches), and a typed
+//! `Ok | Miss | Retry | Err{code}` reply for *every* request.
+//!
+//! Servers speak both: [`ServerDecoder`] tells them apart by the first
+//! byte a connection sends, so v1 clients keep working unchanged, and v2
+//! clients fall back to v1 when a v1-only server drops their handshake.
+//! The README's "Wire protocol" section is the normative spec.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod decode;
+pub mod envelope;
 pub mod frame;
+pub mod v2;
 
-pub use decode::{DecodeError, RequestDecoder, ResponseDecoder};
+pub use decode::{
+    DecodeError, ReplyDecoder, RequestDecoder, ResponseDecoder, ServerDecoder, ServerEvent,
+    ServerOp,
+};
 pub use frame::{
     encode_insert, encode_lookup, encode_request, encode_resize, encode_resize_paced,
     encode_response, pack_resize, resize_chunks_per_sec, resize_partitions, Request, RequestKind,
     Response,
+};
+pub use v2::{
+    encode_hello, encode_op, encode_reply, encode_reply_parts, parse_hello, ErrCode, OpFrame,
+    OpKind, Reply, Status, WireKey, HELLO_BYTES, MAX_KEY_STRING_BYTES, VERSION_1, VERSION_2,
 };
 
 /// Largest value size the servers accept, to bound memory per request

@@ -30,6 +30,9 @@ struct Args {
     /// (including ones only activated by a later grow) per the detected
     /// topology.
     numa: bool,
+    /// Highest kvproto version to negotiate (2 = typed ops; 1 forces the
+    /// legacy unversioned protocol).
+    max_protocol: u8,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         migrate_feedback: false,
         frontend: FrontendKind::from_env(),
         numa: false,
+        max_protocol: cphash_kvproto::VERSION_2,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -78,8 +82,16 @@ fn parse_args() -> Result<Args, String> {
             "--migrate-feedback" => args.migrate_feedback = true,
             "--frontend" => args.frontend = FrontendKind::parse(&value("--frontend")?)?,
             "--numa" => args.numa = true,
+            "--max-protocol" => {
+                args.max_protocol = value("--max-protocol")?
+                    .parse()
+                    .map_err(|e| format!("bad max-protocol: {e}"))?;
+                if !(1..=2).contains(&args.max_protocol) {
+                    return Err("max-protocol must be 1 or 2".into());
+                }
+            }
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--frontend epoll|poll] [--numa]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--frontend epoll|poll] [--numa] [--max-protocol 1|2]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -129,6 +141,7 @@ fn main() {
         migration_pacing,
         frontend: args.frontend,
         server_pins,
+        max_protocol: args.max_protocol,
         ..Default::default()
     };
     let server = match CpServer::start(config) {

@@ -4,7 +4,10 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 
 use bytes::BytesMut;
-use cphash_kvproto::{Request, RequestDecoder};
+use cphash_kvproto::{
+    encode_hello, encode_response, Reply, ServerDecoder, ServerEvent, ServerOp, Status, VERSION_1,
+    VERSION_2,
+};
 
 use crate::reactor::{RawFd, Reactor};
 
@@ -16,30 +19,56 @@ use crate::reactor::{RawFd, Reactor};
 /// worker drains each fully, which is how the paper's client threads
 /// "monitor TCP connections assigned to [them] and gather as many requests
 /// as possible".
+///
+/// The connection owns protocol-version negotiation: the first byte a
+/// client sends either starts a v2 handshake (answered here with a
+/// HELLO-ACK carrying `min(requested, max_protocol)`) or locks the
+/// connection to v1 framing, and [`Connection::queue_reply`] encodes every
+/// reply in whichever framing was negotiated.
 pub struct Connection {
     stream: TcpStream,
-    decoder: RequestDecoder,
+    decoder: ServerDecoder,
     outgoing: BytesMut,
     closed: bool,
     read_buf: Vec<u8>,
+    /// Negotiated protocol version (v1 until a handshake says otherwise).
+    version: u8,
+    /// Highest protocol version the server is willing to speak.
+    max_protocol: u8,
     /// Whether the owning reactor currently has write interest registered
     /// for this connection (output was back-logged at the last flush).
     want_write: bool,
 }
 
 impl Connection {
-    /// Wrap an accepted stream (switched to non-blocking mode).
+    /// Wrap an accepted stream (switched to non-blocking mode), speaking
+    /// up to kvproto v2.
     pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        Self::with_max_protocol(stream, VERSION_2)
+    }
+
+    /// Wrap an accepted stream, capping the negotiated protocol version
+    /// (`max_protocol` 1 makes the server behave like a pre-versioning
+    /// build for compatibility testing).
+    pub fn with_max_protocol(stream: TcpStream, max_protocol: u8) -> std::io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         Ok(Connection {
             stream,
-            decoder: RequestDecoder::new(),
+            decoder: ServerDecoder::new(),
             outgoing: BytesMut::with_capacity(16 * 1024),
             closed: false,
             read_buf: vec![0u8; 64 * 1024],
+            version: VERSION_1,
+            max_protocol: max_protocol.clamp(VERSION_1, VERSION_2),
             want_write: false,
         })
+    }
+
+    /// The protocol version this connection speaks (v1 until a v2
+    /// handshake completes).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// The raw descriptor, for reactor registration.
@@ -63,8 +92,9 @@ impl Connection {
     }
 
     /// Read whatever bytes are available and decode complete requests into
-    /// `out`. Returns the number of bytes read.
-    pub fn poll_requests(&mut self, out: &mut Vec<Request>) -> usize {
+    /// `out`, answering handshakes along the way. Returns the number of
+    /// bytes read.
+    pub fn poll_requests(&mut self, out: &mut Vec<ServerOp>) -> usize {
         if self.closed {
             return 0;
         }
@@ -89,16 +119,58 @@ impl Connection {
                 }
             }
         }
-        if self.decoder.drain(out).is_err() {
-            // Protocol violation: drop the connection.
-            self.closed = true;
+        loop {
+            match self.decoder.next_event() {
+                Ok(Some(ServerEvent::Hello { requested })) => {
+                    // Negotiate down to what both sides speak and ack.  If
+                    // the common ground is v1, the client's following
+                    // frames are legacy-framed; tell the decoder.
+                    self.version = requested.min(self.max_protocol);
+                    if self.version <= VERSION_1 {
+                        self.decoder.set_wire_version(VERSION_1);
+                    }
+                    encode_hello(&mut self.outgoing, self.version);
+                }
+                Ok(Some(ServerEvent::Op(op))) => out.push(op),
+                Ok(None) => break,
+                Err(_) => {
+                    // Protocol violation: drop the connection.
+                    self.closed = true;
+                    break;
+                }
+            }
         }
         total
     }
 
-    /// Queue response bytes to be written.
-    pub fn queue_response(&mut self) -> &mut BytesMut {
-        &mut self.outgoing
+    /// Queue a typed reply, encoded in the connection's negotiated framing.
+    ///
+    /// v1 connections get the legacy size-prefixed value frame: `Ok` and
+    /// `Err` carry their bytes (admin status strings travelled as response
+    /// values before status codes existed), `Miss` is the empty frame, and
+    /// `Retry` — which v1 cannot express — degrades to a miss (correct for
+    /// a cache: the client treats it as absent and re-fetches).
+    pub fn queue_reply(&mut self, reply: &Reply) {
+        self.queue_reply_parts(reply.status, reply.code, &reply.value);
+    }
+
+    /// [`Connection::queue_reply`] from parts — the hot path for lookup
+    /// hits: value bytes go straight into the output buffer without an
+    /// intermediate owned `Reply`.
+    pub fn queue_reply_parts(
+        &mut self,
+        status: Status,
+        code: cphash_kvproto::ErrCode,
+        value: &[u8],
+    ) {
+        if self.version >= VERSION_2 {
+            cphash_kvproto::encode_reply_parts(&mut self.outgoing, status, code, value);
+            return;
+        }
+        match status {
+            Status::Ok | Status::Err => encode_response(&mut self.outgoing, Some(value)),
+            Status::Miss | Status::Retry => encode_response(&mut self.outgoing, None),
+        }
     }
 
     /// Attempt to flush queued response bytes. Returns bytes written.
@@ -215,7 +287,7 @@ pub(crate) fn settle(
 mod tests {
     use super::*;
     use bytes::BytesMut;
-    use cphash_kvproto::{encode_insert, encode_lookup, encode_response, RequestKind};
+    use cphash_kvproto::{encode_insert, encode_lookup, OpKind};
     use std::net::TcpListener;
 
     #[test]
@@ -250,12 +322,15 @@ mod tests {
             conn.poll_requests(&mut requests);
         }
         assert_eq!(requests.len(), 2);
-        assert_eq!(requests[0].kind, RequestKind::Lookup);
-        assert_eq!(requests[1].kind, RequestKind::Insert);
+        assert_eq!(conn.version(), VERSION_1);
+        assert_eq!(requests[0].frame.kind, OpKind::Lookup);
+        assert!(requests[0].wants_response);
+        assert_eq!(requests[1].frame.kind, OpKind::Insert);
+        assert!(!requests[1].wants_response, "v1 inserts are silent");
         assert!(!conn.is_closed());
 
-        // Server responds to the lookup.
-        encode_response(conn.queue_response(), Some(b"value"));
+        // Server responds to the lookup (legacy framing: plain value).
+        conn.queue_reply(&Reply::ok_value(b"value".to_vec()));
         assert!(conn.pending_output() > 0);
         while conn.pending_output() > 0 {
             conn.flush();
@@ -264,6 +339,80 @@ mod tests {
         client.read_exact(&mut buf[..9]).unwrap();
         assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 5);
         assert_eq!(&buf[4..9], b"value");
+    }
+
+    #[test]
+    fn v2_handshake_is_acked_and_ops_reply_typed() {
+        use cphash_kvproto::{OpFrame, ReplyDecoder, Status};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(server_side).unwrap();
+
+        let mut wire = BytesMut::new();
+        cphash_kvproto::encode_hello(&mut wire, VERSION_2);
+        cphash_kvproto::encode_op(&mut wire, &OpFrame::delete_bytes(b"k".to_vec()));
+        client.write_all(&wire).unwrap();
+
+        let mut requests = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while requests.is_empty() && std::time::Instant::now() < deadline {
+            conn.poll_requests(&mut requests);
+        }
+        assert_eq!(conn.version(), VERSION_2);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].frame.kind, OpKind::Delete);
+        assert!(requests[0].wants_response);
+
+        conn.queue_reply(&Reply::miss());
+        while conn.pending_output() > 0 {
+            conn.flush();
+        }
+        // Client sees the HELLO-ACK, then the typed reply.
+        let mut ack = [0u8; cphash_kvproto::HELLO_BYTES];
+        client.read_exact(&mut ack).unwrap();
+        assert_eq!(cphash_kvproto::parse_hello(&ack).unwrap(), VERSION_2);
+        let mut decoder = ReplyDecoder::new();
+        let mut buf = [0u8; 64];
+        let reply = loop {
+            if let Some(r) = decoder.next_reply().unwrap() {
+                break r;
+            }
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0);
+            decoder.feed(&buf[..n]);
+        };
+        assert_eq!(reply.status, Status::Miss);
+    }
+
+    #[test]
+    fn max_protocol_one_negotiates_a_v2_client_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = Connection::with_max_protocol(server_side, VERSION_1).unwrap();
+
+        let mut wire = BytesMut::new();
+        cphash_kvproto::encode_hello(&mut wire, VERSION_2);
+        // After a graceful downgrade the client speaks v1 frames.
+        encode_lookup(&mut wire, 3);
+        client.write_all(&wire).unwrap();
+
+        let mut requests = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while requests.is_empty() && std::time::Instant::now() < deadline {
+            conn.poll_requests(&mut requests);
+        }
+        assert_eq!(conn.version(), VERSION_1);
+        assert_eq!(requests[0].frame.kind, OpKind::Lookup);
+        while conn.pending_output() > 0 {
+            conn.flush();
+        }
+        let mut ack = [0u8; cphash_kvproto::HELLO_BYTES];
+        client.read_exact(&mut ack).unwrap();
+        assert_eq!(cphash_kvproto::parse_hello(&ack).unwrap(), VERSION_1);
     }
 
     #[test]

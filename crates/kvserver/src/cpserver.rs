@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy, MigrationPacing};
 use cphash_affinity::HwThreadId;
-use cphash_kvproto::{encode_response, resize_chunks_per_sec, resize_partitions, RequestKind};
+use cphash_kvproto::{
+    envelope, resize_chunks_per_sec, resize_partitions, ErrCode, OpKind, Status, WireKey,
+};
 use cphash_migrate::{MigrationPacer, RepartitionCoordinator};
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
@@ -96,6 +98,9 @@ pub struct CpServerConfig {
     /// the default, falling back to busy-poll off Linux) or the legacy
     /// busy-poll (`poll`).
     pub frontend: FrontendKind,
+    /// Highest kvproto version to negotiate (2 = typed ops; 1 makes the
+    /// server behave like a pre-versioning build, for compatibility tests).
+    pub max_protocol: u8,
 }
 
 impl Default for CpServerConfig {
@@ -112,6 +117,7 @@ impl Default for CpServerConfig {
             max_partitions: 0,
             migration_pacing: MigrationPacing::Unpaced,
             frontend: FrontendKind::from_env(),
+            max_protocol: cphash_kvproto::VERSION_2,
         }
     }
 }
@@ -176,11 +182,21 @@ impl CpServer {
             let batch = config.batch;
             let admin = resize_enabled.then(|| admin_tx.clone());
             let frontend = config.frontend;
+            let max_protocol = config.max_protocol;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cpserver-client-{index}"))
                     .spawn(move || {
-                        client_worker(handle, inbox, stop, metrics, batch, admin, frontend)
+                        client_worker(
+                            handle,
+                            inbox,
+                            stop,
+                            metrics,
+                            batch,
+                            admin,
+                            frontend,
+                            max_protocol,
+                        )
                     })
                     .expect("spawning a client thread"),
             );
@@ -231,39 +247,85 @@ impl Drop for CpServer {
     }
 }
 
-/// Book-keeping for inserts whose two-phase protocol is still in flight.
+/// Book-keeping for writes (inserts *and* deletes) whose completion is
+/// still in flight, per hash key.
 #[derive(Default)]
-struct InflightInsert {
-    /// Outstanding inserts for this key.
+struct InflightWrites {
+    /// Outstanding writes for this key.
     count: usize,
-    /// Lookups for this key waiting for the insert to finish, identified by
-    /// (connection slot, per-connection sequence number).
-    deferred: Vec<(usize, u64)>,
+    /// Lookups for this key waiting for the writes to finish, identified
+    /// by (connection slot, per-connection sequence number, byte key to
+    /// verify against the §8.2 envelope — `None` for plain hash keys).
+    deferred: Vec<(usize, u64, Option<Vec<u8>>)>,
 }
 
-/// State of one LOOKUP awaiting its response, kept in arrival order so the
-/// connection's responses go out in request order (the wire protocol has no
-/// request ids, so ordering is the correlation mechanism).
-enum LookupState {
-    /// Deferred behind an in-flight insert of the same key; not submitted.
-    WaitingInsert,
-    /// Submitted to the hash table; result not yet known.
+/// A reply waiting in a connection's ordered queue.  Like
+/// [`cphash_kvproto::Reply`] but holding the value as [`cphash::ValueBytes`]
+/// so lookup hits move the table's copy straight through to the output
+/// buffer without an intermediate allocation.
+struct OutReply {
+    status: Status,
+    code: ErrCode,
+    value: cphash::ValueBytes,
+}
+
+impl OutReply {
+    fn ok() -> Self {
+        Self::ok_value(cphash::ValueBytes::from_slice(&[]))
+    }
+
+    fn ok_value(value: cphash::ValueBytes) -> Self {
+        OutReply {
+            status: Status::Ok,
+            code: ErrCode::None,
+            value,
+        }
+    }
+
+    fn ok_bytes(value: &[u8]) -> Self {
+        Self::ok_value(cphash::ValueBytes::from_slice(value))
+    }
+
+    fn miss() -> Self {
+        OutReply {
+            status: Status::Miss,
+            code: ErrCode::None,
+            value: cphash::ValueBytes::from_slice(&[]),
+        }
+    }
+
+    fn err(code: ErrCode, message: &[u8]) -> Self {
+        OutReply {
+            status: Status::Err,
+            code,
+            value: cphash::ValueBytes::from_slice(message),
+        }
+    }
+}
+
+/// State of one response-bearing request, kept in arrival order so the
+/// connection's responses go out in request order (correlation on this
+/// wire is by ordering, v1 and v2 alike).
+enum ReplyState {
+    /// Deferred behind an in-flight write of the same key; not submitted.
+    WaitingWrite,
+    /// Submitted to the hash table (or admin thread); result not yet known.
     Submitted,
-    /// Result known; ready to be written once it reaches the queue head.
-    Done(Option<cphash::ValueBytes>),
+    /// Result known; written out once it reaches the queue head.
+    Done(OutReply),
 }
 
-/// One queued LOOKUP on a connection.
-struct PendingLookup {
+/// One queued response slot on a connection.
+struct PendingReply {
     seq: u64,
-    state: LookupState,
+    state: ReplyState,
 }
 
-/// One connection plus its ordered queue of unanswered lookups.
+/// One connection plus its ordered queue of unanswered requests.
 struct ConnState {
     conn: Connection,
     next_seq: u64,
-    lookups: std::collections::VecDeque<PendingLookup>,
+    replies: std::collections::VecDeque<PendingReply>,
 }
 
 impl ConnState {
@@ -271,30 +333,30 @@ impl ConnState {
         ConnState {
             conn,
             next_seq: 0,
-            lookups: std::collections::VecDeque::new(),
+            replies: std::collections::VecDeque::new(),
         }
     }
 
-    fn enqueue_lookup(&mut self, state: LookupState) -> u64 {
+    fn enqueue(&mut self, state: ReplyState) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.lookups.push_back(PendingLookup { seq, state });
+        self.replies.push_back(PendingReply { seq, state });
         seq
     }
 
-    /// Mark a deferred lookup as submitted (its insert finished and the
-    /// lookup has now been sent to the hash table).
+    /// Mark a deferred lookup as submitted (its blocking write finished and
+    /// the lookup has now been sent to the hash table).
     fn resolve_waiting(&mut self, seq: u64) {
-        if let Some(entry) = self.lookups.iter_mut().find(|p| p.seq == seq) {
-            if matches!(entry.state, LookupState::WaitingInsert) {
-                entry.state = LookupState::Submitted;
+        if let Some(entry) = self.replies.iter_mut().find(|p| p.seq == seq) {
+            if matches!(entry.state, ReplyState::WaitingWrite) {
+                entry.state = ReplyState::Submitted;
             }
         }
     }
 
-    fn resolve(&mut self, seq: u64, value: Option<cphash::ValueBytes>) {
-        if let Some(entry) = self.lookups.iter_mut().find(|p| p.seq == seq) {
-            entry.state = LookupState::Done(value);
+    fn resolve(&mut self, seq: u64, reply: OutReply) {
+        if let Some(entry) = self.replies.iter_mut().find(|p| p.seq == seq) {
+            entry.state = ReplyState::Done(reply);
         }
     }
 
@@ -303,23 +365,49 @@ impl ConnState {
     fn flush_ready_responses(&mut self) -> usize {
         let mut wrote = 0usize;
         while matches!(
-            self.lookups.front(),
-            Some(PendingLookup {
-                state: LookupState::Done(_),
+            self.replies.front(),
+            Some(PendingReply {
+                state: ReplyState::Done(_),
                 ..
             })
         ) {
-            let entry = self.lookups.pop_front().expect("front checked");
-            let LookupState::Done(value) = entry.state else {
+            let entry = self.replies.pop_front().expect("front checked");
+            let ReplyState::Done(reply) = entry.state else {
                 unreachable!()
             };
-            encode_response(
-                self.conn.queue_response(),
-                value.as_ref().map(|v| v.as_slice()),
-            );
+            self.conn
+                .queue_reply_parts(reply.status, reply.code, reply.value.as_slice());
             wrote += 1;
         }
         wrote
+    }
+}
+
+/// Where a completed lookup's reply goes, plus the byte key to verify
+/// against the stored envelope (byte-keyed lookups only).
+struct LookupTarget {
+    conn: usize,
+    seq: u64,
+    bytekey: Option<Vec<u8>>,
+}
+
+/// Where a completed write's reply goes (v2 connections answer every
+/// request; v1 inserts keep their fire-and-forget silence).
+struct WriteTarget {
+    /// The 60-bit hash key, for per-key in-flight accounting.
+    key: u64,
+    /// Reply slot, or `None` for silent v1 inserts (and retired
+    /// connections).
+    reply: Option<(usize, u64)>,
+}
+
+/// Turn an admin status string into a typed reply (the coordinator reports
+/// errors as `ERR ...` strings).
+fn admin_reply(status: String) -> OutReply {
+    if status.starts_with("ERR") {
+        OutReply::err(ErrCode::Admin, status.as_bytes())
+    } else {
+        OutReply::ok_bytes(status.as_bytes())
     }
 }
 
@@ -332,6 +420,7 @@ impl ConnState {
 /// admin commands pending.  Everything that can unblock it from outside is
 /// a readiness event — socket bytes, socket writability for back-logged
 /// output, or the acceptor's waker — so idle connections cost nothing.
+#[allow(clippy::too_many_arguments)] // one call site, spawned per worker
 fn client_worker(
     mut handle: ClientHandle,
     inbox: WorkerInbox,
@@ -340,6 +429,7 @@ fn client_worker(
     batch: usize,
     admin: Option<mpsc::Sender<AdminRequest>>,
     frontend: FrontendKind,
+    max_protocol: u8,
 ) {
     let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
     if let Some(fd) = inbox.waker.fd() {
@@ -349,15 +439,15 @@ fn client_worker(
     // so in-flight tokens can refer to their connection even as others
     // close.
     let mut connections: Vec<Option<ConnState>> = Vec::new();
-    // Lookup token -> (connection slot, sequence number).
-    let mut lookup_tokens: HashMap<u64, (usize, u64)> = HashMap::new();
-    // Insert token -> key, plus per-key in-flight accounting, to provide
-    // read-your-writes ordering on a connection: the CPHash insert is a
-    // two-phase protocol (allocate, then copy + Ready), so a lookup for a
-    // key whose insert is still in flight is deferred until the insert
-    // completes rather than racing it to the server thread.
-    let mut insert_token_key: HashMap<u64, u64> = HashMap::new();
-    let mut inflight_inserts: HashMap<u64, InflightInsert> = HashMap::new();
+    // Lookup token -> reply slot (+ byte key for envelope verification).
+    let mut lookup_tokens: HashMap<u64, LookupTarget> = HashMap::new();
+    // Write token -> key + reply slot, plus per-key in-flight accounting,
+    // to provide read-your-writes ordering on a connection: the CPHash
+    // insert is a two-phase protocol (allocate, then copy + Ready), so a
+    // lookup for a key whose write is still in flight is deferred until
+    // the write completes rather than racing it to the server thread.
+    let mut write_tokens: HashMap<u64, WriteTarget> = HashMap::new();
+    let mut inflight_writes: HashMap<u64, InflightWrites> = HashMap::new();
     // Resize admin commands awaiting the coordinator's answer, resolved
     // against the connection's ordered response queue like lookups.
     let mut pending_admin: Vec<(usize, u64, mpsc::Receiver<String>)> = Vec::new();
@@ -398,7 +488,7 @@ fn client_worker(
             inbox.waker.drain();
         }
         while let Ok(stream) = inbox.receiver.try_recv() {
-            let adopted = Connection::new(stream).is_ok_and(|conn| {
+            let adopted = Connection::with_max_protocol(stream, max_protocol).is_ok_and(|conn| {
                 crate::connection::adopt(
                     &mut connections,
                     &mut reactor,
@@ -435,42 +525,110 @@ fn client_worker(
             let read = state.conn.poll_requests(&mut requests);
             metrics.note_io(read, 0);
             for request in requests.drain(..) {
-                match request.kind {
-                    RequestKind::Lookup => {
+                let wants_response = request.wants_response;
+                let cphash_kvproto::OpFrame { kind, key, value } = request.frame;
+                match kind {
+                    OpKind::Lookup => {
                         waiting_responses += 1;
-                        if let Some(pending) = inflight_inserts.get_mut(&request.key) {
-                            let seq = state.enqueue_lookup(LookupState::WaitingInsert);
-                            pending.deferred.push((idx, seq));
+                        let (hash, bytekey) = match key {
+                            WireKey::Hash(k) => (k, None),
+                            WireKey::Bytes(b) => (envelope::hash_key(&b), Some(b)),
+                        };
+                        if let Some(pending) = inflight_writes.get_mut(&hash) {
+                            let seq = state.enqueue(ReplyState::WaitingWrite);
+                            pending.deferred.push((idx, seq, bytekey));
                         } else {
-                            let seq = state.enqueue_lookup(LookupState::Submitted);
-                            let token = handle.submit_lookup(request.key);
-                            lookup_tokens.insert(token, (idx, seq));
+                            let seq = state.enqueue(ReplyState::Submitted);
+                            let token = handle.submit_lookup(hash);
+                            lookup_tokens.insert(
+                                token,
+                                LookupTarget {
+                                    conn: idx,
+                                    seq,
+                                    bytekey,
+                                },
+                            );
                         }
                     }
-                    RequestKind::Insert => {
-                        let token = handle.submit_insert(request.key, &request.value);
-                        insert_token_key.insert(token, request.key);
-                        inflight_inserts.entry(request.key).or_default().count += 1;
+                    OpKind::Insert => {
+                        // Byte keys are stored as §8.2 envelopes under
+                        // their hash so the server can verify collisions
+                        // at lookup time.
+                        let (hash, stored) = envelope::stored_form(&key, &value);
                         metrics.note_insert();
+                        // The envelope may push a near-limit value past
+                        // MAX_VALUE_BYTES; storing it would later produce
+                        // replies no client decoder accepts.  Refuse
+                        // up-front (byte keys are v2-only, so there is
+                        // always a reply slot to carry the error).
+                        if stored.len() > cphash_kvproto::MAX_VALUE_BYTES {
+                            if wants_response {
+                                waiting_responses += 1;
+                                let seq = state.enqueue(ReplyState::Submitted);
+                                state.resolve(
+                                    seq,
+                                    OutReply::err(
+                                        ErrCode::Capacity,
+                                        b"ERR enveloped value exceeds the protocol limit",
+                                    ),
+                                );
+                            }
+                            continue;
+                        }
+                        let reply = if wants_response {
+                            waiting_responses += 1;
+                            Some((idx, state.enqueue(ReplyState::Submitted)))
+                        } else {
+                            None
+                        };
+                        let token = handle.submit_insert(hash, &stored);
+                        write_tokens.insert(token, WriteTarget { key: hash, reply });
+                        inflight_writes.entry(hash).or_default().count += 1;
                     }
-                    RequestKind::Resize => {
+                    OpKind::Delete => {
+                        let hash = key.hash();
+                        let reply = if wants_response {
+                            waiting_responses += 1;
+                            Some((idx, state.enqueue(ReplyState::Submitted)))
+                        } else {
+                            None
+                        };
+                        let token = handle.submit_delete(hash);
+                        write_tokens.insert(token, WriteTarget { key: hash, reply });
+                        inflight_writes.entry(hash).or_default().count += 1;
+                        metrics.note_delete();
+                    }
+                    OpKind::Resize => {
                         metrics.note_admin();
                         waiting_responses += 1;
-                        let seq = state.enqueue_lookup(LookupState::Submitted);
+                        let seq = state.enqueue(ReplyState::Submitted);
+                        // A byte-keyed resize is nonsense; refuse it here
+                        // rather than bouncing it off the admin thread.
+                        let WireKey::Hash(packed) = key else {
+                            state.resolve(
+                                seq,
+                                OutReply::err(
+                                    ErrCode::Unsupported,
+                                    b"ERR resize takes a packed hash key",
+                                ),
+                            );
+                            continue;
+                        };
                         let Some(admin) = admin.as_ref() else {
                             state.resolve(
                                 seq,
-                                Some(cphash::ValueBytes::from_slice(
+                                OutReply::err(
+                                    ErrCode::Unsupported,
                                     b"ERR resize disabled (start with --max-partitions)",
-                                )),
+                                ),
                             );
                             continue;
                         };
                         let (reply_tx, reply_rx) = mpsc::channel();
                         let sent = admin
                             .send(AdminRequest {
-                                new_partitions: resize_partitions(request.key),
-                                chunks_per_sec: resize_chunks_per_sec(request.key),
+                                new_partitions: resize_partitions(packed),
+                                chunks_per_sec: resize_chunks_per_sec(packed),
                                 reply: reply_tx,
                             })
                             .is_ok();
@@ -479,7 +637,7 @@ fn client_worker(
                         } else {
                             state.resolve(
                                 seq,
-                                Some(cphash::ValueBytes::from_slice(b"ERR admin unavailable")),
+                                OutReply::err(ErrCode::Admin, b"ERR admin unavailable"),
                             );
                         }
                     }
@@ -492,10 +650,7 @@ fn client_worker(
         pending_admin.retain(|(conn_idx, seq, reply_rx)| match reply_rx.try_recv() {
             Ok(status) => {
                 if let Some(state) = connections.get_mut(*conn_idx).and_then(|c| c.as_mut()) {
-                    state.resolve(
-                        *seq,
-                        Some(cphash::ValueBytes::from_slice(status.as_bytes())),
-                    );
+                    state.resolve(*seq, admin_reply(status));
                     touched_ref.push(*conn_idx);
                 }
                 false
@@ -505,7 +660,7 @@ fn client_worker(
                 if let Some(state) = connections.get_mut(*conn_idx).and_then(|c| c.as_mut()) {
                     state.resolve(
                         *seq,
-                        Some(cphash::ValueBytes::from_slice(b"ERR admin unavailable")),
+                        OutReply::err(ErrCode::Admin, b"ERR admin unavailable"),
                     );
                     touched_ref.push(*conn_idx);
                 }
@@ -514,61 +669,102 @@ fn client_worker(
         });
 
         // Collect hash-table completions and resolve them against the
-        // per-connection ordered lookup queues.
+        // per-connection ordered reply queues.
         completions.clear();
         handle.poll(&mut completions);
         for completion in completions.drain(..) {
             match completion.kind {
                 CompletionKind::LookupHit(value) => {
-                    metrics.note_lookup(true);
-                    if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
-                        if let Some(state) = connections[idx].as_mut() {
-                            state.resolve(seq, Some(value));
-                            touched.push(idx);
+                    let target = lookup_tokens.remove(&completion.token);
+                    // Byte-keyed lookups carry the §8.2 envelope: check the
+                    // stored key and read collisions as misses.  Count the
+                    // lookup even when its connection already retired (its
+                    // token is gone and bytekey unknowable: count the raw
+                    // table hit, as the pre-v2 server did).
+                    let reply = match target.as_ref().and_then(|t| t.bytekey.as_deref()) {
+                        None => OutReply::ok_value(value),
+                        Some(wanted) => match envelope::unwrap_matching(value.as_slice(), wanted) {
+                            Some(v) => OutReply::ok_bytes(v),
+                            None => OutReply::miss(),
+                        },
+                    };
+                    metrics.note_lookup(reply.status == Status::Ok);
+                    if let Some(target) = target {
+                        if let Some(state) = connections[target.conn].as_mut() {
+                            state.resolve(target.seq, reply);
+                            touched.push(target.conn);
                         }
                     }
                 }
                 CompletionKind::LookupMiss => {
                     metrics.note_lookup(false);
-                    if let Some((idx, seq)) = lookup_tokens.remove(&completion.token) {
-                        if let Some(state) = connections[idx].as_mut() {
-                            state.resolve(seq, None);
-                            touched.push(idx);
+                    if let Some(target) = lookup_tokens.remove(&completion.token) {
+                        if let Some(state) = connections[target.conn].as_mut() {
+                            state.resolve(target.seq, OutReply::miss());
+                            touched.push(target.conn);
                         }
                     }
                 }
-                // Inserts and deletes carry no TCP response (§4.1), but a
-                // completed insert releases any lookups for the same key
-                // that were deferred to preserve read-your-writes ordering.
-                CompletionKind::Inserted | CompletionKind::InsertFailed => {
-                    if let Some(key) = insert_token_key.remove(&completion.token) {
-                        let finished = match inflight_inserts.get_mut(&key) {
-                            Some(pending) => {
-                                pending.count -= 1;
-                                pending.count == 0
-                            }
-                            None => false,
-                        };
-                        if finished {
-                            if let Some(pending) = inflight_inserts.remove(&key) {
-                                for (conn_idx, seq) in pending.deferred {
-                                    if connections
-                                        .get(conn_idx)
-                                        .map(|c| c.is_some())
-                                        .unwrap_or(false)
-                                    {
-                                        let token = handle.submit_lookup(key);
-                                        lookup_tokens.insert(token, (conn_idx, seq));
-                                        if let Some(state) = connections[conn_idx].as_mut() {
-                                            state.resolve_waiting(seq);
-                                        }
+                CompletionKind::Inserted
+                | CompletionKind::InsertFailed
+                | CompletionKind::Deleted(_)
+                | CompletionKind::Failed(_) => {
+                    let Some(target) = write_tokens.remove(&completion.token) else {
+                        continue;
+                    };
+                    // v2 connections get a typed answer for every write;
+                    // v1 inserts stay silent (reply slot never created).
+                    if let Some((conn_idx, seq)) = target.reply {
+                        if let Some(state) = connections.get_mut(conn_idx).and_then(|c| c.as_mut())
+                        {
+                            let reply = match &completion.kind {
+                                CompletionKind::Inserted => OutReply::ok(),
+                                CompletionKind::InsertFailed => {
+                                    OutReply::err(ErrCode::Capacity, b"ERR table out of capacity")
+                                }
+                                CompletionKind::Deleted(true) => OutReply::ok(),
+                                CompletionKind::Deleted(false) => OutReply::miss(),
+                                _ => OutReply::err(ErrCode::Internal, b"ERR internal"),
+                            };
+                            state.resolve(seq, reply);
+                            touched.push(conn_idx);
+                        }
+                    }
+                    // A finished write releases lookups for the same key
+                    // that were deferred to preserve read-your-writes
+                    // ordering.
+                    let finished = match inflight_writes.get_mut(&target.key) {
+                        Some(pending) => {
+                            pending.count -= 1;
+                            pending.count == 0
+                        }
+                        None => false,
+                    };
+                    if finished {
+                        if let Some(pending) = inflight_writes.remove(&target.key) {
+                            for (conn_idx, seq, bytekey) in pending.deferred {
+                                if connections
+                                    .get(conn_idx)
+                                    .map(|c| c.is_some())
+                                    .unwrap_or(false)
+                                {
+                                    let token = handle.submit_lookup(target.key);
+                                    lookup_tokens.insert(
+                                        token,
+                                        LookupTarget {
+                                            conn: conn_idx,
+                                            seq,
+                                            bytekey,
+                                        },
+                                    );
+                                    if let Some(state) = connections[conn_idx].as_mut() {
+                                        state.resolve_waiting(seq);
                                     }
                                 }
                             }
                         }
                     }
                 }
-                CompletionKind::Deleted(_) => {}
             }
         }
 
@@ -585,17 +781,25 @@ fn client_worker(
             let (written, verdict) = crate::connection::settle(&mut state.conn, &mut reactor, idx);
             metrics.note_io(0, written);
             if verdict == crate::connection::Settle::Retired {
-                waiting_responses -= state.lookups.len();
+                waiting_responses -= state.replies.len();
                 connections[idx] = None;
                 inbox.active.fetch_sub(1, Ordering::Relaxed);
-                lookup_tokens.retain(|_, (c, _)| *c != idx);
-                for pending in inflight_inserts.values_mut() {
-                    pending.deferred.retain(|(c, _)| *c != idx);
+                lookup_tokens.retain(|_, t| t.conn != idx);
+                // In-flight writes keep their per-key accounting (the
+                // table operation still completes) but lose their reply
+                // slot: the slot (and its per-connection sequence numbers)
+                // can be reused, and a late completion must not resolve
+                // against a successor connection's request of the same seq.
+                for target in write_tokens.values_mut() {
+                    if target.reply.is_some_and(|(c, _)| c == idx) {
+                        target.reply = None;
+                    }
                 }
-                // Admin replies must die with the connection: the slot (and
-                // its per-connection sequence numbers) can be reused, and a
-                // late resize status must not resolve against a successor
-                // connection's lookup of the same seq.
+                for pending in inflight_writes.values_mut() {
+                    pending.deferred.retain(|(c, _, _)| *c != idx);
+                }
+                // Admin replies must die with the connection for the same
+                // reason.
                 pending_admin.retain(|(c, _, _)| *c != idx);
             }
         }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cphash_kvproto::{encode_response, RequestKind};
+use cphash_kvproto::{envelope, ErrCode, OpKind, Reply, Status};
 use cphash_lockhash::{EvictionPolicy, LockHash, LockHashConfig, LockKind};
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
@@ -192,31 +192,58 @@ fn lock_worker(
             metrics.note_io(read, 0);
             did_work |= !requests.is_empty();
             for request in requests.drain(..) {
-                match request.kind {
-                    RequestKind::Lookup => {
-                        let hit = table.lookup(request.key, &mut value_buf);
-                        metrics.note_lookup(hit);
-                        encode_response(
-                            conn.queue_response(),
-                            if hit {
-                                Some(value_buf.as_slice())
-                            } else {
-                                None
-                            },
-                        );
+                let wants_response = request.wants_response;
+                let cphash_kvproto::OpFrame { kind, key, value } = request.frame;
+                match kind {
+                    OpKind::Lookup => {
+                        let hit = table.lookup(key.hash(), &mut value_buf);
+                        // Byte keys store §8.2 envelopes: verify the stored
+                        // key and read collisions as misses.  Hit values
+                        // encode straight from the lookup buffer.
+                        let verified = if hit {
+                            envelope::verify_stored(&key, &value_buf)
+                        } else {
+                            None
+                        };
+                        metrics.note_lookup(verified.is_some());
+                        match verified {
+                            Some(v) => {
+                                conn.queue_reply_parts(Status::Ok, ErrCode::None, v);
+                            }
+                            None => conn.queue_reply(&Reply::miss()),
+                        }
                     }
-                    RequestKind::Insert => {
-                        table.insert(request.key, &request.value);
+                    OpKind::Insert => {
+                        let (hash, stored) = envelope::stored_form(&key, &value);
+                        // The envelope may push a near-limit value past
+                        // MAX_VALUE_BYTES; storing it would later produce
+                        // replies no client decoder accepts.
+                        let ok = stored.len() <= cphash_kvproto::MAX_VALUE_BYTES
+                            && table.insert(hash, &stored);
                         metrics.note_insert();
+                        if wants_response {
+                            conn.queue_reply(&if ok {
+                                Reply::ok()
+                            } else {
+                                Reply::err(ErrCode::Capacity, b"ERR table out of capacity".to_vec())
+                            });
+                        }
                     }
-                    RequestKind::Resize => {
+                    OpKind::Delete => {
+                        let found = table.delete(key.hash());
+                        metrics.note_delete();
+                        if wants_response {
+                            conn.queue_reply(&if found { Reply::ok() } else { Reply::miss() });
+                        }
+                    }
+                    OpKind::Resize => {
                         // LOCKSERVER's partition count is fixed; report the
                         // unsupported admin command instead of hanging the
                         // client's ordered response stream.
-                        encode_response(
-                            conn.queue_response(),
-                            Some(b"ERR resize unsupported on LOCKSERVER".as_slice()),
-                        );
+                        conn.queue_reply(&Reply::err(
+                            ErrCode::Unsupported,
+                            b"ERR resize unsupported on LOCKSERVER".to_vec(),
+                        ));
                     }
                 }
             }

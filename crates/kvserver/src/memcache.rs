@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cphash_hashcore::{EvictionPolicy, Partition, PartitionConfig};
-use cphash_kvproto::{encode_response, RequestKind};
+use cphash_kvproto::{envelope, ErrCode, OpKind, Reply, Status};
 use parking_lot::Mutex;
 
 use crate::connection::Connection;
@@ -237,32 +237,59 @@ fn instance_loop(
             metrics.note_io(read, 0);
             did_work |= !requests.is_empty();
             for request in requests.drain(..) {
+                let wants_response = request.wants_response;
+                let cphash_kvproto::OpFrame { kind, key, value } = request.frame;
                 // The single global lock: every operation serializes here.
                 let mut table = store.lock();
-                match request.kind {
-                    RequestKind::Lookup => {
-                        let hit = table.lookup_copy(request.key, &mut value_buf);
-                        metrics.note_lookup(hit);
-                        encode_response(
-                            conn.queue_response(),
-                            if hit {
-                                Some(value_buf.as_slice())
-                            } else {
-                                None
-                            },
-                        );
+                match kind {
+                    OpKind::Lookup => {
+                        let hit = table.lookup_copy(key.hash(), &mut value_buf);
+                        // Byte keys store §8.2 envelopes: verify the stored
+                        // key and read collisions as misses.  Hit values
+                        // encode straight from the lookup buffer.
+                        let verified = if hit {
+                            envelope::verify_stored(&key, &value_buf)
+                        } else {
+                            None
+                        };
+                        metrics.note_lookup(verified.is_some());
+                        match verified {
+                            Some(v) => {
+                                conn.queue_reply_parts(Status::Ok, ErrCode::None, v);
+                            }
+                            None => conn.queue_reply(&Reply::miss()),
+                        }
                     }
-                    RequestKind::Insert => {
-                        let _ = table.insert_copy(request.key, &request.value);
+                    OpKind::Insert => {
+                        let (hash, stored) = envelope::stored_form(&key, &value);
+                        // The envelope may push a near-limit value past
+                        // MAX_VALUE_BYTES; storing it would later produce
+                        // replies no client decoder accepts.
+                        let ok = stored.len() <= cphash_kvproto::MAX_VALUE_BYTES
+                            && table.insert_copy(hash, &stored).is_ok();
                         metrics.note_insert();
+                        if wants_response {
+                            conn.queue_reply(&if ok {
+                                Reply::ok()
+                            } else {
+                                Reply::err(ErrCode::Capacity, b"ERR table out of capacity".to_vec())
+                            });
+                        }
                     }
-                    RequestKind::Resize => {
+                    OpKind::Delete => {
+                        let found = table.delete(key.hash());
+                        metrics.note_delete();
+                        if wants_response {
+                            conn.queue_reply(&if found { Reply::ok() } else { Reply::miss() });
+                        }
+                    }
+                    OpKind::Resize => {
                         // Memcached instances are statically sized (§7 runs
                         // one per core); answer rather than stall the client.
-                        encode_response(
-                            conn.queue_response(),
-                            Some(b"ERR resize unsupported on memcached".as_slice()),
-                        );
+                        conn.queue_reply(&Reply::err(
+                            ErrCode::Unsupported,
+                            b"ERR resize unsupported on memcached".to_vec(),
+                        ));
                     }
                 }
             }

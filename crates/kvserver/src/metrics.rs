@@ -70,6 +70,8 @@ pub struct ServerMetrics {
     pub hits: AtomicU64,
     /// INSERT requests.
     pub inserts: AtomicU64,
+    /// DELETE requests (kvproto v2).
+    pub deletes: AtomicU64,
     /// Bytes read from sockets.
     pub bytes_in: AtomicU64,
     /// Bytes written to sockets.
@@ -114,6 +116,11 @@ impl ServerMetrics {
     pub(crate) fn note_insert(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_delete(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.deletes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_io(&self, read: usize, written: usize) {

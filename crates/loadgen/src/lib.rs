@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod anykey;
 pub mod driver;
 pub mod ops;
 pub mod scaling;
 pub mod tcp;
 pub mod workload;
 
+pub use anykey::{run_anykey_mixed, AnyKeyMixOptions, AnyKeyMixResult};
 pub use driver::{run_cphash, run_lockhash, DriverOptions, RunResult};
 pub use ops::{KeyDistribution, Op, OpStream};
 pub use scaling::{run_connection_scaling, ConnectionScalingOptions, ConnectionScalingResult};

@@ -131,6 +131,95 @@ fn memcache_style_cluster_under_partitioned_load() {
 }
 
 #[test]
+fn delete_over_tcp_against_every_server() {
+    use cphash_suite::{KeyRef, KvClient, RemoteClient};
+
+    // DELETE reached core's `submit_delete` but had no wire opcode before
+    // kvproto v2; lock in the full TCP path on all three servers.
+    fn delete_roundtrip(addr: std::net::SocketAddr) {
+        let mut client = RemoteClient::connect(addr).unwrap();
+        assert_eq!(client.protocol_version(), 2);
+        // u64 keys.
+        assert!(client
+            .insert_blocking(KeyRef::Hash(1234), b"doomed")
+            .unwrap());
+        assert!(client.delete_blocking(KeyRef::Hash(1234)).unwrap());
+        assert!(!client.delete_blocking(KeyRef::Hash(1234)).unwrap());
+        assert_eq!(client.get_blocking(KeyRef::Hash(1234)).unwrap(), None);
+        // Byte-string keys (the §8.2 envelope, now server-side).
+        assert!(client
+            .insert_blocking(KeyRef::Bytes(b"session:77"), b"token")
+            .unwrap());
+        assert!(client
+            .delete_blocking(KeyRef::Bytes(b"session:77"))
+            .unwrap());
+        assert_eq!(
+            client.get_blocking(KeyRef::Bytes(b"session:77")).unwrap(),
+            None
+        );
+    }
+
+    let mut cpserver = CpServer::start(CpServerConfig::default()).unwrap();
+    delete_roundtrip(cpserver.addr());
+    assert!(
+        cpserver
+            .metrics()
+            .deletes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 3
+    );
+    cpserver.shutdown();
+
+    let mut lockserver = LockServer::start(LockServerConfig::default()).unwrap();
+    delete_roundtrip(lockserver.addr());
+    lockserver.shutdown();
+
+    let mut cluster = MemcacheCluster::start(MemcacheConfig {
+        instances: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    delete_roundtrip(cluster.addrs()[0]);
+    cluster.shutdown();
+}
+
+#[test]
+fn oversized_envelope_is_refused_not_stored() {
+    use cphash_suite::kvproto::MAX_VALUE_BYTES;
+    use cphash_suite::{KeyRef, KvClient, RemoteClient};
+
+    // A byte-keyed value near the wire limit fits its own frame, but the
+    // server-side §8.2 envelope (4 + key_len extra bytes) would exceed
+    // MAX_VALUE_BYTES — and a stored oversized envelope would later produce
+    // lookup replies no client decoder accepts, killing innocent readers'
+    // connections.  The server must refuse the insert instead.
+    let mut server = CpServer::start(CpServerConfig::default()).unwrap();
+    let mut client = RemoteClient::connect(server.addr()).unwrap();
+    let big = vec![0x5Au8; MAX_VALUE_BYTES - 2];
+    assert!(
+        !client.insert_blocking(KeyRef::Bytes(b"big"), &big).unwrap(),
+        "enveloped value past the limit reads as a capacity refusal"
+    );
+    // The connection survives and the key was not stored.
+    assert_eq!(client.get_blocking(KeyRef::Bytes(b"big")).unwrap(), None);
+    // A maximal value that still fits with its envelope is accepted.
+    let fits = vec![0xA5u8; MAX_VALUE_BYTES - 4 - 3];
+    assert!(client
+        .insert_blocking(KeyRef::Bytes(b"big"), &fits)
+        .unwrap());
+    assert_eq!(
+        client
+            .get_blocking(KeyRef::Bytes(b"big"))
+            .unwrap()
+            .unwrap()
+            .len(),
+        fits.len()
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn all_three_servers_agree_on_protocol_semantics() {
     // Insert a known key into each server and read it back through the same
     // wire protocol; a miss must come back as an empty frame.

@@ -119,6 +119,11 @@ pub trait BufMut {
         self.put_slice(&[value]);
     }
 
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, value: u16) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, value: u32) {
         self.put_slice(&value.to_le_bytes());
