@@ -28,6 +28,17 @@ pub use scale::MachineScale;
 
 use cphash_perfmon::FigureReport;
 
+/// The xorshift64* step shared by harness binaries that need a cheap
+/// deterministic stream (e.g. `ablate_prefetch`'s key mix).
+pub fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
 /// Print a finished figure to stdout (human table plus CSV block) and, if
 /// requested, write the CSV to a file.
 pub fn emit_report(report: &FigureReport, args: &HarnessArgs) {

@@ -18,16 +18,21 @@
 //!   been produced".
 //! * [`packing`] — messages-per-line arithmetic backing the paper's claim
 //!   that eight 8-byte lookups (or four 16-byte inserts) fit in one line.
+//! * [`prefetch`] — the software-prefetch hint the batched server pipeline
+//!   uses to overlap bucket cache misses (real instruction on x86-64 and
+//!   AArch64, no-op elsewhere).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod geometry;
 pub mod packing;
+pub mod prefetch;
 
 mod aligned;
 
 pub use aligned::CacheAligned;
+pub use prefetch::{prefetch_read, prefetch_supported};
 
 /// Size, in bytes, of a cache line on the machines the paper targets
 /// (and on essentially every contemporary x86-64 / AArch64 part).

@@ -118,6 +118,15 @@ impl<Req: Copy + Send, Resp: Copy + Send> DuplexServer<Req, Resp> {
         self.responses.push_blocking(response)
     }
 
+    /// Queue and publish a whole batch of responses with one
+    /// synchronization round; returns how many were accepted (see
+    /// [`crate::Producer::push_batch`]).  This is the server's reply path:
+    /// one capacity check and one index publish per *batch* of responses.
+    #[inline]
+    pub fn send_batch(&mut self, responses: &[Resp]) -> usize {
+        self.responses.push_batch(responses)
+    }
+
     /// Publish any partially-filled response line to the client.
     #[inline]
     pub fn flush(&mut self) {

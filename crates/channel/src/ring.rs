@@ -208,6 +208,46 @@ impl<T: Copy + Send> Producer<T> {
         Ok(())
     }
 
+    /// Enqueue a whole batch with one synchronization round: at most one
+    /// refresh of the consumer's read index, one pass of slot writes, and
+    /// one release publish of the write index — O(1) atomics per batch
+    /// instead of per message.
+    ///
+    /// Returns how many messages were accepted (a full ring accepts fewer
+    /// than `messages.len()`, possibly zero); the batch is published
+    /// immediately, partial cache lines included, since batch producers are
+    /// at the end of their gathering round by definition.
+    pub fn push_batch(&mut self, messages: &[T]) -> usize {
+        let capacity = self.shared.mask + 1;
+        let mut free = (capacity - (self.temp_write - self.cached_read)) as usize;
+        if free < messages.len() {
+            self.cached_read = self.shared.read_index.load(Ordering::Acquire);
+            free = (capacity - (self.temp_write - self.cached_read)) as usize;
+        }
+        let n = free.min(messages.len());
+        if n == 0 {
+            if !messages.is_empty() {
+                self.shared.stats.add_full_event();
+            }
+            return 0;
+        }
+        for (i, message) in messages[..n].iter().enumerate() {
+            let slot = ((self.temp_write + i as u64) & self.shared.mask) as usize;
+            // SAFETY: the free-slot computation above guarantees the
+            // consumer has finished with these `n` slots, and only this
+            // producer writes slots.
+            unsafe {
+                (*self.shared.buffer[slot].get()).write(*message);
+            }
+        }
+        self.temp_write += n as u64;
+        self.shared
+            .temp_write_index
+            .store(self.temp_write, Ordering::Relaxed);
+        self.flush();
+        n
+    }
+
     /// Push, spinning (and flushing) until space is available.
     ///
     /// Used by tests and by clients that have nothing else to do; the CPHash
@@ -317,22 +357,40 @@ impl<T: Copy + Send> Consumer<T> {
 
     /// Drain up to `max` messages into `out`, returning how many were moved.
     ///
-    /// This is the server's inner loop: grab everything visible (one cache
-    /// line at a time), process, and only then touch the shared read index.
+    /// This is the server's inner loop, and it costs O(1) atomics per
+    /// *batch*: at most one acquire refresh of the producer's write index,
+    /// one pass of plain slot reads, and one release publish of the read
+    /// index — however many messages move.
     pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
+        let mut n = 0usize;
         while n < max {
-            match self.try_pop() {
-                Some(m) => {
-                    out.push(m);
-                    n += 1;
+            let mut visible = (self.cached_write - self.local_read) as usize;
+            if visible == 0 {
+                self.cached_write = self.shared.write_index.load(Ordering::Acquire);
+                visible = (self.cached_write - self.local_read) as usize;
+                if visible == 0 {
+                    break;
                 }
-                None => break,
             }
+            let take = visible.min(max - n);
+            out.reserve(take);
+            for i in 0..take {
+                let slot = ((self.local_read + i as u64) & self.shared.mask) as usize;
+                // SAFETY: local_read + i < cached_write <= the producer's
+                // published write index, so each slot was fully written
+                // before the release store we acquired; only this consumer
+                // reads it before it is recycled.
+                out.push(unsafe { (*self.shared.buffer[slot].get()).assume_init() });
+            }
+            self.local_read += take as u64;
+            n += take;
         }
         if n > 0 {
-            self.publish_read();
+            self.shared.stats.add_popped(n as u64);
         }
+        // Publish consumed slots (and, when empty, anything a lazy try_pop
+        // left unpublished) so the producer is never blocked.
+        self.publish_read();
         n
     }
 
@@ -524,6 +582,93 @@ mod tests {
         producer.join().unwrap();
         let sum = consumer.join().unwrap();
         assert_eq!(sum, (N - 1) * N / 2);
+    }
+
+    #[test]
+    fn push_batch_publishes_everything_at_once() {
+        let (mut tx, mut rx) = ring::<u64>(RingConfig::with_capacity(64));
+        let batch: Vec<u64> = (0..20).collect();
+        assert_eq!(tx.push_batch(&batch), 20);
+        // Batch pushes publish immediately (no partial-line lag).
+        assert_eq!(tx.pending_unflushed(), 0);
+        assert_eq!(rx.available(), 20);
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 64), 20);
+        assert_eq!(out, batch);
+        assert_eq!(tx.push_batch(&[]), 0);
+    }
+
+    #[test]
+    fn push_batch_accepts_partial_on_a_nearly_full_ring() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::with_capacity(8));
+        assert_eq!(tx.push_batch(&[0, 1, 2, 3, 4, 5]), 6);
+        let big: Vec<u32> = (6..20).collect();
+        // Only two slots remain.
+        assert_eq!(tx.push_batch(&big), 2);
+        // A completely full ring accepts nothing and records the event.
+        assert_eq!(tx.push_batch(&big[2..]), 0);
+        assert!(tx.stats().full_events() >= 1);
+        let mut out = Vec::new();
+        rx.pop_batch(&mut out, 64);
+        assert_eq!(out, (0..8).collect::<Vec<u32>>());
+        // Read-index publication reopens the whole ring.
+        assert_eq!(tx.push_batch(&big[2..]), 8);
+    }
+
+    #[test]
+    fn batch_transfer_wraps_the_ring_correctly() {
+        let (mut tx, mut rx) = ring::<u64>(RingConfig::with_capacity(16));
+        let mut expected = 0u64;
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        // Push/pop in lockstep with odd sizes so batches straddle the
+        // wrap-around boundary repeatedly.
+        for round in 0..200u64 {
+            let batch: Vec<u64> = (0..(round % 13 + 1))
+                .map(|_| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+                .collect();
+            let mut sent = 0;
+            while sent < batch.len() {
+                sent += tx.push_batch(&batch[sent..]);
+                out.clear();
+                rx.pop_batch(&mut out, 16);
+                for got in &out {
+                    assert_eq!(*got, expected, "messages stay ordered across wraps");
+                    expected += 1;
+                }
+            }
+        }
+        loop {
+            out.clear();
+            if rx.pop_batch(&mut out, 16) == 0 {
+                break;
+            }
+            for got in &out {
+                assert_eq!(*got, expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, next, "every message arrived exactly once");
+    }
+
+    #[test]
+    fn batch_drain_costs_one_read_index_update() {
+        let (mut tx, mut rx) = ring::<u64>(RingConfig::with_capacity(1024));
+        let batch: Vec<u64> = (0..512).collect();
+        assert_eq!(tx.push_batch(&batch), 512);
+        let flushes_for_batch = tx.stats().flushes();
+        assert_eq!(flushes_for_batch, 1, "one publish per producer batch");
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 512), 512);
+        assert_eq!(
+            rx.stats().read_index_updates(),
+            1,
+            "one read-index publish per consumer batch"
+        );
     }
 
     #[test]

@@ -676,6 +676,16 @@ impl ClientHandle {
         if lane.channel.recv_batch(resp_buf, usize::MAX) == 0 {
             return;
         }
+        // Batched value prefetch: every hit in this response batch carries
+        // a pointer whose line the loop below will read (lookup value copy)
+        // or write (insert value copy).  Hint them all first so the copies'
+        // DRAM misses overlap — the client-side mirror of the server's
+        // staged bucket prefetch.
+        for response in resp_buf.iter() {
+            if response.has_value() {
+                cphash_cacheline::prefetch_read(response.addr as *const u8);
+            }
+        }
         for response in resp_buf.drain(..) {
             let pending = lane
                 .pending

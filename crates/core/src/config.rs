@@ -34,6 +34,22 @@ pub enum MigrationPacing {
         /// Queue depth below which the pacer speeds back up.
         low_depth: f64,
     },
+    /// Feedback on *client-observed latency*: the same
+    /// halve-on-pressure / recover-when-clear controller as
+    /// [`MigrationPacing::Feedback`], but the signal sampled between
+    /// hand-offs is a request-latency p99 (microseconds) from a
+    /// `cphash_perfmon::SharedLatencyWindow` instead of the server queue
+    /// depth — tracking what applications actually feel rather than how
+    /// deep the inbound rings run.
+    FeedbackLatency {
+        /// Initial (and maximum) chunk hand-offs per second.
+        chunks_per_sec: f64,
+        /// Windowed request p99, in microseconds, above which the pacer
+        /// backs off.
+        high_p99_us: f64,
+        /// Windowed request p99 below which the pacer speeds back up.
+        low_p99_us: f64,
+    },
 }
 
 impl MigrationPacing {
@@ -44,6 +60,16 @@ impl MigrationPacing {
             chunks_per_sec,
             high_depth: 128.0,
             low_depth: 32.0,
+        }
+    }
+
+    /// A sensible latency-feedback configuration: back off while the
+    /// windowed request p99 exceeds 2 ms, recover below 500 µs.
+    pub fn latency_feedback(chunks_per_sec: f64) -> Self {
+        MigrationPacing::FeedbackLatency {
+            chunks_per_sec,
+            high_p99_us: 2_000.0,
+            low_p99_us: 500.0,
         }
     }
 
@@ -71,8 +97,99 @@ impl MigrationPacing {
                     "feedback thresholds must satisfy 0 <= low_depth <= high_depth"
                 );
             }
+            MigrationPacing::FeedbackLatency {
+                chunks_per_sec,
+                high_p99_us,
+                low_p99_us,
+            } => {
+                assert!(
+                    chunks_per_sec > 0.0 && chunks_per_sec.is_finite(),
+                    "chunks_per_sec must be positive and finite"
+                );
+                assert!(
+                    low_p99_us >= 0.0 && high_p99_us >= low_p99_us,
+                    "feedback thresholds must satisfy 0 <= low_p99_us <= high_p99_us"
+                );
+            }
         }
     }
+}
+
+/// How a server thread processes the data operations it drains from its
+/// client lanes.
+///
+/// The default is the paper's mechanism: drain a batch, *prepare* (hash)
+/// every operation and software-prefetch its bucket chain, then execute the
+/// whole batch — so the DRAM misses of a batch overlap instead of
+/// serializing, and the ring is synchronized once per batch rather than
+/// once per message.  The alternatives exist for ablation
+/// (`ablate_prefetch`) and as an escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerPipeline {
+    /// Process one message at a time, replying as each completes (the
+    /// pre-batching baseline).
+    Scalar,
+    /// Stage batches (prepare all, execute all, reply as one ring batch)
+    /// but issue no prefetches — isolates the synchronization-amortization
+    /// effect.
+    Batched,
+    /// Stage batches *and* prefetch every operation's bucket chain before
+    /// executing — the full paper mechanism, and the default.
+    #[default]
+    BatchedPrefetch,
+}
+
+impl ServerPipeline {
+    /// Parse a pipeline name (`scalar` | `batched` | `prefetch`, the
+    /// spelling `cpserverd --pipeline` and `CPHASH_PIPELINE` accept).
+    pub fn parse(name: &str) -> Result<ServerPipeline, String> {
+        match name {
+            "scalar" => Ok(ServerPipeline::Scalar),
+            "batched" => Ok(ServerPipeline::Batched),
+            "prefetch" | "batched-prefetch" => Ok(ServerPipeline::BatchedPrefetch),
+            other => Err(format!(
+                "unknown pipeline {other:?} (expected scalar|batched|prefetch)"
+            )),
+        }
+    }
+
+    /// Canonical name (round-trips through [`ServerPipeline::parse`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServerPipeline::Scalar => "scalar",
+            ServerPipeline::Batched => "batched",
+            ServerPipeline::BatchedPrefetch => "prefetch",
+        }
+    }
+
+    /// The default pipeline, overridable with `CPHASH_PIPELINE`
+    /// (unparseable values fall back to the built-in default so a typo
+    /// cannot take a server down).
+    pub fn from_env() -> ServerPipeline {
+        match std::env::var("CPHASH_PIPELINE") {
+            Ok(name) => ServerPipeline::parse(&name).unwrap_or_default(),
+            Err(_) => ServerPipeline::default(),
+        }
+    }
+}
+
+impl core::fmt::Display for ServerPipeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The built-in default pipeline depth (operations staged per batch).
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// The default pipeline depth, overridable with `CPHASH_BATCH_SIZE`
+/// (unparseable or zero values fall back to [`DEFAULT_BATCH_SIZE`]).
+pub fn batch_size_from_env() -> usize {
+    std::env::var("CPHASH_BATCH_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_BATCH_SIZE)
 }
 
 /// One partition's share of a global byte budget split over `partitions`
@@ -120,6 +237,13 @@ pub struct CpHashConfig {
     /// given a different pacer per resize; this is what table-level tooling
     /// such as CPSERVER starts from).
     pub migration_pacing: MigrationPacing,
+    /// How server threads process drained operations (staged batch
+    /// pipeline with prefetch by default; see [`ServerPipeline`]).
+    pub pipeline: ServerPipeline,
+    /// Pipeline depth: how many data operations a server stages
+    /// (hash + prefetch) before executing them.  1 degenerates to
+    /// per-operation processing within the batched code path.
+    pub batch_size: usize,
 }
 
 impl Default for CpHashConfig {
@@ -136,6 +260,8 @@ impl Default for CpHashConfig {
             max_partitions: 0,
             migration_chunks: 64,
             migration_pacing: MigrationPacing::Unpaced,
+            pipeline: ServerPipeline::from_env(),
+            batch_size: batch_size_from_env(),
         }
     }
 }
@@ -261,6 +387,18 @@ impl CpHashConfig {
         self
     }
 
+    /// Select the server pipeline (scalar / batched / batched+prefetch).
+    pub fn with_pipeline(mut self, pipeline: ServerPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the pipeline depth (operations staged per batch; must be ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
     /// Validate the configuration, panicking with a clear message on
     /// nonsensical values.
     pub fn validate(&self) {
@@ -281,6 +419,7 @@ impl CpHashConfig {
             self.max_partitions == 0 || self.max_partitions >= self.partitions,
             "max_partitions must be 0 (static) or at least the initial partition count"
         );
+        assert!(self.batch_size >= 1, "batch_size must be at least 1");
         self.migration_pacing.validate();
     }
 }
@@ -395,6 +534,56 @@ mod tests {
         CpHashConfig::new(2, 1)
             .with_migration_pacing(MigrationPacing::feedback(250.0))
             .validate();
+    }
+
+    #[test]
+    fn pipeline_names_round_trip_and_validate() {
+        for pipeline in [
+            ServerPipeline::Scalar,
+            ServerPipeline::Batched,
+            ServerPipeline::BatchedPrefetch,
+        ] {
+            assert_eq!(ServerPipeline::parse(pipeline.as_str()), Ok(pipeline));
+            assert_eq!(format!("{pipeline}"), pipeline.as_str());
+        }
+        assert_eq!(
+            ServerPipeline::parse("batched-prefetch"),
+            Ok(ServerPipeline::BatchedPrefetch)
+        );
+        assert!(ServerPipeline::parse("warp-speed").is_err());
+        CpHashConfig::new(2, 1)
+            .with_pipeline(ServerPipeline::Scalar)
+            .with_batch_size(1)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        CpHashConfig::new(2, 1).with_batch_size(0).validate();
+    }
+
+    #[test]
+    fn latency_feedback_pacing_validates() {
+        MigrationPacing::latency_feedback(500.0).validate();
+        CpHashConfig::new(2, 1)
+            .with_migration_pacing(MigrationPacing::FeedbackLatency {
+                chunks_per_sec: 100.0,
+                high_p99_us: 1_000.0,
+                low_p99_us: 100.0,
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "low_p99_us <= high_p99_us")]
+    fn inverted_latency_thresholds_rejected() {
+        MigrationPacing::FeedbackLatency {
+            chunks_per_sec: 10.0,
+            high_p99_us: 1.0,
+            low_p99_us: 2.0,
+        }
+        .validate();
     }
 
     #[test]

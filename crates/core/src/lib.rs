@@ -48,6 +48,7 @@ pub mod config;
 pub mod control;
 pub mod dynamic;
 pub mod kv;
+mod pipeline;
 pub mod protocol;
 pub mod remote;
 pub mod router;
@@ -57,7 +58,7 @@ pub mod table;
 
 pub use anykey::AnyKeyClient;
 pub use client::{ClientHandle, Completion, CompletionKind, OpError, TableError, ValueBytes};
-pub use config::{CpHashConfig, MigrationPacing};
+pub use config::{CpHashConfig, MigrationPacing, ServerPipeline, DEFAULT_BATCH_SIZE};
 pub use control::ControlHandle;
 pub use dynamic::{Recommendation, ServerLoadController};
 pub use kv::{KeyRef, KvClient, KvError, KvOp};
@@ -69,3 +70,4 @@ pub use table::CpHash;
 
 // Re-export the vocabulary types callers need alongside the table.
 pub use cphash_hashcore::{EvictionPolicy, PartitionStats, MAX_KEY};
+pub use cphash_perfmon::BatchStats;

@@ -1,0 +1,316 @@
+//! The server's data-operation pipeline: scalar baseline and the staged
+//! batch + prefetch executor.
+//!
+//! The paper's headline mechanism is that a server thread drains a *batch*
+//! of requests from its per-client rings and software-prefetches the hash
+//! bucket for every request before touching any of them, so the batch's
+//! DRAM misses overlap instead of serializing (§3.4, §6.2).  This module
+//! implements that as a strategy behind one trait:
+//!
+//! * [`ScalarExecutor`] — the pre-batching baseline: hash, touch memory and
+//!   reply one operation at a time;
+//! * [`StagedExecutor`] — the paper pipeline: *prepare* (hash) every
+//!   operation of the batch, prefetch each one's bucket chain, then execute
+//!   them all and reply as one ring batch.
+//!
+//! Both produce byte-identical responses for identical request streams —
+//! `tests/pipeline_equivalence.rs` holds that property under random
+//! operation mixes and batch sizes — because the staging pass is pure
+//! arithmetic plus cache hints: every decision (migration diverts included)
+//! still happens at execute time, in request order.
+
+use cphash_hashcore::{migration_chunk, partition_for_key, BucketRef, Partition};
+use cphash_perfmon::BatchCounters;
+use std::collections::HashMap;
+
+use crate::config::ServerPipeline;
+use crate::protocol::{MigrationStep, Response};
+use crate::router::{EpochRouter, RouterSnapshot};
+
+/// The kind of a client data operation (the response-bearing subset of the
+/// wire opcodes; control messages never enter the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DataOpKind {
+    /// Key lookup.
+    Lookup,
+    /// Key insert (the `size` field carries the value size).
+    Insert,
+    /// Key delete.
+    Delete,
+}
+
+/// One decoded data operation, ready for staged execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DataOp {
+    pub kind: DataOpKind,
+    pub key: u64,
+    /// Value size in bytes (inserts only; 0 otherwise).
+    pub size: u64,
+}
+
+/// Per-server migration bookkeeping. Entries are validated lazily against
+/// the router snapshot (same transition, chunk not yet past the watermark),
+/// so stale entries are inert and purged opportunistically.
+#[derive(Default)]
+pub(crate) struct MigrationState {
+    /// Chunks this server has extracted and handed off in the current
+    /// transition: requests for keys that left are redirected to their new
+    /// owner until the watermark covers the chunk.
+    pub outgoing: HashMap<usize, MigrationStep>,
+    /// Announced inbound chunks not yet absorbed: requests for keys that
+    /// are still in flight towards this server are answered "retry here".
+    pub incoming: HashMap<usize, MigrationStep>,
+    /// A `MigrateOut` whose extraction is blocked by in-flight inserts:
+    /// (control lane index, step). Retried after every `Ready`.
+    pub draining: Option<(usize, MigrationStep)>,
+}
+
+/// Whether a migration-state entry still describes the live transition.
+pub(crate) fn step_is_current(step: &MigrationStep, chunk: usize, snap: &RouterSnapshot) -> bool {
+    snap.in_transition()
+        && snap.old_partitions == step.old_partitions
+        && snap.new_partitions == step.new_partitions
+        && chunk >= snap.watermark
+}
+
+/// Everything an executor needs to run one batch of data operations:
+/// disjoint borrows of the owning server thread's state.
+pub(crate) struct OpCtx<'a> {
+    pub partition: &'a mut Partition,
+    pub router: &'a EpochRouter,
+    /// The server's partition index.
+    pub index: usize,
+    pub migration: &'a mut MigrationState,
+}
+
+impl OpCtx<'_> {
+    /// Decide whether a data operation on `key` must be redirected instead
+    /// of served here. Returns the partition to retry at (possibly this
+    /// one, meaning "ask again shortly").
+    fn divert(&mut self, key: u64, is_insert: bool) -> Option<usize> {
+        let chunks = self.router.chunks();
+        let snap = self.router.snapshot();
+        let owner = snap.route(key, chunks);
+        if self.migration.incoming.is_empty()
+            && self.migration.outgoing.is_empty()
+            && self.migration.draining.is_none()
+        {
+            // Steady state: serve what we own, bounce what we don't (a
+            // stale in-flight request routed under an old mapping).
+            return (owner != self.index).then_some(owner);
+        }
+        let chunk = migration_chunk(key, chunks);
+        // An announced inbound chunk must be checked *before* the primary
+        // ownership rule: pre-watermark, an arriving key still routes to
+        // its old owner, so an operation the old owner bounced here would
+        // otherwise be bounced straight back (a ping-pong that only ends at
+        // the watermark). Holding it here instead lets it complete as soon
+        // as `MigrateIn` lands.
+        if let Some(step) = self.migration.incoming.get(&chunk) {
+            if step_is_current(step, chunk, &snap) {
+                if partition_for_key(key, step.new_partitions) == self.index
+                    && partition_for_key(key, step.old_partitions) != self.index
+                {
+                    // The key may be inside a batch that has not been
+                    // absorbed yet; the client must ask again until
+                    // `MigrateIn` lands.
+                    return Some(self.index);
+                }
+            } else {
+                self.migration.incoming.remove(&chunk);
+            }
+        }
+        if owner != self.index {
+            // Routed here under a mapping that no longer applies (stale
+            // in-flight request): bounce to the current owner.
+            return Some(owner);
+        }
+        if let Some(step) = self.migration.outgoing.get(&chunk) {
+            if step_is_current(step, chunk, &snap) {
+                let new_owner = partition_for_key(key, step.new_partitions);
+                if new_owner != self.index {
+                    // Extracted and handed off: the new owner has (or will
+                    // have) the key before the client's retry arrives there.
+                    return Some(new_owner);
+                }
+            } else {
+                self.migration.outgoing.remove(&chunk);
+            }
+        }
+        if is_insert {
+            if let Some((_, step)) = self.migration.draining {
+                if step.chunk == chunk && partition_for_key(key, step.new_partitions) != self.index
+                {
+                    // A new insert of a leaving key would keep extending the
+                    // drain; hold the client off until extraction happens.
+                    return Some(self.index);
+                }
+            }
+        }
+        None
+    }
+
+    /// Execute one data operation, with or without a prepared bucket
+    /// reference, producing its response.  This is the single source of
+    /// operation semantics for both pipeline strategies.
+    fn execute(&mut self, op: &DataOp, prepared: Option<BucketRef>) -> Response {
+        match op.kind {
+            DataOpKind::Lookup => match self.divert(op.key, false) {
+                Some(dest) => Response::retry(dest),
+                None => {
+                    let hit = match prepared {
+                        Some(prep) => self.partition.lookup_prepared(prep),
+                        None => self.partition.lookup(op.key),
+                    };
+                    match hit {
+                        Some(hit) => {
+                            Response::with_value(hit.value.addr(), hit.id, hit.value.len())
+                        }
+                        None => Response::MISS,
+                    }
+                }
+            },
+            DataOpKind::Insert => match self.divert(op.key, true) {
+                Some(dest) => Response::retry(dest),
+                None => {
+                    let reservation = match prepared {
+                        Some(prep) => self.partition.insert_prepared(prep, op.size as usize),
+                        None => self.partition.insert(op.key, op.size as usize),
+                    };
+                    match reservation {
+                        Ok(reservation) => Response::with_value(
+                            reservation.value.addr(),
+                            reservation.id,
+                            op.size as usize,
+                        ),
+                        Err(_) => Response::MISS,
+                    }
+                }
+            },
+            DataOpKind::Delete => match self.divert(op.key, false) {
+                Some(dest) => Response::retry(dest),
+                None => {
+                    let found = match prepared {
+                        Some(prep) => self.partition.delete_prepared(prep),
+                        None => self.partition.delete(op.key),
+                    };
+                    if found {
+                        Response::FOUND
+                    } else {
+                        Response::MISS
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A strategy for executing one batch of data operations, appending exactly
+/// one response per operation, in order.
+pub(crate) trait BatchExecutor: Send {
+    /// Execute `ops` against the context, pushing responses onto `replies`.
+    fn execute(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        ops: &[DataOp],
+        replies: &mut Vec<Response>,
+        counters: &BatchCounters,
+    );
+
+    /// Whether replies should be published to the ring as one batch (one
+    /// index publish) rather than message-at-a-time.
+    fn batched_replies(&self) -> bool;
+}
+
+/// The pre-batching baseline: hash, execute and account one operation at a
+/// time (the ring still hands us drained slices, but nothing is staged).
+pub(crate) struct ScalarExecutor;
+
+impl BatchExecutor for ScalarExecutor {
+    fn execute(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        ops: &[DataOp],
+        replies: &mut Vec<Response>,
+        _counters: &BatchCounters,
+    ) {
+        for op in ops {
+            let response = ctx.execute(op, None);
+            replies.push(response);
+        }
+    }
+
+    fn batched_replies(&self) -> bool {
+        false
+    }
+}
+
+/// The staged pipeline: prepare (hash) the whole batch, prefetch every
+/// operation's bucket chain, then execute the batch in order.
+///
+/// By the time operation *i* executes, the prefetches for operations
+/// *i+1..n* are in flight — the memory-level parallelism the scalar loop
+/// never exposes because each miss blocks the next hash computation.
+pub(crate) struct StagedExecutor {
+    /// Whether the staging pass issues prefetches (disabled for the
+    /// batched-only ablation arm).
+    prefetch: bool,
+    /// Prepared bucket references, reused across batches.
+    refs: Vec<BucketRef>,
+}
+
+impl StagedExecutor {
+    pub(crate) fn new(prefetch: bool) -> Self {
+        StagedExecutor {
+            prefetch,
+            refs: Vec::with_capacity(256),
+        }
+    }
+}
+
+impl BatchExecutor for StagedExecutor {
+    fn execute(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        ops: &[DataOp],
+        replies: &mut Vec<Response>,
+        counters: &BatchCounters,
+    ) {
+        // Stage 1: pure arithmetic + cache hints, no table memory touched.
+        self.refs.clear();
+        let mut prefetched = 0u64;
+        for op in ops {
+            let prep = ctx.partition.prepare(op.key);
+            if self.prefetch && ctx.partition.prefetch_prepared(&prep) {
+                prefetched += 1;
+            }
+            self.refs.push(prep);
+        }
+        // Stage 2: execute in request order; early operations overlap with
+        // the still-in-flight prefetches of later ones.  (A deeper staging
+        // pass — re-reading each fetched head to prefetch its LRU
+        // neighbors, `Partition::prefetch_neighbors` — wins on
+        // cache-resident tables but *loses* on DRAM-resident ones, where
+        // re-reading the heads stalls the staging pass itself; see the
+        // `prefetch-deep` arm of `ablate_prefetch`.  The robust single
+        // prefetch stage is what ships.)
+        for (op, prep) in ops.iter().zip(self.refs.iter()) {
+            let response = ctx.execute(op, Some(*prep));
+            replies.push(response);
+        }
+        counters.note_batch(ops.len() as u64, prefetched);
+    }
+
+    fn batched_replies(&self) -> bool {
+        true
+    }
+}
+
+/// Build the executor for a configured pipeline kind.
+pub(crate) fn executor_for(pipeline: ServerPipeline) -> Box<dyn BatchExecutor> {
+    match pipeline {
+        ServerPipeline::Scalar => Box::new(ScalarExecutor),
+        ServerPipeline::Batched => Box::new(StagedExecutor::new(false)),
+        ServerPipeline::BatchedPrefetch => Box::new(StagedExecutor::new(true)),
+    }
+}

@@ -14,49 +14,22 @@
 //! every instant exactly one server will actually execute an operation on a
 //! given key, so no key is ever lost or duplicated while keys move.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
 use cphash_channel::DuplexServer;
-use cphash_hashcore::{
-    migration_chunk, partition_for_key, ExportOutcome, Partition, PartitionStats,
-};
+use cphash_hashcore::{partition_for_key, ExportOutcome, Partition, PartitionStats};
 use parking_lot::Mutex;
 
+use crate::pipeline::{step_is_current, BatchExecutor, DataOp, DataOpKind, MigrationState, OpCtx};
 use crate::protocol::{decode_word, MigrationBatch, MigrationStep, OpCode, Response};
-use crate::router::{EpochRouter, RouterSnapshot};
+use crate::router::EpochRouter;
 use crate::stats::ServerStats;
 
 /// Maximum request words a server drains from one lane before moving on to
 /// the next lane, so a single busy client cannot starve the others.
 const LANE_BATCH: usize = 256;
-
-/// Per-server migration bookkeeping. Entries are validated lazily against
-/// the router snapshot (same transition, chunk not yet past the watermark),
-/// so stale entries are inert and purged opportunistically.
-#[derive(Default)]
-struct MigrationState {
-    /// Chunks this server has extracted and handed off in the current
-    /// transition: requests for keys that left are redirected to their new
-    /// owner until the watermark covers the chunk.
-    outgoing: HashMap<usize, MigrationStep>,
-    /// Announced inbound chunks not yet absorbed: requests for keys that
-    /// are still in flight towards this server are answered "retry here".
-    incoming: HashMap<usize, MigrationStep>,
-    /// A `MigrateOut` whose extraction is blocked by in-flight inserts:
-    /// (control lane index, step). Retried after every `Ready`.
-    draining: Option<(usize, MigrationStep)>,
-}
-
-/// Whether a migration-state entry still describes the live transition.
-fn step_is_current(step: &MigrationStep, chunk: usize, snap: &RouterSnapshot) -> bool {
-    snap.in_transition()
-        && snap.old_partitions == step.old_partitions
-        && snap.new_partitions == step.new_partitions
-        && chunk >= snap.watermark
-}
 
 /// Everything one server thread needs.
 pub(crate) struct ServerThread {
@@ -83,6 +56,20 @@ pub(crate) struct ServerThread {
     /// partition count, so the table-wide budget stays fixed as the
     /// partition count changes.
     pub capacity_total: Option<usize>,
+    /// The data-operation execution strategy (scalar baseline or the
+    /// staged batch + prefetch pipeline).
+    pub executor: Box<dyn BatchExecutor>,
+    /// Pipeline depth: data operations staged per execution round.
+    pub batch_size: usize,
+}
+
+/// Reusable per-loop scratch buffers (allocated once per server thread).
+#[derive(Default)]
+struct Scratch {
+    /// The current run of decoded data operations.
+    ops: Vec<DataOp>,
+    /// One response per operation of the current run.
+    replies: Vec<Response>,
 }
 
 impl ServerThread {
@@ -92,6 +79,7 @@ impl ServerThread {
             self.stats.record_pin(pin_to_hw_thread(hw));
         }
         let mut migration = MigrationState::default();
+        let mut scratch = Scratch::default();
         let mut words: Vec<u64> = Vec::with_capacity(LANE_BATCH);
         let mut idle_streak: u32 = 0;
         let mut iterations: u64 = 0;
@@ -110,7 +98,7 @@ impl ServerThread {
                 }
                 drained_total += drained;
                 did_work = true;
-                self.process_lane_batch(lane_idx, &words, &mut migration);
+                self.process_lane_batch(lane_idx, &words, &mut migration, &mut scratch);
                 self.lanes[lane_idx].flush();
             }
             // Publish the inbound queue-depth sample for the migration
@@ -146,232 +134,220 @@ impl ServerThread {
         self.stats.stopped.store(true, Ordering::Release);
     }
 
-    /// Decide whether a data operation on `key` must be redirected instead
-    /// of served here. Returns the partition to retry at (possibly this
-    /// one, meaning "ask again shortly").
-    fn divert(&self, key: u64, is_insert: bool, migration: &mut MigrationState) -> Option<usize> {
-        let chunks = self.router.chunks();
-        let snap = self.router.snapshot();
-        let owner = snap.route(key, chunks);
-        if migration.incoming.is_empty()
-            && migration.outgoing.is_empty()
-            && migration.draining.is_none()
-        {
-            // Steady state: serve what we own, bounce what we don't (a
-            // stale in-flight request routed under an old mapping).
-            return (owner != self.index).then_some(owner);
-        }
-        let chunk = migration_chunk(key, chunks);
-        // An announced inbound chunk must be checked *before* the primary
-        // ownership rule: pre-watermark, an arriving key still routes to
-        // its old owner, so an operation the old owner bounced here would
-        // otherwise be bounced straight back (a ping-pong that only ends at
-        // the watermark). Holding it here instead lets it complete as soon
-        // as `MigrateIn` lands.
-        if let Some(step) = migration.incoming.get(&chunk) {
-            if step_is_current(step, chunk, &snap) {
-                if partition_for_key(key, step.new_partitions) == self.index
-                    && partition_for_key(key, step.old_partitions) != self.index
-                {
-                    // The key may be inside a batch that has not been
-                    // absorbed yet; the client must ask again until
-                    // `MigrateIn` lands.
-                    return Some(self.index);
-                }
-            } else {
-                migration.incoming.remove(&chunk);
-            }
-        }
-        if owner != self.index {
-            // Routed here under a mapping that no longer applies (stale
-            // in-flight request): bounce to the current owner.
-            return Some(owner);
-        }
-        if let Some(step) = migration.outgoing.get(&chunk) {
-            if step_is_current(step, chunk, &snap) {
-                let new_owner = partition_for_key(key, step.new_partitions);
-                if new_owner != self.index {
-                    // Extracted and handed off: the new owner has (or will
-                    // have) the key before the client's retry arrives there.
-                    return Some(new_owner);
-                }
-            } else {
-                migration.outgoing.remove(&chunk);
-            }
-        }
-        if is_insert {
-            if let Some((_, step)) = migration.draining {
-                if step.chunk == chunk && partition_for_key(key, step.new_partitions) != self.index
-                {
-                    // A new insert of a leaving key would keep extending the
-                    // drain; hold the client off until extraction happens.
-                    return Some(self.index);
-                }
-            }
-        }
-        None
-    }
-
     /// Process one batch of request words from one client lane.
+    ///
+    /// Words are consumed as alternating *runs* of data operations
+    /// (lookup/insert/delete) and individual control messages.  Each run —
+    /// up to `batch_size` operations — goes through the configured
+    /// [`BatchExecutor`] as one staged round: hash + prefetch everything,
+    /// then execute everything, then publish all the replies with one ring
+    /// synchronization.  Control messages are executed scalar, exactly
+    /// where they appeared, so the request order every client observes is
+    /// identical to the pre-pipeline server's.
     fn process_lane_batch(
         &mut self,
         lane_idx: usize,
         words: &[u64],
         migration: &mut MigrationState,
+        scratch: &mut Scratch,
     ) {
         let mut i = 0usize;
         while i < words.len() {
-            let word = words[i];
-            i += 1;
-            let Some((op, payload)) = decode_word(word) else {
-                // Corrupt word: skip it. This cannot happen with the
-                // provided client, but a malformed word must not take the
-                // whole server down.
-                continue;
-            };
-            self.stats.messages.fetch_add(1, Ordering::Relaxed);
-            match op {
-                OpCode::Lookup => {
-                    let response = match self.divert(payload, false, migration) {
-                        Some(dest) => Response::retry(dest),
-                        None => match self.partition.lookup(payload) {
-                            Some(hit) => {
-                                Response::with_value(hit.value.addr(), hit.id, hit.value.len())
-                            }
-                            None => Response::MISS,
-                        },
-                    };
-                    self.respond(lane_idx, response);
-                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
-                }
-                OpCode::Insert => {
+            // Collect a run of data operations, bounded by the pipeline
+            // depth; stop (without consuming) at the first control message.
+            scratch.ops.clear();
+            while i < words.len() && scratch.ops.len() < self.batch_size {
+                let word = words[i];
+                let Some((op, payload)) = decode_word(word) else {
+                    // Corrupt word: skip it. This cannot happen with the
+                    // provided client, but a malformed word must not take
+                    // the whole server down.
+                    i += 1;
+                    continue;
+                };
+                let kind = match op {
+                    OpCode::Lookup => DataOpKind::Lookup,
+                    OpCode::Insert => DataOpKind::Insert,
+                    OpCode::Delete => DataOpKind::Delete,
+                    _ => break,
+                };
+                i += 1;
+                self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                let size = if kind == DataOpKind::Insert {
                     // The size travels in the next word, which may still be
                     // in flight if it crossed a cache-line flush boundary.
-                    let size = match words.get(i) {
+                    match words.get(i) {
                         Some(&w) => {
                             i += 1;
                             w
                         }
                         None => self.wait_for_extra_word(lane_idx),
-                    };
-                    let response = match self.divert(payload, true, migration) {
-                        Some(dest) => Response::retry(dest),
-                        None => match self.partition.insert(payload, size as usize) {
-                            Ok(reservation) => Response::with_value(
-                                reservation.value.addr(),
-                                reservation.id,
-                                size as usize,
-                            ),
-                            Err(_) => Response::MISS,
-                        },
-                    };
-                    self.respond(lane_idx, response);
-                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    0
+                };
+                scratch.ops.push(DataOp {
+                    kind,
+                    key: payload,
+                    size,
+                });
+            }
+            if !scratch.ops.is_empty() {
+                self.execute_run(lane_idx, migration, scratch);
+            }
+            // A control message at the run boundary (the inner loop only
+            // breaks before one, at the depth bound, or at the end).
+            if i < words.len() {
+                if let Some((op, payload)) = decode_word(words[i]) {
+                    if !matches!(op, OpCode::Lookup | OpCode::Insert | OpCode::Delete) {
+                        i += 1;
+                        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                        self.process_control(op, payload, lane_idx, words, &mut i, migration);
+                    }
                 }
-                OpCode::Ready => {
+            }
+        }
+    }
+
+    /// Run one collected batch of data operations through the executor and
+    /// publish the replies.
+    fn execute_run(
+        &mut self,
+        lane_idx: usize,
+        migration: &mut MigrationState,
+        scratch: &mut Scratch,
+    ) {
+        scratch.replies.clear();
+        {
+            let mut ctx = OpCtx {
+                partition: &mut self.partition,
+                router: &self.router,
+                index: self.index,
+                migration,
+            };
+            self.executor.execute(
+                &mut ctx,
+                &scratch.ops,
+                &mut scratch.replies,
+                &self.stats.batch,
+            );
+        }
+        debug_assert_eq!(scratch.replies.len(), scratch.ops.len());
+        self.stats
+            .operations
+            .fetch_add(scratch.ops.len() as u64, Ordering::Relaxed);
+        if self.executor.batched_replies() {
+            self.respond_batch(lane_idx, &scratch.replies);
+        } else {
+            for response in &scratch.replies {
+                self.respond(lane_idx, *response);
+            }
+        }
+    }
+
+    /// Process one control message (`Ready`/`Decref`/migration plumbing).
+    fn process_control(
+        &mut self,
+        op: OpCode,
+        payload: u64,
+        lane_idx: usize,
+        words: &[u64],
+        i: &mut usize,
+        migration: &mut MigrationState,
+    ) {
+        match op {
+            OpCode::Lookup | OpCode::Insert | OpCode::Delete => {
+                unreachable!("data operations go through the pipeline")
+            }
+            OpCode::Ready => {
+                self.partition
+                    .mark_ready(cphash_hashcore::ElementId(payload as u32));
+                if migration.draining.is_some() {
+                    self.try_finish_drain(migration);
+                }
+            }
+            OpCode::Decref => {
+                self.partition
+                    .decref(cphash_hashcore::ElementId(payload as u32));
+            }
+            OpCode::MigratePrepare => {
+                let step = MigrationStep::from_payload(payload);
+                self.purge_stale(migration);
+                // Live capacity re-split: every server active after the
+                // transition is a receiver, so the first prepare it sees
+                // re-budgets its partition to its share of the global
+                // budget at the *new* partition count (idempotent
+                // afterwards).
+                if self.capacity_total.is_some() {
                     self.partition
-                        .mark_ready(cphash_hashcore::ElementId(payload as u32));
-                    if migration.draining.is_some() {
-                        self.try_finish_drain(migration);
+                        .set_capacity_bytes(crate::config::split_capacity(
+                            self.capacity_total,
+                            step.new_partitions,
+                        ));
+                }
+                migration.incoming.insert(step.chunk, step);
+                self.respond(lane_idx, Response::FOUND);
+            }
+            OpCode::MigrateOut => {
+                let step = MigrationStep::from_payload(payload);
+                self.purge_stale(migration);
+                match self.export_step(step) {
+                    Some(response) => {
+                        migration.outgoing.insert(step.chunk, step);
+                        self.respond(lane_idx, response);
+                    }
+                    None => {
+                        // In-flight inserts block the extraction; the
+                        // response is deferred until they publish.
+                        migration.draining = Some((lane_idx, step));
                     }
                 }
-                OpCode::Decref => {
-                    self.partition
-                        .decref(cphash_hashcore::ElementId(payload as u32));
-                }
-                OpCode::Delete => {
-                    let response = match self.divert(payload, false, migration) {
-                        Some(dest) => Response::retry(dest),
-                        None => {
-                            if self.partition.delete(payload) {
-                                Response::FOUND
-                            } else {
-                                Response::MISS
-                            }
-                        }
-                    };
-                    self.respond(lane_idx, response);
-                    self.stats.operations.fetch_add(1, Ordering::Relaxed);
-                }
-                OpCode::MigratePrepare => {
-                    let step = MigrationStep::from_payload(payload);
-                    self.purge_stale(migration);
-                    // Live capacity re-split: every server active after the
-                    // transition is a receiver, so the first prepare it sees
-                    // re-budgets its partition to its share of the global
-                    // budget at the *new* partition count (idempotent
-                    // afterwards).
-                    if self.capacity_total.is_some() {
-                        self.partition
-                            .set_capacity_bytes(crate::config::split_capacity(
-                                self.capacity_total,
-                                step.new_partitions,
-                            ));
+            }
+            OpCode::MigrateIn => {
+                let addr = match words.get(*i) {
+                    Some(&w) => {
+                        *i += 1;
+                        w
                     }
-                    migration.incoming.insert(step.chunk, step);
-                    self.respond(lane_idx, Response::FOUND);
-                }
-                OpCode::MigrateOut => {
-                    let step = MigrationStep::from_payload(payload);
-                    self.purge_stale(migration);
-                    match self.export_step(step) {
-                        Some(response) => {
-                            migration.outgoing.insert(step.chunk, step);
-                            self.respond(lane_idx, response);
-                        }
-                        None => {
-                            // In-flight inserts block the extraction; the
-                            // response is deferred until they publish.
-                            migration.draining = Some((lane_idx, step));
+                    None => self.wait_for_extra_word(lane_idx),
+                };
+                let step = MigrationStep::from_payload(payload);
+                let mut absorbed = 0usize;
+                // The sentinel address 1 is an empty (and final)
+                // delivery; real batches say themselves whether more
+                // deliveries of this chunk follow.
+                let mut is_final = true;
+                if addr > 1 {
+                    // SAFETY: the coordinator leaked exactly this batch
+                    // with `into_addr` and transfers ownership with this
+                    // message.
+                    let batch = unsafe { MigrationBatch::from_addr(addr) };
+                    is_final = batch.last;
+                    for (key, value) in batch.entries {
+                        // A failed absorb (value larger than this
+                        // partition's budget) drops the entry, exactly
+                        // like an eviction at the moment of migration.
+                        if self.partition.absorb(key, &value).is_ok() {
+                            absorbed += 1;
                         }
                     }
                 }
-                OpCode::MigrateIn => {
-                    let addr = match words.get(i) {
-                        Some(&w) => {
-                            i += 1;
-                            w
-                        }
-                        None => self.wait_for_extra_word(lane_idx),
-                    };
-                    let step = MigrationStep::from_payload(payload);
-                    let mut absorbed = 0usize;
-                    // The sentinel address 1 is an empty (and final)
-                    // delivery; real batches say themselves whether more
-                    // deliveries of this chunk follow.
-                    let mut is_final = true;
-                    if addr > 1 {
-                        // SAFETY: the coordinator leaked exactly this batch
-                        // with `into_addr` and transfers ownership with this
-                        // message.
-                        let batch = unsafe { MigrationBatch::from_addr(addr) };
-                        is_final = batch.last;
-                        for (key, value) in batch.entries {
-                            // A failed absorb (value larger than this
-                            // partition's budget) drops the entry, exactly
-                            // like an eviction at the moment of migration.
-                            if self.partition.absorb(key, &value).is_ok() {
-                                absorbed += 1;
-                            }
-                        }
-                    }
-                    if is_final {
-                        // Only the final delivery completes the chunk: keys
-                        // still travelling in a later split batch must keep
-                        // getting "retry here" answers until they land.
-                        migration.incoming.remove(&step.chunk);
-                    }
-                    self.stats
-                        .keys_migrated_in
-                        .fetch_add(absorbed as u64, Ordering::Relaxed);
-                    self.respond(
-                        lane_idx,
-                        Response {
-                            addr: 1,
-                            meta: absorbed as u64,
-                        },
-                    );
+                if is_final {
+                    // Only the final delivery completes the chunk: keys
+                    // still travelling in a later split batch must keep
+                    // getting "retry here" answers until they land.
+                    migration.incoming.remove(&step.chunk);
                 }
+                self.stats
+                    .keys_migrated_in
+                    .fetch_add(absorbed as u64, Ordering::Relaxed);
+                self.respond(
+                    lane_idx,
+                    Response {
+                        addr: 1,
+                        meta: absorbed as u64,
+                    },
+                );
             }
         }
     }
@@ -477,6 +453,24 @@ impl ServerThread {
         }
     }
 
+    /// Publish a whole run's responses with one ring synchronization,
+    /// spinning only if the response ring is momentarily full (the client
+    /// bounds its outstanding requests below the ring capacity, so the
+    /// common case is exactly one capacity check and one index publish).
+    fn respond_batch(&mut self, lane_idx: usize, replies: &[Response]) {
+        let lane = &mut self.lanes[lane_idx];
+        let mut sent = 0usize;
+        while sent < replies.len() {
+            sent += lane.send_batch(&replies[sent..]);
+            if sent < replies.len() {
+                if !lane.is_client_alive() {
+                    return;
+                }
+                core::hint::spin_loop();
+            }
+        }
+    }
+
     /// Queue a response on a lane, spinning if the response ring is
     /// momentarily full (the client bounds its outstanding requests below
     /// the ring capacity, so this never spins in practice).
@@ -522,6 +516,8 @@ mod tests {
             partition_stats: Arc::new(Mutex::new(PartitionStats::default())),
             router,
             capacity_total: None,
+            executor: crate::pipeline::executor_for(crate::config::ServerPipeline::default()),
+            batch_size: crate::config::DEFAULT_BATCH_SIZE,
         };
         (client, server, stop)
     }

@@ -3,6 +3,7 @@
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use cphash_affinity::PinOutcome;
+use cphash_perfmon::{BatchCounters, BatchStats};
 
 /// Counters one server thread updates while running; read by the table
 /// handle, the dynamic-server controller and the benchmark reports.
@@ -31,6 +32,9 @@ pub struct ServerStats {
     /// migration pacer's feedback mode reads this to decide whether the
     /// server is falling behind while chunks are being handed off.
     pub queue_depth: AtomicU64,
+    /// Batch-pipeline counters (staged rounds, their occupancy, prefetches
+    /// issued) — all zero while the server runs the scalar pipeline.
+    pub batch: BatchCounters,
 }
 
 impl ServerStats {
@@ -81,6 +85,11 @@ impl ServerStats {
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of this server's batch-pipeline counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.snapshot()
+    }
 }
 
 /// A snapshot of the whole table's activity, aggregated over servers.
@@ -96,6 +105,8 @@ pub struct TableSnapshot {
     pub pinned_servers: usize,
     /// Number of server threads.
     pub servers: usize,
+    /// Merged batch-pipeline counters across the servers.
+    pub batch: BatchStats,
 }
 
 impl TableSnapshot {
@@ -110,6 +121,7 @@ impl TableSnapshot {
             snap.messages += s.messages();
             snap.operations += s.operations();
             util_sum += s.utilization();
+            snap.batch.merge(&s.batch_stats());
             if s.is_pinned() {
                 snap.pinned_servers += 1;
             }

@@ -95,6 +95,8 @@ impl CpHash {
                 partition_stats: Arc::clone(&pstats),
                 router: Arc::clone(&router),
                 capacity_total: config.capacity_bytes,
+                executor: crate::pipeline::executor_for(config.pipeline),
+                batch_size: config.batch_size,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("cphash-server-{index}"))

@@ -36,7 +36,7 @@ pub mod stats;
 pub use element::{ElementId, ElementState};
 pub use hash::{hash64, migration_chunk, partition_for_key, MAX_KEY, MAX_MIGRATION_CHUNKS};
 pub use partition::{
-    ExportOutcome, InsertError, InsertReservation, LookupHit, Partition, PartitionConfig,
+    BucketRef, ExportOutcome, InsertError, InsertReservation, LookupHit, Partition, PartitionConfig,
 };
 pub use policy::EvictionPolicy;
 pub use stats::PartitionStats;

@@ -64,6 +64,37 @@ impl PartitionConfig {
     }
 }
 
+/// The first phase of a two-phase operation: the key plus its
+/// already-computed bucket index.
+///
+/// [`Partition::prepare`] does the pure arithmetic (hashing) without
+/// touching table memory; the caller may then issue a cache prefetch for
+/// the bucket's chain head ([`Partition::prefetch_prepared`]) and finally
+/// execute the operation with [`Partition::lookup_prepared`],
+/// [`Partition::insert_prepared`] or [`Partition::delete_prepared`].  The
+/// CPHash server loop stages whole batches this way so the DRAM misses of a
+/// batch overlap instead of serializing.
+///
+/// A `BucketRef` is only meaningful on the partition that produced it;
+/// results on any other partition are unspecified (but memory-safe).
+#[derive(Debug, Clone, Copy)]
+pub struct BucketRef {
+    key: u64,
+    bucket: usize,
+}
+
+impl BucketRef {
+    /// The key this reference was prepared for.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The bucket index the key hashes to.
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+}
+
 /// A successful lookup: the element id (for the later `Decref`) and the
 /// handle through which the caller may read the value bytes.
 #[derive(Debug, Clone, Copy)]
@@ -234,13 +265,82 @@ impl Partition {
     // Core operations
     // ------------------------------------------------------------------
 
+    /// Phase one of a two-phase operation: compute `key`'s bucket without
+    /// touching any table memory (see [`BucketRef`]).
+    #[inline]
+    pub fn prepare(&self, key: u64) -> BucketRef {
+        BucketRef {
+            key,
+            bucket: self.bucket_of(key),
+        }
+    }
+
+    /// Issue a software prefetch for the first element of a prepared
+    /// operation's bucket chain, hinting the line into cache before the
+    /// execute phase walks it.  Returns whether a prefetch was issued (an
+    /// empty bucket has nothing to fetch; the bucket-head array itself is
+    /// small enough to stay cache-resident).
+    #[inline]
+    pub fn prefetch_prepared(&self, prep: &BucketRef) -> bool {
+        let head = self.buckets[prep.bucket];
+        if head == NIL {
+            return false;
+        }
+        cphash_cacheline::prefetch_read(&self.slots[head as usize]);
+        true
+    }
+
+    /// Second staging pass: prefetch the *other* cache lines executing the
+    /// prepared operation will touch, assuming the chain head's line was
+    /// already requested by [`Partition::prefetch_prepared`] (so reading it
+    /// here is cheap or at least overlapped).
+    ///
+    /// For a key found at the chain head under LRU, execution moves the
+    /// element to the list head — touching its `lru_prev`/`lru_next`
+    /// neighbors, two cold lines a bucket prefetch never covers.  For a
+    /// mismatched head, the walk continues to `bucket_next`.  Issuing these
+    /// hints for a whole batch before executing it overlaps the second
+    /// round of misses exactly like the first.  Returns the number of
+    /// prefetches issued.
+    #[inline]
+    pub fn prefetch_neighbors(&self, prep: &BucketRef) -> u32 {
+        let head = self.buckets[prep.bucket];
+        if head == NIL {
+            return 0;
+        }
+        let e = self.slots[head as usize].element();
+        let mut issued = 0u32;
+        if e.key == prep.key {
+            if self.eviction.maintains_lru() {
+                if e.lru_prev != NIL {
+                    cphash_cacheline::prefetch_read(&self.slots[e.lru_prev as usize]);
+                    issued += 1;
+                }
+                if e.lru_next != NIL {
+                    cphash_cacheline::prefetch_read(&self.slots[e.lru_next as usize]);
+                    issued += 1;
+                }
+            }
+        } else if e.bucket_next != NIL {
+            cphash_cacheline::prefetch_read(&self.slots[e.bucket_next as usize]);
+            issued += 1;
+        }
+        issued
+    }
+
     /// Look up `key`.  On a hit the element's reference count is
     /// incremented; the caller must eventually call [`Partition::decref`]
     /// with the returned id (this is the `Decref` message of the CPHash
     /// protocol).  Under LRU the element moves to the head of the LRU list.
     pub fn lookup(&mut self, key: u64) -> Option<LookupHit> {
+        self.lookup_prepared(self.prepare(key))
+    }
+
+    /// Execute phase of a prepared lookup (see [`BucketRef`]).  Identical
+    /// semantics to [`Partition::lookup`] with the hash precomputed.
+    pub fn lookup_prepared(&mut self, prep: BucketRef) -> Option<LookupHit> {
         self.stats.lookups += 1;
-        let idx = self.find_linked(key)?;
+        let idx = self.find_in_bucket(prep.key, prep.bucket)?;
         if self.slots[idx as usize].element().state != ElementState::Ready {
             // NOT-READY elements are invisible to lookups (§3.2).
             return None;
@@ -273,9 +373,20 @@ impl Partition {
     /// element is linked in NOT-READY state.  The caller copies the value
     /// through the returned handle and then calls [`Partition::mark_ready`].
     pub fn insert(&mut self, key: u64, size: usize) -> Result<InsertReservation, InsertError> {
+        self.insert_prepared(self.prepare(key), size)
+    }
+
+    /// Execute phase of a prepared insert (see [`BucketRef`]).  Identical
+    /// semantics to [`Partition::insert`] with the hash precomputed.
+    pub fn insert_prepared(
+        &mut self,
+        prep: BucketRef,
+        size: usize,
+    ) -> Result<InsertReservation, InsertError> {
+        let key = prep.key;
         self.stats.inserts += 1;
         // Remove any existing element with this key to avoid duplicates.
-        if let Some(existing) = self.find_linked(key) {
+        if let Some(existing) = self.find_in_bucket(key, prep.bucket) {
             self.unlink(existing);
             self.stats.replacements += 1;
         }
@@ -299,7 +410,7 @@ impl Partition {
             }
         };
 
-        let bucket = self.bucket_of(key);
+        let bucket = prep.bucket;
         let chunk = migration_chunk(key, self.chunk_heads.len());
         let idx = self.alloc_slot(Element::new(key, value, bucket as u32, chunk as u32));
         // The new element holds one reference on behalf of the inserting
@@ -346,7 +457,13 @@ impl Partition {
     /// outstanding, in which case the free is deferred to the last
     /// [`Partition::decref`].
     pub fn delete(&mut self, key: u64) -> bool {
-        match self.find_linked(key) {
+        self.delete_prepared(self.prepare(key))
+    }
+
+    /// Execute phase of a prepared delete (see [`BucketRef`]).  Identical
+    /// semantics to [`Partition::delete`] with the hash precomputed.
+    pub fn delete_prepared(&mut self, prep: BucketRef) -> bool {
+        match self.find_in_bucket(prep.key, prep.bucket) {
             Some(idx) => {
                 self.unlink(idx);
                 self.stats.deletes += 1;
@@ -740,7 +857,11 @@ impl Partition {
     }
 
     fn find_linked(&self, key: u64) -> Option<u32> {
-        let mut cur = self.buckets[self.bucket_of(key)];
+        self.find_in_bucket(key, self.bucket_of(key))
+    }
+
+    fn find_in_bucket(&self, key: u64, bucket: usize) -> Option<u32> {
+        let mut cur = self.buckets[bucket];
         while cur != NIL {
             let e = self.slots[cur as usize].element();
             if e.key == key {
@@ -1211,6 +1332,59 @@ mod tests {
         let hit = p.lookup(1).unwrap();
         p.decref(hit.id);
         p.decref(hit.id);
+    }
+
+    #[test]
+    fn two_phase_operations_match_their_single_phase_forms() {
+        let mut direct = small(None);
+        let mut staged = small(None);
+        for key in 0..200u64 {
+            // Stage a whole batch of prepares (with prefetches), then
+            // execute — the server pipeline's access pattern.
+            let prep = staged.prepare(key);
+            assert_eq!(prep.key(), key);
+            assert!(prep.bucket() < staged.bucket_count());
+            staged.prefetch_prepared(&prep);
+            let r1 = staged.insert_prepared(prep, 8).unwrap();
+            staged.fill_and_ready(r1.id, &key.to_le_bytes());
+            let r2 = direct.insert(key, 8).unwrap();
+            direct.fill_and_ready(r2.id, &key.to_le_bytes());
+        }
+        for key in 0..220u64 {
+            let prep = staged.prepare(key);
+            let prefetched = staged.prefetch_prepared(&prep);
+            let a = staged.lookup_prepared(prep);
+            let b = direct.lookup(key);
+            assert_eq!(a.is_some(), b.is_some(), "key {key}");
+            if let (Some(a), Some(b)) = (&a, &b) {
+                let (mut va, mut vb) = (Vec::new(), Vec::new());
+                staged.read_value(a, &mut va);
+                direct.read_value(b, &mut vb);
+                assert_eq!(va, vb);
+                assert!(prefetched, "present key's bucket chain was prefetchable");
+            }
+            if let Some(a) = a {
+                staged.decref(a.id);
+            }
+            if let Some(b) = b {
+                direct.decref(b.id);
+            }
+        }
+        for key in (0..200u64).step_by(3) {
+            let prep = staged.prepare(key);
+            assert_eq!(staged.delete_prepared(prep), direct.delete(key));
+        }
+        assert_eq!(staged.len(), direct.len());
+        assert_eq!(staged.lru_order(), direct.lru_order());
+        staged.check_invariants();
+        direct.check_invariants();
+    }
+
+    #[test]
+    fn prefetch_of_an_empty_bucket_reports_nothing_to_fetch() {
+        let p = small(None);
+        let prep = p.prepare(1);
+        assert!(!p.prefetch_prepared(&prep), "empty table has no chains");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use cphash::{CpHashConfig, MigrationPacing};
+use cphash::{CpHashConfig, MigrationPacing, ServerPipeline};
 use cphash_affinity::Topology;
 use cphash_kvserver::{CpServer, CpServerConfig, FrontendKind};
 
@@ -24,6 +24,17 @@ struct Args {
     /// Queue-depth feedback: back off the migration rate while servers
     /// fall behind.
     migrate_feedback: bool,
+    /// Latency feedback: back off the migration rate while the
+    /// client-observed request p99 is elevated (alternative to the
+    /// queue-depth signal).
+    migrate_feedback_p99: bool,
+    /// Server hot-loop pipeline (scalar | batched | prefetch).
+    pipeline: ServerPipeline,
+    /// Pipeline depth (data operations staged per batch).
+    batch_size: usize,
+    /// Overload shedding threshold (0 = never shed): in-flight operations
+    /// per worker beyond which v2 clients get wire-level Retry replies.
+    overload_retry: usize,
     /// Front-end driving the client threads (epoll | poll).
     frontend: FrontendKind,
     /// NUMA-aware server placement: pin every spawnable server thread
@@ -45,6 +56,10 @@ fn parse_args() -> Result<Args, String> {
         stats_secs: 5,
         migrate_rate: 0.0,
         migrate_feedback: false,
+        migrate_feedback_p99: false,
+        pipeline: ServerPipeline::from_env(),
+        batch_size: cphash::config::batch_size_from_env(),
+        overload_retry: 0,
         frontend: FrontendKind::from_env(),
         numa: false,
         max_protocol: cphash_kvproto::VERSION_2,
@@ -80,6 +95,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad migrate-rate: {e}"))?
             }
             "--migrate-feedback" => args.migrate_feedback = true,
+            "--migrate-feedback-p99" => args.migrate_feedback_p99 = true,
+            "--pipeline" => args.pipeline = ServerPipeline::parse(&value("--pipeline")?)?,
+            "--batch-size" => {
+                args.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("bad batch-size: {e}"))?;
+                if args.batch_size == 0 {
+                    return Err("batch-size must be at least 1".into());
+                }
+            }
+            "--overload-retry" => {
+                args.overload_retry = value("--overload-retry")?
+                    .parse()
+                    .map_err(|e| format!("bad overload-retry: {e}"))?
+            }
             "--frontend" => args.frontend = FrontendKind::parse(&value("--frontend")?)?,
             "--numa" => args.numa = true,
             "--max-protocol" => {
@@ -91,7 +121,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--frontend epoll|poll] [--numa] [--max-protocol 1|2]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--migrate-feedback-p99] [--pipeline scalar|batched|prefetch] [--batch-size N] [--overload-retry N] [--frontend epoll|poll] [--numa] [--max-protocol 1|2]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -108,13 +138,23 @@ fn main() {
         }
     };
 
-    let migration_pacing = match (args.migrate_rate, args.migrate_feedback) {
-        (rate, true) if rate > 0.0 => MigrationPacing::feedback(rate),
-        (_, true) => MigrationPacing::feedback(1_000.0),
-        (rate, false) if rate > 0.0 => MigrationPacing::Rate {
-            chunks_per_sec: rate,
-        },
-        _ => MigrationPacing::Unpaced,
+    let migration_pacing = if args.migrate_feedback_p99 {
+        // Latency feedback: client-observed p99 drives the back-off.
+        let rate = if args.migrate_rate > 0.0 {
+            args.migrate_rate
+        } else {
+            1_000.0
+        };
+        MigrationPacing::latency_feedback(rate)
+    } else {
+        match (args.migrate_rate, args.migrate_feedback) {
+            (rate, true) if rate > 0.0 => MigrationPacing::feedback(rate),
+            (_, true) => MigrationPacing::feedback(1_000.0),
+            (rate, false) if rate > 0.0 => MigrationPacing::Rate {
+                chunks_per_sec: rate,
+            },
+            _ => MigrationPacing::Unpaced,
+        }
     };
     // NUMA-aware placement: derive pins for *every* spawnable server
     // thread (the grown ones included) from the detected topology, so a
@@ -142,6 +182,9 @@ fn main() {
         frontend: args.frontend,
         server_pins,
         max_protocol: args.max_protocol,
+        pipeline: args.pipeline,
+        batch_size: args.batch_size,
+        overload_retry: (args.overload_retry > 0).then_some(args.overload_retry),
         ..Default::default()
     };
     let server = match CpServer::start(config) {
@@ -152,14 +195,22 @@ fn main() {
         }
     };
     println!(
-        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache, {} front-end{})",
+        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache, {} front-end, {} pipeline depth {}{})",
         server.addr(),
         args.partitions,
         args.client_threads,
         args.capacity_mb,
         args.frontend,
+        args.pipeline,
+        args.batch_size,
         if args.numa { ", NUMA pinning" } else { "" }
     );
+    if args.overload_retry > 0 {
+        println!(
+            "overload shedding: v2 clients get wire-level Retry past {} in-flight ops per worker",
+            args.overload_retry
+        );
+    }
     if args.max_partitions > args.partitions {
         println!(
             "live resize enabled up to {} partitions (send a RESIZE frame, opcode 3; key bits 0..16 = new count, bits 16..48 = optional chunks/sec budget)",
@@ -177,8 +228,9 @@ fn main() {
         let stats = server.table_stats();
         let frontend = &server.metrics().frontend;
         let wakeups = frontend.wakeups();
+        let batch = server.metrics().batch_stats();
         println!(
-            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}   frontend: wakeups={} (+{}) ev/wakeup={:.1} idle_sleeps={}",
+            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}   frontend: wakeups={} (+{}) ev/wakeup={:.1} idle_sleeps={}   hotpath: batches={} occupancy={:.1} prefetches={} retries_emitted={}",
             requests,
             requests - last_requests,
             args.stats_secs,
@@ -189,7 +241,11 @@ fn main() {
             wakeups,
             wakeups - last_wakeups,
             frontend.events_per_wakeup(),
-            frontend.idle_sleeps()
+            frontend.idle_sleeps(),
+            batch.batches,
+            batch.avg_occupancy(),
+            batch.prefetches,
+            server.metrics().retries_emitted()
         );
         last_requests = requests;
         last_wakeups = wakeups;

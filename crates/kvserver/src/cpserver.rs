@@ -5,14 +5,18 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cphash::{ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy, MigrationPacing};
+use cphash::{
+    ClientHandle, CompletionKind, CpHash, CpHashConfig, EvictionPolicy, MigrationPacing,
+    ServerPipeline,
+};
 use cphash_affinity::HwThreadId;
 use cphash_kvproto::{
     envelope, resize_chunks_per_sec, resize_partitions, ErrCode, OpKind, Status, WireKey,
 };
 use cphash_migrate::{MigrationPacer, RepartitionCoordinator};
+use cphash_perfmon::SharedLatencyWindow;
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
@@ -101,6 +105,19 @@ pub struct CpServerConfig {
     /// Highest kvproto version to negotiate (2 = typed ops; 1 makes the
     /// server behave like a pre-versioning build, for compatibility tests).
     pub max_protocol: u8,
+    /// How the hash-table server threads process drained operations
+    /// (staged batch + prefetch pipeline by default).
+    pub pipeline: ServerPipeline,
+    /// Pipeline depth for the hash-table servers (operations staged per
+    /// batch).
+    pub batch_size: usize,
+    /// Overload shedding: when a worker has at least this many hash-table
+    /// operations in flight, v2 *lookups* get wire-level `Retry` replies
+    /// instead of being absorbed server-side — exercising the client's
+    /// transparent-resubmission path.  Writes are never shed (resubmission
+    /// would reorder them behind later same-key operations).  `None` (the
+    /// default) never sheds; values below 1 are treated as 1.
+    pub overload_retry: Option<usize>,
 }
 
 impl Default for CpServerConfig {
@@ -118,6 +135,9 @@ impl Default for CpServerConfig {
             migration_pacing: MigrationPacing::Unpaced,
             frontend: FrontendKind::from_env(),
             max_protocol: cphash_kvproto::VERSION_2,
+            pipeline: ServerPipeline::from_env(),
+            batch_size: cphash::config::batch_size_from_env(),
+            overload_retry: None,
         }
     }
 }
@@ -143,11 +163,14 @@ impl CpServer {
         table_config.server_pins = config.server_pins.clone();
         table_config.max_partitions = config.max_partitions;
         table_config.migration_pacing = config.migration_pacing;
+        table_config.pipeline = config.pipeline;
+        table_config.batch_size = config.batch_size;
         let (table, handles) = CpHash::new(table_config);
 
         let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
+        metrics.attach_batch_sources(table.server_stats());
         let (slots, inboxes) = worker_channels(config.client_threads, config.frontend);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 
@@ -162,9 +185,16 @@ impl CpServer {
         if resize_enabled {
             let coordinator =
                 RepartitionCoordinator::new(table.take_control().expect("fresh table has control"));
-            // The default pacer samples the table's own queue-depth gauges,
-            // so feedback mode works out of the box.
-            let pacer = MigrationPacer::for_table(&table, config.migration_pacing);
+            // The default pacer samples the table's own queue-depth gauges
+            // (depth feedback) or the workers' shared request-latency
+            // window (latency feedback), so both modes work out of the box.
+            let pacer = match config.migration_pacing {
+                MigrationPacing::FeedbackLatency { .. } => {
+                    MigrationPacer::from_config(config.migration_pacing)
+                        .with_latency_window(Arc::clone(&metrics.latency))
+                }
+                pacing => MigrationPacer::for_table(&table, pacing),
+            };
             let stop = Arc::clone(&stop);
             threads.push(
                 std::thread::Builder::new()
@@ -183,6 +213,16 @@ impl CpServer {
             let admin = resize_enabled.then(|| admin_tx.clone());
             let frontend = config.frontend;
             let max_protocol = config.max_protocol;
+            let overload_retry = config.overload_retry.map(|t| t.max(1));
+            // Workers only pay for latency stamping when something will
+            // actually sample the window.
+            // (and only when a resize can actually run — without an admin
+            // thread no pacer ever takes the window).
+            let record_latency = resize_enabled
+                && matches!(
+                    config.migration_pacing,
+                    MigrationPacing::FeedbackLatency { .. }
+                );
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cpserver-client-{index}"))
@@ -196,6 +236,8 @@ impl CpServer {
                             admin,
                             frontend,
                             max_protocol,
+                            overload_retry,
+                            record_latency,
                         )
                     })
                     .expect("spawning a client thread"),
@@ -294,6 +336,15 @@ impl OutReply {
         }
     }
 
+    /// Wire-level overload shed: the (v2) client resubmits transparently.
+    fn retry() -> Self {
+        OutReply {
+            status: Status::Retry,
+            code: ErrCode::None,
+            value: cphash::ValueBytes::from_slice(&[]),
+        }
+    }
+
     fn err(code: ErrCode, message: &[u8]) -> Self {
         OutReply {
             status: Status::Err,
@@ -319,6 +370,10 @@ enum ReplyState {
 struct PendingReply {
     seq: u64,
     state: ReplyState,
+    /// When the request was decoded, for the client-observed latency
+    /// window (the migration pacer's latency-feedback signal); only
+    /// stamped when latency-feedback pacing is configured.
+    at: Option<Instant>,
 }
 
 /// One connection plus its ordered queue of unanswered requests.
@@ -326,21 +381,28 @@ struct ConnState {
     conn: Connection,
     next_seq: u64,
     replies: std::collections::VecDeque<PendingReply>,
+    /// Whether to clock-stamp requests for the latency window.
+    stamp_latency: bool,
 }
 
 impl ConnState {
-    fn new(conn: Connection) -> Self {
+    fn new(conn: Connection, stamp_latency: bool) -> Self {
         ConnState {
             conn,
             next_seq: 0,
             replies: std::collections::VecDeque::new(),
+            stamp_latency,
         }
     }
 
     fn enqueue(&mut self, state: ReplyState) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.replies.push_back(PendingReply { seq, state });
+        self.replies.push_back(PendingReply {
+            seq,
+            state,
+            at: self.stamp_latency.then(Instant::now),
+        });
         seq
     }
 
@@ -360,9 +422,12 @@ impl ConnState {
         }
     }
 
-    /// Write out every response whose predecessors have all been written.
-    /// Returns how many responses were queued.
-    fn flush_ready_responses(&mut self) -> usize {
+    /// Write out every response whose predecessors have all been written,
+    /// recording each request's decode→reply latency into the shared
+    /// window when one is attached (latency-feedback pacing only — the
+    /// window is a cross-worker mutex, so it is not touched when nothing
+    /// would ever sample it).  Returns how many responses were queued.
+    fn flush_ready_responses(&mut self, latency: Option<&SharedLatencyWindow>) -> usize {
         let mut wrote = 0usize;
         while matches!(
             self.replies.front(),
@@ -375,6 +440,9 @@ impl ConnState {
             let ReplyState::Done(reply) = entry.state else {
                 unreachable!()
             };
+            if let (Some(window), Some(at)) = (latency, entry.at) {
+                window.record_ns(at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
             self.conn
                 .queue_reply_parts(reply.status, reply.code, reply.value.as_slice());
             wrote += 1;
@@ -430,6 +498,8 @@ fn client_worker(
     admin: Option<mpsc::Sender<AdminRequest>>,
     frontend: FrontendKind,
     max_protocol: u8,
+    overload_retry: Option<usize>,
+    record_latency: bool,
 ) {
     let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
     if let Some(fd) = inbox.waker.fd() {
@@ -493,7 +563,7 @@ fn client_worker(
                     &mut connections,
                     &mut reactor,
                     &mut ready,
-                    ConnState::new(conn),
+                    ConnState::new(conn, record_latency),
                     |state| &state.conn,
                 )
             });
@@ -527,6 +597,36 @@ fn client_worker(
             for request in requests.drain(..) {
                 let wants_response = request.wants_response;
                 let cphash_kvproto::OpFrame { kind, key, value } = request.frame;
+                // Overload shedding: past the configured in-flight
+                // threshold, answer v2 *lookups* with a wire-level `Retry`
+                // instead of absorbing them — the client's
+                // transparent-resubmission path (`RemoteClient`) re-sends
+                // them when the server has room again.  Writes are never
+                // shed: a resubmitted write would re-enter the pipeline
+                // *behind* later same-key operations, breaking the
+                // per-connection read-your-writes ordering the
+                // `inflight_writes` deferral machinery guarantees.  A shed
+                // lookup keeps that guarantee — resubmitted late it lands
+                // after the write it followed (or gets deferred behind it
+                // on arrival, like any other lookup).  A lookup pipelined
+                // *ahead of* a later same-key write may observe that write
+                // after resubmission; reads racing writes the client chose
+                // to pipeline behind them carry no ordering promise
+                // anywhere in this system (the in-process client's
+                // migration-retry resubmission has the same property).
+                // v1 connections cannot express `Retry` and are absorbed
+                // as before.
+                if kind == OpKind::Lookup
+                    && wants_response
+                    && state.conn.version() >= cphash_kvproto::VERSION_2
+                    && overload_retry.is_some_and(|threshold| handle.outstanding() >= threshold)
+                {
+                    metrics.note_retry_emitted();
+                    waiting_responses += 1;
+                    let seq = state.enqueue(ReplyState::Submitted);
+                    state.resolve(seq, OutReply::retry());
+                    continue;
+                }
                 match kind {
                     OpKind::Lookup => {
                         waiting_responses += 1;
@@ -777,7 +877,8 @@ fn client_worker(
             let Some(state) = connections[idx].as_mut() else {
                 continue;
             };
-            waiting_responses -= state.flush_ready_responses();
+            waiting_responses -=
+                state.flush_ready_responses(record_latency.then_some(&*metrics.latency));
             let (written, verdict) = crate::connection::settle(&mut state.conn, &mut reactor, idx);
             metrics.note_io(0, written);
             if verdict == crate::connection::Settle::Retired {
@@ -889,6 +990,195 @@ mod tests {
             h.join().unwrap();
         }
         assert!(server.metrics().hit_rate() > 0.99);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overloaded_server_sheds_with_wire_level_retry() {
+        use cphash::{CompletionKind, KeyRef, KvClient, KvOp, RemoteClient};
+        // Threshold 1: any pipelined read depth beyond a single in-flight
+        // op is answered with a wire-level Retry, which RemoteClient
+        // resubmits transparently — so every operation still completes
+        // correctly.  Writes are never shed.
+        let mut server = CpServer::start(CpServerConfig {
+            overload_retry: Some(1),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut client = RemoteClient::connect(server.addr()).unwrap();
+        assert_eq!(client.protocol_version(), 2);
+        const N: u64 = 400;
+        for key in 0..N {
+            client.submit(KvOp::Insert(KeyRef::Hash(key), &key.to_le_bytes()));
+        }
+        let mut completions = Vec::new();
+        client.drain_completions(&mut completions).unwrap();
+        assert_eq!(completions.len(), N as usize);
+        // A deep pipeline of lookups crosses the shed threshold; every one
+        // must still complete as the correct hit.
+        for key in 0..N {
+            client.submit(KvOp::Get(KeyRef::Hash(key)));
+        }
+        completions.clear();
+        client.drain_completions(&mut completions).unwrap();
+        assert_eq!(completions.len(), N as usize);
+        for completion in &completions {
+            assert!(
+                matches!(completion.kind, CompletionKind::LookupHit(_)),
+                "shed lookup completed as {:?}",
+                completion.kind
+            );
+        }
+        assert!(
+            server.metrics().retries_emitted() > 0,
+            "a deeply pipelined reader must have been shed at least once"
+        );
+        assert!(
+            client.retries() > 0,
+            "the client must have resubmitted shed operations"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shedding_preserves_read_your_writes_ordering() {
+        use cphash::{CompletionKind, KeyRef, KvClient, KvOp, RemoteClient};
+        // Interleaved dependent pairs under a shed-happy server: a lookup
+        // pipelined right behind its own key's insert must never observe a
+        // miss (writes are not shed, and a shed lookup resubmits *after*
+        // the write, where the inflight-write deferral still covers it).
+        let mut server = CpServer::start(CpServerConfig {
+            overload_retry: Some(1),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut client = RemoteClient::connect(server.addr()).unwrap();
+        assert_eq!(client.protocol_version(), 2);
+        let mut get_tokens = Vec::new();
+        for key in 0..200u64 {
+            client.submit(KvOp::Insert(KeyRef::Hash(key), &(key ^ 0xAB).to_le_bytes()));
+            get_tokens.push((key, client.submit(KvOp::Get(KeyRef::Hash(key)))));
+        }
+        let mut completions = Vec::new();
+        client.drain_completions(&mut completions).unwrap();
+        for (key, token) in get_tokens {
+            let completion = completions
+                .iter()
+                .find(|c| c.token == token)
+                .expect("completion for the read");
+            match &completion.kind {
+                CompletionKind::LookupHit(v) => {
+                    assert_eq!(v.as_slice(), (key ^ 0xAB).to_le_bytes(), "key {key}")
+                }
+                other => panic!("read-after-write of key {key} completed as {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn v1_clients_are_never_shed() {
+        // v1 cannot express Retry; with shedding configured the server must
+        // keep absorbing v1 traffic as before.
+        let mut server = CpServer::start(CpServerConfig {
+            overload_retry: Some(1),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        // Pipeline a burst of v1 inserts (silent) and lookups.
+        let mut wire = BytesMut::new();
+        for key in 0..100u64 {
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+        }
+        stream.write_all(&wire).unwrap();
+        for key in 0..100u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+        }
+        assert_eq!(server.metrics().retries_emitted(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_pipeline_counters_are_visible_through_metrics() {
+        let mut server = CpServer::start(CpServerConfig {
+            pipeline: cphash::ServerPipeline::BatchedPrefetch,
+            batch_size: 16,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        let mut wire = BytesMut::new();
+        for key in 0..500u64 {
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+        }
+        stream.write_all(&wire).unwrap();
+        for key in 0..500u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]));
+        }
+        let batch = server.metrics().batch_stats();
+        assert!(batch.batches > 0, "staged rounds must have run: {batch:?}");
+        assert!(batch.ops >= 1_000, "every data op runs batched: {batch:?}");
+        assert!(batch.avg_occupancy() >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn latency_feedback_resize_completes_and_samples_the_window() {
+        use cphash_kvproto::encode_resize;
+        let mut server = CpServer::start(CpServerConfig {
+            partitions: 2,
+            max_partitions: 4,
+            migration_pacing: MigrationPacing::FeedbackLatency {
+                chunks_per_sec: 5_000.0,
+                high_p99_us: 50_000.0,
+                low_p99_us: 10_000.0,
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut decoder = ResponseDecoder::new();
+        for key in 0..300u64 {
+            let mut wire = BytesMut::new();
+            encode_insert(&mut wire, key, &key.to_le_bytes());
+            stream.write_all(&wire).unwrap();
+        }
+        // Lookups populate the latency window the pacer samples.
+        for key in 0..300u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]));
+        }
+        let mut wire = BytesMut::new();
+        encode_resize(&mut wire, 4);
+        stream.write_all(&wire).unwrap();
+        let status = {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(resp) = decoder.next_response().unwrap() {
+                    break String::from_utf8(resp.value.expect("status string")).unwrap();
+                }
+                let n = stream.read(&mut buf).unwrap();
+                assert!(n > 0);
+                decoder.feed(&buf[..n]);
+            }
+        };
+        assert!(
+            status.starts_with("partitions=4"),
+            "unexpected status {status:?}"
+        );
+        // Every key survives the latency-paced transition.
+        for key in 0..300u64 {
+            let got = lookup_roundtrip(&mut stream, &mut decoder, key);
+            assert_eq!(got.as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+        }
         server.shutdown();
     }
 

@@ -3,6 +3,9 @@
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cphash_perfmon::{BatchStats, SharedLatencyWindow};
+use parking_lot::Mutex;
+
 /// Front-end reactor counters: how often workers wake and how much each
 /// wake-up accomplishes.
 ///
@@ -80,8 +83,18 @@ pub struct ServerMetrics {
     pub connections: AtomicU64,
     /// Admin commands (resize) received.
     pub admin_commands: AtomicU64,
+    /// Wire-level `Retry` replies emitted to shed overload onto v2
+    /// clients' transparent-resubmission path.
+    pub retries_emitted: AtomicU64,
     /// Reactor counters, shared by every worker's front-end.
     pub frontend: Arc<FrontendStats>,
+    /// Windowed request latency (enqueue → in-order reply), the signal
+    /// source for the migration pacer's latency-feedback mode.
+    pub latency: Arc<SharedLatencyWindow>,
+    /// The table's per-server batch-pipeline counters, attached at server
+    /// start so callers can read hot-loop batching/prefetch statistics
+    /// through the same metrics handle as everything else.
+    batch_sources: Mutex<Vec<Arc<cphash::ServerStats>>>,
 }
 
 impl ServerMetrics {
@@ -139,6 +152,32 @@ impl ServerMetrics {
     pub(crate) fn note_admin(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.admin_commands.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retry_emitted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.retries_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wire-level `Retry` replies emitted so far.
+    pub fn retries_emitted(&self) -> u64 {
+        self.retries_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Attach the hash-table servers whose batch-pipeline counters
+    /// [`ServerMetrics::batch_stats`] should aggregate.
+    pub(crate) fn attach_batch_sources(&self, sources: &[Arc<cphash::ServerStats>]) {
+        self.batch_sources.lock().extend(sources.iter().cloned());
+    }
+
+    /// Merged batch-pipeline statistics (staged rounds, occupancy,
+    /// prefetches) across the table's server threads.
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for source in self.batch_sources.lock().iter() {
+            total.merge(&source.batch_stats());
+        }
+        total
     }
 }
 

@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, Barrier};
 
-use cphash::{CompletionKind, CpHash, CpHashConfig};
+use cphash::{CompletionKind, CpHash, CpHashConfig, ServerPipeline};
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
 use cphash_hashcore::{EvictionPolicy, PartitionStats};
 use cphash_lockhash::{LockHash, LockHashConfig, LockKind};
@@ -34,6 +34,11 @@ pub struct DriverOptions {
     pub lock_kind: LockKind,
     /// Message-ring capacity for CPHash lanes.
     pub ring_capacity: usize,
+    /// Server hot-loop pipeline for CPHash (scalar baseline, batched, or
+    /// batched+prefetch — the `ablate_prefetch` ablation axis).
+    pub pipeline: ServerPipeline,
+    /// Pipeline depth for CPHash servers (operations staged per batch).
+    pub server_batch_size: usize,
 }
 
 impl Default for DriverOptions {
@@ -46,6 +51,8 @@ impl Default for DriverOptions {
             server_pins: Vec::new(),
             lock_kind: LockKind::Spin,
             ring_capacity: 4096,
+            pipeline: ServerPipeline::default(),
+            server_batch_size: cphash::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct RunResult {
     pub table_stats: PartitionStats,
     /// Mean server utilization (CPHash only).
     pub mean_server_utilization: Option<f64>,
+    /// Batch-pipeline counters merged across server threads (CPHash only;
+    /// all zero under the scalar pipeline).
+    pub batch: cphash::BatchStats,
     /// Lock contention ratio (LockHash only).
     pub lock_contention: Option<f64>,
     /// How many client threads were successfully pinned.
@@ -141,6 +151,8 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         ring_capacity: opts.ring_capacity,
         server_pins: opts.server_pins.clone(),
         eviction: opts.eviction,
+        pipeline: opts.pipeline,
+        batch_size: opts.server_batch_size,
         ..CpHashConfig::new(opts.partitions, opts.client_threads)
             .with_capacity(spec.capacity_bytes, spec.value_bytes)
     };
@@ -238,6 +250,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         inserts: 0,
         table_stats,
         mean_server_utilization: Some(snapshot.mean_utilization),
+        batch: snapshot.batch,
         lock_contention: None,
         pinned_client_threads: 0,
     };
@@ -331,6 +344,7 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         inserts: 0,
         table_stats: table.stats(),
         mean_server_utilization: None,
+        batch: cphash::BatchStats::default(),
         lock_contention: Some(table.lock_stats().contention_ratio()),
         pinned_client_threads: 0,
     };
@@ -423,6 +437,7 @@ mod tests {
             inserts: 300,
             table_stats: PartitionStats::default(),
             mean_server_utilization: None,
+            batch: cphash::BatchStats::default(),
             lock_contention: None,
             pinned_client_threads: 0,
         };

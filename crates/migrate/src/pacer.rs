@@ -13,16 +13,22 @@
 //!   [`cphash::ServerStats::queue_depth`] gauge each server publishes every
 //!   loop iteration, smoothed through a [`cphash_perfmon::EwmaGauge`]) and
 //!   halves the rate while servers are falling behind, recovering it while
-//!   they keep up.
+//!   they keep up;
+//! * **latency feedback mode** — the same controller driven by a
+//!   *client-observed* signal instead: a windowed request-latency p99 from
+//!   a [`cphash_perfmon::SharedLatencyWindow`] the request path records
+//!   into, tracking what applications actually feel rather than how deep
+//!   the inbound rings run.
 //!
 //! The pacer is owned by whoever drives the coordinator (CPSERVER's admin
 //! thread, the benchmark harness) and threaded through
 //! [`crate::RepartitionCoordinator::resize_to_paced`].
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cphash::{CpHash, MigrationPacing};
-use cphash_perfmon::EwmaGauge;
+use cphash_perfmon::{EwmaGauge, SharedLatencyWindow};
 
 /// Token-bucket burst: how many hand-offs may fire without waiting after an
 /// idle period.  1.0 keeps the spacing strict.
@@ -84,7 +90,8 @@ impl MigrationPacer {
         let rate = match pacing {
             MigrationPacing::Unpaced => f64::INFINITY,
             MigrationPacing::Rate { chunks_per_sec }
-            | MigrationPacing::Feedback { chunks_per_sec, .. } => chunks_per_sec,
+            | MigrationPacing::Feedback { chunks_per_sec, .. }
+            | MigrationPacing::FeedbackLatency { chunks_per_sec, .. } => chunks_per_sec,
         };
         MigrationPacer {
             pacing,
@@ -107,12 +114,38 @@ impl MigrationPacer {
         self
     }
 
+    /// Attach a latency probe for latency-feedback mode.  The probe returns
+    /// the latest client-observed p99 in microseconds (0.0 when no requests
+    /// completed since the previous sample, which reads as "no pressure").
+    pub fn with_latency_probe(mut self, probe: impl FnMut() -> f64 + Send + 'static) -> Self {
+        self.probe = Some(Box::new(probe));
+        self
+    }
+
+    /// Convenience: a latency probe that takes-and-samples a shared
+    /// [`SharedLatencyWindow`] the serving path records request latencies
+    /// into (CPSERVER's workers do; benchmark drivers can too).
+    pub fn with_latency_window(self, window: Arc<SharedLatencyWindow>) -> Self {
+        self.with_latency_probe(move || window.take_p99_us())
+    }
+
     /// Convenience: a pacer whose feedback probe reads the given table's
     /// per-server queue-depth gauges (maximum over all spawned servers —
     /// idle servers report zero, so they never distort the signal).
+    ///
+    /// [`MigrationPacing::FeedbackLatency`] gets **no** probe here — queue
+    /// depths compared against microsecond thresholds would be nonsense —
+    /// so it degrades to plain rate mode until the caller attaches a real
+    /// latency source with [`MigrationPacer::with_latency_window`] /
+    /// [`MigrationPacer::with_latency_probe`] (CPSERVER wires its workers'
+    /// shared request-latency window).
     pub fn for_table(table: &CpHash, pacing: MigrationPacing) -> Self {
+        let pacer = Self::from_config(pacing);
+        if matches!(pacer.pacing, MigrationPacing::FeedbackLatency { .. }) {
+            return pacer;
+        }
         let stats: Vec<_> = table.server_stats().to_vec();
-        Self::from_config(pacing).with_queue_depth_probe(move || {
+        pacer.with_queue_depth_probe(move || {
             stats.iter().map(|s| s.queue_depth()).max().unwrap_or(0) as f64
         })
     }
@@ -162,26 +195,32 @@ impl MigrationPacer {
         self.tokens = (self.tokens + elapsed * self.rate).min(BURST_TOKENS);
     }
 
-    /// Sample the queue-depth probe and adjust the rate (feedback mode with
-    /// a probe attached only).
+    /// Sample the pressure probe and adjust the rate (feedback modes with
+    /// a probe attached only).  Queue-depth and latency feedback share the
+    /// controller; only the signal and its thresholds differ.
     fn apply_feedback(&mut self) {
-        let MigrationPacing::Feedback {
-            high_depth,
-            low_depth,
-            ..
-        } = self.pacing
-        else {
-            return;
+        let (high, low) = match self.pacing {
+            MigrationPacing::Feedback {
+                high_depth,
+                low_depth,
+                ..
+            } => (high_depth, low_depth),
+            MigrationPacing::FeedbackLatency {
+                high_p99_us,
+                low_p99_us,
+                ..
+            } => (high_p99_us, low_p99_us),
+            _ => return,
         };
         let Some(probe) = self.probe.as_mut() else {
             return;
         };
-        let depth = self.gauge.sample(probe());
+        let pressure = self.gauge.sample(probe());
         self.stats.depth_samples += 1;
-        if depth > high_depth && self.rate > self.min_rate {
+        if pressure > high && self.rate > self.min_rate {
             self.rate = (self.rate * 0.5).max(self.min_rate);
             self.stats.backoffs += 1;
-        } else if depth < low_depth && self.rate < self.max_rate {
+        } else if pressure < low && self.rate < self.max_rate {
             self.rate = (self.rate * RECOVERY_FACTOR).min(self.max_rate);
             self.stats.recoveries += 1;
         }
@@ -262,6 +301,46 @@ mod tests {
         assert!(pacer.current_rate() > slowed);
         assert!(pacer.stats().recoveries > 0);
         assert!(pacer.stats().depth_samples >= 68);
+    }
+
+    #[test]
+    fn latency_feedback_backs_off_on_high_p99_and_recovers() {
+        let window = Arc::new(SharedLatencyWindow::new());
+        let mut pacer = MigrationPacer::from_config(MigrationPacing::FeedbackLatency {
+            chunks_per_sec: 10_000.0,
+            high_p99_us: 2_000.0,
+            low_p99_us: 500.0,
+        })
+        .with_latency_window(Arc::clone(&window));
+
+        // Clients observe ~16 ms p99: the pacer must back off.
+        for _ in 0..4 {
+            for _ in 0..100 {
+                window.record_ns(16_000_000);
+            }
+            pacer.before_chunk();
+        }
+        assert!(pacer.stats().backoffs >= 3, "{:?}", pacer.stats());
+        let slowed = pacer.current_rate();
+        assert!(slowed < 10_000.0 / 4.0, "rate still {slowed}");
+
+        // Latency clears (empty windows read as no pressure): recover.
+        for _ in 0..64 {
+            pacer.before_chunk();
+        }
+        assert!(pacer.current_rate() > slowed);
+        assert!(pacer.stats().recoveries > 0);
+    }
+
+    #[test]
+    fn latency_feedback_without_probe_degrades_to_rate_mode() {
+        let mut pacer = MigrationPacer::from_config(MigrationPacing::latency_feedback(5_000.0));
+        for _ in 0..8 {
+            pacer.before_chunk();
+        }
+        assert_eq!(pacer.stats().depth_samples, 0);
+        assert_eq!(pacer.current_rate(), 5_000.0);
+        assert!(pacer.stats().paced_waits > 0);
     }
 
     #[test]

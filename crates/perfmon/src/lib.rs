@@ -15,18 +15,26 @@
 //!   the output format of every figure-regenerating benchmark binary.
 //! * [`load`] — smoothed load gauges (EWMA), the low-pass filter behind the
 //!   migration pacer's queue-depth feedback loop.
+//! * [`batch`] — counters for the batched, prefetch-pipelined server hot
+//!   loop (batches, occupancy, prefetches issued).
+//! * [`window`] — a shared windowed latency histogram, the p99 signal
+//!   source for the migration pacer's latency-feedback mode.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod batch;
 pub mod cycles;
 pub mod histogram;
 pub mod load;
 pub mod series;
 pub mod timer;
+pub mod window;
 
+pub use batch::{BatchCounters, BatchStats};
 pub use cycles::{cycles_now, estimate_cycles_per_second, CycleSpan};
 pub use histogram::LatencyHistogram;
 pub use load::EwmaGauge;
 pub use series::{DataPoint, DataSeries, FigureReport};
 pub use timer::{Stopwatch, ThroughputMeter};
+pub use window::SharedLatencyWindow;

@@ -1,0 +1,110 @@
+//! A shared, windowed latency histogram.
+//!
+//! The migration pacer's feedback loop wants a *client-observed* signal —
+//! "are requests getting slow?" — rather than the server-side queue depth.
+//! [`SharedLatencyWindow`] is the bridge: request-path code records
+//! latencies into it from any thread, and the pacer periodically *takes the
+//! window* (snapshot-and-reset), so each feedback sample reflects only the
+//! latency distribution since the previous sample.
+
+use std::sync::Mutex;
+
+use crate::histogram::LatencyHistogram;
+
+/// A thread-safe latency histogram with take-and-reset sampling.
+///
+/// Recording is a short mutex-protected histogram update; the lock is
+/// uncontended in practice (recorders are worker threads touching it once
+/// per request, the sampler once per migration chunk).
+#[derive(Debug, Default)]
+pub struct SharedLatencyWindow {
+    inner: Mutex<LatencyHistogram>,
+}
+
+impl SharedLatencyWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        SharedLatencyWindow::default()
+    }
+
+    /// Record one latency sample, in nanoseconds.
+    pub fn record_ns(&self, nanos: u64) {
+        self.inner
+            .lock()
+            .expect("latency window poisoned")
+            .record(nanos);
+    }
+
+    /// Samples recorded since the last [`SharedLatencyWindow::take`].
+    pub fn len(&self) -> u64 {
+        self.inner.lock().expect("latency window poisoned").count()
+    }
+
+    /// Whether the current window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take the current window, leaving an empty one behind.
+    pub fn take(&self) -> LatencyHistogram {
+        let mut guard = self.inner.lock().expect("latency window poisoned");
+        core::mem::take(&mut *guard)
+    }
+
+    /// The p99 of the current window in *microseconds*, consuming the
+    /// window (0.0 when no samples arrived since the last call).
+    ///
+    /// This is the probe shape the migration pacer's latency-feedback mode
+    /// expects: each call answers "what did clients feel since I last
+    /// asked?".
+    pub fn take_p99_us(&self) -> f64 {
+        let window = self.take();
+        if window.count() == 0 {
+            0.0
+        } else {
+            window.percentile(99.0) as f64 / 1_000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_takes_reset_the_window() {
+        let w = SharedLatencyWindow::new();
+        assert!(w.is_empty());
+        assert_eq!(w.take_p99_us(), 0.0);
+        for _ in 0..100 {
+            w.record_ns(1_000_000); // 1 ms
+        }
+        assert_eq!(w.len(), 100);
+        let p99 = w.take_p99_us();
+        // Log-bucketed: the 1 ms samples land in the bucket whose upper
+        // bound is 2^20 ns ≈ 1049 µs.
+        assert!((500.0..3_000.0).contains(&p99), "p99 {p99}");
+        assert!(w.is_empty(), "take consumed the window");
+        assert_eq!(w.take_p99_us(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let w = Arc::new(SharedLatencyWindow::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        w.record_ns(i + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.take().count(), 4_000);
+    }
+}

@@ -151,6 +151,77 @@ fn grow_and_shrink_lose_no_keys_under_concurrent_load() {
     );
 }
 
+/// Live migration under the staged batch pipeline at a deliberately odd,
+/// non-default depth: migration control messages interleave with batched
+/// data runs (runs are cut at every control message), so no key may be
+/// lost, duplicated or served stale across a grow/shrink cycle.
+#[test]
+fn migration_under_non_default_batch_size_loses_no_keys() {
+    const BATCH_WORKERS: usize = 2;
+    let mut config = CpHashConfig::new(2, BATCH_WORKERS).with_max_partitions(4);
+    config.migration_chunks = 32;
+    config.pipeline = cphash_suite::ServerPipeline::BatchedPrefetch;
+    config.batch_size = 5; // odd and tiny: every lane drain spans many runs
+    let (mut table, clients) = CpHash::new(config);
+    let mut coordinator = RepartitionCoordinator::new(table.take_control().expect("control"));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(worker, mut client)| {
+            let stop = Arc::clone(&stop);
+            let keys_per_worker = keys_per_worker();
+            std::thread::spawn(move || {
+                let mut model: HashMap<u64, u64> = HashMap::new();
+                let mut rng = 0xABCD_EF01u64 ^ ((worker as u64) << 32) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = xorshift(&mut rng);
+                    let key = (r >> 8) % keys_per_worker * BATCH_WORKERS as u64 + worker as u64;
+                    match r % 8 {
+                        0..=3 => {
+                            let value = r >> 16;
+                            assert!(client.insert(key, &value.to_le_bytes()).unwrap());
+                            model.insert(key, value);
+                        }
+                        4..=6 => match (client.get(key).unwrap(), model.get(&key)) {
+                            (Some(got), Some(expected)) => {
+                                assert_eq!(got.as_slice(), expected.to_le_bytes())
+                            }
+                            (None, Some(_)) => panic!("key {key} lost"),
+                            (Some(_), None) => panic!("key {key} resurrected"),
+                            (None, None) => {}
+                        },
+                        _ => {
+                            assert_eq!(client.delete(key).unwrap(), model.remove(&key).is_some());
+                        }
+                    }
+                }
+                for (key, expected) in &model {
+                    let got = client.get(*key).unwrap().unwrap_or_else(|| {
+                        panic!("key {key} lost after batched-pipeline migration")
+                    });
+                    assert_eq!(got.as_slice(), expected.to_le_bytes());
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    for &target in &[4usize, 2] {
+        let report = coordinator.resize_to(target).unwrap();
+        assert_eq!(report.to_partitions, target);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    table.shutdown();
+    let stats = table.partition_stats();
+    assert_eq!(stats.exported, stats.absorbed);
+}
+
 /// While a *paced* resize runs, foreground operation latency must stay
 /// bounded: the pacer spreads the chunk hand-offs out, so no synchronous
 /// operation should ever stall for anything near the full transition time.

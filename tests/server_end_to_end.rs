@@ -184,6 +184,53 @@ fn delete_over_tcp_against_every_server() {
 }
 
 #[test]
+fn overload_retry_sheds_to_the_client_resubmission_path() {
+    use cphash_suite::{KeyRef, KvClient, KvOp, RemoteClient};
+
+    // A CPSERVER configured to shed past one in-flight table operation per
+    // worker: a pipelined v2 client must observe nothing but correct
+    // results (its RemoteClient resubmits wire-level Retries
+    // transparently), while the server's metrics prove shedding happened.
+    let mut server = CpServer::start(CpServerConfig {
+        overload_retry: Some(1),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = RemoteClient::connect(server.addr()).unwrap();
+    assert_eq!(client.protocol_version(), 2);
+
+    const N: u64 = 300;
+    for key in 0..N {
+        client.submit(KvOp::Insert(KeyRef::Hash(key), &(key * 3).to_le_bytes()));
+    }
+    let mut completions = Vec::new();
+    client.drain_completions(&mut completions).unwrap();
+    assert_eq!(completions.len(), N as usize);
+    for key in 0..N {
+        client.submit(KvOp::Get(KeyRef::Hash(key)));
+    }
+    completions.clear();
+    client.drain_completions(&mut completions).unwrap();
+    assert_eq!(completions.len(), N as usize);
+    for completion in &completions {
+        match &completion.kind {
+            cphash_suite::CompletionKind::LookupHit(_) => {}
+            other => panic!("pipelined lookup completed as {other:?}"),
+        }
+    }
+    for key in (0..N).step_by(7) {
+        let got = client.get_blocking(KeyRef::Hash(key)).unwrap();
+        assert_eq!(got.unwrap().as_slice(), (key * 3).to_le_bytes());
+    }
+    assert!(
+        server.metrics().retries_emitted() > 0,
+        "the deep pipeline must have crossed the shed threshold"
+    );
+    assert!(client.retries() > 0, "the client resubmitted shed requests");
+    server.shutdown();
+}
+
+#[test]
 fn oversized_envelope_is_refused_not_stored() {
     use cphash_suite::kvproto::MAX_VALUE_BYTES;
     use cphash_suite::{KeyRef, KvClient, RemoteClient};
