@@ -24,6 +24,8 @@ use std::sync::Arc;
 
 use cphash_channel::DuplexClient;
 use cphash_hashcore::MAX_KEY;
+use cphash_perfmon::trace::TraceStage;
+use cphash_perfmon::StageSpan;
 
 use crate::protocol::{encode, Request, Response};
 use crate::router::EpochRouter;
@@ -646,14 +648,21 @@ impl ClientHandle {
     /// Move outgoing words into the ring (stopping when it is full) and
     /// publish them.
     fn push_outgoing(lane: &mut Lane) {
+        if lane.outgoing.is_empty() {
+            return;
+        }
+        let span = StageSpan::begin(TraceStage::RingEnqueue);
+        let mut pushed = 0u32;
         while let Some(&word) = lane.outgoing.front() {
             match lane.channel.try_send(word) {
                 Ok(()) => {
                     lane.outgoing.pop_front();
+                    pushed += 1;
                 }
                 Err(_) => break,
             }
         }
+        span.finish(pushed);
     }
 
     /// One round of progress on one lane: send queued requests, flush, drain

@@ -20,7 +20,8 @@
 //! still happens at execute time, in request order.
 
 use cphash_hashcore::{migration_chunk, partition_for_key, BucketRef, Partition};
-use cphash_perfmon::BatchCounters;
+use cphash_perfmon::trace::{trace_enabled, TraceStage};
+use cphash_perfmon::{BatchCounters, StageSpan};
 use std::collections::HashMap;
 
 use crate::config::ServerPipeline;
@@ -234,10 +235,12 @@ impl BatchExecutor for ScalarExecutor {
         replies: &mut Vec<Response>,
         _counters: &BatchCounters,
     ) {
+        let span = StageSpan::begin(TraceStage::Execute);
         for op in ops {
             let response = ctx.execute(op, None);
             replies.push(response);
         }
+        span.finish(ops.len() as u32);
     }
 
     fn batched_replies(&self) -> bool {
@@ -279,6 +282,34 @@ impl BatchExecutor for StagedExecutor {
         // Stage 1: pure arithmetic + cache hints, no table memory touched.
         self.refs.clear();
         let mut prefetched = 0u64;
+        if trace_enabled() {
+            // Traced path: prepare and prefetch run as separate passes so
+            // each gets its own cycle-stamped span.  Responses stay
+            // byte-identical (staging is pure arithmetic + hints); only the
+            // prefetch overlap differs slightly, and only while tracing.
+            let span = StageSpan::begin(TraceStage::Prepare);
+            for op in ops {
+                self.refs.push(ctx.partition.prepare(op.key));
+            }
+            span.finish(ops.len() as u32);
+            if self.prefetch {
+                let span = StageSpan::begin(TraceStage::Prefetch);
+                for prep in self.refs.iter() {
+                    if ctx.partition.prefetch_prepared(prep) {
+                        prefetched += 1;
+                    }
+                }
+                span.finish(ops.len() as u32);
+            }
+            let span = StageSpan::begin(TraceStage::Execute);
+            for (op, prep) in ops.iter().zip(self.refs.iter()) {
+                let response = ctx.execute(op, Some(*prep));
+                replies.push(response);
+            }
+            span.finish(ops.len() as u32);
+            counters.note_batch(ops.len() as u64, prefetched);
+            return;
+        }
         for op in ops {
             let prep = ctx.partition.prepare(op.key);
             if self.prefetch && ctx.partition.prefetch_prepared(&prep) {

@@ -165,6 +165,9 @@ impl RemoteClient {
                 cphash_kvproto::frame::encode_resize_packed(&mut self.outgoing, *packed);
             }
             (OpKind::Delete, _) => unreachable!("v1 deletes complete client-side"),
+            // Stats is v2-only (v1's opcode space is 1..=3); the submit path
+            // never queues it on a downgraded connection.
+            (OpKind::Stats, _) => unreachable!("v1 connections never carry stats frames"),
         }
     }
 
@@ -238,9 +241,9 @@ impl RemoteClient {
                     }
                     (OpKind::Delete, Status::Ok) => CompletionKind::Deleted(true),
                     (OpKind::Delete, Status::Miss) => CompletionKind::Deleted(false),
-                    // Admin replies surface their status string as a hit;
-                    // only the blocking admin path submits resizes.
-                    (OpKind::Resize, Status::Ok) => {
+                    // Admin replies surface their payload as a hit; only
+                    // the blocking admin paths submit resizes and stats.
+                    (OpKind::Resize, Status::Ok) | (OpKind::Stats, Status::Ok) => {
                         CompletionKind::LookupHit(ValueBytes::from_slice(&reply.value))
                     }
                     (_, Status::Err) => CompletionKind::Failed(reply.code.into()),
@@ -364,14 +367,31 @@ impl KvClient for RemoteClient {
     }
 
     fn admin_resize(&mut self, partitions: usize, chunks_per_sec: u32) -> Result<String, KvError> {
+        self.blocking_admin(OpFrame::resize_paced(partitions as u64, chunks_per_sec))
+    }
+}
+
+impl RemoteClient {
+    /// Fetch the server's live metrics over the data connection, rendered
+    /// as Prometheus text exposition — the same bytes the HTTP stats
+    /// endpoint serves.  v2 only: a v1 server has no STATS opcode.
+    pub fn fetch_stats(&mut self) -> Result<String, KvError> {
+        if self.version < VERSION_2 {
+            return Err(KvError::Op(OpError::Unsupported));
+        }
+        self.blocking_admin(OpFrame::stats())
+    }
+
+    /// Drain in-flight work, submit one admin frame, and block for its
+    /// reply.  Admin replies can take minutes (a paced resize), so the
+    /// wait spins-with-yield politely.
+    fn blocking_admin(&mut self, frame: OpFrame) -> Result<String, KvError> {
         let mut buf = Vec::new();
         self.drain_completions(&mut buf)?;
         drop(buf);
-        let frame = OpFrame::resize_paced(partitions as u64, chunks_per_sec);
         let token = self.take_token();
         self.encode_for_wire(&frame);
         self.pending.push_back(PendingRemote { token, frame });
-        // Resizes can take minutes when paced; spin-with-yield politely.
         let mut out = Vec::new();
         let mut idle: u32 = 0;
         while out.is_empty() {
@@ -388,7 +408,7 @@ impl KvClient for RemoteClient {
             }
         }
         match out.remove(0).kind {
-            // v2 servers answer Ok with the status string, or Err{Admin}.
+            // v2 servers answer Ok with the payload string, or Err{Admin}.
             CompletionKind::LookupHit(v) => Ok(String::from_utf8_lossy(v.as_slice()).into_owned()),
             CompletionKind::Failed(e) => Err(KvError::Op(e)),
             CompletionKind::LookupMiss => Err(KvError::Protocol),

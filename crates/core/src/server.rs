@@ -20,6 +20,8 @@ use std::sync::Arc;
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
 use cphash_channel::DuplexServer;
 use cphash_hashcore::{partition_for_key, ExportOutcome, Partition, PartitionStats};
+use cphash_perfmon::trace::TraceStage;
+use cphash_perfmon::StageSpan;
 use parking_lot::Mutex;
 
 use crate::pipeline::{step_is_current, BatchExecutor, DataOp, DataOpKind, MigrationState, OpCtx};
@@ -91,7 +93,15 @@ impl ServerThread {
                 let drained = {
                     let lane = &mut self.lanes[lane_idx];
                     words.clear();
-                    lane.recv_batch(&mut words, LANE_BATCH)
+                    // The drain span only covers the ring read; an empty
+                    // drain is dropped unrecorded so idle polling does not
+                    // flood the trace ring.
+                    let span = StageSpan::begin(TraceStage::Drain);
+                    let n = lane.recv_batch(&mut words, LANE_BATCH);
+                    if n > 0 {
+                        span.finish(n as u32);
+                    }
+                    n
                 };
                 if drained == 0 {
                     continue;
@@ -236,6 +246,7 @@ impl ServerThread {
         self.stats
             .operations
             .fetch_add(scratch.ops.len() as u64, Ordering::Relaxed);
+        let span = StageSpan::begin(TraceStage::ReplyPublish);
         if self.executor.batched_replies() {
             self.respond_batch(lane_idx, &scratch.replies);
         } else {
@@ -243,6 +254,7 @@ impl ServerThread {
                 self.respond(lane_idx, *response);
             }
         }
+        span.finish(scratch.replies.len() as u32);
     }
 
     /// Process one control message (`Ready`/`Decref`/migration plumbing).

@@ -76,6 +76,11 @@ pub enum OpKind {
     /// Admin: re-partition the live table (key packs partitions + pacing,
     /// see [`crate::pack_resize`]).
     Resize = 4,
+    /// Admin: fetch the server's live metrics snapshot.  The reply value
+    /// carries the snapshot serialized in the Prometheus text exposition
+    /// format — the same bytes `cpserverd --stats-addr` serves over HTTP.
+    /// v2-only: the v1 opcode space (1..=3) cannot express it.
+    Stats = 5,
 }
 
 impl OpKind {
@@ -86,6 +91,7 @@ impl OpKind {
             2 => Some(OpKind::Insert),
             3 => Some(OpKind::Delete),
             4 => Some(OpKind::Resize),
+            5 => Some(OpKind::Stats),
             _ => None,
         }
     }
@@ -192,6 +198,16 @@ impl OpFrame {
         OpFrame {
             kind: OpKind::Resize,
             key: WireKey::Hash(crate::pack_resize(partitions, chunks_per_sec)),
+            value: Vec::new(),
+        }
+    }
+
+    /// Request the server's live metrics snapshot (Prometheus text in the
+    /// reply value).
+    pub fn stats() -> OpFrame {
+        OpFrame {
+            kind: OpKind::Stats,
+            key: WireKey::Hash(0),
             value: Vec::new(),
         }
     }
@@ -455,6 +471,19 @@ mod tests {
         assert_eq!(buf[1], ErrCode::Capacity.to_byte());
         assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 4);
         assert_eq!(&buf[8..], b"full");
+    }
+
+    #[test]
+    fn stats_opcode_round_trips_and_stays_out_of_v1() {
+        assert_eq!(OpKind::from_byte(5), Some(OpKind::Stats));
+        assert_eq!(OpKind::from_byte(6), None);
+        // v1's opcode space must never grow to cover it: a v1 connection
+        // has no way to ask for stats.
+        assert!(crate::RequestKind::from_byte(OpKind::Stats as u8).is_none());
+        let mut buf = BytesMut::new();
+        encode_op(&mut buf, &OpFrame::stats());
+        assert_eq!(buf.len(), OP_HEADER_BYTES);
+        assert_eq!(buf[0], OpKind::Stats as u8);
     }
 
     #[test]

@@ -44,6 +44,11 @@ struct Args {
     /// Highest kvproto version to negotiate (2 = typed ops; 1 forces the
     /// legacy unversioned protocol).
     max_protocol: u8,
+    /// Bind address for the Prometheus stats HTTP endpoint (None = off,
+    /// unless `CPHASH_STATS_ADDR` is set).
+    stats_addr: Option<std::net::SocketAddr>,
+    /// Enable hot-path stage tracing (also via `CPHASH_TRACE=1`).
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         frontend: FrontendKind::from_env(),
         numa: false,
         max_protocol: cphash_kvproto::VERSION_2,
+        stats_addr: None,
+        trace: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -111,6 +118,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad overload-retry: {e}"))?
             }
             "--frontend" => args.frontend = FrontendKind::parse(&value("--frontend")?)?,
+            "--stats-addr" => {
+                args.stats_addr = Some(
+                    value("--stats-addr")?
+                        .parse()
+                        .map_err(|e| format!("bad stats-addr: {e}"))?,
+                )
+            }
+            "--trace" => args.trace = true,
             "--numa" => args.numa = true,
             "--max-protocol" => {
                 args.max_protocol = value("--max-protocol")?
@@ -121,7 +136,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--migrate-feedback-p99] [--pipeline scalar|batched|prefetch] [--batch-size N] [--overload-retry N] [--frontend epoll|poll] [--numa] [--max-protocol 1|2]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--migrate-feedback-p99] [--pipeline scalar|batched|prefetch] [--batch-size N] [--overload-retry N] [--frontend epoll|poll] [--stats-addr HOST:PORT] [--trace] [--numa] [--max-protocol 1|2]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -187,6 +202,16 @@ fn main() {
         overload_retry: (args.overload_retry > 0).then_some(args.overload_retry),
         ..Default::default()
     };
+    // --stats-addr overrides the CPHASH_STATS_ADDR default already folded
+    // into the config; --trace flips tracing on before any hot-path thread
+    // takes its first timestamp.
+    let config = CpServerConfig {
+        stats_addr: args.stats_addr.or(config.stats_addr),
+        ..config
+    };
+    if args.trace {
+        cphash_perfmon::trace::set_trace_enabled(true);
+    }
     let server = match CpServer::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -218,6 +243,12 @@ fn main() {
         );
         println!("default migration pacing: {migration_pacing:?}");
     }
+    if let Some(addr) = server.stats_addr() {
+        println!("Prometheus stats endpoint: http://{addr}/metrics");
+    }
+    if cphash_perfmon::trace::trace_enabled() {
+        println!("hot-path stage tracing enabled (per-stage cycles appear in the periodic stats and at /metrics)");
+    }
     println!("press Ctrl-C to stop");
 
     let mut last_requests = 0u64;
@@ -247,6 +278,12 @@ fn main() {
             batch.prefetches,
             server.metrics().retries_emitted()
         );
+        if cphash_perfmon::trace::trace_enabled() {
+            let report = cphash_perfmon::trace::snapshot(0);
+            if report.total_events() > 0 {
+                print!("{}", report.render());
+            }
+        }
         last_requests = requests;
         last_wakeups = wakeups;
     }

@@ -20,8 +20,9 @@ use cphash_perfmon::SharedLatencyWindow;
 
 use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
 use crate::connection::Connection;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{MigrationProgress, ServerMetrics};
 use crate::reactor::{FrontendKind, Reactor, WAKER_TOKEN};
+use crate::stats_http::spawn_stats_listener;
 
 /// An admin resize request in flight from a client thread to the admin
 /// thread that owns the repartition coordinator.
@@ -41,25 +42,45 @@ fn admin_worker(
     mut default_pacer: MigrationPacer,
     requests: mpsc::Receiver<AdminRequest>,
     stop: Arc<AtomicBool>,
+    progress: Arc<MigrationProgress>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match requests.recv_timeout(Duration::from_millis(20)) {
             Ok(request) => {
-                let result = match request.chunks_per_sec {
+                let (result, rate) = match request.chunks_per_sec {
                     Some(rate) => {
                         let mut override_pacer =
                             MigrationPacer::from_config(MigrationPacing::Rate {
                                 chunks_per_sec: rate as f64,
                             });
-                        coordinator.resize_to_paced(request.new_partitions, &mut override_pacer)
+                        let result = coordinator
+                            .resize_to_paced(request.new_partitions, &mut override_pacer);
+                        (result, override_pacer.current_rate())
                     }
-                    None => coordinator.resize_to_paced(request.new_partitions, &mut default_pacer),
+                    None => {
+                        let result =
+                            coordinator.resize_to_paced(request.new_partitions, &mut default_pacer);
+                        (result, default_pacer.current_rate())
+                    }
                 };
                 let status = match result {
-                    Ok(report) => format!(
-                        "partitions={} moved={} chunks={} paced_waits={}",
-                        report.to_partitions, report.keys_moved, report.chunks, report.paced_waits
-                    ),
+                    Ok(report) => {
+                        // Publish live-repartitioning progress on the
+                        // metrics plane before answering the client.
+                        progress.note_repartition(
+                            report.chunks as u64,
+                            report.keys_moved as u64,
+                            report.paced_waits,
+                        );
+                        progress.set_pacer_rate(rate);
+                        format!(
+                            "partitions={} moved={} chunks={} paced_waits={}",
+                            report.to_partitions,
+                            report.keys_moved,
+                            report.chunks,
+                            report.paced_waits
+                        )
+                    }
                     Err(e) => format!("ERR {e}"),
                 };
                 // The requesting worker may have dropped the receiver when
@@ -118,6 +139,11 @@ pub struct CpServerConfig {
     /// would reorder them behind later same-key operations).  `None` (the
     /// default) never sheds; values below 1 are treated as 1.
     pub overload_retry: Option<usize>,
+    /// Address for the Prometheus stats HTTP endpoint (`None` disables it;
+    /// port 0 picks a free port, reported by [`CpServer::stats_addr`]).
+    /// The default reads `CPHASH_STATS_ADDR`, so tests and CI can turn the
+    /// endpoint on without touching every construction site.
+    pub stats_addr: Option<SocketAddr>,
 }
 
 impl Default for CpServerConfig {
@@ -138,13 +164,21 @@ impl Default for CpServerConfig {
             pipeline: ServerPipeline::from_env(),
             batch_size: cphash::config::batch_size_from_env(),
             overload_retry: None,
+            stats_addr: stats_addr_from_env(),
         }
     }
+}
+
+/// The `CPHASH_STATS_ADDR` environment default for
+/// [`CpServerConfig::stats_addr`].
+fn stats_addr_from_env() -> Option<SocketAddr> {
+    std::env::var("CPHASH_STATS_ADDR").ok()?.parse().ok()
 }
 
 /// A running CPSERVER.
 pub struct CpServer {
     addr: SocketAddr,
+    stats_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     table: Option<CpHash>,
@@ -182,6 +216,13 @@ impl CpServer {
         let resize_enabled = config.max_partitions > config.partitions;
         let (admin_tx, admin_rx) = mpsc::channel::<AdminRequest>();
         let mut threads = vec![acceptor];
+        let mut stats_addr = None;
+        if let Some(requested) = config.stats_addr {
+            let (bound, handle) =
+                spawn_stats_listener(requested, Arc::clone(&metrics), Arc::clone(&stop))?;
+            stats_addr = Some(bound);
+            threads.push(handle);
+        }
         if resize_enabled {
             let coordinator =
                 RepartitionCoordinator::new(table.take_control().expect("fresh table has control"));
@@ -196,10 +237,11 @@ impl CpServer {
                 pacing => MigrationPacer::for_table(&table, pacing),
             };
             let stop = Arc::clone(&stop);
+            let progress = Arc::clone(&metrics.migration);
             threads.push(
                 std::thread::Builder::new()
                     .name("cpserver-admin".into())
-                    .spawn(move || admin_worker(coordinator, pacer, admin_rx, stop))
+                    .spawn(move || admin_worker(coordinator, pacer, admin_rx, stop, progress))
                     .expect("spawning the admin thread"),
             );
         } else {
@@ -246,6 +288,7 @@ impl CpServer {
 
         Ok(CpServer {
             addr,
+            stats_addr,
             stop,
             threads,
             table: Some(table),
@@ -256,6 +299,11 @@ impl CpServer {
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the Prometheus stats endpoint, when enabled.
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats_addr
     }
 
     /// Request metrics.
@@ -697,6 +745,19 @@ fn client_worker(
                         write_tokens.insert(token, WriteTarget { key: hash, reply });
                         inflight_writes.entry(hash).or_default().count += 1;
                         metrics.note_delete();
+                    }
+                    OpKind::Stats => {
+                        // v2-only admin op: resolve immediately through the
+                        // ordered reply FIFO with the full metrics snapshot
+                        // in Prometheus text format as the reply value.
+                        metrics.note_stats();
+                        waiting_responses += 1;
+                        let seq = state.enqueue(ReplyState::Submitted);
+                        let text = metrics.render_prometheus();
+                        state.resolve(
+                            seq,
+                            OutReply::ok_value(cphash::ValueBytes::from_slice(text.as_bytes())),
+                        );
                     }
                     OpKind::Resize => {
                         metrics.note_admin();
@@ -1334,13 +1395,7 @@ mod tests {
             }
         };
         assert!(status.starts_with("ERR"), "unexpected status {status:?}");
-        assert_eq!(
-            server
-                .metrics()
-                .admin_commands
-                .load(std::sync::atomic::Ordering::Relaxed),
-            2
-        );
+        assert_eq!(server.metrics().snapshot().admin_commands, 2);
         server.shutdown();
     }
 }

@@ -35,9 +35,11 @@ pub mod lockserver;
 pub mod memcache;
 pub mod metrics;
 pub mod reactor;
+pub mod stats_http;
 
 pub use cpserver::{CpServer, CpServerConfig};
 pub use lockserver::{LockServer, LockServerConfig};
 pub use memcache::{MemcacheCluster, MemcacheConfig};
-pub use metrics::{FrontendStats, ServerMetrics};
+pub use metrics::{FrontendStats, MigrationProgress, ServerMetrics, StatsSnapshot};
 pub use reactor::{FrontendKind, Reactor};
+pub use stats_http::spawn_stats_listener;

@@ -245,6 +245,13 @@ fn lock_worker(
                             b"ERR resize unsupported on LOCKSERVER".to_vec(),
                         ));
                     }
+                    OpKind::Stats => {
+                        // v2-only admin op: the reply value is the full
+                        // metrics snapshot in Prometheus text format.
+                        metrics.note_stats();
+                        let text = metrics.render_prometheus();
+                        conn.queue_reply_parts(Status::Ok, ErrCode::None, text.as_bytes());
+                    }
                 }
             }
             let (written, verdict) = crate::connection::settle(conn, &mut reactor, idx);

@@ -291,6 +291,15 @@ fn instance_loop(
                             b"ERR resize unsupported on memcached".to_vec(),
                         ));
                     }
+                    OpKind::Stats => {
+                        // v2-only admin op: the reply value is the full
+                        // metrics snapshot in Prometheus text format.  The
+                        // cluster shares one metrics block, so any instance
+                        // answers for all of them.
+                        metrics.note_stats();
+                        let text = metrics.render_prometheus();
+                        conn.queue_reply_parts(Status::Ok, ErrCode::None, text.as_bytes());
+                    }
                 }
             }
             let (written, verdict) = crate::connection::settle(conn, &mut reactor, token);

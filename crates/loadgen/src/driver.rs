@@ -6,13 +6,15 @@
 //! lock-acquire-then-execute on the issuing thread for LockHash.  That keeps
 //! every figure an apples-to-apples comparison, as in the paper.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use cphash::{CompletionKind, CpHash, CpHashConfig, ServerPipeline};
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
 use cphash_hashcore::{EvictionPolicy, PartitionStats};
 use cphash_lockhash::{LockHash, LockHashConfig, LockKind};
-use cphash_perfmon::Stopwatch;
+use cphash_perfmon::{DataSeries, Stopwatch};
 
 use crate::ops::{working_set_keys, Op, OpStream};
 use crate::workload::WorkloadSpec;
@@ -39,6 +41,9 @@ pub struct DriverOptions {
     pub pipeline: ServerPipeline,
     /// Pipeline depth for CPHash servers (operations staged per batch).
     pub server_batch_size: usize,
+    /// Throughput-timeline sampling interval in milliseconds (0 disables
+    /// the sampler; the result's [`RunResult::timeline`] stays empty).
+    pub timeline_sample_ms: u64,
 }
 
 impl Default for DriverOptions {
@@ -53,6 +58,7 @@ impl Default for DriverOptions {
             ring_capacity: 4096,
             pipeline: ServerPipeline::default(),
             server_batch_size: cphash::DEFAULT_BATCH_SIZE,
+            timeline_sample_ms: 100,
         }
     }
 }
@@ -94,6 +100,10 @@ pub struct RunResult {
     pub lock_contention: Option<f64>,
     /// How many client threads were successfully pinned.
     pub pinned_client_threads: usize,
+    /// Throughput over time: one point per sampling interval (x = seconds
+    /// since the timed phase began, y = ops/sec over that interval).  Empty
+    /// when [`DriverOptions::timeline_sample_ms`] is 0.
+    pub timeline: DataSeries,
 }
 
 impl RunResult {
@@ -136,6 +146,72 @@ struct ThreadTally {
     pinned: bool,
 }
 
+/// Background throughput sampler: while the timed phase runs, workers bump
+/// a shared cumulative-operations counter (amortised — once per completion
+/// batch, not per op) and this thread turns it into an ops/sec-over-time
+/// [`DataSeries`].  The sampler pushes a final catch-up point on `finish`,
+/// so even runs shorter than one interval produce a non-empty timeline.
+struct TimelineSampler {
+    progress: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<DataSeries>>,
+    label: String,
+}
+
+impl TimelineSampler {
+    fn start(label: &str, interval_ms: u64) -> TimelineSampler {
+        let progress = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = (interval_ms > 0).then(|| {
+            let progress = Arc::clone(&progress);
+            let stop = Arc::clone(&stop);
+            let label = label.to_string();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let mut series = DataSeries::new(label);
+                let mut last_ops = 0u64;
+                let mut last_at = 0.0f64;
+                loop {
+                    let stopping = stop.load(Ordering::Acquire);
+                    if !stopping {
+                        std::thread::sleep(Duration::from_millis(interval_ms));
+                    }
+                    let now = started.elapsed().as_secs_f64();
+                    let ops = progress.load(Ordering::Relaxed);
+                    let dt = now - last_at;
+                    if ops > last_ops && dt > 0.0 {
+                        series.push(now, (ops - last_ops) as f64 / dt);
+                    }
+                    last_ops = ops;
+                    last_at = now;
+                    if stopping {
+                        return series;
+                    }
+                }
+            })
+        });
+        TimelineSampler {
+            progress,
+            stop,
+            handle,
+            label: label.to_string(),
+        }
+    }
+
+    /// The shared counter worker threads advance.
+    fn progress(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.progress)
+    }
+
+    fn finish(mut self) -> DataSeries {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take() {
+            Some(handle) => handle.join().expect("timeline sampler panicked"),
+            None => DataSeries::new(self.label),
+        }
+    }
+}
+
 fn ops_per_client(spec: &WorkloadSpec, clients: usize, index: usize) -> u64 {
     let base = spec.operations / clients as u64;
     let extra = spec.operations % clients as u64;
@@ -176,6 +252,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
     }
 
     let barrier = Arc::new(Barrier::new(opts.client_threads + 1));
+    let sampler = TimelineSampler::start("cphash", opts.timeline_sample_ms);
     let mut workers = Vec::with_capacity(opts.client_threads);
     for (index, mut client) in clients.into_iter().enumerate() {
         let barrier = Arc::clone(&barrier);
@@ -183,6 +260,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         let pin = opts.client_pins.get(index).copied();
         let window = spec.batch;
         let ops = ops_per_client(&spec, opts.client_threads, index);
+        let progress = sampler.progress();
         workers.push(std::thread::spawn(move || {
             let pinned = pin
                 .map(|hw| pin_to_hw_thread(hw).is_pinned())
@@ -224,6 +302,11 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
                         tally.hits += 1;
                     }
                 }
+                // One relaxed add per completion batch keeps the sampler fed
+                // without perturbing the per-op hot path.
+                if !completions.is_empty() {
+                    progress.fetch_add(completions.len() as u64, Ordering::Relaxed);
+                }
             }
             tally
         }));
@@ -236,6 +319,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         .map(|w| w.join().expect("client thread panicked"))
         .collect();
     let elapsed = watch.elapsed_secs();
+    let timeline = sampler.finish();
 
     let snapshot = table.snapshot();
     table.shutdown();
@@ -253,6 +337,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         batch: snapshot.batch,
         lock_contention: None,
         pinned_client_threads: 0,
+        timeline,
     };
     for t in tallies {
         result.operations += t.operations;
@@ -290,6 +375,7 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
     }
 
     let barrier = Arc::new(Barrier::new(opts.client_threads + 1));
+    let sampler = TimelineSampler::start("lockhash", opts.timeline_sample_ms);
     let mut workers = Vec::with_capacity(opts.client_threads);
     for index in 0..opts.client_threads {
         let table = Arc::clone(&table);
@@ -297,6 +383,7 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         let spec = *spec;
         let pin = opts.client_pins.get(index).copied();
         let ops = ops_per_client(&spec, opts.client_threads, index);
+        let progress = sampler.progress();
         workers.push(std::thread::spawn(move || {
             let pinned = pin
                 .map(|hw| pin_to_hw_thread(hw).is_pinned())
@@ -307,6 +394,10 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
             };
             let mut value_buf = Vec::with_capacity(spec.value_bytes);
             let stream = OpStream::for_client(&spec, index, ops);
+            // Flush the shared progress counter in chunks so the timeline
+            // sampler never becomes a contended per-op atomic.
+            const FLUSH_EVERY: u64 = 4096;
+            let mut unflushed = 0u64;
             barrier.wait();
             for op in stream {
                 match op {
@@ -322,6 +413,14 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
                     }
                 }
                 tally.operations += 1;
+                unflushed += 1;
+                if unflushed == FLUSH_EVERY {
+                    progress.fetch_add(unflushed, Ordering::Relaxed);
+                    unflushed = 0;
+                }
+            }
+            if unflushed > 0 {
+                progress.fetch_add(unflushed, Ordering::Relaxed);
             }
             tally
         }));
@@ -334,6 +433,7 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         .map(|w| w.join().expect("worker thread panicked"))
         .collect();
     let elapsed = watch.elapsed_secs();
+    let timeline = sampler.finish();
 
     let mut result = RunResult {
         label: "lockhash".to_string(),
@@ -347,6 +447,7 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
         batch: cphash::BatchStats::default(),
         lock_contention: Some(table.lock_stats().contention_ratio()),
         pinned_client_threads: 0,
+        timeline,
     };
     for t in tallies {
         result.operations += t.operations;
@@ -383,6 +484,20 @@ mod tests {
         assert!(result.hit_rate() > 0.8, "hit rate {}", result.hit_rate());
         assert!(result.mean_server_utilization.is_some());
         assert_eq!(result.label, "cphash");
+        // The sampler's final catch-up point guarantees a non-empty
+        // timeline even for runs shorter than one sampling interval.
+        assert!(!result.timeline.points.is_empty());
+        assert!(result.timeline.points.iter().all(|p| p.y > 0.0));
+    }
+
+    #[test]
+    fn timeline_sampling_can_be_disabled() {
+        let spec = small_spec();
+        let mut opts = DriverOptions::new(2, 2);
+        opts.timeline_sample_ms = 0;
+        let result = run_cphash(&spec, &opts);
+        assert_eq!(result.operations, spec.operations);
+        assert!(result.timeline.points.is_empty());
     }
 
     #[test]
@@ -394,6 +509,7 @@ mod tests {
         assert!(result.hit_rate() > 0.8, "hit rate {}", result.hit_rate());
         assert!(result.lock_contention.is_some());
         assert_eq!(result.label, "lockhash");
+        assert!(!result.timeline.points.is_empty());
     }
 
     #[test]
@@ -440,6 +556,7 @@ mod tests {
             batch: cphash::BatchStats::default(),
             lock_contention: None,
             pinned_client_threads: 0,
+            timeline: DataSeries::new("x"),
         };
         assert_eq!(r.throughput(), 500.0);
         assert_eq!(r.throughput_per(10), 50.0);

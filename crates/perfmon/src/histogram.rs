@@ -78,10 +78,42 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << i };
+                return match i {
+                    0 => 0,
+                    // The top bucket's bound would be 2^64; saturate instead
+                    // of overflowing the shift.
+                    64 => u64::MAX,
+                    _ => 1u64 << i,
+                };
             }
         }
         self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Iterate the occupied buckets as `(upper_bound, count)` pairs in
+    /// ascending order.  The bound follows the same convention as
+    /// [`LatencyHistogram::percentile`]: bucket `i` holds values with `i`
+    /// significant bits and exports `2^i` as its bound (`0` for the zero
+    /// bucket, `u64::MAX` for the top bucket) — every value in the bucket
+    /// is `<=` the bound, which is what Prometheus `le` bounds require.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let upper = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => 1u64 << i,
+                };
+                (upper, c)
+            })
     }
 
     /// Merge another histogram into this one.
@@ -152,5 +184,76 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 1000);
         assert_eq!(a.min(), 10);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut a = LatencyHistogram::new();
+        a.record(7);
+        let before = (a.count(), a.sum(), a.min(), a.max());
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.sum(), a.min(), a.max()), before);
+        // And empty-into-empty stays empty (min must not leak u64::MAX).
+        let mut e = LatencyHistogram::new();
+        e.merge(&LatencyHistogram::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), 0);
+        assert_eq!(e.percentile(99.9), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_land_in_its_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(300); // 9 significant bits -> bucket upper bound 512
+        for pct in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(pct), 512, "pct {pct}");
+        }
+        assert_eq!(h.min(), 300);
+        assert_eq!(h.max(), 300);
+        assert_eq!(h.sum(), 300);
+    }
+
+    #[test]
+    fn cross_bucket_merge_matches_recording_into_one() {
+        let samples_a = [0u64, 1, 3, 900, 70_000];
+        let samples_b = [2u64, 511, 512, 1 << 40, u64::MAX];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.sum(), combined.sum());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        let merged: Vec<_> = a.nonzero_buckets().collect();
+        assert_eq!(merged, combined.nonzero_buckets().collect::<Vec<_>>());
+        for pct in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(pct), combined.percentile(pct), "pct {pct}");
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_sample_with_valid_bounds() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        // Bounds ascend strictly and the top sample maps to u64::MAX.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+        assert_eq!(buckets.first().unwrap().0, 0);
+        assert_eq!(buckets.last().unwrap().0, u64::MAX);
     }
 }

@@ -51,6 +51,16 @@ impl SharedLatencyWindow {
         core::mem::take(&mut *guard)
     }
 
+    /// A non-destructive copy of the current window.
+    ///
+    /// Stats scrapes must use this rather than [`SharedLatencyWindow::take`]:
+    /// the migration pacer's latency-feedback mode owns the take-and-reset
+    /// cycle, and a scrape that drained the window would steal the samples
+    /// the pacer's next feedback decision depends on (and vice versa).
+    pub fn peek(&self) -> LatencyHistogram {
+        self.inner.lock().expect("latency window poisoned").clone()
+    }
+
     /// The p99 of the current window in *microseconds*, consuming the
     /// window (0.0 when no samples arrived since the last call).
     ///
@@ -86,6 +96,22 @@ mod tests {
         assert!((500.0..3_000.0).contains(&p99), "p99 {p99}");
         assert!(w.is_empty(), "take consumed the window");
         assert_eq!(w.take_p99_us(), 0.0);
+    }
+
+    #[test]
+    fn peek_does_not_steal_samples_from_the_pacer() {
+        let w = SharedLatencyWindow::new();
+        for _ in 0..50 {
+            w.record_ns(2_000_000);
+        }
+        // A stats scrape peeks...
+        let scraped = w.peek();
+        assert_eq!(scraped.count(), 50);
+        assert!(!w.is_empty(), "peek left the window intact");
+        // ...and the pacer's take still sees every sample.
+        assert!(w.take_p99_us() > 0.0);
+        assert!(w.is_empty());
+        assert_eq!(w.peek().count(), 0);
     }
 
     #[test]

@@ -105,13 +105,7 @@ fn one_scenario_three_backends_identical_results() {
     assert_eq!(remote.protocol_version(), 2, "fresh server negotiates v2");
     let remote_script = run_script(&mut remote);
     let cpserver = run_anykey_mixed(&mut remote, &scenario()).unwrap();
-    assert!(
-        server
-            .metrics()
-            .deletes
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 0
-    );
+    assert!(server.metrics().deletes() > 0);
     drop(remote);
     server.shutdown();
 

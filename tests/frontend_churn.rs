@@ -88,11 +88,7 @@ fn cpserver_accept_close_storm_leaks_nothing() {
 
     // Every churned connection was counted...
     assert!(
-        server
-            .metrics()
-            .connections
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= ROUNDS * CONNS_PER_ROUND,
+        server.metrics().connections() >= ROUNDS * CONNS_PER_ROUND,
         "accepted connections went missing"
     );
     // ...and every fd was released (the workers retire closed connections

@@ -1,0 +1,213 @@
+//! Smoke tests for the observability plane: a live CPSERVER under TCP load
+//! must serve parseable, monotone Prometheus metrics over both the HTTP
+//! stats endpoint and the kvproto v2 STATS opcode.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use cphash_suite::kvserver::{
+    CpServer, CpServerConfig, LockServer, LockServerConfig, MemcacheCluster, MemcacheConfig,
+};
+use cphash_suite::loadgen::tcp::{run_tcp_load, TcpLoadOptions};
+use cphash_suite::loadgen::WorkloadSpec;
+use cphash_suite::perfmon::{parse_prometheus_text, ParsedSample};
+use cphash_suite::RemoteClient;
+
+/// GET a path from the stats endpoint and return (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Scrape `/metrics` and parse the exposition.
+fn scrape(addr: SocketAddr) -> Vec<ParsedSample> {
+    let (status, body) = http_get(addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+    parse_prometheus_text(&body).expect("scrape parses")
+}
+
+fn sample_value(samples: &[ParsedSample], name: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .map(|s| s.value)
+}
+
+#[test]
+fn stats_endpoint_serves_monotone_metrics_under_load() {
+    let mut server = CpServer::start(CpServerConfig {
+        client_threads: 2,
+        partitions: 2,
+        capacity_bytes: Some(64 * 1024),
+        typical_value_bytes: 8,
+        stats_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..Default::default()
+    })
+    .unwrap();
+    let stats_addr = server.stats_addr().expect("stats endpoint is enabled");
+    let data_addr = server.addr();
+
+    let spec = WorkloadSpec {
+        working_set_bytes: 64 * 1024,
+        capacity_bytes: 64 * 1024,
+        operations: 20_000,
+        insert_ratio: 0.3,
+        prefill: false,
+        ..Default::default()
+    };
+    let load = std::thread::spawn(move || {
+        run_tcp_load(
+            &spec,
+            &TcpLoadOptions {
+                addr: data_addr,
+                threads: 2,
+                connections_per_thread: 2,
+                pipeline: 32,
+            },
+        )
+        .unwrap()
+    });
+
+    // Scrape mid-run: poll until the request counter moves, proving the
+    // endpoint answers while the data plane is busy.
+    let mut mid = scrape(stats_addr);
+    while sample_value(&mid, "cphash_requests_total").unwrap_or(0.0) == 0.0 && !load.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        mid = scrape(stats_addr);
+    }
+
+    let result = load.join().unwrap();
+    assert_eq!(result.operations, spec.operations);
+    let end = scrape(stats_addr);
+
+    // The acceptance families are all present.
+    for family in [
+        "cphash_requests_total",
+        "cphash_lookups_total",
+        "cphash_inserts_total",
+        "cphash_connections_total",
+        "cphash_batch_rounds_total",
+        "cphash_batch_occupancy",
+        "cphash_queue_depth",
+        "cphash_migration_chunks_total",
+        "cphash_migration_pacer_rate",
+        "cphash_retries_emitted_total",
+        "cphash_request_latency_ns_count",
+        "cphash_frontend_wakeups_total",
+    ] {
+        assert!(
+            end.iter().any(|s| s.name == family),
+            "family {family} missing from scrape"
+        );
+    }
+    // Per-stage trace histograms are exported per stage label even while
+    // tracing is off (all-zero until enabled).
+    for stage in [
+        "ring_enqueue",
+        "drain",
+        "prepare",
+        "prefetch",
+        "execute",
+        "reply_publish",
+    ] {
+        assert!(
+            end.iter().any(|s| s.name == "cphash_stage_cycles_count"
+                && s.labels.contains(&format!("stage=\"{stage}\""))),
+            "stage {stage} missing from scrape"
+        );
+    }
+
+    // Every counter sample is monotone between the two scrapes.
+    for before in mid
+        .iter()
+        .filter(|s| s.name.ends_with("_total") || s.name.ends_with("_count"))
+    {
+        let after = end
+            .iter()
+            .find(|s| s.name == before.name && s.labels == before.labels)
+            .unwrap_or_else(|| panic!("{} vanished between scrapes", before.name));
+        assert!(
+            after.value >= before.value,
+            "{}{} went backwards: {} -> {}",
+            before.name,
+            before.labels,
+            before.value,
+            after.value
+        );
+    }
+    // And the final request count accounts for the whole workload.
+    assert!(
+        sample_value(&end, "cphash_requests_total").unwrap() >= spec.operations as f64,
+        "request counter undercounts the workload"
+    );
+
+    let (status, _) = http_get(stats_addr, "/nope");
+    assert!(status.starts_with("HTTP/1.0 404"), "{status}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_opcode_answers_on_every_server() {
+    // The wire STATS request returns the same exposition the HTTP endpoint
+    // serves, on all three servers, without any HTTP listener configured.
+    fn fetch_and_check(addr: SocketAddr) -> Vec<ParsedSample> {
+        let mut client = RemoteClient::connect(addr).unwrap();
+        assert_eq!(client.protocol_version(), 2);
+        let text = client.fetch_stats().unwrap();
+        let samples = parse_prometheus_text(&text).expect("wire stats parse");
+        assert!(
+            samples.iter().any(|s| s.name == "cphash_requests_total"),
+            "wire stats carry the request counter"
+        );
+        samples
+    }
+
+    let mut cpserver = CpServer::start(CpServerConfig {
+        client_threads: 1,
+        partitions: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let samples = fetch_and_check(cpserver.addr());
+    // The STATS round-trip itself is counted as an admin command.
+    assert!(sample_value(&samples, "cphash_admin_commands_total").is_some());
+    cpserver.shutdown();
+
+    let mut lockserver = LockServer::start(LockServerConfig {
+        worker_threads: 1,
+        partitions: 16,
+        ..Default::default()
+    })
+    .unwrap();
+    fetch_and_check(lockserver.addr());
+    lockserver.shutdown();
+
+    let mut cluster = MemcacheCluster::start(MemcacheConfig {
+        instances: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    fetch_and_check(cluster.addrs()[0]);
+    cluster.shutdown();
+}
+
+#[test]
+fn stats_opcode_is_refused_on_v1_connections() {
+    use cphash_suite::{KvError, OpError};
+
+    let mut server = CpServer::start(CpServerConfig::default()).unwrap();
+    let mut client = RemoteClient::connect_capped(server.addr(), 1).unwrap();
+    assert_eq!(client.protocol_version(), 1);
+    match client.fetch_stats() {
+        Err(KvError::Op(OpError::Unsupported)) => {}
+        other => panic!("v1 stats must be Unsupported, got {other:?}"),
+    }
+    server.shutdown();
+}

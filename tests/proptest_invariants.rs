@@ -7,7 +7,10 @@
 //! * the wire protocol and the CPHash request encoding round-trip arbitrary
 //!   frames;
 //! * the allocator never hands out overlapping live blocks and its
-//!   accounting always balances.
+//!   accounting always balances;
+//! * the latency histogram's summaries always agree with the raw samples,
+//!   merging is equivalent to recording everything into one histogram, and
+//!   the trace ring keeps exactly the most recent events across wrap-around.
 
 use std::collections::HashMap;
 
@@ -20,7 +23,31 @@ use cphash_suite::hashcore::{EvictionPolicy, Partition, PartitionConfig};
 use cphash_suite::kvproto::{
     encode_insert, encode_lookup, encode_response, RequestDecoder, RequestKind, ResponseDecoder,
 };
+use cphash_suite::perfmon::{trace, LatencyHistogram, StageSpan, TraceStage};
 use cphash_suite::table::protocol;
+
+/// Latency-like samples spread across the histogram's full range: exact
+/// zeros, small values, bucket boundaries (powers of two) and arbitrary
+/// 64-bit values.
+fn latency_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..16,
+        16u64..4096,
+        (0u32..64).prop_map(|b| 1u64 << b),
+        any::<u64>(),
+    ]
+}
+
+/// The bucket upper bound `LatencyHistogram` assigns a value (the same
+/// convention `nonzero_buckets` and `percentile` export).
+fn expected_bound(value: u64) -> u64 {
+    match 64 - value.leading_zeros() {
+        0 => 0,
+        64 => u64::MAX,
+        bits => 1u64 << bits,
+    }
+}
 
 /// One partition operation for the model-based test.
 #[derive(Debug, Clone)]
@@ -240,5 +267,119 @@ proptest! {
         prop_assert_eq!(allocator.bytes_in_use(), 0);
         prop_assert_eq!(allocator.stats().outstanding(), 0);
         prop_assert!(allocator.stats().total_frees >= outstanding as u64);
+    }
+
+    #[test]
+    fn latency_histogram_summaries_match_the_samples(
+        samples in prop::collection::vec(latency_sample(), 1..300),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        // Percentiles are monotone in the percentile and the top one bounds
+        // every sample (bucket upper bounds are `>=` their contents).
+        let pcts = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0];
+        let values: Vec<u64> = pcts.iter().map(|&p| h.percentile(p)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "percentiles regressed: {values:?}");
+        }
+        prop_assert!(*values.last().unwrap() >= h.max());
+        // The exported buckets are exactly the per-bound sample counts.
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut bounds: Vec<u64> = samples.iter().map(|&v| expected_bound(v)).collect();
+        bounds.sort_unstable();
+        for bound in bounds {
+            match expected.last_mut() {
+                Some((b, c)) if *b == bound => *c += 1,
+                _ => expected.push((bound, 1)),
+            }
+        }
+        prop_assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn latency_histogram_merge_equals_recording_into_one(
+        a in prop::collection::vec(latency_sample(), 0..200),
+        b in prop::collection::vec(latency_sample(), 0..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), combined.count());
+        prop_assert_eq!(ha.sum(), combined.sum());
+        prop_assert_eq!(ha.min(), combined.min());
+        prop_assert_eq!(ha.max(), combined.max());
+        prop_assert_eq!(
+            ha.nonzero_buckets().collect::<Vec<_>>(),
+            combined.nonzero_buckets().collect::<Vec<_>>()
+        );
+        for pct in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            prop_assert_eq!(ha.percentile(pct), combined.percentile(pct), "pct {}", pct);
+        }
+    }
+
+    #[test]
+    fn trace_ring_wraparound_keeps_the_most_recent_events(
+        capacity in 1usize..64,
+        events in 1usize..200,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Ring capacity binds at a thread's first recorded event, so each
+        // case runs on a fresh, uniquely named thread.
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let name = format!("proptest-trace-{}", CASE.fetch_add(1, Ordering::Relaxed));
+        trace::set_ring_capacity(capacity);
+        trace::set_trace_enabled(true);
+        std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                for i in 0..events {
+                    let span = StageSpan::begin(TraceStage::Execute);
+                    span.finish(i as u32);
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        trace::set_trace_enabled(false);
+
+        let report = trace::snapshot(usize::MAX);
+        let thread = report
+            .threads
+            .iter()
+            .find(|t| t.name == name)
+            .expect("traced thread registered");
+        prop_assert_eq!(thread.total, events as u64);
+        prop_assert_eq!(thread.events.len(), events.min(capacity));
+        // The retained window is the most recent events, oldest first: the
+        // `ops` stamps must be the trailing run of the recorded sequence.
+        let oldest_retained = events - thread.events.len();
+        for (offset, event) in thread.events.iter().enumerate() {
+            prop_assert_eq!(event.ops as usize, oldest_retained + offset);
+            prop_assert_eq!(event.stage as usize, TraceStage::Execute as usize);
+        }
+        // Histograms are cumulative across wrap-around: every event counts.
+        let mut recorded = 0u64;
+        for t in &report.threads {
+            if t.name == name {
+                recorded = t.total;
+            }
+        }
+        prop_assert!(report.stage(TraceStage::Execute).count() >= recorded);
     }
 }

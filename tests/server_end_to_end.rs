@@ -161,13 +161,7 @@ fn delete_over_tcp_against_every_server() {
 
     let mut cpserver = CpServer::start(CpServerConfig::default()).unwrap();
     delete_roundtrip(cpserver.addr());
-    assert!(
-        cpserver
-            .metrics()
-            .deletes
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 3
-    );
+    assert!(cpserver.metrics().deletes() >= 3);
     cpserver.shutdown();
 
     let mut lockserver = LockServer::start(LockServerConfig::default()).unwrap();
