@@ -17,7 +17,9 @@
 //!   and by the ring buffers to detect "a whole line worth of messages has
 //!   been produced".
 //! * [`packing`] — messages-per-line arithmetic backing the paper's claim
-//!   that eight 8-byte lookups (or four 16-byte inserts) fit in one line.
+//!   that eight 8-byte lookups (or four 16-byte inserts) fit in one line,
+//!   plus the tagged-bucket line geometry (how many 8-bit tags + `u32`
+//!   element refs + overflow head pack into one bucket's own line).
 //! * [`prefetch`] — the software-prefetch hint the batched server pipeline
 //!   uses to overlap bucket cache misses (real instruction on x86-64 and
 //!   AArch64, no-op elsewhere).

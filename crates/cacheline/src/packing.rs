@@ -58,6 +58,50 @@ pub fn lines_per_message(n: usize, msg_size: usize) -> f64 {
     lines_for_messages(n, msg_size) as f64 / n as f64
 }
 
+/// Bytes of one inline bucket entry's key tag (see
+/// [`bucket_inline_slots`]).
+pub const BUCKET_TAG_BYTES: usize = 1;
+
+/// Bytes of one inline bucket entry's element reference (a `u32` slot
+/// index into the partition's element slab).
+pub const BUCKET_REF_BYTES: usize = 4;
+
+/// Bytes of the overflow chain head stored at the end of a bucket line.
+pub const BUCKET_OVERFLOW_BYTES: usize = 4;
+
+/// How many tagged entries pack inline into one bucket cache line.
+///
+/// The tagged-bucket layout opens each line with a *header word*: the
+/// 8-bit key tags share the line's first 8-byte word with a one-byte
+/// occupancy bitmap, so at most `8 - 1 = 7` tags fit — which also leaves
+/// the `u32` element refs naturally aligned right behind the header with
+/// zero padding.  The refs plus the `u32` overflow chain head must then
+/// still fit in the remainder of the line; whichever bound is tighter
+/// wins.  For the ubiquitous 64-byte line both bounds allow 7, and the
+/// populated prefix of the line is `8 + 7·4 + 4 = 40` bytes.
+#[inline]
+pub const fn bucket_inline_slots(line_bytes: usize) -> usize {
+    // Tags + occupancy bitmap share the leading 8-byte header word.
+    let by_header = (8 - 1) / BUCKET_TAG_BYTES;
+    // Refs + overflow head fill the rest of the line.
+    if line_bytes < 8 + BUCKET_OVERFLOW_BYTES {
+        return 0;
+    }
+    let by_body = (line_bytes - 8 - BUCKET_OVERFLOW_BYTES) / BUCKET_REF_BYTES;
+    if by_header < by_body {
+        by_header
+    } else {
+        by_body
+    }
+}
+
+/// Bytes of one bucket line actually populated by `slots` inline entries
+/// (header word + refs + overflow head); the rest of the line is padding.
+#[inline]
+pub const fn bucket_line_used_bytes(slots: usize) -> usize {
+    8 + slots * BUCKET_REF_BYTES + BUCKET_OVERFLOW_BYTES
+}
+
 /// Paper constant: bytes in a `Lookup` request message (8-byte key).
 pub const LOOKUP_MSG_BYTES: usize = 8;
 
@@ -131,6 +175,20 @@ mod tests {
         let s = summarize(16);
         assert_eq!(s.per_line, 4);
         assert_eq!(s.lines_per_1000, 250);
+    }
+
+    #[test]
+    fn bucket_line_geometry_fits_seven_tagged_entries() {
+        // The tagged-bucket layout: 7 tags + occupancy byte fill the header
+        // word, 7 refs + overflow head fill 32 more bytes — 40 of 64 used.
+        let n = bucket_inline_slots(CACHE_LINE_SIZE);
+        assert_eq!(n, 7);
+        assert_eq!(bucket_line_used_bytes(n), 40);
+        assert!(bucket_line_used_bytes(n) <= CACHE_LINE_SIZE);
+        // The header bound (not the body bound) is what caps a 64-byte
+        // line; a hypothetical 32-byte line is body-capped instead.
+        assert_eq!(bucket_inline_slots(32), 5);
+        assert_eq!(bucket_inline_slots(8), 0);
     }
 
     #[test]

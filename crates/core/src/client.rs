@@ -686,13 +686,19 @@ impl ClientHandle {
             return;
         }
         // Batched value prefetch: every hit in this response batch carries
-        // a pointer whose line the loop below will read (lookup value copy)
-        // or write (insert value copy).  Hint them all first so the copies'
-        // DRAM misses overlap — the client-side mirror of the server's
-        // staged bucket prefetch.
+        // a pointer whose lines the loop below will read (lookup value copy)
+        // or write (insert value copy).  Hint them all first — every line of
+        // the value, not just the first — so the copies' DRAM misses overlap
+        // — the client-side mirror of the server's staged bucket prefetch.
         for response in resp_buf.iter() {
             if response.has_value() {
-                cphash_cacheline::prefetch_read(response.addr as *const u8);
+                let start = response.addr as usize;
+                let end = start + response.value_size().max(1);
+                let mut line = start & !(cphash_cacheline::CACHE_LINE_SIZE - 1);
+                while line < end {
+                    cphash_cacheline::prefetch_read(line as *const u8);
+                    line += cphash_cacheline::CACHE_LINE_SIZE;
+                }
             }
         }
         for response in resp_buf.drain(..) {

@@ -3,6 +3,8 @@
 use cphash_affinity::{HwThreadId, PlacementPlan, Role, ThreadAssignment, Topology};
 use cphash_hashcore::EvictionPolicy;
 
+pub use cphash_hashcore::BucketLayout;
+
 /// How the repartition coordinator paces chunk hand-offs during a live
 /// resize (see `cphash-migrate`'s `MigrationPacer`).
 ///
@@ -244,6 +246,10 @@ pub struct CpHashConfig {
     /// (hash + prefetch) before executing them.  1 degenerates to
     /// per-operation processing within the batched code path.
     pub batch_size: usize,
+    /// Bucket memory layout inside each partition: tagged inline cache
+    /// lines (the default) or the paper's bare chain heads.  Overridable
+    /// with `CPHASH_BUCKET_LAYOUT` for A/B runs (see [`BucketLayout`]).
+    pub bucket_layout: BucketLayout,
 }
 
 impl Default for CpHashConfig {
@@ -262,6 +268,7 @@ impl Default for CpHashConfig {
             migration_pacing: MigrationPacing::Unpaced,
             pipeline: ServerPipeline::from_env(),
             batch_size: batch_size_from_env(),
+            bucket_layout: BucketLayout::from_env(),
         }
     }
 }
@@ -396,6 +403,12 @@ impl CpHashConfig {
     /// Set the pipeline depth (operations staged per batch; must be ≥ 1).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Select the bucket layout (tagged inline lines / bare chain heads).
+    pub fn with_bucket_layout(mut self, layout: BucketLayout) -> Self {
+        self.bucket_layout = layout;
         self
     }
 
@@ -554,6 +567,18 @@ mod tests {
         CpHashConfig::new(2, 1)
             .with_pipeline(ServerPipeline::Scalar)
             .with_batch_size(1)
+            .validate();
+    }
+
+    #[test]
+    fn bucket_layout_names_round_trip_and_validate() {
+        for layout in [BucketLayout::Chain, BucketLayout::Inline] {
+            assert_eq!(BucketLayout::parse(layout.as_str()), Ok(layout));
+            assert_eq!(format!("{layout}"), layout.as_str());
+        }
+        assert!(BucketLayout::parse("robin-hood").is_err());
+        CpHashConfig::new(2, 1)
+            .with_bucket_layout(BucketLayout::Chain)
             .validate();
     }
 

@@ -10,8 +10,12 @@
 //! * [`ScalarExecutor`] — the pre-batching baseline: hash, touch memory and
 //!   reply one operation at a time;
 //! * [`StagedExecutor`] — the paper pipeline: *prepare* (hash) every
-//!   operation of the batch, prefetch each one's bucket chain, then execute
-//!   them all and reply as one ring batch.
+//!   operation of the batch, prefetch each one's bucket, then execute them
+//!   all and reply as one ring batch.  Under the default tagged inline
+//!   bucket layout the staging pass is pure address arithmetic — the hint
+//!   targets the bucket's own cache line, which holds the key tags and
+//!   element refs of the common case, so staging never reads table memory
+//!   and one prefetched line usually resolves the whole probe.
 //!
 //! Both produce byte-identical responses for identical request streams —
 //! `tests/pipeline_equivalence.rs` holds that property under random
@@ -249,7 +253,7 @@ impl BatchExecutor for ScalarExecutor {
 }
 
 /// The staged pipeline: prepare (hash) the whole batch, prefetch every
-/// operation's bucket chain, then execute the batch in order.
+/// operation's bucket, then execute the batch in order.
 ///
 /// By the time operation *i* executes, the prefetches for operations
 /// *i+1..n* are in flight — the memory-level parallelism the scalar loop

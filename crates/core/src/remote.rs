@@ -218,6 +218,11 @@ impl RemoteClient {
                         break;
                     }
                 };
+                // Hint the value bytes as early as possible: the copy into
+                // a `ValueBytes` below reads every line of the payload, and
+                // large replies sit in decoder-buffer memory the hot path
+                // has not touched since the socket read landed it.
+                prefetch_value_lines(&reply.value);
                 let Some(pending) = self.pending.pop_front() else {
                     // A reply with nothing pending: protocol desync.
                     self.dead = Some(ErrorKind::InvalidData);
@@ -263,6 +268,9 @@ impl RemoteClient {
                         break;
                     }
                 };
+                if let Some(value) = &response.value {
+                    prefetch_value_lines(value);
+                }
                 let Some(pending) = self.pending.pop_front() else {
                     self.dead = Some(ErrorKind::InvalidData);
                     break;
@@ -289,6 +297,22 @@ impl RemoteClient {
             }
         }
         produced
+    }
+}
+
+/// Hint every cache line a decoded value occupies, so the copy that follows
+/// overlaps its misses instead of paying them one line at a time.
+#[inline]
+fn prefetch_value_lines(bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    let start = bytes.as_ptr() as usize;
+    let end = start + bytes.len();
+    let mut line = start & !(cphash_cacheline::CACHE_LINE_SIZE - 1);
+    while line < end {
+        cphash_cacheline::prefetch_read(line as *const u8);
+        line += cphash_cacheline::CACHE_LINE_SIZE;
     }
 }
 

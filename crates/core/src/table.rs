@@ -84,6 +84,7 @@ impl CpHash {
                 eviction: config.eviction,
                 seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
                 migration_chunks: config.migration_chunks,
+                layout: config.bucket_layout,
             });
             let thread = ServerThread {
                 index,
@@ -181,6 +182,21 @@ impl CpHash {
             total.merge(&p.lock());
         }
         total
+    }
+
+    /// An owning sampler of [`CpHash::partition_stats`] for metrics
+    /// registries: it clones the shared per-server cells, so it stays
+    /// valid (freezing at the final published values) even after the
+    /// table shuts down.
+    pub fn partition_stats_sampler(&self) -> impl Fn() -> PartitionStats + Send + Sync + 'static {
+        let cells = self.partition_stats.clone();
+        move || {
+            let mut total = PartitionStats::default();
+            for p in &cells {
+                total.merge(&p.lock());
+            }
+            total
+        }
     }
 
     /// Stop all server threads and wait for them to exit.  Safe to call

@@ -57,10 +57,34 @@ pub const MAX_MIGRATION_CHUNKS: usize = 1 << 16;
 /// (a power of two).
 #[inline]
 pub fn bucket_for_key(key: u64, buckets: usize) -> usize {
+    bucket_from_hash(hash64(key), buckets)
+}
+
+/// [`bucket_for_key`] with the hash already computed — lets two-phase
+/// callers derive bucket and tag from one `hash64` evaluation.
+#[inline]
+pub fn bucket_from_hash(hash: u64, buckets: usize) -> usize {
     debug_assert!(buckets.is_power_of_two());
     // Use the upper bits so that partition selection (modulo) and bucket
     // selection stay decorrelated.
-    ((hash64(key) >> 17) & (buckets as u64 - 1)) as usize
+    ((hash >> 17) & (buckets as u64 - 1)) as usize
+}
+
+/// The 8-bit key tag stored in a bucket's inline cache line.
+///
+/// Drawn from the hash's *low* byte so it is decorrelated from bucket
+/// selection (bits 17+), partition selection (modulo over the full hash)
+/// and migration chunks (bits 48..64): two keys in the same bucket still
+/// collide on the tag only with probability ~2⁻⁸.
+#[inline]
+pub fn key_tag(key: u64) -> u8 {
+    key_tag_from_hash(hash64(key))
+}
+
+/// [`key_tag`] with the hash already computed.
+#[inline]
+pub fn key_tag_from_hash(hash: u64) -> u8 {
+    hash as u8
 }
 
 #[cfg(test)]
@@ -126,6 +150,21 @@ mod tests {
             "only {} distinct buckets",
             buckets.len()
         );
+    }
+
+    #[test]
+    fn key_tags_are_stable_and_decorrelated_from_buckets() {
+        assert_eq!(key_tag(42), key_tag(42));
+        assert_eq!(key_tag(7), key_tag_from_hash(hash64(7)));
+        // Keys sharing one bucket must still spread over (almost) all 256
+        // tag values, or the tag would reject nothing.
+        let mut tags = HashSet::new();
+        for key in 0..200_000u64 {
+            if bucket_for_key(key, 64) == 0 {
+                tags.insert(key_tag(key));
+            }
+        }
+        assert!(tags.len() > 240, "only {} distinct tags", tags.len());
     }
 
     #[test]

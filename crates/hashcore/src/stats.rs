@@ -34,6 +34,17 @@ pub struct PartitionStats {
     /// Export calls that scanned every slot (the legacy whole-table path).
     /// Stays zero when migration uses the per-chunk index.
     pub full_export_scans: u64,
+    /// Probes resolved by a bucket line's *inline* tagged slots — the
+    /// common case one bucket-line prefetch fully covers.  Zero under the
+    /// chained layout.
+    pub inline_hits: u64,
+    /// Elements visited on bucket *overflow chains* (a bucket held more
+    /// keys than its inline slots).  Zero under the chained layout.
+    pub overflow_probes: u64,
+    /// Inline tag matches whose full key comparison then failed — the
+    /// ~2⁻⁸-probability cost of the 8-bit tag filter.  Zero under the
+    /// chained layout.
+    pub tag_false_positives: u64,
 }
 
 impl PartitionStats {
@@ -61,6 +72,9 @@ impl PartitionStats {
         self.absorbed += other.absorbed;
         self.export_elements_visited += other.export_elements_visited;
         self.full_export_scans += other.full_export_scans;
+        self.inline_hits += other.inline_hits;
+        self.overflow_probes += other.overflow_probes;
+        self.tag_false_positives += other.tag_false_positives;
     }
 
     /// Zero every counter.
@@ -85,12 +99,18 @@ mod tests {
             lookups: 10,
             hits: 3,
             evictions: 2,
+            inline_hits: 4,
+            overflow_probes: 5,
+            tag_false_positives: 1,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.lookups, 20);
         assert_eq!(a.hits, 10);
         assert_eq!(a.evictions, 2);
+        assert_eq!(a.inline_hits, 4);
+        assert_eq!(a.overflow_probes, 5);
+        assert_eq!(a.tag_false_positives, 1);
         a.reset();
         assert_eq!(a, PartitionStats::default());
         assert_eq!(a.hit_rate(), 0.0);

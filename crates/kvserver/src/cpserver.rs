@@ -205,6 +205,7 @@ impl CpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
         metrics.attach_batch_sources(table.server_stats());
+        metrics.attach_partition_source(table.partition_stats_sampler());
         let (slots, inboxes) = worker_channels(config.client_threads, config.frontend);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 

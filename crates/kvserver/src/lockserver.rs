@@ -74,6 +74,10 @@ impl LockServer {
         let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
+        {
+            let table = Arc::clone(&table);
+            metrics.attach_partition_source(move || table.stats());
+        }
         let (slots, inboxes) = worker_channels(config.worker_threads, config.frontend);
         let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
 

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cphash_hashcore::{EvictionPolicy, Partition, PartitionConfig};
+use cphash_hashcore::{BucketLayout, EvictionPolicy, Partition, PartitionConfig};
 use cphash_kvproto::{envelope, ErrCode, OpKind, Reply, Status};
 use parking_lot::Mutex;
 
@@ -98,11 +98,16 @@ impl MemcacheCluster {
                 seed: 0x4D45_4D43 ^ index as u64,
                 // The memcached-style baseline never migrates.
                 migration_chunks: 1,
+                layout: BucketLayout::from_env(),
             })));
             instances.push(Instance {
                 addr,
                 store: Arc::clone(&store),
             });
+            {
+                let store = Arc::clone(&store);
+                metrics.attach_partition_source(move || store.lock().stats());
+            }
 
             let stop_flag = Arc::clone(&stop);
             let metrics_ref = Arc::clone(&metrics);
@@ -295,7 +300,10 @@ fn instance_loop(
                         // v2-only admin op: the reply value is the full
                         // metrics snapshot in Prometheus text format.  The
                         // cluster shares one metrics block, so any instance
-                        // answers for all of them.
+                        // answers for all of them.  Rendering samples every
+                        // instance's partition counters through the store
+                        // locks, so this store's guard must drop first.
+                        drop(table);
                         metrics.note_stats();
                         let text = metrics.render_prometheus();
                         conn.queue_reply_parts(Status::Ok, ErrCode::None, text.as_bytes());

@@ -170,6 +170,13 @@ pub struct StatsSnapshot {
     pub migration_paced_waits: u64,
     /// Most recent pacer rate in chunks/second.
     pub migration_pacer_rate: f64,
+    /// Probes resolved from a bucket line's tagged inline slots (zero under
+    /// the chained layout).
+    pub bucket_inline_hits: u64,
+    /// Elements walked on bucket overflow chains past the inline slots.
+    pub bucket_overflow_probes: u64,
+    /// Inline tag matches whose full key comparison then failed.
+    pub bucket_tag_false_positives: u64,
 }
 
 /// Request counters, updated by worker threads and read by benchmarks.
@@ -177,7 +184,6 @@ pub struct StatsSnapshot {
 /// Counters live on the [`MetricsRegistry`] (per-thread sharded atomics);
 /// the raw shared sources (`frontend`, `latency`, the table's batch
 /// counters, migration progress) are registered as sampled collectors.
-#[derive(Debug)]
 pub struct ServerMetrics {
     registry: MetricsRegistry,
     requests: Counter,
@@ -202,6 +208,21 @@ pub struct ServerMetrics {
     /// start so callers can read hot-loop batching/prefetch statistics
     /// through the same metrics handle as everything else.
     batch_sources: Arc<Mutex<Vec<Arc<cphash::ServerStats>>>>,
+    /// Samplers for the table's merged partition statistics (bucket-layout
+    /// counters), attached at server start.
+    partition_sources: Arc<Mutex<Vec<PartitionStatsFn>>>,
+}
+
+/// A non-destructive sampler of a table's merged partition statistics.
+type PartitionStatsFn = Box<dyn Fn() -> cphash::PartitionStats + Send + Sync>;
+
+/// Merge every attached table's partition statistics.
+fn merged_partitions(sources: &Mutex<Vec<PartitionStatsFn>>) -> cphash::PartitionStats {
+    let mut total = cphash::PartitionStats::default();
+    for source in sources.lock().iter() {
+        total.merge(&source());
+    }
+    total
 }
 
 /// Merge every attached server's batch counters.
@@ -227,6 +248,7 @@ impl ServerMetrics {
         let migration = Arc::new(MigrationProgress::default());
         let batch_sources: Arc<Mutex<Vec<Arc<cphash::ServerStats>>>> =
             Arc::new(Mutex::new(Vec::new()));
+        let partition_sources: Arc<Mutex<Vec<PartitionStatsFn>>> = Arc::new(Mutex::new(Vec::new()));
 
         let requests = registry.counter(
             "cphash_requests_total",
@@ -304,6 +326,28 @@ impl ServerMetrics {
             move || summed_queue_depth(&s) as f64,
         );
 
+        let p = Arc::clone(&partition_sources);
+        registry.counter_fn(
+            "cphash_bucket_inline_hits_total",
+            "Probes resolved from a bucket line's tagged inline slots (inline layout)",
+            &[],
+            move || merged_partitions(&p).inline_hits,
+        );
+        let p = Arc::clone(&partition_sources);
+        registry.counter_fn(
+            "cphash_bucket_overflow_probes_total",
+            "Elements walked on bucket overflow chains past the inline slots",
+            &[],
+            move || merged_partitions(&p).overflow_probes,
+        );
+        let p = Arc::clone(&partition_sources);
+        registry.counter_fn(
+            "cphash_bucket_tag_false_positives_total",
+            "Inline tag matches whose full key comparison then failed",
+            &[],
+            move || merged_partitions(&p).tag_false_positives,
+        );
+
         let m = Arc::clone(&migration);
         registry.counter_fn(
             "cphash_migration_chunks_total",
@@ -368,6 +412,7 @@ impl ServerMetrics {
             latency,
             migration,
             batch_sources,
+            partition_sources,
         }
     }
 
@@ -390,6 +435,7 @@ impl ServerMetrics {
 
     /// The unified typed snapshot shared by all three servers.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let partitions = self.partition_stats();
         StatsSnapshot {
             requests: self.requests.value(),
             lookups: self.lookups.value(),
@@ -410,6 +456,9 @@ impl ServerMetrics {
             migration_keys: self.migration.keys_moved(),
             migration_paced_waits: self.migration.paced_waits(),
             migration_pacer_rate: self.migration.pacer_rate(),
+            bucket_inline_hits: partitions.inline_hits,
+            bucket_overflow_probes: partitions.overflow_probes,
+            bucket_tag_false_positives: partitions.tag_false_positives,
         }
     }
 
@@ -520,11 +569,35 @@ impl ServerMetrics {
     pub fn batch_stats(&self) -> BatchStats {
         merged_batch(&self.batch_sources)
     }
+
+    /// Attach a sampler of a table's merged partition statistics, the
+    /// source behind the `cphash_bucket_*` counter families.
+    pub(crate) fn attach_partition_source(
+        &self,
+        source: impl Fn() -> cphash::PartitionStats + Send + Sync + 'static,
+    ) {
+        self.partition_sources.lock().push(Box::new(source));
+    }
+
+    /// Merged partition statistics (bucket-layout counters) across every
+    /// attached table.
+    pub fn partition_stats(&self) -> cphash::PartitionStats {
+        merged_partitions(&self.partition_sources)
+    }
 }
 
 impl Default for ServerMetrics {
     fn default() -> Self {
         ServerMetrics::new()
+    }
+}
+
+impl core::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The sampler closures are opaque; summarize through the snapshot.
+        f.debug_struct("ServerMetrics")
+            .field("snapshot", &self.snapshot())
+            .finish_non_exhaustive()
     }
 }
 
@@ -593,6 +666,12 @@ mod tests {
         m.frontend.note_idle_sleep();
         m.migration.note_repartition(7, 700, 1);
         m.migration.set_pacer_rate(3.25);
+        m.attach_partition_source(|| cphash::PartitionStats {
+            inline_hits: 41,
+            overflow_probes: 5,
+            tag_false_positives: 2,
+            ..Default::default()
+        });
 
         let unified = m.snapshot();
         let registry = m.metrics_snapshot();
@@ -655,6 +734,19 @@ mod tests {
         assert_eq!(
             unified.migration_pacer_rate,
             gauge("cphash_migration_pacer_rate")
+        );
+        assert_eq!(
+            unified.bucket_inline_hits,
+            counter("cphash_bucket_inline_hits_total")
+        );
+        assert_eq!(unified.bucket_inline_hits, 41);
+        assert_eq!(
+            unified.bucket_overflow_probes,
+            counter("cphash_bucket_overflow_probes_total")
+        );
+        assert_eq!(
+            unified.bucket_tag_false_positives,
+            counter("cphash_bucket_tag_false_positives_total")
         );
 
         // The rendered text carries the same families and round-trips

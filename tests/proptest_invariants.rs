@@ -131,6 +131,62 @@ proptest! {
     }
 
     #[test]
+    fn inline_and_chain_partitions_are_observably_identical(
+        ops in prop::collection::vec(partition_op(), 1..400),
+        capacity in prop::option::of(128usize..512),
+    ) {
+        use cphash_suite::hashcore::BucketLayout;
+        // Eight buckets under a 64-key space forces every inline bucket
+        // line past its seven tagged slots, so overflow chaining and
+        // slot promotion are exercised, not just the fast path.
+        let mut chain = Partition::new(
+            PartitionConfig::new(8, capacity).with_layout(BucketLayout::Chain),
+        );
+        let mut inline = Partition::new(
+            PartitionConfig::new(8, capacity).with_layout(BucketLayout::Inline),
+        );
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                PartitionOp::Insert { key, len } => {
+                    let value: Vec<u8> = (0..len).map(|b| (b as u8) ^ (i as u8)).collect();
+                    let a = chain.insert_copy(key, &value);
+                    let b = inline.insert_copy(key, &value);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "insert outcome diverged for key {}", key);
+                }
+                PartitionOp::Lookup { key } => {
+                    let mut buf_a = Vec::new();
+                    let mut buf_b = Vec::new();
+                    let hit_a = chain.lookup_copy(key, &mut buf_a);
+                    let hit_b = inline.lookup_copy(key, &mut buf_b);
+                    prop_assert_eq!(hit_a, hit_b, "hit/miss diverged for key {}", key);
+                    prop_assert_eq!(buf_a, buf_b, "values diverged for key {}", key);
+                }
+                PartitionOp::Delete { key } => {
+                    prop_assert_eq!(chain.delete(key), inline.delete(key));
+                }
+            }
+            chain.check_invariants();
+            inline.check_invariants();
+        }
+        prop_assert_eq!(chain.len(), inline.len());
+        prop_assert_eq!(chain.bytes_in_use(), inline.bytes_in_use());
+        // The layouts must also report themselves honestly: bucket-line
+        // counters only ever tick under the inline layout.
+        let chain_stats = chain.stats();
+        prop_assert_eq!(chain_stats.inline_hits, 0);
+        prop_assert_eq!(chain_stats.overflow_probes, 0);
+        prop_assert_eq!(chain_stats.tag_false_positives, 0);
+        let inline_stats = inline.stats();
+        prop_assert_eq!(inline_stats.hits, chain_stats.hits);
+        if inline_stats.hits > 0 {
+            prop_assert!(
+                inline_stats.inline_hits + inline_stats.overflow_probes > 0,
+                "inline layout served hits without touching bucket lines"
+            );
+        }
+    }
+
+    #[test]
     fn ring_buffer_preserves_every_message_in_order(
         chunks in prop::collection::vec(1usize..50, 1..40),
         capacity in 16usize..256,
