@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod remote;
 pub mod size_class;
 pub mod slab;
 pub mod stats;
 
+pub use remote::RemoteFreeList;
 pub use size_class::{class_for_size, class_size, SizeClass, NUM_CLASSES};
 pub use slab::{SlabAllocator, SlabConfig, ValueHandle};
 pub use stats::AllocStats;

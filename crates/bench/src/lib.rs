@@ -16,6 +16,7 @@
 //!   results for easy comparison.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod args;
 pub mod figures;

@@ -12,7 +12,7 @@
 //!   recommendation with the `RepartitionCoordinator`, repeat
 //!   (`ablate_dynamic_servers`).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -64,13 +64,14 @@ fn mixed_load_worker(
             if client.poll(&mut completions) == 0 {
                 std::thread::yield_now();
             } else {
+                // relaxed: progress counter read by the live reporter
                 progress.fetch_add(completions.len() as u64, Ordering::Relaxed);
             }
         }
     }
     completions.clear();
     if client.drain(&mut completions).is_ok() {
-        progress.fetch_add(completions.len() as u64, Ordering::Relaxed);
+        progress.fetch_add(completions.len() as u64, Ordering::Relaxed); // relaxed: progress counter read by the live reporter
     }
 }
 
@@ -132,7 +133,7 @@ fn timed_phase_sampled(
             while !done.load(Ordering::Acquire) {
                 std::thread::sleep(SAMPLE_WINDOW);
                 let now = Instant::now();
-                let count = progress.load(Ordering::Relaxed);
+                let count = progress.load(Ordering::Relaxed); // relaxed: progress counter read by the live reporter
                 let secs = now.duration_since(last_t).as_secs_f64().max(1e-9);
                 windows.push((
                     now.duration_since(start).as_secs_f64(),
@@ -430,14 +431,14 @@ pub fn dynamic_servers_live(scale: &MachineScale, ops_per_phase: u64) -> FigureR
 
 /// Sum of (busy, idle) loop iterations over the currently active servers.
 fn cumulative_busy_idle(table: &CpHash) -> (u64, u64) {
-    use core::sync::atomic::Ordering;
+    use cphash_sync::atomic::plain::Ordering;
     let active = table.partitions().min(table.server_stats().len());
     table.server_stats()[..active]
         .iter()
         .fold((0, 0), |(b, i), s| {
             (
-                b + s.busy_iterations.load(Ordering::Relaxed),
-                i + s.idle_iterations.load(Ordering::Relaxed),
+                b + s.busy_iterations.load(Ordering::Relaxed), // relaxed: diagnostic snapshot; tearing across counters is fine
+                i + s.idle_iterations.load(Ordering::Relaxed), // relaxed: diagnostic snapshot; tearing across counters is fine
             )
         })
 }

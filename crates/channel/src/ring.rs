@@ -26,12 +26,15 @@
 //!
 //! * `read_index <= write_index <= temp_write_index`
 //! * `temp_write_index - read_index <= capacity`
+//
+// cphash-lint: hot-path
 
-use core::cell::UnsafeCell;
 use core::marker::PhantomData;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use cphash_sync::atomic::{plain, AtomicBool, AtomicU64, Ordering};
+use cphash_sync::ModelUnsafeCell;
 
 use cphash_cacheline::{CacheAligned, CACHE_LINE_SIZE};
 
@@ -80,7 +83,7 @@ impl RingConfig {
 
 /// Shared state of one single-producer single-consumer ring.
 pub struct RingBuffer<T> {
-    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buffer: Box<[ModelUnsafeCell<MaybeUninit<T>>]>,
     mask: u64,
     /// Consumer-owned: first message not yet consumed.
     read_index: CacheAligned<AtomicU64>,
@@ -88,8 +91,10 @@ pub struct RingBuffer<T> {
     write_index: CacheAligned<AtomicU64>,
     /// Producer-private progress (only the producer writes it; stored here
     /// so the structure mirrors the paper's layout and so the consumer-side
-    /// diagnostics can report it).
-    temp_write_index: CacheAligned<AtomicU64>,
+    /// diagnostics can report it).  Always a plain std atomic — it is a
+    /// diagnostic gauge, never a synchronization point, and keeping it out
+    /// of the model halves the tracked-op count per push.
+    temp_write_index: CacheAligned<plain::AtomicU64>,
     producer_alive: AtomicBool,
     consumer_alive: AtomicBool,
     stats: ChannelStats,
@@ -124,15 +129,15 @@ impl<T> RingBuffer<T> {
 /// Create a connected producer/consumer pair over a new ring buffer.
 pub fn ring<T: Copy + Send>(config: RingConfig) -> (Producer<T>, Consumer<T>) {
     let capacity = config.capacity.next_power_of_two().max(2);
-    let buffer: Vec<UnsafeCell<MaybeUninit<T>>> = (0..capacity)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+    let buffer: Vec<ModelUnsafeCell<MaybeUninit<T>>> = (0..capacity)
+        .map(|_| ModelUnsafeCell::new(MaybeUninit::uninit()))
         .collect();
     let shared = Arc::new(RingBuffer {
         buffer: buffer.into_boxed_slice(),
         mask: capacity as u64 - 1,
         read_index: CacheAligned::new(AtomicU64::new(0)),
         write_index: CacheAligned::new(AtomicU64::new(0)),
-        temp_write_index: CacheAligned::new(AtomicU64::new(0)),
+        temp_write_index: CacheAligned::new(plain::AtomicU64::new(0)),
         producer_alive: AtomicBool::new(true),
         consumer_alive: AtomicBool::new(true),
         stats: ChannelStats::new(),
@@ -192,16 +197,18 @@ impl<T: Copy + Send> Producer<T> {
             }
         }
         let slot = (self.temp_write & self.shared.mask) as usize;
-        // SAFETY: the capacity check above guarantees the consumer has
-        // finished with this slot (read_index has moved past it on a
-        // previous lap), and only this producer writes slots.
-        unsafe {
-            (*self.shared.buffer[slot].get()).write(message);
-        }
+        self.shared.buffer[slot].with_mut(|p| {
+            // SAFETY: the capacity check above guarantees the consumer has
+            // finished with this slot (read_index has moved past it on a
+            // previous lap), and only this producer writes slots.
+            unsafe { (*p).write(message) };
+        });
         self.temp_write += 1;
         self.shared
             .temp_write_index
-            .store(self.temp_write, Ordering::Relaxed);
+            // relaxed: diagnostic gauge only; the release store in flush()
+            // is what publishes data.
+            .store(self.temp_write, plain::Ordering::Relaxed);
         if self.temp_write - self.published_write >= self.flush_threshold as u64 {
             self.flush();
         }
@@ -233,17 +240,19 @@ impl<T: Copy + Send> Producer<T> {
         }
         for (i, message) in messages[..n].iter().enumerate() {
             let slot = ((self.temp_write + i as u64) & self.shared.mask) as usize;
-            // SAFETY: the free-slot computation above guarantees the
-            // consumer has finished with these `n` slots, and only this
-            // producer writes slots.
-            unsafe {
-                (*self.shared.buffer[slot].get()).write(*message);
-            }
+            self.shared.buffer[slot].with_mut(|p| {
+                // SAFETY: the free-slot computation above guarantees the
+                // consumer has finished with these `n` slots, and only this
+                // producer writes slots.
+                unsafe { (*p).write(*message) };
+            });
         }
         self.temp_write += n as u64;
         self.shared
             .temp_write_index
-            .store(self.temp_write, Ordering::Relaxed);
+            // relaxed: diagnostic gauge only; the release store in flush()
+            // is what publishes data.
+            .store(self.temp_write, plain::Ordering::Relaxed);
         self.flush();
         n
     }
@@ -260,7 +269,7 @@ impl<T: Copy + Send> Producer<T> {
                 Err(QueueFull { message }) => {
                     msg = message;
                     self.flush();
-                    core::hint::spin_loop();
+                    cphash_sync::spin_hint();
                 }
             }
         }
@@ -274,6 +283,25 @@ impl<T: Copy + Send> Producer<T> {
             self.shared
                 .write_index
                 .store(self.temp_write, Ordering::Release);
+            let newly = self.temp_write - self.published_write;
+            self.published_write = self.temp_write;
+            self.shared.stats.add_pushed(newly);
+            self.shared.stats.add_flush();
+        }
+    }
+
+    /// Seeded-bug hook for the model-check regression suite: publish the
+    /// write index with `Relaxed` instead of `Release`, exactly the
+    /// weakened-publish mistake PR 2's reorder race was a cousin of.  The
+    /// checker must flag the consumer's subsequent slot read as a data
+    /// race; the suite asserts that it does.  Only exists in model builds.
+    #[cfg(cphash_model)]
+    pub fn flush_weak_for_modelcheck(&mut self) {
+        if self.temp_write != self.published_write {
+            self.shared
+                .write_index
+                // relaxed: intentionally wrong — this is the seeded bug.
+                .store(self.temp_write, Ordering::Relaxed);
             let newly = self.temp_write - self.published_write;
             self.published_write = self.temp_write;
             self.shared.stats.add_pushed(newly);
@@ -343,10 +371,13 @@ impl<T: Copy + Send> Consumer<T> {
             }
         }
         let slot = (self.local_read & self.shared.mask) as usize;
-        // SAFETY: local_read < cached_write <= producer's published write
-        // index, so the slot was fully written before the release store we
-        // acquired; only this consumer reads it before it is recycled.
-        let message = unsafe { (*self.shared.buffer[slot].get()).assume_init() };
+        let message = self.shared.buffer[slot].with(|p| {
+            // SAFETY: local_read < cached_write <= producer's published
+            // write index, so the slot was fully written before the release
+            // store we acquired; only this consumer reads it before it is
+            // recycled.
+            unsafe { (*p).assume_init() }
+        });
         self.local_read += 1;
         self.shared.stats.add_popped(1);
         if self.local_read - self.published_read >= self.read_publish_threshold as u64 {
@@ -376,11 +407,13 @@ impl<T: Copy + Send> Consumer<T> {
             out.reserve(take);
             for i in 0..take {
                 let slot = ((self.local_read + i as u64) & self.shared.mask) as usize;
-                // SAFETY: local_read + i < cached_write <= the producer's
-                // published write index, so each slot was fully written
-                // before the release store we acquired; only this consumer
-                // reads it before it is recycled.
-                out.push(unsafe { (*self.shared.buffer[slot].get()).assume_init() });
+                out.push(self.shared.buffer[slot].with(|p| {
+                    // SAFETY: local_read + i < cached_write <= the
+                    // producer's published write index, so each slot was
+                    // fully written before the release store we acquired;
+                    // only this consumer reads it before it is recycled.
+                    unsafe { (*p).assume_init() }
+                }));
             }
             self.local_read += take as u64;
             n += take;

@@ -10,11 +10,14 @@
 //! per-message overhead (no index maintenance) but provides no batching or
 //! pipelining, so it loses as soon as clients have a backlog of requests.
 //! `ablate_channel` reproduces that crossover.
+//
+// cphash-lint: hot-path
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+
+use cphash_sync::atomic::{AtomicU8, Ordering};
+use cphash_sync::ModelUnsafeCell;
 
 use cphash_cacheline::CacheAligned;
 
@@ -25,8 +28,8 @@ const RESPONSE: u8 = 2;
 
 struct Shared<Req, Resp> {
     state: CacheAligned<AtomicU8>,
-    request: UnsafeCell<MaybeUninit<Req>>,
-    response: UnsafeCell<MaybeUninit<Resp>>,
+    request: ModelUnsafeCell<MaybeUninit<Req>>,
+    response: ModelUnsafeCell<MaybeUninit<Resp>>,
 }
 
 // SAFETY: access to the two slots is serialized by the `state` machine:
@@ -59,8 +62,8 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
         SingleSlotChannel {
             shared: Arc::new(Shared {
                 state: CacheAligned::new(AtomicU8::new(EMPTY)),
-                request: UnsafeCell::new(MaybeUninit::uninit()),
-                response: UnsafeCell::new(MaybeUninit::uninit()),
+                request: ModelUnsafeCell::new(MaybeUninit::uninit()),
+                response: ModelUnsafeCell::new(MaybeUninit::uninit()),
             }),
         }
     }
@@ -71,14 +74,16 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
     pub fn send_request(&self, request: Req) {
         loop {
             if self.shared.state.load(Ordering::Acquire) == EMPTY {
-                // SAFETY: state is EMPTY, so the server is not reading the
-                // request slot and no response is pending; only the client
-                // writes in this state.
-                unsafe { (*self.shared.request.get()).write(request) };
+                self.shared.request.with_mut(|p| {
+                    // SAFETY: state is EMPTY, so the server is not reading
+                    // the request slot and no response is pending; only the
+                    // client writes in this state.
+                    unsafe { (*p).write(request) };
+                });
                 self.shared.state.store(REQUEST, Ordering::Release);
                 return;
             }
-            core::hint::spin_loop();
+            cphash_sync::spin_hint();
         }
     }
 
@@ -88,8 +93,10 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
         if self.shared.state.load(Ordering::Acquire) != EMPTY {
             return false;
         }
-        // SAFETY: as in `send_request`.
-        unsafe { (*self.shared.request.get()).write(request) };
+        self.shared.request.with_mut(|p| {
+            // SAFETY: as in `send_request`.
+            unsafe { (*p).write(request) };
+        });
         self.shared.state.store(REQUEST, Ordering::Release);
         true
     }
@@ -101,7 +108,7 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
             if let Some(resp) = self.try_take_response() {
                 return resp;
             }
-            core::hint::spin_loop();
+            cphash_sync::spin_hint();
         }
     }
 
@@ -110,10 +117,12 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
         if self.shared.state.load(Ordering::Acquire) != RESPONSE {
             return None;
         }
-        // SAFETY: state RESPONSE means the server finished writing the
-        // response slot (release store) and will not touch it again until
-        // the next REQUEST.
-        let resp = unsafe { (*self.shared.response.get()).assume_init() };
+        let resp = self.shared.response.with(|p| {
+            // SAFETY: state RESPONSE means the server finished writing the
+            // response slot (release store) and will not touch it again
+            // until the next REQUEST.
+            unsafe { (*p).assume_init() }
+        });
         self.shared.state.store(EMPTY, Ordering::Release);
         Some(resp)
     }
@@ -124,12 +133,18 @@ impl<Req: Copy + Send, Resp: Copy + Send> SingleSlotChannel<Req, Resp> {
         if self.shared.state.load(Ordering::Acquire) != REQUEST {
             return false;
         }
-        // SAFETY: state REQUEST means the client finished writing the
-        // request slot and is now waiting; only the server reads it here.
-        let req = unsafe { (*self.shared.request.get()).assume_init() };
+        let req = self.shared.request.with(|p| {
+            // SAFETY: state REQUEST means the client finished writing the
+            // request slot and is now waiting; only the server reads it
+            // here.
+            unsafe { (*p).assume_init() }
+        });
         let resp = f(req);
-        // SAFETY: only the server writes the response slot in REQUEST state.
-        unsafe { (*self.shared.response.get()).write(resp) };
+        self.shared.response.with_mut(|p| {
+            // SAFETY: only the server writes the response slot in REQUEST
+            // state.
+            unsafe { (*p).write(resp) };
+        });
         self.shared.state.store(RESPONSE, Ordering::Release);
         true
     }

@@ -6,7 +6,7 @@
 //! Each ring buffer keeps these counters so the harness can report measured
 //! flushes-per-message next to the analytic packing numbers.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicU64, Ordering};
 
 /// Shared counters for one ring buffer (or one single-slot channel).
 #[derive(Debug, Default)]
@@ -31,47 +31,57 @@ impl ChannelStats {
     }
 
     pub(crate) fn add_pushed(&self, n: u64) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_pushed.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn add_popped(&self, n: u64) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_popped.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn add_flush(&self) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.flushes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_read_index_update(&self) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.read_index_updates.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_full_event(&self) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.full_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Messages written by the producer.
     pub fn messages_pushed(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_pushed.load(Ordering::Relaxed)
     }
 
     /// Messages consumed by the consumer.
     pub fn messages_popped(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_popped.load(Ordering::Relaxed)
     }
 
     /// Times the producer published the shared write index.
     pub fn flushes(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.flushes.load(Ordering::Relaxed)
     }
 
     /// Times the consumer published the shared read index.
     pub fn read_index_updates(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.read_index_updates.load(Ordering::Relaxed)
     }
 
     /// Times the producer found the queue full.
     pub fn full_events(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.full_events.load(Ordering::Relaxed)
     }
 
@@ -88,10 +98,15 @@ impl ChannelStats {
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_pushed.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.messages_popped.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.flushes.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.read_index_updates.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.full_events.store(0, Ordering::Relaxed);
     }
 }

@@ -18,7 +18,7 @@
 //! answer with *retry* responses that bounce the operation to the partition
 //! that owns the key now.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use cphash_sync::atomic::{AtomicU64, Ordering};
 
 use cphash_hashcore::{migration_chunk, partition_for_key};
 

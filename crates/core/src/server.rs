@@ -14,7 +14,8 @@
 //! every instant exactly one server will actually execute an operation on a
 //! given key, so no key is ever lost or duplicated while keys move.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+// cphash-lint: hot-path
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cphash_affinity::{pin_to_hw_thread, HwThreadId};
@@ -82,10 +83,11 @@ impl ServerThread {
         }
         let mut migration = MigrationState::default();
         let mut scratch = Scratch::default();
-        let mut words: Vec<u64> = Vec::with_capacity(LANE_BATCH);
+        let mut words: Vec<u64> = Vec::with_capacity(LANE_BATCH); // lint: allow(hot-path) one-time setup before the loop
         let mut idle_streak: u32 = 0;
         let mut iterations: u64 = 0;
 
+        // relaxed: stop flag; shutdown needs no ordering
         while !self.stop.load(Ordering::Relaxed) {
             let mut did_work = false;
             let mut drained_total = 0usize;
@@ -115,17 +117,17 @@ impl ServerThread {
             // pacer's feedback mode (one relaxed store per iteration).
             self.stats
                 .queue_depth
-                .store(drained_total as u64, Ordering::Relaxed);
+                .store(drained_total as u64, Ordering::Relaxed); // relaxed: queue-depth gauge for the pacer; staleness is benign
 
             iterations += 1;
             if migration.draining.is_some() {
                 self.try_finish_drain(&mut migration);
             }
             if did_work {
-                self.stats.busy_iterations.fetch_add(1, Ordering::Relaxed);
+                self.stats.busy_iterations.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 idle_streak = 0;
             } else {
-                self.stats.idle_iterations.fetch_add(1, Ordering::Relaxed);
+                self.stats.idle_iterations.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 idle_streak = idle_streak.saturating_add(1);
                 if idle_streak > 1024 {
                     // Be a good citizen on oversubscribed test machines; the
@@ -182,7 +184,7 @@ impl ServerThread {
                     _ => break,
                 };
                 i += 1;
-                self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                self.stats.messages.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 let size = if kind == DataOpKind::Insert {
                     // The size travels in the next word, which may still be
                     // in flight if it crossed a cache-line flush boundary.
@@ -211,7 +213,7 @@ impl ServerThread {
                 if let Some((op, payload)) = decode_word(words[i]) {
                     if !matches!(op, OpCode::Lookup | OpCode::Insert | OpCode::Delete) {
                         i += 1;
-                        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                        self.stats.messages.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                         self.process_control(op, payload, lane_idx, words, &mut i, migration);
                     }
                 }
@@ -245,7 +247,7 @@ impl ServerThread {
         debug_assert_eq!(scratch.replies.len(), scratch.ops.len());
         self.stats
             .operations
-            .fetch_add(scratch.ops.len() as u64, Ordering::Relaxed);
+            .fetch_add(scratch.ops.len() as u64, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
         let span = StageSpan::begin(TraceStage::ReplyPublish);
         if self.executor.batched_replies() {
             self.respond_batch(lane_idx, &scratch.replies);
@@ -269,6 +271,7 @@ impl ServerThread {
     ) {
         match op {
             OpCode::Lookup | OpCode::Insert | OpCode::Delete => {
+                // lint: allow(hot-path) dispatch invariant, not a data path
                 unreachable!("data operations go through the pipeline")
             }
             OpCode::Ready => {
@@ -352,7 +355,7 @@ impl ServerThread {
                 }
                 self.stats
                     .keys_migrated_in
-                    .fetch_add(absorbed as u64, Ordering::Relaxed);
+                    .fetch_add(absorbed as u64, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 self.respond(
                     lane_idx,
                     Response {
@@ -378,7 +381,7 @@ impl ServerThread {
             ExportOutcome::Extracted(entries) => {
                 self.stats
                     .keys_migrated_out
-                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 if entries.is_empty() {
                     Some(Response::FOUND)
                 } else {
@@ -413,7 +416,7 @@ impl ServerThread {
                         });
                     self.stats
                         .keys_migrated_out
-                        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                        .fetch_add(entries.len() as u64, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                     if entries.is_empty() {
                         Response::FOUND
                     } else {
@@ -455,7 +458,7 @@ impl ServerThread {
     fn wait_for_extra_word(&mut self, lane_idx: usize) -> u64 {
         loop {
             if let Some(w) = self.lanes[lane_idx].try_recv() {
-                self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                self.stats.messages.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
                 return w;
             }
             if !self.lanes[lane_idx].is_client_alive() {

@@ -1,6 +1,6 @@
 //! Shared runtime statistics for a CPHash table.
 
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicBool, AtomicU64, Ordering};
 
 use cphash_affinity::PinOutcome;
 use cphash_perfmon::{BatchCounters, BatchStats};
@@ -44,15 +44,15 @@ impl ServerStats {
     }
 
     pub(crate) fn record_pin(&self, outcome: PinOutcome) {
-        self.pinned.store(outcome.is_pinned(), Ordering::Relaxed);
+        self.pinned.store(outcome.is_pinned(), Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
     }
 
     /// Fraction of loop iterations that found work, in `[0, 1]` — the
     /// utilization figure §6.2 reports as "server threads spend 59% of the
     /// time processing … the rest is spent polling idle buffers".
     pub fn utilization(&self) -> f64 {
-        let busy = self.busy_iterations.load(Ordering::Relaxed) as f64;
-        let idle = self.idle_iterations.load(Ordering::Relaxed) as f64;
+        let busy = self.busy_iterations.load(Ordering::Relaxed) as f64; // relaxed: diagnostic snapshot; tearing across counters is fine
+        let idle = self.idle_iterations.load(Ordering::Relaxed) as f64; // relaxed: diagnostic snapshot; tearing across counters is fine
         if busy + idle == 0.0 {
             0.0
         } else {
@@ -62,28 +62,28 @@ impl ServerStats {
 
     /// Messages processed so far.
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Operations completed so far.
     pub fn operations(&self) -> u64 {
-        self.operations.load(Ordering::Relaxed)
+        self.operations.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Whether the server pinned successfully.
     pub fn is_pinned(&self) -> bool {
-        self.pinned.load(Ordering::Relaxed)
+        self.pinned.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Whether the server has exited.
     pub fn is_stopped(&self) -> bool {
-        self.stopped.load(Ordering::Relaxed)
+        self.stopped.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Most recent inbound queue-depth sample (words drained in one loop
     /// iteration).
     pub fn queue_depth(&self) -> u64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Snapshot of this server's batch-pipeline counters.

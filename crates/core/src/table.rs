@@ -1,7 +1,7 @@
 //! The CPHash table handle: spawns server threads, wires up message lanes,
 //! and hands out client handles.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

@@ -77,11 +77,17 @@ impl RequestDecoder {
     /// Try to decode the next complete request.  `Ok(None)` means more bytes
     /// are needed.
     pub fn next_request(&mut self) -> Result<Option<Request>, DecodeError> {
+        // Validate the opcode as soon as it is buffered, before waiting for
+        // the rest of the header: a v2 client probing with HELLO (4 bytes,
+        // leading 0xCF) must be rejected immediately, not after its
+        // handshake timeout expires waiting for byte 13.
+        let Some(&opcode) = self.buffer.first() else {
+            return Ok(None);
+        };
+        let kind = RequestKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
         if self.buffer.len() < REQUEST_HEADER_BYTES {
             return Ok(None);
         }
-        let opcode = self.buffer[0];
-        let kind = RequestKind::from_byte(opcode).ok_or(DecodeError::BadOpcode(opcode))?;
         let key = u64::from_le_bytes(self.buffer[1..9].try_into().expect("header present"));
         let size =
             u32::from_le_bytes(self.buffer[9..13].try_into().expect("header present")) as usize;

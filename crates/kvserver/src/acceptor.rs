@@ -9,8 +9,8 @@
 //! the moment a connection is assigned to it instead of discovering it on a
 //! poll tick.
 
+use cphash_sync::atomic::plain::{AtomicBool, AtomicUsize, Ordering};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,7 +72,7 @@ pub fn least_loaded(slots: &[WorkerSlot]) -> usize {
     slots
         .iter()
         .enumerate()
-        .min_by_key(|(_, s)| s.active.load(Ordering::Relaxed))
+        .min_by_key(|(_, s)| s.active.load(Ordering::Relaxed)) // relaxed: load-balance gauge; staleness is benign
         .map(|(i, _)| i)
         .expect("at least one worker")
 }
@@ -89,13 +89,14 @@ pub fn spawn_acceptor(
     let handle = std::thread::Builder::new()
         .name("kv-acceptor".to_string())
         .spawn(move || {
+            // relaxed: stop flag; shutdown needs no ordering
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let target = least_loaded(&slots);
-                        slots[target].active.fetch_add(1, Ordering::Relaxed);
-                        // If the worker is gone the server is shutting down;
-                        // dropping the stream closes the connection.
+                        slots[target].active.fetch_add(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
+                                                                              // If the worker is gone the server is shutting down;
+                                                                              // dropping the stream closes the connection.
                         if slots[target].sender.send(stream).is_ok() {
                             slots[target].waker.wake();
                         }

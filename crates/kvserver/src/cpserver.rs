@@ -1,8 +1,8 @@
 //! CPSERVER: the CPHash-backed key/value cache server (paper §4.1).
 
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,6 +44,7 @@ fn admin_worker(
     stop: Arc<AtomicBool>,
     progress: Arc<MigrationProgress>,
 ) {
+    // relaxed: stop flag; shutdown needs no ordering
     while !stop.load(Ordering::Relaxed) {
         match requests.recv_timeout(Duration::from_millis(20)) {
             Ok(request) => {
@@ -580,6 +581,7 @@ fn client_worker(
     // must keep polling the completion rings instead of sleeping.
     let mut waiting_responses: usize = 0;
 
+    // relaxed: stop flag; shutdown needs no ordering
     while !stop.load(Ordering::Relaxed) {
         // Sleep only when nothing can complete without a readiness event.
         // While a resize is the *only* thing in flight (its reply arrives on
@@ -619,7 +621,7 @@ fn client_worker(
             if adopted {
                 metrics.note_connection();
             } else {
-                inbox.active.fetch_sub(1, Ordering::Relaxed);
+                inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
             }
         }
 
@@ -946,7 +948,7 @@ fn client_worker(
             if verdict == crate::connection::Settle::Retired {
                 waiting_responses -= state.replies.len();
                 connections[idx] = None;
-                inbox.active.fetch_sub(1, Ordering::Relaxed);
+                inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
                 lookup_tokens.retain(|_, t| t.conn != idx);
                 // In-flight writes keep their per-key accounting (the
                 // table operation still completes) but lose their reply

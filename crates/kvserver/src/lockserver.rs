@@ -1,7 +1,7 @@
 //! LOCKSERVER: the LockHash-backed key/value cache server (paper §4.2).
 
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -161,6 +161,7 @@ fn lock_worker(
     // resets under load (the legacy loop's `did_work` behaviour).
     let mut did_work = false;
 
+    // relaxed: stop flag; shutdown needs no ordering
     while !stop.load(Ordering::Relaxed) {
         ready.clear();
         let timeout = (!did_work).then(|| Duration::from_millis(25));
@@ -180,7 +181,7 @@ fn lock_worker(
                 metrics.note_connection();
                 did_work = true;
             } else {
-                inbox.active.fetch_sub(1, Ordering::Relaxed);
+                inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
             }
         }
 
@@ -262,7 +263,7 @@ fn lock_worker(
             metrics.note_io(0, written);
             if verdict == crate::connection::Settle::Retired {
                 connections[idx] = None;
-                inbox.active.fetch_sub(1, Ordering::Relaxed);
+                inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
             }
         }
     }

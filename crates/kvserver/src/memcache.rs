@@ -20,8 +20,8 @@
 //! port; the Figure 14 harness partitions keys across instances on the
 //! client side, exactly as the paper's clients did.
 
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -190,6 +190,7 @@ fn instance_loop(
     // so the busy-poll backend's idle back-off resets under load.
     let mut did_work = false;
 
+    // relaxed: stop flag; shutdown needs no ordering
     while !stop.load(Ordering::Relaxed) {
         ready.clear();
         let timeout = (!did_work).then(|| Duration::from_millis(25));

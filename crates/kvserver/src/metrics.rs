@@ -10,7 +10,7 @@
 //! registered as sampled collectors, so scraping them costs the hot path
 //! nothing.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cphash_perfmon::trace;
@@ -38,17 +38,17 @@ pub struct FrontendStats {
 impl FrontendStats {
     /// Wake-ups observed so far.
     pub fn wakeups(&self) -> u64 {
-        self.wakeups.load(Ordering::Relaxed)
+        self.wakeups.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Readiness events observed so far.
     pub fn events(&self) -> u64 {
-        self.events.load(Ordering::Relaxed)
+        self.events.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Idle sleeps observed so far.
     pub fn idle_sleeps(&self) -> u64 {
-        self.idle_sleeps.load(Ordering::Relaxed)
+        self.idle_sleeps.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Mean events delivered per wake-up (0 when there were none).
@@ -63,13 +63,13 @@ impl FrontendStats {
 
     /// Record a wait that delivered `events` readiness events.
     pub fn note_wakeup(&self, events: u64) {
-        self.wakeups.fetch_add(1, Ordering::Relaxed);
-        self.events.fetch_add(events, Ordering::Relaxed);
+        self.wakeups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.events.fetch_add(events, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 
     /// Record a blocking wait that timed out empty.
     pub fn note_idle_sleep(&self) {
-        self.idle_sleeps.fetch_add(1, Ordering::Relaxed);
+        self.idle_sleeps.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 }
 
@@ -94,36 +94,36 @@ pub struct MigrationProgress {
 impl MigrationProgress {
     /// Record one completed repartition.
     pub fn note_repartition(&self, chunks: u64, keys: u64, paced_waits: u64) {
-        self.repartitions.fetch_add(1, Ordering::Relaxed);
-        self.chunks_moved.fetch_add(chunks, Ordering::Relaxed);
-        self.keys_moved.fetch_add(keys, Ordering::Relaxed);
-        self.paced_waits.fetch_add(paced_waits, Ordering::Relaxed);
+        self.repartitions.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.chunks_moved.fetch_add(chunks, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.keys_moved.fetch_add(keys, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.paced_waits.fetch_add(paced_waits, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 
     /// Publish the pacer's current chunks/second rate.
     pub fn set_pacer_rate(&self, chunks_per_sec: f64) {
         self.rate_bits
-            .store(chunks_per_sec.to_bits(), Ordering::Relaxed);
+            .store(chunks_per_sec.to_bits(), Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
     }
 
     /// The most recently published pacer rate in chunks/second.
     pub fn pacer_rate(&self) -> f64 {
-        f64::from_bits(self.rate_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.rate_bits.load(Ordering::Relaxed)) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Chunks handed off so far.
     pub fn chunks_moved(&self) -> u64 {
-        self.chunks_moved.load(Ordering::Relaxed)
+        self.chunks_moved.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Keys moved so far.
     pub fn keys_moved(&self) -> u64 {
-        self.keys_moved.load(Ordering::Relaxed)
+        self.keys_moved.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 
     /// Pacer-imposed waits so far.
     pub fn paced_waits(&self) -> u64 {
-        self.paced_waits.load(Ordering::Relaxed)
+        self.paced_waits.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 }
 

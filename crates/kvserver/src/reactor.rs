@@ -114,8 +114,10 @@ pub fn reactor_available(kind: FrontendKind) -> bool {
         FrontendKind::Epoll => {
             #[cfg(target_os = "linux")]
             {
+                // SAFETY: epoll_create1 takes no pointers; the fd is checked before use.
                 let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
                 if fd >= 0 {
+                    // SAFETY: the probe fd was just created above and is owned here.
                     unsafe { libc::close(fd) };
                     return true;
                 }
@@ -158,6 +160,7 @@ pub struct EpollReactor {
 impl EpollReactor {
     /// Create the epoll instance.
     pub fn new() -> io::Result<EpollReactor> {
+        // SAFETY: epoll_create1 takes no pointers; the fd is checked before use.
         let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -173,6 +176,7 @@ impl EpollReactor {
             events: libc::EPOLLIN | if writable { libc::EPOLLOUT } else { 0 },
             u64: token as u64,
         };
+        // SAFETY: epfd is a live epoll fd and `ev` outlives the call.
         let rc = unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -193,6 +197,7 @@ impl EventBackend for EpollReactor {
 
     fn deregister(&mut self, fd: RawFd, _token: usize) -> io::Result<()> {
         let rc =
+            // SAFETY: EPOLL_CTL_DEL ignores the event argument; NULL is accepted.
             unsafe { libc::epoll_ctl(self.epfd, libc::EPOLL_CTL_DEL, fd, core::ptr::null_mut()) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -206,6 +211,7 @@ impl EventBackend for EpollReactor {
             Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
         };
         let n = loop {
+            // SAFETY: `buf` is live for the call and the length matches its capacity.
             let rc = unsafe {
                 libc::epoll_wait(
                     self.epfd,
@@ -234,6 +240,7 @@ impl EventBackend for EpollReactor {
 #[cfg(target_os = "linux")]
 impl Drop for EpollReactor {
     fn drop(&mut self) {
+        // SAFETY: epfd is owned by this reactor and Drop runs once.
         unsafe { libc::close(self.epfd) };
     }
 }
@@ -392,6 +399,7 @@ impl Waker {
     pub fn new(kind: FrontendKind) -> Waker {
         let fd = match kind {
             #[cfg(target_os = "linux")]
+            // SAFETY: eventfd takes no pointers; -1 on failure is kept as "no fd".
             FrontendKind::Epoll => unsafe {
                 libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK)
             },
@@ -414,6 +422,7 @@ impl Waker {
         #[cfg(target_os = "linux")]
         if self.inner.fd >= 0 {
             let one: u64 = 1;
+            // SAFETY: fd was checked >= 0; the buffer is a live 8-byte u64.
             unsafe { libc::write(self.inner.fd, (&one as *const u64).cast(), 8) };
         }
     }
@@ -423,6 +432,7 @@ impl Waker {
         #[cfg(target_os = "linux")]
         if self.inner.fd >= 0 {
             let mut counter: u64 = 0;
+            // SAFETY: fd was checked >= 0; the buffer is a live mutable 8-byte u64.
             unsafe { libc::read(self.inner.fd, (&mut counter as *mut u64).cast(), 8) };
         }
     }
@@ -432,6 +442,7 @@ impl Drop for WakerInner {
     fn drop(&mut self) {
         #[cfg(target_os = "linux")]
         if self.fd >= 0 {
+            // SAFETY: fd is owned by this waker, checked >= 0, and Drop runs once.
             unsafe { libc::close(self.fd) };
         }
     }

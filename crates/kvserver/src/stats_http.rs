@@ -9,9 +9,9 @@
 //! closes the connection — which is all a Prometheus scraper (or `curl`)
 //! needs.
 
+use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -82,6 +82,7 @@ fn serve(listener: TcpListener, metrics: Arc<ServerMetrics>, stop: Arc<AtomicBoo
     let mut connections: Vec<Option<ScrapeConn>> = Vec::new();
     let mut ready: Vec<usize> = Vec::with_capacity(16);
 
+    // relaxed: stop flag; shutdown needs no ordering
     while !stop.load(Ordering::Relaxed) {
         ready.clear();
         // A bounded wait keeps the stop flag responsive.

@@ -6,7 +6,7 @@
 //! lock-acquire-then-execute on the issuing thread for LockHash.  That keeps
 //! every figure an apples-to-apples comparison, as in the paper.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -177,7 +177,7 @@ impl TimelineSampler {
                         std::thread::sleep(Duration::from_millis(interval_ms));
                     }
                     let now = started.elapsed().as_secs_f64();
-                    let ops = progress.load(Ordering::Relaxed);
+                    let ops = progress.load(Ordering::Relaxed); // relaxed: progress counter read by the live reporter
                     let dt = now - last_at;
                     if ops > last_ops && dt > 0.0 {
                         series.push(now, (ops - last_ops) as f64 / dt);
@@ -305,6 +305,7 @@ pub fn run_cphash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
                 // One relaxed add per completion batch keeps the sampler fed
                 // without perturbing the per-op hot path.
                 if !completions.is_empty() {
+                    // relaxed: progress counter read by the live reporter
                     progress.fetch_add(completions.len() as u64, Ordering::Relaxed);
                 }
             }
@@ -415,12 +416,12 @@ pub fn run_lockhash(spec: &WorkloadSpec, opts: &DriverOptions) -> RunResult {
                 tally.operations += 1;
                 unflushed += 1;
                 if unflushed == FLUSH_EVERY {
-                    progress.fetch_add(unflushed, Ordering::Relaxed);
+                    progress.fetch_add(unflushed, Ordering::Relaxed); // relaxed: progress counter read by the live reporter
                     unflushed = 0;
                 }
             }
             if unflushed > 0 {
-                progress.fetch_add(unflushed, Ordering::Relaxed);
+                progress.fetch_add(unflushed, Ordering::Relaxed); // relaxed: progress counter read by the live reporter
             }
             tally
         }));

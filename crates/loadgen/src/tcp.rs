@@ -4,15 +4,21 @@
 //! 10 GbE (§7).  Here the load generator runs over loopback (or any
 //! address): a set of generator threads, each owning several connections,
 //! sends pipelined batches of LOOKUP/INSERT requests and reads back the
-//! LOOKUP responses.  Batching over the socket mirrors how the paper's TCP
+//! responses.  Batching over the socket mirrors how the paper's TCP
 //! clients "gather as many requests as possible … in a single batch".
+//!
+//! Each connection is a [`cphash::RemoteClient`] driven through the
+//! [`cphash::KvClient`] trait — the same client the examples and admin
+//! tools use — so the generator exercises whatever protocol version the
+//! server negotiates (v2 with typed replies, or the legacy v1 framing via
+//! `RemoteClient`'s transparent fallback) without owning any wire code of
+//! its own.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::io::ErrorKind;
+use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
 
-use bytes::BytesMut;
-use cphash_kvproto::{encode_insert, encode_lookup, ResponseDecoder};
+use cphash::{Completion, CompletionKind, KeyRef, KvClient, KvOp, RemoteClient};
 use cphash_perfmon::Stopwatch;
 
 use crate::ops::{Op, OpStream};
@@ -90,37 +96,31 @@ pub fn run_tcp_load(spec: &WorkloadSpec, opts: &TcpLoadOptions) -> std::io::Resu
             + u64::from((index as u64) < spec.operations % opts.threads as u64);
         workers.push(std::thread::spawn(
             move || -> std::io::Result<(u64, u64, u64)> {
-                let mut connections: Vec<(TcpStream, ResponseDecoder)> = (0..opts
-                    .connections_per_thread)
-                    .map(|_| -> std::io::Result<_> {
-                        let stream = TcpStream::connect(opts.addr)?;
-                        stream.set_nodelay(true)?;
-                        Ok((stream, ResponseDecoder::new()))
-                    })
+                let mut connections: Vec<RemoteClient> = (0..opts.connections_per_thread)
+                    .map(|_| RemoteClient::connect(opts.addr))
                     .collect::<Result<_, _>>()?;
                 let mut stream_ops = OpStream::for_client(&spec, index, ops);
-                let mut wire = BytesMut::with_capacity(opts.pipeline * 32);
-                let mut read_buf = vec![0u8; 64 * 1024];
+                let mut completions: Vec<Completion> = Vec::with_capacity(opts.pipeline);
                 let mut sent = 0u64;
                 let mut lookups = 0u64;
                 let mut hits = 0u64;
                 barrier.wait();
 
-                #[allow(clippy::needless_range_loop)] // conn_idx is the slab slot id
                 'outer: loop {
-                    for conn_idx in 0..connections.len() {
-                        // Build one pipelined batch for this connection.
-                        wire.clear();
-                        let mut batch_lookups = 0usize;
+                    for client in &mut connections {
+                        // Submit one pipelined batch on this connection.
                         let mut batch_ops = 0usize;
                         while batch_ops < opts.pipeline {
                             match stream_ops.next() {
                                 Some(Op::Lookup(key)) => {
-                                    encode_lookup(&mut wire, key);
-                                    batch_lookups += 1;
+                                    client.submit(KvOp::Get(KeyRef::Hash(key)));
+                                    lookups += 1;
                                 }
                                 Some(Op::Insert(key)) => {
-                                    encode_insert(&mut wire, key, &key.to_le_bytes());
+                                    client.submit(KvOp::Insert(
+                                        KeyRef::Hash(key),
+                                        &key.to_le_bytes(),
+                                    ));
                                 }
                                 None => break,
                             }
@@ -129,34 +129,26 @@ pub fn run_tcp_load(spec: &WorkloadSpec, opts: &TcpLoadOptions) -> std::io::Resu
                         if batch_ops == 0 {
                             break 'outer;
                         }
-                        let (socket, decoder) = &mut connections[conn_idx];
-                        socket.write_all(&wire)?;
                         sent += batch_ops as u64;
-                        lookups += batch_lookups as u64;
-                        // Read exactly the responses this batch owes us
-                        // (inserts are fire-and-forget, §4.1).
-                        let mut received = 0usize;
-                        while received < batch_lookups {
-                            while let Some(resp) = decoder.next_response().map_err(|e| {
-                                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
-                            })? {
-                                received += 1;
-                                if resp.value.is_some() {
-                                    hits += 1;
-                                }
-                                if received == batch_lookups {
-                                    break;
-                                }
-                            }
-                            if received < batch_lookups {
-                                let n = socket.read(&mut read_buf)?;
-                                if n == 0 {
+                        // Drain the batch before pipelining the next one, the
+                        // way the paper's clients alternate send and receive
+                        // phases.  (On a v1 connection inserts complete
+                        // client-side and only lookups wait on the wire.)
+                        while client.pending_ops() > 0 {
+                            completions.clear();
+                            if client.poll_completions(&mut completions) == 0 {
+                                if !client.is_alive() {
                                     return Err(std::io::Error::new(
-                                        std::io::ErrorKind::UnexpectedEof,
-                                        "server closed the connection mid-batch",
+                                        ErrorKind::UnexpectedEof,
+                                        "server connection died mid-batch",
                                     ));
                                 }
-                                decoder.feed(&read_buf[..n]);
+                                std::thread::yield_now();
+                            }
+                            for completion in &completions {
+                                if matches!(completion.kind, CompletionKind::LookupHit(_)) {
+                                    hits += 1;
+                                }
                             }
                         }
                     }
@@ -182,20 +174,29 @@ pub fn run_tcp_load(spec: &WorkloadSpec, opts: &TcpLoadOptions) -> std::io::Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
     use cphash_kvproto::{RequestDecoder, RequestKind};
+    use std::io::{Read, Write};
     use std::net::TcpListener;
 
-    /// A minimal in-test echo server speaking the kv protocol: every LOOKUP
-    /// for an even key hits (returns the key bytes), odd keys miss, and
-    /// INSERTs are swallowed — enough to exercise the load generator's
+    /// A minimal in-test echo server speaking the v1 kv protocol: every
+    /// LOOKUP for an even key hits (returns the key bytes), odd keys miss,
+    /// and INSERTs are swallowed — enough to exercise the load generator's
     /// pipelining and accounting without pulling in the real servers
-    /// (which live in `cphash-kvserver` and are tested there).
+    /// (which live in `cphash-kvserver` and are tested there).  Being
+    /// v1-only it also proves the generator rides `RemoteClient`'s
+    /// transparent v1 fallback: the HELLO connection is rejected as a bad
+    /// opcode and the client reconnects speaking v1.
     fn spawn_stub_server() -> SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 let Ok(mut stream) = stream else { break };
+                // The real servers disable Nagle (kvserver sets nodelay on
+                // accept); without it the per-op client writes and delayed
+                // ACKs handshake into 40 ms stalls per response burst.
+                let _ = stream.set_nodelay(true);
                 std::thread::spawn(move || {
                     let mut decoder = RequestDecoder::new();
                     let mut buf = vec![0u8; 16 * 1024];
@@ -258,5 +259,19 @@ mod tests {
         assert!(result.lookup_hits <= result.lookups);
         assert!(result.throughput() > 0.0);
         assert!(result.throughput_per(2) < result.throughput());
+    }
+
+    #[test]
+    fn load_generator_negotiates_v1_against_legacy_servers() {
+        let addr = spawn_stub_server();
+        let mut client = RemoteClient::connect(addr).expect("connect");
+        assert_eq!(client.protocol_version(), 1);
+        client.submit(KvOp::Get(KeyRef::Hash(4)));
+        let mut out = Vec::new();
+        while client.poll_completions(&mut out) == 0 {
+            assert!(client.is_alive(), "stub dropped the v1 connection");
+            std::thread::yield_now();
+        }
+        assert!(matches!(out[0].kind, CompletionKind::LookupHit(_)));
     }
 }

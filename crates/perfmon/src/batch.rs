@@ -10,7 +10,7 @@
 //! carried, i.e. how much DRAM latency the pipeline had the opportunity to
 //! overlap.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use cphash_sync::atomic::plain::{AtomicU64, Ordering};
 
 /// Lock-free batch-pipeline counters, updated by one server thread and read
 /// by anyone.
@@ -34,17 +34,17 @@ impl BatchCounters {
     /// `prefetches` bucket prefetches.
     #[inline]
     pub fn note_batch(&self, ops: u64, prefetches: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.ops.fetch_add(ops, Ordering::Relaxed);
-        self.prefetches.fetch_add(prefetches, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.ops.fetch_add(ops, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+        self.prefetches.fetch_add(prefetches, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 
     /// A plain snapshot of the current counter values.
     pub fn snapshot(&self) -> BatchStats {
         BatchStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            ops: self.ops.load(Ordering::Relaxed),
-            prefetches: self.prefetches.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed), // relaxed: diagnostic snapshot; tearing across counters is fine
+            ops: self.ops.load(Ordering::Relaxed), // relaxed: diagnostic snapshot; tearing across counters is fine
+            prefetches: self.prefetches.load(Ordering::Relaxed), // relaxed: diagnostic snapshot; tearing across counters is fine
         }
     }
 }

@@ -23,7 +23,7 @@
 //! and `_bucket`/`_sum`/`_count` expansion for histograms, so any scraper
 //! (or [`parse_prometheus_text`]) can consume the output.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cphash_sync::atomic::plain::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::histogram::LatencyHistogram;
@@ -47,7 +47,7 @@ fn shard_index() -> usize {
     SLOT.with(|slot| {
         let mut idx = slot.get();
         if idx == usize::MAX {
-            idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            idx = NEXT.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
             slot.set(idx);
         }
         idx & (SHARDS - 1)
@@ -76,14 +76,14 @@ impl Counter {
     /// Add `n` to the calling thread's shard (no cross-thread contention).
     #[inline]
     pub fn add(&self, n: u64) {
-        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 
     /// Current value: the sum over all shards.
     pub fn value(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.0.load(Ordering::Relaxed))
+            .map(|s| s.0.load(Ordering::Relaxed)) // relaxed: diagnostic snapshot; tearing across counters is fine
             .sum()
     }
 }
@@ -111,7 +111,7 @@ impl Gauge {
     /// Set the gauge.
     #[inline]
     pub fn set(&self, value: f64) {
-        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        self.bits.store(value.to_bits(), Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
     }
 
     /// Set the gauge from an integer.
@@ -122,7 +122,7 @@ impl Gauge {
 
     /// Current value.
     pub fn value(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed)) // relaxed: diagnostic snapshot; tearing across counters is fine
     }
 }
 

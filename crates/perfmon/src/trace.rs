@@ -25,8 +25,8 @@
 //! Stamps are raw [`cycles_now`] cycles; convert with
 //! [`crate::estimate_cycles_per_second`] when wall-clock units are needed.
 
+use cphash_sync::atomic::plain::{AtomicBool, AtomicUsize, Ordering};
 use std::cell::OnceCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once};
 
 use crate::cycles::cycles_now;
@@ -111,12 +111,12 @@ fn env_init() {
         if let Ok(v) = std::env::var("CPHASH_TRACE") {
             let off = matches!(v.as_str(), "" | "0" | "false" | "off");
             if !off {
-                ENABLED.store(true, Ordering::Relaxed);
+                ENABLED.store(true, Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
             }
         }
         if let Ok(v) = std::env::var("CPHASH_TRACE_RING") {
             if let Ok(events) = v.parse::<usize>() {
-                RING_CAPACITY.store(events.max(1), Ordering::Relaxed);
+                RING_CAPACITY.store(events.max(1), Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
             }
         }
     });
@@ -126,19 +126,19 @@ fn env_init() {
 #[inline]
 pub fn trace_enabled() -> bool {
     env_init();
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
 }
 
 /// Turn tracing on or off at runtime (`cpserverd --trace`, tests).
 pub fn set_trace_enabled(on: bool) {
     env_init();
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
 }
 
 /// Set the ring capacity (in events) used by threads that start tracing
 /// *after* this call; existing rings keep their size.
 pub fn set_ring_capacity(events: usize) {
-    RING_CAPACITY.store(events.max(1), Ordering::Relaxed);
+    RING_CAPACITY.store(events.max(1), Ordering::Relaxed); // relaxed: diagnostic gauge; guards no data
 }
 
 /// An in-flight stage measurement.
@@ -225,9 +225,9 @@ fn register_current_thread() -> Arc<ThreadRing> {
         .map(str::to_string)
         .unwrap_or_else(|| {
             static ANON: AtomicUsize = AtomicUsize::new(0);
-            format!("thread-{}", ANON.fetch_add(1, Ordering::Relaxed))
+            format!("thread-{}", ANON.fetch_add(1, Ordering::Relaxed)) // relaxed: monotonic diagnostic counter; guards no data
         });
-    let capacity = RING_CAPACITY.load(Ordering::Relaxed);
+    let capacity = RING_CAPACITY.load(Ordering::Relaxed); // relaxed: diagnostic snapshot; tearing across counters is fine
     let ring = Arc::new(ThreadRing {
         name,
         inner: Mutex::new(RingInner {

@@ -12,7 +12,7 @@
 //! [1] T. E. Anderson. *The performance of spin lock alternatives for
 //! shared-memory multiprocessors.* IEEE TPDS, 1990.
 
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use cphash_cacheline::CacheAligned;
 
@@ -78,6 +78,14 @@ impl ArrayLock {
         self.slots.len()
     }
 
+    /// Tickets handed out so far (acquisitions begun, not completed).
+    ///
+    /// Diagnostic: the FIFO model suite polls it to know a waiter has
+    /// enqueued before releasing the lock it is waiting on.
+    pub fn tickets_taken(&self) -> usize {
+        self.ticket.load(Ordering::Acquire)
+    }
+
     #[inline]
     fn mask(&self) -> usize {
         self.slots.len() - 1
@@ -93,6 +101,8 @@ impl Default for ArrayLock {
 impl RawLock for ArrayLock {
     #[inline]
     fn raw_lock(&self) {
+        // relaxed: slot assignment orders nothing; the flag spin below is
+        // the acquire edge.
         let my_slot = self.ticket.fetch_add(1, Ordering::Relaxed) & self.mask();
         let flag = &self.slots[my_slot].has_lock;
         let mut backoff = Backoff::new();
@@ -100,7 +110,9 @@ impl RawLock for ArrayLock {
             backoff.snooze();
         }
         // Consume the grant so the slot can be reused on wrap-around.
+        // relaxed: only the holder touches the flag until its own release.
         flag.store(false, Ordering::Relaxed);
+        // relaxed: holder_slot is holder-private while the lock is held.
         self.holder_slot.store(my_slot, Ordering::Relaxed);
     }
 
@@ -108,6 +120,8 @@ impl RawLock for ArrayLock {
     fn raw_try_lock(&self) -> bool {
         // Anderson's lock has no natural try-lock; emulate by only taking a
         // ticket when the current head slot is granted and unclaimed.
+        // relaxed: a stale head only makes try_lock fail; the CAS below is
+        // the acquire edge.
         let head = self.ticket.load(Ordering::Relaxed);
         let slot = head & self.mask();
         if !self.slots[slot].has_lock.load(Ordering::Acquire) {
@@ -115,18 +129,21 @@ impl RawLock for ArrayLock {
         }
         if self
             .ticket
-            .compare_exchange(head, head + 1, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(head, head + 1, Ordering::Acquire, Ordering::Relaxed) // relaxed: failure just retries; CAS success is the acquire edge
             .is_err()
         {
             return false;
         }
+        // relaxed: only the holder touches the flag until its own release.
         self.slots[slot].has_lock.store(false, Ordering::Relaxed);
+        // relaxed: holder_slot is holder-private while the lock is held.
         self.holder_slot.store(slot, Ordering::Relaxed);
         true
     }
 
     #[inline]
     fn raw_unlock(&self) {
+        // relaxed: written by this same thread at acquire time.
         let slot = self.holder_slot.load(Ordering::Relaxed);
         let next = (slot + 1) & self.mask();
         self.slots[next].has_lock.store(true, Ordering::Release);

@@ -23,12 +23,14 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod anderson;
+pub mod atomic;
 pub mod lock_table;
 pub mod spinlock;
 pub mod stats;
 pub mod ticket;
 
 pub use anderson::ArrayLock;
+pub use atomic::{spin_hint, ModelUnsafeCell};
 pub use lock_table::{LockKind, LockTable};
 pub use spinlock::{RawSpinLock, SpinLock, SpinLockGuard};
 pub use stats::LockStats;
@@ -67,6 +69,7 @@ pub struct Backoff {
 
 impl Backoff {
     /// Spin limit (log2) before the backoff starts yielding the CPU.
+    #[cfg_attr(cphash_model, allow(dead_code))]
     const YIELD_LIMIT: u32 = 10;
 
     /// Create a fresh backoff.
@@ -78,9 +81,17 @@ impl Backoff {
     /// Perform one backoff step.
     #[inline]
     pub fn snooze(&mut self) {
+        #[cfg(cphash_model)]
+        {
+            // One scheduling point per snooze: the model's yield-aware
+            // scheduler already deprioritizes the spinner, and 2^step
+            // hints would only bloat the schedule.
+            atomic::spin_hint();
+        }
+        #[cfg(not(cphash_model))]
         if self.step <= Self::YIELD_LIMIT {
             for _ in 0..(1u32 << self.step) {
-                core::hint::spin_loop();
+                atomic::spin_hint();
             }
             self.step += 1;
         } else {

@@ -1,8 +1,8 @@
 //! Test-and-test-and-set spinlock — the lock LOCKHASH actually uses.
 
+use crate::atomic::{AtomicBool, Ordering};
 use core::cell::UnsafeCell;
 use core::ops::{Deref, DerefMut};
-use core::sync::atomic::{AtomicBool, Ordering};
 
 use crate::{Backoff, RawLock};
 
@@ -33,6 +33,8 @@ impl RawSpinLock {
     /// Returns `true` if the lock is currently held by some thread.
     #[inline]
     pub fn is_locked(&self) -> bool {
+        // relaxed: advisory snapshot for stats/debug output; never used to
+        // guard data.
         self.locked.load(Ordering::Relaxed)
     }
 }
@@ -47,6 +49,7 @@ impl RawLock for RawSpinLock {
             }
             // Test-and-test-and-set: spin on the read-only test so the line
             // stays shared instead of ping-ponging in exclusive state.
+            // relaxed: the acquiring swap above is the synchronizing op.
             while self.locked.load(Ordering::Relaxed) {
                 backoff.snooze();
             }

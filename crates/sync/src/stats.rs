@@ -7,7 +7,7 @@
 //! table updates on every acquire so the benchmark harness can report
 //! contention alongside throughput.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::atomic::plain::{AtomicU64, Ordering};
 
 /// Counters describing how a set of locks has been used.
 ///
@@ -34,25 +34,31 @@ impl LockStats {
     /// and `spins` how many retry iterations were needed.
     #[inline]
     pub fn record_acquire(&self, contended: bool, spins: u64) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         if contended {
+            // relaxed: monotonic stat counter, read only by diagnostics
             self.contended.fetch_add(1, Ordering::Relaxed);
+            // relaxed: monotonic stat counter, read only by diagnostics
             self.spin_iterations.fetch_add(spins, Ordering::Relaxed);
         }
     }
 
     /// Total number of acquisitions recorded.
     pub fn acquisitions(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.acquisitions.load(Ordering::Relaxed)
     }
 
     /// Number of acquisitions whose fast path failed.
     pub fn contended(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.contended.load(Ordering::Relaxed)
     }
 
     /// Total spin-loop iterations across all contended acquisitions.
     pub fn spin_iterations(&self) -> u64 {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.spin_iterations.load(Ordering::Relaxed)
     }
 
@@ -68,18 +74,24 @@ impl LockStats {
 
     /// Reset all counters to zero (between benchmark phases).
     pub fn reset(&self) {
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.acquisitions.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.contended.store(0, Ordering::Relaxed);
+        // relaxed: monotonic stat counter, read only by diagnostics
         self.spin_iterations.store(0, Ordering::Relaxed);
     }
 
     /// Merge another counter block into this one.
     pub fn merge(&self, other: &LockStats) {
         self.acquisitions
+            // relaxed: monotonic stat counter, read only by diagnostics
             .fetch_add(other.acquisitions(), Ordering::Relaxed);
         self.contended
+            // relaxed: monotonic stat counter, read only by diagnostics
             .fetch_add(other.contended(), Ordering::Relaxed);
         self.spin_iterations
+            // relaxed: monotonic stat counter, read only by diagnostics
             .fetch_add(other.spin_iterations(), Ordering::Relaxed);
     }
 }

@@ -7,7 +7,7 @@
 //! benchmark uses it to show why the paper stuck with the plain spinlock at
 //! 4,096-way partitioning.
 
-use core::sync::atomic::{AtomicU32, Ordering};
+use crate::atomic::{AtomicU32, Ordering};
 
 use crate::{Backoff, RawLock};
 
@@ -33,7 +33,9 @@ impl TicketLock {
 
     /// Number of threads currently waiting (approximate, for stats).
     pub fn queue_depth(&self) -> u32 {
+        // relaxed: approximate stats snapshot; both counters are advisory here.
         let next = self.next.load(Ordering::Relaxed);
+        // relaxed: see above.
         let grant = self.grant.load(Ordering::Relaxed);
         next.wrapping_sub(grant)
     }
@@ -47,6 +49,8 @@ impl TicketLock {
 impl RawLock for TicketLock {
     #[inline]
     fn raw_lock(&self) {
+        // relaxed: taking a ticket orders nothing; the grant spin below is
+        // the acquire edge.
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new();
         while self.grant.load(Ordering::Acquire) != ticket {
@@ -56,6 +60,8 @@ impl RawLock for TicketLock {
 
     #[inline]
     fn raw_try_lock(&self) -> bool {
+        // relaxed: a stale read only makes try_lock fail; the CAS below is
+        // the acquire edge.
         let grant = self.grant.load(Ordering::Relaxed);
         // Only succeed if no one is waiting and we can atomically take the
         // next ticket matching the grant.
@@ -64,7 +70,7 @@ impl RawLock for TicketLock {
                 grant,
                 grant.wrapping_add(1),
                 Ordering::Acquire,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed: failure just retries; CAS success is the acquire edge
             )
             .is_ok()
     }

@@ -1,0 +1,31 @@
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match cphash_lint::run(&root) {
+        Ok(report) => {
+            if report.violations.is_empty() {
+                println!(
+                    "cphash-lint: OK ({} files checked, {} rules)",
+                    report.files_checked,
+                    cphash_lint::RULES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("cphash-lint: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cphash-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

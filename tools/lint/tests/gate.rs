@@ -1,0 +1,49 @@
+//! The repo-wide lint gate.
+//!
+//! `cargo test -p cphash-lint` fails if any shipped source under
+//! `crates/*/src` violates the concurrency-hygiene rules, printing every
+//! finding as `file:line: [rule] message` so the offending site is one
+//! click away.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // tools/lint/ -> tools/ -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the repo root")
+}
+
+#[test]
+fn repo_is_lint_clean() {
+    let report = cphash_lint::run(repo_root()).expect("lint walk failed");
+    assert!(
+        report.files_checked > 50,
+        "lint only saw {} files — directory walk broken?",
+        report.files_checked
+    );
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        panic!(
+            "{} lint violation(s) — see the list above",
+            report.violations.len()
+        );
+    }
+}
+
+#[test]
+fn violations_report_file_and_line() {
+    let src = "use std::sync::atomic::AtomicU64;\n\nlet x = unsafe { *p };\n";
+    let v = cphash_lint::lint_source(Path::new("crates/demo/src/x.rs"), src);
+    let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, ["raw-atomic", "safety-comment"]);
+    assert!(v[0]
+        .to_string()
+        .starts_with("crates/demo/src/x.rs:1: [raw-atomic]"));
+    assert!(v[1]
+        .to_string()
+        .starts_with("crates/demo/src/x.rs:3: [safety-comment]"));
+}

@@ -1,0 +1,18 @@
+//! Spin-loop hints inside the model.
+
+use crate::rt;
+
+/// Model equivalent of [`std::hint::spin_loop`]: a scheduling point that
+/// deprioritizes this thread until every `Ready` thread has had a turn.
+/// This is what keeps `while !flag.load(..) { spin_loop() }` from turning
+/// the DFS into an infinite tree: the spinner only re-runs when the thread
+/// it is waiting on cannot make progress either.
+pub fn spin_loop() {
+    if std::thread::panicking() {
+        // Drop glue during an abort unwind must not re-enter the
+        // scheduler (a second panic in a destructor aborts the process).
+        return;
+    }
+    let (rt, tid) = rt::current();
+    rt.yield_now(tid);
+}

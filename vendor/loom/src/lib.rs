@@ -1,0 +1,55 @@
+//! Offline shim of the [loom](https://crates.io/crates/loom) model checker.
+//!
+//! Like the other `vendor/` shims, this implements exactly the surface the
+//! workspace uses — here, enough of loom's API to model-check the CPHash
+//! concurrency cores (SPSC rings, the epoch router, the remote free-list,
+//! and the lock family):
+//!
+//! * [`model`] / [`Builder`] — run a closure over and over, exploring a
+//!   different interleaving of its *model threads* each time, until the
+//!   state space is exhausted (or a violation is found).
+//! * [`thread::spawn`] / [`thread::JoinHandle`] — model threads.  They are
+//!   real OS threads, but a scheduler serializes them: exactly one runs at
+//!   a time, and every tracked operation is a scheduling point.
+//! * [`sync::atomic`] — tracked atomics.  Every `load`/`store`/RMW is a
+//!   scheduling point, and `Ordering`s are honoured by the happens-before
+//!   machinery (release/acquire edges merge vector clocks; `Relaxed` moves
+//!   data but synchronizes nothing).
+//! * [`cell::UnsafeCell`] — tracked data cells.  Accesses are *not*
+//!   scheduling points (keeping the state space small) but they are checked
+//!   against the vector clocks: a read that does not happen-after every
+//!   write, or a write that does not happen-after every prior access, is a
+//!   data race and fails the execution — on every schedule, not just the
+//!   ones where the accesses physically collide.
+//!
+//! # The memory model, honestly
+//!
+//! Executions are explored as sequentially consistent interleavings of the
+//! tracked operations.  Weak-memory effects are approximated through the
+//! ordering-aware happens-before race detector: publishing data with
+//! `Relaxed` where `Release`/`Acquire` is required is reported as a data
+//! race even though the interleaving itself is SC.  Stale `Relaxed` loads
+//! (reading older values than the SC interleaving would) are *not*
+//! simulated; `compare_exchange_weak` never fails spuriously.  This is a
+//! deliberate shim trade-off — the full C11 treatment is what the real
+//! loom provides, and swapping it in is a one-line change per
+//! `vendor/README.md`.
+//!
+//! # Schedules and replay
+//!
+//! Every violation report carries the schedule — the sequence of thread
+//! ids granted at each scheduling point — plus the tail of the event log.
+//! [`Builder::replay`] re-runs a single execution pinned to a schedule, so
+//! a failure can be single-stepped deterministically.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod hint;
+mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Report, Violation};

@@ -1,0 +1,423 @@
+//! Exploration driver: DFS over scheduling choices, bounded replay, and
+//! the violation report surfaced to the user.
+
+use std::sync::Arc;
+
+use crate::rt::{Rt, Status, VClock};
+
+/// A failed execution: what went wrong, and the exact schedule to replay it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What failed: a data race, a failed assertion, a deadlock, …
+    pub message: String,
+    /// Thread granted at each scheduling point (feed to [`Builder::replay`]).
+    pub schedule: Vec<usize>,
+    /// Event log of the failing execution (one tracked op per line).
+    pub events: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model violation: {}", self.message)?;
+        let sched: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+        writeln!(
+            f,
+            "schedule ({} points): [{}]",
+            sched.len(),
+            sched.join(",")
+        )?;
+        writeln!(f, "replay with Builder::replay(&[{}], ..)", sched.join(","))?;
+        let tail = self.events.len().saturating_sub(40);
+        if tail > 0 {
+            writeln!(f, "… {tail} earlier events elided …")?;
+        }
+        for e in &self.events[tail..] {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions completed (including the violating one, if any).
+    pub executions: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+}
+
+/// One scheduling point on the DFS trail.
+struct Choice {
+    /// Candidate threads, in deterministic order (previously-running thread
+    /// first, then ascending id).
+    options: Vec<usize>,
+    /// Option currently being explored.
+    index: usize,
+    /// Whether picking each option costs a preemption (switching away from
+    /// a thread that could have continued).
+    preempts: Vec<bool>,
+    /// Preemptions spent on the path *before* this point.
+    preempt_before: usize,
+}
+
+enum Mode {
+    /// DFS over the whole (bounded) space.
+    Explore,
+    /// Single execution pinned to a given schedule.
+    Replay(Vec<usize>),
+}
+
+struct Explorer {
+    trail: Vec<Choice>,
+    depth: usize,
+    path_preemptions: usize,
+    preemption_bound: Option<usize>,
+    mode: Mode,
+}
+
+impl Explorer {
+    fn new(preemption_bound: Option<usize>, mode: Mode) -> Explorer {
+        Explorer {
+            trail: Vec::new(),
+            depth: 0,
+            path_preemptions: 0,
+            preemption_bound,
+            mode,
+        }
+    }
+
+    /// Pick the thread to grant at this scheduling point.
+    fn choose(&mut self, enabled: &[usize], prev: Option<usize>) -> usize {
+        if let Mode::Replay(schedule) = &self.mode {
+            let step = self.depth;
+            self.depth += 1;
+            let choice = schedule.get(step).copied().unwrap_or_else(|| {
+                panic!(
+                    "replay schedule ended at step {step} but the execution wants another choice"
+                )
+            });
+            assert!(
+                enabled.contains(&choice),
+                "replay schedule chose thread {choice} at step {step}, but enabled set is {enabled:?} \
+                 (the code under test changed since the schedule was recorded?)"
+            );
+            return choice;
+        }
+        if self.depth < self.trail.len() {
+            // Re-walking the recorded prefix of this execution.
+            let cp = &self.trail[self.depth];
+            assert!(
+                cp.options.iter().all(|t| enabled.contains(t)) && cp.options.len() == enabled.len(),
+                "non-deterministic execution: enabled set changed between runs \
+                 (step {}, recorded {:?}, now {:?})",
+                self.depth,
+                cp.options,
+                enabled
+            );
+            let choice = cp.options[cp.index];
+            self.path_preemptions += cp.preempts[cp.index] as usize;
+            self.depth += 1;
+            return choice;
+        }
+        // New frontier: record a fresh choice point.
+        let mut options: Vec<usize> = Vec::with_capacity(enabled.len());
+        if let Some(p) = prev {
+            if enabled.contains(&p) {
+                options.push(p);
+            }
+        }
+        for &t in enabled {
+            if !options.contains(&t) {
+                options.push(t);
+            }
+        }
+        let prev_enabled = prev.is_some_and(|p| enabled.contains(&p));
+        let preempts: Vec<bool> = options
+            .iter()
+            .map(|&t| prev_enabled && Some(t) != prev)
+            .collect();
+        let cp = Choice {
+            options,
+            index: 0,
+            preempts,
+            preempt_before: self.path_preemptions,
+        };
+        let choice = cp.options[cp.index];
+        self.path_preemptions += cp.preempts[cp.index] as usize;
+        self.trail.push(cp);
+        self.depth += 1;
+        choice
+    }
+
+    /// Advance to the next unexplored execution. Returns `false` when the
+    /// space is exhausted (or after a replay's single execution).
+    fn advance(&mut self) -> bool {
+        if matches!(self.mode, Mode::Replay(_)) {
+            return false;
+        }
+        loop {
+            let bound = self.preemption_bound;
+            let Some(cp) = self.trail.last_mut() else {
+                return false;
+            };
+            cp.index += 1;
+            while cp.index < cp.options.len() {
+                let cost = cp.preempt_before + cp.preempts[cp.index] as usize;
+                if bound.is_none_or(|b| cost <= b) {
+                    break;
+                }
+                cp.index += 1;
+            }
+            if cp.index < cp.options.len() {
+                self.depth = 0;
+                self.path_preemptions = 0;
+                return true;
+            }
+            self.trail.pop();
+        }
+    }
+}
+
+/// Exploration configuration. The defaults suit small, focused models;
+/// every knob exists because some suite needed it.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Most model threads one execution may create (≤ 16).
+    pub max_threads: usize,
+    /// Most scheduling points per execution before the run is reported as
+    /// a livelock.
+    pub max_branches: usize,
+    /// Most executions before exploration gives up (reported as an error:
+    /// shrink the model or add a preemption bound).
+    pub max_executions: usize,
+    /// Bounded search: maximum context switches away from a runnable
+    /// thread per execution (`None` = exhaustive).
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_threads: 5,
+            max_branches: 4_000,
+            max_executions: 400_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explore every (bounded) interleaving of `f`; panic with the full
+    /// report on the first violation.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = self.explore(f);
+        if let Some(v) = report.violation {
+            panic!("{v}");
+        }
+    }
+
+    /// Explore every (bounded) interleaving of `f`, stopping at the first
+    /// violation; never panics on violations (bound overruns still panic).
+    pub fn explore<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.run(f, Mode::Explore)
+    }
+
+    /// Run exactly one execution of `f`, granting threads per `schedule`
+    /// (as printed in a [`Violation`]).  Returns the violation, if it
+    /// reproduces.
+    pub fn replay<F>(&self, schedule: &[usize], f: F) -> Option<Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.run(f, Mode::Replay(schedule.to_vec())).violation
+    }
+
+    fn run<F>(&self, f: F, mode: Mode) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut explorer = Explorer::new(self.preemption_bound, mode);
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                panic!(
+                    "model exploration exceeded max_executions={} — shrink the model \
+                     or set a preemption_bound",
+                    self.max_executions
+                );
+            }
+            let violation = self.run_one(&mut explorer, Arc::clone(&f));
+            if violation.is_some() {
+                return Report {
+                    executions,
+                    violation,
+                };
+            }
+            if !explorer.advance() {
+                return Report {
+                    executions,
+                    violation: None,
+                };
+            }
+        }
+    }
+
+    /// Run a single execution to completion; returns its violation, if any.
+    fn run_one<F>(&self, explorer: &mut Explorer, f: Arc<F>) -> Option<Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let rt = Arc::new(Rt::new(self.max_threads));
+        let t0 = rt.register_thread(VClock::default());
+        debug_assert_eq!(t0, 0);
+        {
+            let rt2 = Arc::clone(&rt);
+            let handle = std::thread::Builder::new()
+                .name("loom-t0".into())
+                .spawn(move || Rt::run_thread_body(Arc::clone(&rt2), 0, move || f()))
+                .expect("spawn model thread 0");
+            rt.lock().os_handles.push(handle);
+        }
+
+        // Controller loop: wait until every thread is parked, unblock
+        // finished joins, pick the next thread, grant it.
+        loop {
+            let mut st = rt.lock();
+            while st.threads.iter().any(|t| t.status == Status::Running) {
+                st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            // Joins whose target finished become schedulable again.
+            for i in 0..st.threads.len() {
+                if st.threads[i].status == Status::Blocked {
+                    let target = st.threads[i].blocked_on.expect("blocked without target");
+                    if st.threads[target].status == Status::Finished {
+                        st.threads[i].status = Status::Running;
+                        st.threads[i].blocked_on = None;
+                    }
+                }
+            }
+            if st.threads.iter().any(|t| t.status == Status::Running) {
+                // A join was released; let it re-check its predicate.
+                rt.cv.notify_all();
+                continue;
+            }
+            if st.aborting {
+                if st.threads.iter().all(|t| t.status == Status::Finished) {
+                    break;
+                }
+                // Wake everything parked so it can unwind.
+                for t in st.threads.iter_mut() {
+                    if t.status != Status::Finished {
+                        t.status = Status::Running;
+                    }
+                }
+                rt.cv.notify_all();
+                continue;
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                break;
+            }
+            let ready: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready)
+                .map(|(i, _)| i)
+                .collect();
+            let enabled = if ready.is_empty() {
+                let yielded: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Yielded)
+                    .map(|(i, _)| i)
+                    .collect();
+                if yielded.len() > 1 {
+                    // Every runnable thread is parked on a spin-loop yield.
+                    // Branching here would let the DFS starve one spinner
+                    // forever (an unfair schedule no real OS produces and a
+                    // guaranteed livelock for the search), so the wake order
+                    // is collapsed to deterministic round-robin: grant the
+                    // least recently granted spinner.  Full branching
+                    // resumes at the thread's next tracked op, which parks
+                    // it `Ready`.
+                    let pick = yielded
+                        .iter()
+                        .copied()
+                        .min_by_key(|&t| {
+                            st.schedule
+                                .iter()
+                                .rposition(|&g| g == t)
+                                .map_or(-1, |p| p as isize)
+                        })
+                        .expect("yielded set is non-empty");
+                    vec![pick]
+                } else {
+                    yielded
+                }
+            } else {
+                ready
+            };
+            if enabled.is_empty() {
+                // Only Blocked (unsatisfiable joins) remain: deadlock.
+                let waiting: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Blocked)
+                    .map(|(i, t)| format!("t{i} joining t{:?}", t.blocked_on))
+                    .collect();
+                drop(st);
+                rt.record_violation(format!("deadlock: {}", waiting.join(", ")));
+                continue;
+            }
+            if st.schedule.len() >= self.max_branches {
+                drop(st);
+                rt.record_violation(format!(
+                    "execution exceeded max_branches={} scheduling points (livelock?)",
+                    self.max_branches
+                ));
+                continue;
+            }
+            let prev = st.schedule.last().copied();
+            let choice = explorer.choose(&enabled, prev);
+            st.schedule.push(choice);
+            st.threads[choice].status = Status::Running;
+            rt.cv.notify_all();
+        }
+
+        // All threads finished; reap the OS threads and collect the result.
+        let handles = {
+            let mut st = rt.lock();
+            std::mem::take(&mut st.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let st = rt.lock();
+        st.violation.clone()
+    }
+}
+
+/// Explore every interleaving of `f` with the default bounds, panicking on
+/// the first violation.  The loom entry point.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,362 @@
+//! The model runtime: one scheduler per execution, vector clocks, and the
+//! park/grant protocol every tracked operation goes through.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::model::Violation;
+
+/// Hard cap on model threads (vector clocks are dense vectors).
+pub(crate) const MAX_THREADS: usize = 16;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (violation found, or exploration shutting down).  Caught by the thread
+/// wrapper and never surfaced to the user.
+pub(crate) struct ModelAbort;
+
+/// A vector clock: component `i` counts the events thread `i` has executed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    pub fn get(&self, i: usize) -> u32 {
+        self.t.get(i).copied().unwrap_or(0)
+    }
+
+    pub fn set(&mut self, i: usize, v: u32) {
+        if self.t.len() <= i {
+            self.t.resize(i + 1, 0);
+        }
+        self.t[i] = v;
+    }
+
+    pub fn bump(&mut self, i: usize) {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+    }
+
+    /// Pointwise maximum: `self ∪= other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (a, b) in self.t.iter_mut().zip(&other.t) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `other ⊑ self`: every event in `other` is known to `self`.
+    pub fn contains(&self, other: &VClock) -> bool {
+        (0..other.t.len()).all(|i| self.get(i) >= other.get(i))
+    }
+}
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Parked at a scheduling point, wants to run.
+    Ready,
+    /// Granted; executing user code until the next scheduling point.
+    Running,
+    /// Parked via a spin hint / yield: schedulable only when nothing is
+    /// `Ready` (this is what keeps spin loops from exploding the DFS).
+    Yielded,
+    /// Waiting for another thread to finish (`JoinHandle::join`).
+    Blocked,
+    /// Done (returned or unwound).
+    Finished,
+}
+
+pub(crate) struct ThreadSlot {
+    pub status: Status,
+    /// Target of a `Blocked` join.
+    pub blocked_on: Option<usize>,
+    /// The thread's happens-before knowledge.
+    pub view: VClock,
+    /// `view` at the moment the thread finished (join edge source).
+    pub final_view: VClock,
+    /// Message clocks of locations read with `Relaxed`, claimable by a
+    /// later `Acquire` fence.
+    pub pending_acquire: VClock,
+    /// `view` at the latest `Release` fence, carried by later stores.
+    pub fence_release: Option<VClock>,
+    /// Human-readable description of the op the thread is parked on.
+    pub pending_op: String,
+}
+
+impl ThreadSlot {
+    fn new(view: VClock) -> ThreadSlot {
+        ThreadSlot {
+            status: Status::Running,
+            blocked_on: None,
+            view,
+            final_view: VClock::default(),
+            pending_acquire: VClock::default(),
+            fence_release: None,
+            pending_op: String::new(),
+        }
+    }
+}
+
+pub(crate) struct RtState {
+    pub threads: Vec<ThreadSlot>,
+    /// Thread granted at each scheduling point so far.
+    pub schedule: Vec<usize>,
+    /// One line per tracked event, for violation reports.
+    pub events: Vec<String>,
+    pub aborting: bool,
+    pub violation: Option<Violation>,
+    /// OS handles of spawned model threads, reaped at execution end.
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Rt {
+    pub state: Mutex<RtState>,
+    pub cv: Condvar,
+    pub max_threads: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Handle to the runtime from inside a model thread.
+pub(crate) fn current() -> (Arc<Rt>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!("loom primitive used outside a model run (wrap the test body in loom::model)")
+    })
+}
+
+pub(crate) fn set_current(rt: Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Context handed to a tracked operation's body: the executing thread's
+/// slot, with its clock already bumped for this event.
+pub(crate) struct OpCtx<'a> {
+    pub tid: usize,
+    pub slot: &'a mut ThreadSlot,
+}
+
+impl Rt {
+    pub fn new(max_threads: usize) -> Rt {
+        Rt {
+            state: Mutex::new(RtState {
+                threads: Vec::new(),
+                schedule: Vec::new(),
+                events: Vec::new(),
+                aborting: false,
+                violation: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            max_threads: max_threads.min(MAX_THREADS),
+        }
+    }
+
+    /// Lock the shared state, shrugging off poisoning (a panicking model
+    /// thread must not wedge the whole exploration).
+    pub fn lock(&self) -> MutexGuard<'_, RtState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a new model thread whose first event happens-after `view`.
+    /// Returns its id.  The thread starts `Running` (it parks at its first
+    /// scheduling point on its own).
+    pub fn register_thread(&self, view: VClock) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        if tid >= self.max_threads {
+            let v = self.record_violation_locked(
+                &mut st,
+                format!(
+                    "spawned more than max_threads={} model threads",
+                    self.max_threads
+                ),
+            );
+            drop(st);
+            drop(v);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.threads.push(ThreadSlot::new(view));
+        tid
+    }
+
+    /// Park as `status` and wait to be granted `Running`.
+    fn park_and_wait(&self, tid: usize, status: Status, desc: &str) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.threads[tid].status = status;
+        desc.clone_into(&mut st.threads[tid].pending_op);
+        self.cv.notify_all();
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.threads[tid].status == Status::Running {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Run one tracked operation: park at a scheduling point, and once
+    /// granted execute `f` with this thread's clock bumped.  `Err` from `f`
+    /// is a violation and aborts the execution.
+    pub fn tracked<R>(
+        &self,
+        tid: usize,
+        desc: &str,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<R, String>,
+    ) -> R {
+        self.park_and_wait(tid, Status::Ready, desc);
+        self.execute(tid, desc, f)
+    }
+
+    /// Run a tracked op's body with no scheduling point, no event
+    /// recording, and no abort panic.  Used for drop glue running while
+    /// the thread is already unwinding: a second panic inside a
+    /// destructor aborts the whole process, so tracked ops reached from
+    /// `Drop` during an abort must execute raw instead.  The bodies run
+    /// this way are infallible (ordering validity is checked before the
+    /// body; the execution's bookkeeping no longer matters).
+    pub fn bypass<R>(&self, tid: usize, f: impl FnOnce(&mut OpCtx<'_>) -> Result<R, String>) -> R {
+        let mut st = self.lock();
+        let mut ctx = OpCtx {
+            tid,
+            slot: &mut st.threads[tid],
+        };
+        f(&mut ctx).unwrap_or_else(|msg| unreachable!("bypass op failed: {msg}"))
+    }
+
+    /// Run a tracked *access* (cell read/write): checked against the vector
+    /// clocks but not a scheduling point — the thread keeps its grant.
+    pub fn access<R>(
+        &self,
+        tid: usize,
+        desc: &str,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<R, String>,
+    ) -> R {
+        let st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        drop(st);
+        self.execute(tid, desc, f)
+    }
+
+    fn execute<R>(
+        &self,
+        tid: usize,
+        desc: &str,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<R, String>,
+    ) -> R {
+        let mut st = self.lock();
+        let event = format!("t{tid} {desc}");
+        st.events.push(event);
+        st.threads[tid].view.bump(tid);
+        let mut ctx = OpCtx {
+            tid,
+            slot: &mut st.threads[tid],
+        };
+        match f(&mut ctx) {
+            Ok(r) => r,
+            Err(msg) => {
+                let _ = self.record_violation_locked(&mut st, msg);
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+        }
+    }
+
+    /// Spin hint / yield: a scheduling point that deprioritizes this thread
+    /// until everything else `Ready` has run.
+    pub fn yield_now(&self, tid: usize) {
+        self.park_and_wait(tid, Status::Yielded, "yield");
+    }
+
+    /// `JoinHandle::join`: block until `target` finishes, then merge its
+    /// final clock (the join happens-before edge).
+    pub fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.threads[target].status == Status::Finished {
+                let fv = st.threads[target].final_view.clone();
+                st.threads[tid].view.join(&fv);
+                return;
+            }
+            st.threads[tid].status = Status::Blocked;
+            st.threads[tid].blocked_on = Some(target);
+            self.cv.notify_all();
+            while !st.aborting && st.threads[tid].status != Status::Running {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Mark a thread finished; `panic_payload` is a user panic (assertion
+    /// failure inside the model), which becomes the execution's violation.
+    pub fn finish_thread(&self, tid: usize, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock();
+        if let Some(payload) = panic_payload {
+            if !payload.is::<ModelAbort>() && st.violation.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                let _ = self.record_violation_locked(&mut st, msg);
+            }
+        }
+        st.threads[tid].status = Status::Finished;
+        st.threads[tid].final_view = st.threads[tid].view.clone();
+        self.cv.notify_all();
+    }
+
+    /// Record the first violation (with the schedule so far) and begin
+    /// aborting the execution.  Returns the violation for convenience.
+    fn record_violation_locked(&self, st: &mut RtState, message: String) -> Violation {
+        let v = Violation {
+            message,
+            schedule: st.schedule.clone(),
+            events: st.events.clone(),
+        };
+        if st.violation.is_none() {
+            st.violation = Some(v.clone());
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+        v
+    }
+
+    /// Same as [`Rt::record_violation_locked`] but from controller context.
+    pub fn record_violation(&self, message: String) {
+        let mut st = self.lock();
+        let _ = self.record_violation_locked(&mut st, message);
+    }
+
+    /// Wrapper every model thread body runs inside: installs the
+    /// thread-local runtime handle, catches panics, reports the finish.
+    pub fn run_thread_body(rt: Arc<Rt>, tid: usize, body: impl FnOnce()) {
+        set_current(Arc::clone(&rt), tid);
+        let result = catch_unwind(AssertUnwindSafe(body));
+        clear_current();
+        rt.finish_thread(tid, result.err());
+    }
+}

@@ -1,0 +1,3 @@
+//! Tracked synchronization primitives (`loom::sync::atomic`).
+
+pub mod atomic;

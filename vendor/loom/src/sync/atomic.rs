@@ -1,0 +1,410 @@
+//! Tracked atomics: every operation is a scheduling point, and the declared
+//! [`Ordering`] drives the vector-clock happens-before machinery.
+//!
+//! Each location keeps, besides its value, a *message clock*: the
+//! happens-before knowledge released by the last store (or accumulated
+//! along a release sequence of RMWs).  Acquire-class loads join it into
+//! the reader's view; `Relaxed` loads only stash it in `pending_acquire`,
+//! where a later `Acquire` [`fence`] can claim it.
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::rt::{self, OpCtx, VClock};
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Per-location model state: current value + message clock.
+struct LocState {
+    value: u64,
+    msg: VClock,
+}
+
+/// The untyped engine all atomic wrappers share.  Values are widened to
+/// `u64`.  `new` is `const` (the repo's locks have `const fn new`), so the
+/// tracked state is lazily initialised on first use.
+struct AtomicCore {
+    init: u64,
+    state: OnceLock<Mutex<LocState>>,
+}
+
+impl AtomicCore {
+    const fn new(init: u64) -> AtomicCore {
+        AtomicCore {
+            init,
+            state: OnceLock::new(),
+        }
+    }
+
+    fn state(&self) -> &Mutex<LocState> {
+        self.state.get_or_init(|| {
+            Mutex::new(LocState {
+                value: self.init,
+                msg: VClock::default(),
+            })
+        })
+    }
+
+    fn with_loc<R>(
+        &self,
+        desc: &str,
+        f: impl FnOnce(&mut OpCtx<'_>, &mut LocState) -> Result<R, String>,
+    ) -> R {
+        let (rt, tid) = rt::current();
+        if std::thread::panicking() {
+            // Drop glue running while this thread unwinds (after a
+            // violation abort): execute the op raw — no scheduling point,
+            // and above all no second panic, which would abort the
+            // process from inside a destructor.
+            return rt.bypass(tid, |ctx| {
+                let mut loc = self.state().lock().unwrap_or_else(|e| e.into_inner());
+                f(ctx, &mut loc)
+            });
+        }
+        let desc = format!("{desc} @{:p}", self as *const _);
+        rt.tracked(tid, &desc, |ctx| {
+            let mut loc = self.state().lock().unwrap_or_else(|e| e.into_inner());
+            f(ctx, &mut loc)
+        })
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        // Checked before the tracked body so the body is infallible (it
+        // may also run on the `bypass` path, which cannot report).
+        assert!(!is_release(order), "invalid load ordering {order:?}");
+        self.with_loc(&format!("load {order:?}"), |ctx, loc| {
+            if is_acquire(order) {
+                ctx.slot.view.join(&loc.msg);
+            } else {
+                // Relaxed: no edge now, but an Acquire fence may claim it.
+                ctx.slot.pending_acquire.join(&loc.msg);
+            }
+            Ok(loc.value)
+        })
+    }
+
+    fn store(&self, val: u64, order: Ordering) {
+        assert!(!is_acquire(order), "invalid store ordering {order:?}");
+        self.with_loc(&format!("store {order:?}"), |ctx, loc| {
+            loc.value = val;
+            loc.msg = if is_release(order) {
+                ctx.slot.view.clone()
+            } else {
+                // Relaxed store: releases only what a prior Release fence
+                // snapshotted, if any.
+                ctx.slot.fence_release.clone().unwrap_or_default()
+            };
+            Ok(())
+        })
+    }
+
+    /// Read-modify-write. `f` returns the new value (or `None` to leave the
+    /// location untouched — the failed-CAS path).  Returns the old value.
+    fn rmw(&self, desc: &str, order: Ordering, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        self.with_loc(desc, |ctx, loc| {
+            let old = loc.value;
+            if is_acquire(order) {
+                ctx.slot.view.join(&loc.msg);
+            } else {
+                ctx.slot.pending_acquire.join(&loc.msg);
+            }
+            if let Some(new) = f(old) {
+                loc.value = new;
+                // A successful RMW continues the release sequence: the
+                // location's message clock is *retained* and, if this op
+                // releases, extended with the writer's view.
+                if is_release(order) {
+                    let view = ctx.slot.view.clone();
+                    loc.msg.join(&view);
+                } else if let Some(fr) = &ctx.slot.fence_release {
+                    loc.msg.join(&fr.clone());
+                }
+            }
+            Ok(old)
+        })
+    }
+
+    fn swap(&self, val: u64, order: Ordering) -> u64 {
+        self.rmw(&format!("swap {order:?}"), order, |_| Some(val))
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        assert!(
+            !is_release(failure),
+            "invalid CAS failure ordering {failure:?}"
+        );
+        self.with_loc(&format!("cas {success:?}/{failure:?}"), |ctx, loc| {
+            let old = loc.value;
+            let order = if old == current { success } else { failure };
+            if is_acquire(order) {
+                ctx.slot.view.join(&loc.msg);
+            } else {
+                ctx.slot.pending_acquire.join(&loc.msg);
+            }
+            if old == current {
+                loc.value = new;
+                if is_release(success) {
+                    let view = ctx.slot.view.clone();
+                    loc.msg.join(&view);
+                } else if let Some(fr) = ctx.slot.fence_release.clone() {
+                    loc.msg.join(&fr);
+                }
+                Ok(Ok(old))
+            } else {
+                Ok(Err(old))
+            }
+        })
+    }
+
+    /// Untracked read for `Debug` / drop-time inspection.
+    fn raw(&self) -> u64 {
+        self.state().lock().unwrap_or_else(|e| e.into_inner()).value
+    }
+}
+
+/// Declare one typed atomic wrapper over [`AtomicCore`].
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            core: AtomicCore,
+        }
+
+        impl $name {
+            /// Create a new atomic with `v` as the initial value.
+            pub const fn new(v: $ty) -> $name {
+                $name { core: AtomicCore::new(v as u64) }
+            }
+
+            /// Tracked load.
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.core.load(order) as $ty
+            }
+
+            /// Tracked store.
+            pub fn store(&self, val: $ty, order: Ordering) {
+                self.core.store(val as u64, order)
+            }
+
+            /// Tracked swap; returns the previous value.
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.swap(val as u64, order) as $ty
+            }
+
+            /// Tracked compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.core
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            /// Tracked compare-and-exchange; the model never fails
+            /// spuriously, so this is exactly `compare_exchange`.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Tracked wrapping add; returns the previous value.
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_add {order:?}"), order, |old| {
+                    Some((old as $ty).wrapping_add(val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked wrapping sub; returns the previous value.
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_sub {order:?}"), order, |old| {
+                    Some((old as $ty).wrapping_sub(val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked bitwise and; returns the previous value.
+            pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_and {order:?}"), order, |old| {
+                    Some(((old as $ty) & val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked bitwise or; returns the previous value.
+            pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_or {order:?}"), order, |old| {
+                    Some(((old as $ty) | val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked bitwise xor; returns the previous value.
+            pub fn fetch_xor(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_xor {order:?}"), order, |old| {
+                    Some(((old as $ty) ^ val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked max; returns the previous value.
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_max {order:?}"), order, |old| {
+                    Some((old as $ty).max(val) as u64)
+                }) as $ty
+            }
+
+            /// Tracked min; returns the previous value.
+            pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(&format!("fetch_min {order:?}"), order, |old| {
+                    Some((old as $ty).min(val) as u64)
+                }) as $ty
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.core.raw() as $ty)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$ty>::default())
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Tracked equivalent of [`std::sync::atomic::AtomicU8`].
+    AtomicU8, u8
+);
+atomic_int!(
+    /// Tracked equivalent of [`std::sync::atomic::AtomicU32`].
+    AtomicU32, u32
+);
+atomic_int!(
+    /// Tracked equivalent of [`std::sync::atomic::AtomicU64`].
+    AtomicU64, u64
+);
+atomic_int!(
+    /// Tracked equivalent of [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize, usize
+);
+
+/// Tracked equivalent of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    core: AtomicCore,
+}
+
+impl AtomicBool {
+    /// Create a new atomic with `v` as the initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            core: AtomicCore::new(v as u64),
+        }
+    }
+
+    /// Tracked load.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.core.load(order) != 0
+    }
+
+    /// Tracked store.
+    pub fn store(&self, val: bool, order: Ordering) {
+        self.core.store(val as u64, order)
+    }
+
+    /// Tracked swap; returns the previous value.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        self.core.swap(val as u64, order) != 0
+    }
+
+    /// Tracked compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.core
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+
+    /// Tracked compare-and-exchange (never spuriously fails in the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool({})", self.core.raw() != 0)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+/// Tracked memory fence.
+///
+/// The shim approximation: an `Acquire` fence claims the message clocks of
+/// every `Relaxed` load this thread has performed (joins `pending_acquire`
+/// into the view); a `Release` fence snapshots the view so that later
+/// `Relaxed` stores carry it.  `AcqRel`/`SeqCst` do both.
+pub fn fence(order: Ordering) {
+    assert!(order != Ordering::Relaxed, "fence(Relaxed) is invalid");
+    if std::thread::panicking() {
+        // Drop glue during an abort unwind: ordering no longer matters
+        // and a second panic would abort the process.
+        return;
+    }
+    let (rt, tid) = rt::current();
+    rt.tracked(tid, &format!("fence {order:?}"), |ctx| {
+        if is_acquire(order) {
+            let pending = std::mem::take(&mut ctx.slot.pending_acquire);
+            ctx.slot.view.join(&pending);
+        }
+        if is_release(order) {
+            ctx.slot.fence_release = Some(ctx.slot.view.clone());
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,65 @@
+//! Model threads: real OS threads serialized by the per-execution
+//! scheduler so that exactly one runs at a time.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, Rt};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value.  Blocks this
+    /// model thread (it is unschedulable until the target finishes) and
+    /// establishes the join happens-before edge.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, tid) = rt::current();
+        rt.join_wait(tid, self.tid);
+        let slot = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match slot {
+            Some(v) => Ok(v),
+            // The child panicked before producing a value; the runtime has
+            // already recorded the violation, so the payload is synthetic.
+            None => Err(Box::new(format!("model thread {} panicked", self.tid))),
+        }
+    }
+}
+
+/// Spawn a model thread.  A scheduling point: the spawn itself is a tracked
+/// op, and the child's first event happens-after it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, tid) = rt::current();
+    let child_view = rt.tracked(tid, "spawn", |ctx| Ok(ctx.slot.view.clone()));
+    let child_tid = rt.register_thread(child_view);
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let rt2 = Arc::clone(&rt);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-t{child_tid}"))
+        .spawn(move || {
+            Rt::run_thread_body(rt2, child_tid, move || {
+                let v = f();
+                *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            })
+        })
+        .expect("spawn model thread");
+    rt.lock().os_handles.push(handle);
+    JoinHandle {
+        tid: child_tid,
+        result,
+    }
+}
+
+/// Model equivalent of [`std::thread::yield_now`]: identical to a spin
+/// hint — this thread is deprioritized until every `Ready` thread has run.
+pub fn yield_now() {
+    let (rt, tid) = rt::current();
+    rt.yield_now(tid);
+}
