@@ -1,22 +1,226 @@
-//! Connection acceptance and least-connections load balancing.
+//! Connection acceptance: sharded `SO_REUSEPORT` listeners or a single
+//! least-connections acceptor thread.
 //!
 //! "The CPSERVER also has an additional thread that accepts new connections.
 //! When a connection is made, it is assigned to a client thread with the
 //! smallest number of current active connections." (§4.1)
 //!
-//! The hand-off is event-aware: each worker slot carries a
+//! That single acceptor serializes every accept: under a connection-churn
+//! storm one thread (and one listen queue) throttles the whole server.  The
+//! default accept path is therefore **sharded** ([`AcceptPath::Sharded`]):
+//! every worker binds its own `SO_REUSEPORT` listener on the same address
+//! and the kernel load-balances incoming connections across them — no
+//! hand-off thread, no cross-thread wake-up, and with the io_uring
+//! front-end the accept itself happens in-kernel (multishot accept).  The
+//! paper's least-connections balancing remains available as
+//! [`AcceptPath::Single`] (`--accept single` / `CPHASH_ACCEPT=single`),
+//! and is the automatic fallback where `SO_REUSEPORT` sharding cannot be
+//! built (non-Linux hosts, non-IPv4 binds).
+//!
+//! The single-acceptor hand-off is event-aware: each worker slot carries a
 //! [`Waker`], so a worker sleeping in its reactor's `epoll_wait` is woken
 //! the moment a connection is assigned to it instead of discovering it on a
 //! poll tick.
 
 use cphash_sync::atomic::plain::{AtomicBool, AtomicUsize, Ordering};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::reactor::{FrontendKind, Waker};
+use crate::reactor::{FrontendKind, Reactor, Waker};
+
+/// How a server's listening socket feeds its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptPath {
+    /// Per-worker `SO_REUSEPORT` listeners; the kernel load-balances
+    /// accepts across workers.  Falls back to [`AcceptPath::Single`] where
+    /// the sharded listener set cannot be built.
+    #[default]
+    Sharded,
+    /// One acceptor thread assigning each connection to the least-loaded
+    /// worker (the paper's §4.1 design).
+    Single,
+}
+
+impl AcceptPath {
+    /// Parse an `--accept` flag value.
+    pub fn parse(s: &str) -> Result<AcceptPath, String> {
+        match s {
+            "sharded" | "reuseport" => Ok(AcceptPath::Sharded),
+            "single" | "acceptor" => Ok(AcceptPath::Single),
+            other => Err(format!(
+                "unknown accept path {other:?} (expected sharded|single)"
+            )),
+        }
+    }
+
+    /// The flag spelling of this path.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AcceptPath::Sharded => "sharded",
+            AcceptPath::Single => "single",
+        }
+    }
+
+    /// Default for this process: `CPHASH_ACCEPT` if set, otherwise sharded.
+    /// An invalid value panics, for the same reason `CPHASH_FRONTEND` does:
+    /// the variable exists to force a specific path in CI matrices, and a
+    /// typo that silently picked the default would compare a path against
+    /// itself.
+    pub fn from_env() -> AcceptPath {
+        match std::env::var("CPHASH_ACCEPT") {
+            Ok(v) => AcceptPath::parse(v.trim().to_ascii_lowercase().as_str())
+                .unwrap_or_else(|e| panic!("CPHASH_ACCEPT: {e}")),
+            Err(_) => AcceptPath::default(),
+        }
+    }
+}
+
+impl core::fmt::Display for AcceptPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Build one non-blocking `SO_REUSEPORT` listener per shard, all bound to
+/// `bind` (port 0 picks a port on the first listener; the rest join it).
+/// Returns the resolved address plus the listener set, or an error where
+/// reuseport sharding is unavailable (non-Linux, non-IPv4 bind) — callers
+/// fall back to [`spawn_acceptor`].
+pub fn shard_listeners(
+    bind: SocketAddr,
+    shards: usize,
+) -> io::Result<(SocketAddr, Vec<TcpListener>)> {
+    assert!(shards > 0, "need at least one shard");
+    #[cfg(target_os = "linux")]
+    {
+        let SocketAddr::V4(v4) = bind else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "reuseport sharding requires an IPv4 bind address",
+            ));
+        };
+        let first = reuseport_listener(*v4.ip(), v4.port())?;
+        let addr = first.local_addr()?;
+        let SocketAddr::V4(resolved) = addr else {
+            unreachable!("IPv4 socket reports an IPv4 local address");
+        };
+        let mut listeners = Vec::with_capacity(shards);
+        listeners.push(first);
+        for _ in 1..shards {
+            listeners.push(reuseport_listener(*resolved.ip(), resolved.port())?);
+        }
+        for listener in &listeners {
+            listener.set_nonblocking(true)?;
+        }
+        Ok((addr, listeners))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = bind;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reuseport sharding is Linux-only",
+        ))
+    }
+}
+
+/// One `SO_REUSEPORT` (+`SO_REUSEADDR`) listener, built below std because
+/// the option must be set *before* `bind`.
+#[cfg(target_os = "linux")]
+fn reuseport_listener(ip: std::net::Ipv4Addr, port: u16) -> io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    // SAFETY: raw socket-setup calls on a freshly created, owned fd; the
+    // sockaddr_in is a valid 16-byte POD and every failure path closes the
+    // fd before returning.
+    unsafe {
+        let fd = libc::socket(libc::AF_INET, libc::SOCK_STREAM | libc::SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let close_on = |fd: i32, err: io::Error| {
+            libc::close(fd);
+            Err(err)
+        };
+        let one: libc::c_int = 1;
+        for opt in [libc::SO_REUSEADDR, libc::SO_REUSEPORT] {
+            let rc = libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                opt,
+                (&one as *const libc::c_int).cast(),
+                core::mem::size_of::<libc::c_int>() as libc::socklen_t,
+            );
+            if rc != 0 {
+                return close_on(fd, io::Error::last_os_error());
+            }
+        }
+        let addr = libc::sockaddr_in {
+            sin_family: libc::AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: u32::from(ip).to_be(),
+            sin_zero: [0; 8],
+        };
+        if libc::bind(
+            fd,
+            (&addr as *const libc::sockaddr_in).cast(),
+            core::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        ) != 0
+        {
+            return close_on(fd, io::Error::last_os_error());
+        }
+        if libc::listen(fd, 1024) != 0 {
+            return close_on(fd, io::Error::last_os_error());
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Collect every connection currently acceptable on a worker-owned
+/// listener: from the reactor's in-kernel accept queue when the backend
+/// owns accepting (io_uring multishot accept), otherwise via non-blocking
+/// `accept(2)` until `WouldBlock`.
+pub fn drain_accepts(
+    listener: &TcpListener,
+    reactor: &mut Reactor,
+    token: usize,
+    out: &mut Vec<TcpStream>,
+) {
+    #[cfg(unix)]
+    {
+        let mut fds: Vec<crate::reactor::RawFd> = Vec::new();
+        if reactor.take_accepted(token, &mut fds) {
+            for fd in fds {
+                // SAFETY: the backend accepted this fd in-kernel and hands
+                // ownership over exactly once, here.
+                out.push(unsafe {
+                    use std::os::fd::FromRawFd;
+                    TcpStream::from_raw_fd(fd)
+                });
+            }
+            return;
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = reactor;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => out.push(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under a connection
+                // storm) keep the listener level-ready; back off briefly
+                // so the worker does not hot-spin accept→fail.
+                std::thread::sleep(Duration::from_millis(1));
+                break;
+            }
+        }
+    }
+}
 
 /// The acceptor's handle to one worker: where to send new connections and
 /// how loaded that worker currently is.

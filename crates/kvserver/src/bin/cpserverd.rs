@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use cphash::{CpHashConfig, MigrationPacing, ServerPipeline};
 use cphash_affinity::Topology;
-use cphash_kvserver::{CpServer, CpServerConfig, FrontendKind};
+use cphash_kvserver::{AcceptPath, CpServer, CpServerConfig, FrontendKind};
 
 struct Args {
     port: u16,
@@ -35,8 +35,10 @@ struct Args {
     /// Overload shedding threshold (0 = never shed): in-flight operations
     /// per worker beyond which v2 clients get wire-level Retry replies.
     overload_retry: usize,
-    /// Front-end driving the client threads (epoll | poll).
+    /// Front-end driving the client threads (epoll | poll | uring).
     frontend: FrontendKind,
+    /// Accept path (sharded SO_REUSEPORT listeners | single acceptor).
+    accept: AcceptPath,
     /// NUMA-aware server placement: pin every spawnable server thread
     /// (including ones only activated by a later grow) per the detected
     /// topology.
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         batch_size: cphash::config::batch_size_from_env(),
         overload_retry: 0,
         frontend: FrontendKind::from_env(),
+        accept: AcceptPath::from_env(),
         numa: false,
         max_protocol: cphash_kvproto::VERSION_2,
         stats_addr: None,
@@ -118,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad overload-retry: {e}"))?
             }
             "--frontend" => args.frontend = FrontendKind::parse(&value("--frontend")?)?,
+            "--accept" => args.accept = AcceptPath::parse(&value("--accept")?)?,
             "--stats-addr" => {
                 args.stats_addr = Some(
                     value("--stats-addr")?
@@ -136,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--migrate-feedback-p99] [--pipeline scalar|batched|prefetch] [--batch-size N] [--overload-retry N] [--frontend epoll|poll] [--stats-addr HOST:PORT] [--trace] [--numa] [--max-protocol 1|2]".into())
+                return Err("usage: cpserverd [--port N] [--partitions N] [--max-partitions N] [--client-threads N] [--capacity-mb N] [--stats-secs N] [--migrate-rate CHUNKS_PER_SEC] [--migrate-feedback] [--migrate-feedback-p99] [--pipeline scalar|batched|prefetch] [--batch-size N] [--overload-retry N] [--frontend epoll|poll|uring] [--accept sharded|single] [--stats-addr HOST:PORT] [--trace] [--numa] [--max-protocol 1|2]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -200,6 +204,7 @@ fn main() {
         pipeline: args.pipeline,
         batch_size: args.batch_size,
         overload_retry: (args.overload_retry > 0).then_some(args.overload_retry),
+        accept: args.accept,
         ..Default::default()
     };
     // --stats-addr overrides the CPHASH_STATS_ADDR default already folded
@@ -220,12 +225,13 @@ fn main() {
         }
     };
     println!(
-        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache, {} front-end, {} pipeline depth {}{})",
+        "CPSERVER listening on {} ({} partitions, {} client threads, {} MiB cache, {} front-end, {} accept, {} pipeline depth {}{})",
         server.addr(),
         args.partitions,
         args.client_threads,
         args.capacity_mb,
         args.frontend,
+        args.accept,
         args.pipeline,
         args.batch_size,
         if args.numa { ", NUMA pinning" } else { "" }
@@ -261,7 +267,7 @@ fn main() {
         let wakeups = frontend.wakeups();
         let batch = server.metrics().batch_stats();
         println!(
-            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}   frontend: wakeups={} (+{}) ev/wakeup={:.1} idle_sleeps={}   hotpath: batches={} occupancy={:.1} prefetches={} retries_emitted={}",
+            "requests: {:>12} (+{:>10} / {}s)   hit rate {:>5.1}%   elements in cache: lookups={} inserts={} evictions={}   frontend: wakeups={} (+{}) ev/wakeup={:.1} idle_sleeps={} syscalls={}   hotpath: batches={} occupancy={:.1} prefetches={} retries_emitted={}",
             requests,
             requests - last_requests,
             args.stats_secs,
@@ -273,6 +279,7 @@ fn main() {
             wakeups - last_wakeups,
             frontend.events_per_wakeup(),
             frontend.idle_sleeps(),
+            frontend.syscalls(),
             batch.batches,
             batch.avg_occupancy(),
             batch.prefetches,

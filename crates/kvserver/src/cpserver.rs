@@ -2,7 +2,7 @@
 
 use cphash_sync::atomic::plain::{AtomicBool, Ordering};
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -18,10 +18,12 @@ use cphash_kvproto::{
 use cphash_migrate::{MigrationPacer, RepartitionCoordinator};
 use cphash_perfmon::SharedLatencyWindow;
 
-use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
+use crate::acceptor::{
+    drain_accepts, shard_listeners, spawn_acceptor, worker_channels, AcceptPath, WorkerInbox,
+};
 use crate::connection::Connection;
 use crate::metrics::{MigrationProgress, ServerMetrics};
-use crate::reactor::{FrontendKind, Reactor, WAKER_TOKEN};
+use crate::reactor::{raw_fd_of, FrontendKind, Reactor, LISTENER_TOKEN, WAKER_TOKEN};
 use crate::stats_http::spawn_stats_listener;
 
 /// An admin resize request in flight from a client thread to the admin
@@ -124,6 +126,11 @@ pub struct CpServerConfig {
     /// the default, falling back to busy-poll off Linux) or the legacy
     /// busy-poll (`poll`).
     pub frontend: FrontendKind,
+    /// Accept path: per-worker `SO_REUSEPORT` listeners (the default) or
+    /// the paper's single least-loaded acceptor thread.  Sharded silently
+    /// falls back to the acceptor thread where reuseport sharding is
+    /// unavailable (non-Linux, non-IPv4 bind).
+    pub accept: AcceptPath,
     /// Highest kvproto version to negotiate (2 = typed ops; 1 makes the
     /// server behave like a pre-versioning build, for compatibility tests).
     pub max_protocol: u8,
@@ -145,6 +152,11 @@ pub struct CpServerConfig {
     /// The default reads `CPHASH_STATS_ADDR`, so tests and CI can turn the
     /// endpoint on without touching every construction site.
     pub stats_addr: Option<SocketAddr>,
+    /// Prefetch reply value bytes between completion drain and the wire
+    /// copy (values are written by server threads on other cores, so the
+    /// copy's first touch is otherwise a cache miss per line).  Defaults
+    /// to on; `CPHASH_REPLY_PREFETCH=0` disables it for A/B runs.
+    pub reply_prefetch: bool,
 }
 
 impl Default for CpServerConfig {
@@ -161,13 +173,22 @@ impl Default for CpServerConfig {
             max_partitions: 0,
             migration_pacing: MigrationPacing::Unpaced,
             frontend: FrontendKind::from_env(),
+            accept: AcceptPath::from_env(),
             max_protocol: cphash_kvproto::VERSION_2,
             pipeline: ServerPipeline::from_env(),
             batch_size: cphash::config::batch_size_from_env(),
             overload_retry: None,
             stats_addr: stats_addr_from_env(),
+            reply_prefetch: reply_prefetch_from_env(),
         }
     }
+}
+
+/// The `CPHASH_REPLY_PREFETCH` environment default for
+/// [`CpServerConfig::reply_prefetch`] (`0` disables, anything else — or
+/// unset — enables).
+fn reply_prefetch_from_env() -> bool {
+    std::env::var("CPHASH_REPLY_PREFETCH").map_or(true, |v| v != "0")
 }
 
 /// The `CPHASH_STATS_ADDR` environment default for
@@ -202,13 +223,35 @@ impl CpServer {
         table_config.batch_size = config.batch_size;
         let (table, handles) = CpHash::new(table_config);
 
-        let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
         metrics.attach_batch_sources(table.server_stats());
         metrics.attach_partition_source(table.partition_stats_sampler());
         let (slots, inboxes) = worker_channels(config.client_threads, config.frontend);
-        let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
+        // Accept path: per-worker SO_REUSEPORT listeners by default (the
+        // kernel load-balances accepts across workers), else the paper's
+        // single least-loaded acceptor thread — also the fallback where
+        // sharding cannot be built.
+        let sharded = match config.accept {
+            AcceptPath::Sharded => shard_listeners(config.bind, config.client_threads).ok(),
+            AcceptPath::Single => None,
+        };
+        let mut threads = Vec::new();
+        let (addr, listeners) = match sharded {
+            Some((addr, listeners)) => {
+                // Workers accept on their own listeners; nothing flows
+                // through the hand-off channels, so drop the senders (each
+                // worker's try_recv then just reports empty/disconnected).
+                drop(slots);
+                (addr, listeners.into_iter().map(Some).collect::<Vec<_>>())
+            }
+            None => {
+                let listener = TcpListener::bind(config.bind)?;
+                let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
+                threads.push(acceptor);
+                (addr, (0..config.client_threads).map(|_| None).collect())
+            }
+        };
 
         // The admin thread owns the table's repartition coordinator and
         // serializes `resize` requests from every client thread. A static
@@ -217,7 +260,6 @@ impl CpServer {
         // operator declared fixed.
         let resize_enabled = config.max_partitions > config.partitions;
         let (admin_tx, admin_rx) = mpsc::channel::<AdminRequest>();
-        let mut threads = vec![acceptor];
         let mut stats_addr = None;
         if let Some(requested) = config.stats_addr {
             let (bound, handle) =
@@ -250,7 +292,9 @@ impl CpServer {
             drop(admin_rx);
         }
 
-        for (index, (handle, inbox)) in handles.into_iter().zip(inboxes).enumerate() {
+        for (index, ((handle, inbox), listener)) in
+            handles.into_iter().zip(inboxes).zip(listeners).enumerate()
+        {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics);
             let batch = config.batch;
@@ -267,6 +311,7 @@ impl CpServer {
                     config.migration_pacing,
                     MigrationPacing::FeedbackLatency { .. }
                 );
+            let reply_prefetch = config.reply_prefetch;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cpserver-client-{index}"))
@@ -274,6 +319,7 @@ impl CpServer {
                         client_worker(
                             handle,
                             inbox,
+                            listener,
                             stop,
                             metrics,
                             batch,
@@ -282,6 +328,7 @@ impl CpServer {
                             max_protocol,
                             overload_retry,
                             record_latency,
+                            reply_prefetch,
                         )
                     })
                     .expect("spawning a client thread"),
@@ -433,15 +480,18 @@ struct ConnState {
     replies: std::collections::VecDeque<PendingReply>,
     /// Whether to clock-stamp requests for the latency window.
     stamp_latency: bool,
+    /// Whether to prefetch reply value bytes ahead of the wire copy.
+    prefetch: bool,
 }
 
 impl ConnState {
-    fn new(conn: Connection, stamp_latency: bool) -> Self {
+    fn new(conn: Connection, stamp_latency: bool, prefetch: bool) -> Self {
         ConnState {
             conn,
             next_seq: 0,
             replies: std::collections::VecDeque::new(),
             stamp_latency,
+            prefetch,
         }
     }
 
@@ -478,6 +528,23 @@ impl ConnState {
     /// window is a cross-worker mutex, so it is not touched when nothing
     /// would ever sample it).  Returns how many responses were queued.
     fn flush_ready_responses(&mut self, latency: Option<&SharedLatencyWindow>) -> usize {
+        // First pass: hint every cache line of the Done-prefix values that
+        // the loop below will copy onto the wire.  The worker itself copied
+        // these values out of shared table memory when it drained the
+        // completions (`pump_lane`), but under deep pipelines a batch of
+        // 1 KiB values overflows L1 and the oldest lines may have cooled by
+        // flush time; hints on still-resident lines are a cycle each, so
+        // the pass is near-free when nothing cooled (the cross-core miss
+        // itself is hidden earlier, by `pump_lane`'s batched prefetch over
+        // the response pointers).
+        if self.prefetch {
+            for entry in self.replies.iter() {
+                let ReplyState::Done(reply) = &entry.state else {
+                    break; // the flush loop stops at the first non-Done too
+                };
+                prefetch_value_lines(reply.value.as_slice());
+            }
+        }
         let mut wrote = 0usize;
         while matches!(
             self.replies.front(),
@@ -519,6 +586,22 @@ struct WriteTarget {
     reply: Option<(usize, u64)>,
 }
 
+/// Hint every cache line a reply value occupies, so the wire copy that
+/// follows overlaps its misses instead of paying them one line at a time.
+#[inline]
+fn prefetch_value_lines(bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    let start = bytes.as_ptr() as usize;
+    let end = start + bytes.len();
+    let mut line = start & !(cphash_cacheline::CACHE_LINE_SIZE - 1);
+    while line < end {
+        cphash_cacheline::prefetch_read(line as *const u8);
+        line += cphash_cacheline::CACHE_LINE_SIZE;
+    }
+}
+
 /// Turn an admin status string into a typed reply (the coordinator reports
 /// errors as `ERR ...` strings).
 fn admin_reply(status: String) -> OutReply {
@@ -542,6 +625,7 @@ fn admin_reply(status: String) -> OutReply {
 fn client_worker(
     mut handle: ClientHandle,
     inbox: WorkerInbox,
+    listener: Option<TcpListener>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     batch: usize,
@@ -550,11 +634,19 @@ fn client_worker(
     max_protocol: u8,
     overload_retry: Option<usize>,
     record_latency: bool,
+    reply_prefetch: bool,
 ) {
     let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
     if let Some(fd) = inbox.waker.fd() {
         let _ = reactor.register(fd, WAKER_TOKEN, false);
     }
+    // Sharded accept path: this worker owns one of the SO_REUSEPORT
+    // listeners (with io_uring the backend accepts in-kernel via
+    // multishot accept and hands finished fds over `take_accepted`).
+    if let Some(l) = listener.as_ref() {
+        let _ = reactor.register_listener(raw_fd_of(l), LISTENER_TOKEN);
+    }
+    let mut accepted: Vec<TcpStream> = Vec::new();
     // Connection slab: indices stay stable (they double as reactor tokens)
     // so in-flight tokens can refer to their connection even as others
     // close.
@@ -614,7 +706,7 @@ fn client_worker(
                     &mut connections,
                     &mut reactor,
                     &mut ready,
-                    ConnState::new(conn, record_latency),
+                    ConnState::new(conn, record_latency, reply_prefetch),
                     |state| &state.conn,
                 )
             });
@@ -625,10 +717,40 @@ fn client_worker(
             }
         }
 
+        // Sharded accept path: adopt connections straight off this
+        // worker's own listener.  Adoption pushes the new tokens into
+        // `ready` mid-iteration, so a connection that already has bytes
+        // buffered is served by the dispatch loop just below.
+        if let Some(l) = listener.as_ref() {
+            if ready.contains(&LISTENER_TOKEN) {
+                drain_accepts(l, &mut reactor, LISTENER_TOKEN, &mut accepted);
+                for stream in accepted.drain(..) {
+                    // Keep the active gauge balanced with the retire path
+                    // even though nothing load-balances on it here.
+                    inbox.active.fetch_add(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
+                    let adopted =
+                        Connection::with_max_protocol(stream, max_protocol).is_ok_and(|conn| {
+                            crate::connection::adopt(
+                                &mut connections,
+                                &mut reactor,
+                                &mut ready,
+                                ConnState::new(conn, record_latency, reply_prefetch),
+                                |state| &state.conn,
+                            )
+                        });
+                    if adopted {
+                        metrics.note_connection();
+                    } else {
+                        inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
+                    }
+                }
+            }
+        }
+
         // Drain every ready connection fully and forward its requests to
         // the hash-table servers without waiting for answers.
         for &idx in ready.iter() {
-            if idx == WAKER_TOKEN {
+            if idx == WAKER_TOKEN || idx == LISTENER_TOKEN {
                 continue; // drained above, before the inbox poll
             }
             let Some(state) = connections.get_mut(idx).and_then(|c| c.as_mut()) else {

@@ -24,9 +24,12 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 //! All three front-ends are event-driven: each worker sits on a
-//! [`reactor::Reactor`] (epoll on Linux, with a portable busy-poll fallback
-//! and a `--frontend poll` baseline behind the same trait), so idle
-//! connections cost nothing and worker CPU scales with requests served.
+//! [`reactor::Reactor`] (io_uring or epoll on Linux — with per-process
+//! fallback uring → epoll → busy-poll — and a `--frontend poll` baseline
+//! behind the same trait), so idle connections cost nothing and worker CPU
+//! scales with requests served.  The accept path is sharded by default on
+//! Linux: every worker owns a `SO_REUSEPORT` listener and the kernel
+//! load-balances incoming connections across them ([`acceptor::AcceptPath`]).
 
 pub mod acceptor;
 pub mod connection;
@@ -36,7 +39,10 @@ pub mod memcache;
 pub mod metrics;
 pub mod reactor;
 pub mod stats_http;
+#[cfg(target_os = "linux")]
+pub mod uring;
 
+pub use acceptor::AcceptPath;
 pub use cpserver::{CpServer, CpServerConfig};
 pub use lockserver::{LockServer, LockServerConfig};
 pub use memcache::{MemcacheCluster, MemcacheConfig};

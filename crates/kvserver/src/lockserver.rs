@@ -9,10 +9,12 @@ use std::time::Duration;
 use cphash_kvproto::{envelope, ErrCode, OpKind, Reply, Status};
 use cphash_lockhash::{EvictionPolicy, LockHash, LockHashConfig, LockKind};
 
-use crate::acceptor::{spawn_acceptor, worker_channels, WorkerInbox};
+use crate::acceptor::{
+    drain_accepts, shard_listeners, spawn_acceptor, worker_channels, AcceptPath, WorkerInbox,
+};
 use crate::connection::Connection;
 use crate::metrics::ServerMetrics;
-use crate::reactor::{FrontendKind, Reactor, WAKER_TOKEN};
+use crate::reactor::{raw_fd_of, FrontendKind, Reactor, LISTENER_TOKEN, WAKER_TOKEN};
 
 /// Configuration for [`LockServer`].
 #[derive(Debug, Clone)]
@@ -34,6 +36,10 @@ pub struct LockServerConfig {
     pub lock_kind: LockKind,
     /// Front-end driving the worker loops (readiness-based or busy-poll).
     pub frontend: FrontendKind,
+    /// Accept path: per-worker `SO_REUSEPORT` listeners (the default) or
+    /// the single least-loaded acceptor thread (also the fallback where
+    /// reuseport sharding is unavailable).
+    pub accept: AcceptPath,
 }
 
 impl Default for LockServerConfig {
@@ -47,6 +53,7 @@ impl Default for LockServerConfig {
             eviction: EvictionPolicy::Lru,
             lock_kind: LockKind::Spin,
             frontend: FrontendKind::from_env(),
+            accept: AcceptPath::from_env(),
         }
     }
 }
@@ -71,7 +78,6 @@ impl LockServer {
         }
         let table = Arc::new(LockHash::new(table_config));
 
-        let listener = TcpListener::bind(config.bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
         {
@@ -79,10 +85,27 @@ impl LockServer {
             metrics.attach_partition_source(move || table.stats());
         }
         let (slots, inboxes) = worker_channels(config.worker_threads, config.frontend);
-        let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
-
-        let mut threads = vec![acceptor];
-        for (index, inbox) in inboxes.into_iter().enumerate() {
+        // Accept path: sharded SO_REUSEPORT listeners by default, the
+        // single least-loaded acceptor thread on request or as fallback
+        // (see cpserver).
+        let sharded = match config.accept {
+            AcceptPath::Sharded => shard_listeners(config.bind, config.worker_threads).ok(),
+            AcceptPath::Single => None,
+        };
+        let mut threads = Vec::new();
+        let (addr, listeners) = match sharded {
+            Some((addr, listeners)) => {
+                drop(slots); // workers accept directly; the hand-off lanes stay unused
+                (addr, listeners.into_iter().map(Some).collect::<Vec<_>>())
+            }
+            None => {
+                let listener = TcpListener::bind(config.bind)?;
+                let (addr, acceptor) = spawn_acceptor(listener, slots, Arc::clone(&stop))?;
+                threads.push(acceptor);
+                (addr, (0..config.worker_threads).map(|_| None).collect())
+            }
+        };
+        for (index, (inbox, listener)) in inboxes.into_iter().zip(listeners).enumerate() {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics);
             let table = Arc::clone(&table);
@@ -90,7 +113,7 @@ impl LockServer {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("lockserver-worker-{index}"))
-                    .spawn(move || lock_worker(table, inbox, stop, metrics, frontend))
+                    .spawn(move || lock_worker(table, inbox, listener, stop, metrics, frontend))
                     .expect("spawning a worker thread"),
             );
         }
@@ -144,6 +167,7 @@ impl Drop for LockServer {
 fn lock_worker(
     table: Arc<LockHash>,
     inbox: WorkerInbox,
+    listener: Option<TcpListener>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     frontend: FrontendKind,
@@ -152,6 +176,12 @@ fn lock_worker(
     if let Some(fd) = inbox.waker.fd() {
         let _ = reactor.register(fd, WAKER_TOKEN, false);
     }
+    // Sharded accept path: this worker owns one of the SO_REUSEPORT
+    // listeners (see cpserver).
+    if let Some(l) = listener.as_ref() {
+        let _ = reactor.register_listener(raw_fd_of(l), LISTENER_TOKEN);
+    }
+    let mut accepted: Vec<std::net::TcpStream> = Vec::new();
     let mut connections: Vec<Option<Connection>> = Vec::new();
     let mut requests = Vec::with_capacity(256);
     let mut value_buf = Vec::with_capacity(256);
@@ -185,8 +215,36 @@ fn lock_worker(
             }
         }
 
+        // Sharded accept path: adopt connections straight off this
+        // worker's own listener; adoption pushes the new tokens into
+        // `ready` so buffered bytes are served this same iteration.
+        if let Some(l) = listener.as_ref() {
+            if ready.contains(&LISTENER_TOKEN) {
+                drain_accepts(l, &mut reactor, LISTENER_TOKEN, &mut accepted);
+                for stream in accepted.drain(..) {
+                    // Keep the active gauge balanced with the retire path.
+                    inbox.active.fetch_add(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
+                    let adopted = Connection::new(stream).is_ok_and(|conn| {
+                        crate::connection::adopt(
+                            &mut connections,
+                            &mut reactor,
+                            &mut ready,
+                            conn,
+                            |c| c,
+                        )
+                    });
+                    if adopted {
+                        metrics.note_connection();
+                        did_work = true;
+                    } else {
+                        inbox.active.fetch_sub(1, Ordering::Relaxed); // relaxed: load-balance gauge; staleness is benign
+                    }
+                }
+            }
+        }
+
         for &idx in ready.iter() {
-            if idx == WAKER_TOKEN {
+            if idx == WAKER_TOKEN || idx == LISTENER_TOKEN {
                 continue; // drained above, before the inbox poll
             }
             let Some(conn) = connections.get_mut(idx).and_then(|c| c.as_mut()) else {

@@ -30,12 +30,10 @@ use cphash_hashcore::{BucketLayout, EvictionPolicy, Partition, PartitionConfig};
 use cphash_kvproto::{envelope, ErrCode, OpKind, Reply, Status};
 use parking_lot::Mutex;
 
+use crate::acceptor::{drain_accepts, shard_listeners};
 use crate::connection::Connection;
 use crate::metrics::ServerMetrics;
-use crate::reactor::{self, FrontendKind, Reactor};
-
-/// Reactor token for the instance's listening socket.
-const LISTENER_TOKEN: usize = usize::MAX - 1;
+use crate::reactor::{self, FrontendKind, Reactor, LISTENER_TOKEN};
 
 /// Configuration for a [`MemcacheCluster`].
 #[derive(Debug, Clone)]
@@ -50,6 +48,15 @@ pub struct MemcacheConfig {
     pub eviction: EvictionPolicy,
     /// Front-end driving each instance's loop.
     pub frontend: FrontendKind,
+    /// Bind every instance to one shared `SO_REUSEPORT` port instead of a
+    /// port per instance.  `false` (the default) preserves the paper's §7
+    /// deployment — clients partition the key space across per-instance
+    /// ports — so [`MemcacheCluster::addrs`] stays meaningful; `true`
+    /// models a churn-friendly front door where the kernel spreads
+    /// connections over instances (every `addrs()` entry is then the same
+    /// address).  Falls back to per-instance ports where reuseport
+    /// sharding is unavailable.
+    pub shared_port: bool,
 }
 
 impl Default for MemcacheConfig {
@@ -60,6 +67,7 @@ impl Default for MemcacheConfig {
             buckets: 4096,
             eviction: EvictionPolicy::Lru,
             frontend: FrontendKind::from_env(),
+            shared_port: false,
         }
     }
 }
@@ -87,9 +95,29 @@ impl MemcacheCluster {
         let mut instances = Vec::with_capacity(config.instances);
         let mut threads = Vec::new();
 
+        // Shared-port mode: one SO_REUSEPORT listener set over a single
+        // port, the kernel spreading connections over instances.  Per
+        // instance ports (the paper's deployment) otherwise, or if the
+        // shard set cannot be built.
+        let mut shared = if config.shared_port {
+            shard_listeners(
+                "127.0.0.1:0".parse().expect("literal address"),
+                config.instances,
+            )
+            .ok()
+        } else {
+            None
+        };
+
         for index in 0..config.instances {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            listener.set_nonblocking(true)?;
+            let listener = match &mut shared {
+                Some((_, listeners)) => listeners.pop().expect("one listener per instance"),
+                None => {
+                    let l = TcpListener::bind("127.0.0.1:0")?;
+                    l.set_nonblocking(true)?;
+                    l
+                }
+            };
             let addr = listener.local_addr()?;
             let store = Arc::new(Mutex::new(Partition::new(PartitionConfig {
                 buckets: config.buckets,
@@ -178,11 +206,14 @@ fn instance_loop(
 ) {
     let mut reactor = Reactor::new(frontend, Arc::clone(&metrics.frontend));
     // An unwatched listener would make the instance deaf forever; fail
-    // loudly at startup instead.
+    // loudly at startup instead.  `register_listener` lets the io_uring
+    // backend accept in-kernel (multishot accept); elsewhere it is a plain
+    // read-interest registration.
     reactor
-        .register(reactor::raw_fd_of(&listener), LISTENER_TOKEN, false)
+        .register_listener(reactor::raw_fd_of(&listener), LISTENER_TOKEN)
         .expect("registering the memcache listener on the reactor");
     let mut connections: Vec<Option<Connection>> = Vec::new();
+    let mut accepted: Vec<std::net::TcpStream> = Vec::new();
     let mut requests = Vec::with_capacity(256);
     let mut value_buf = Vec::new();
     let mut ready: Vec<usize> = Vec::with_capacity(256);
@@ -204,33 +235,22 @@ fn instance_loop(
             let token = ready[ready_idx];
             ready_idx += 1;
             if token == LISTENER_TOKEN {
-                // Accept everything pending; the listener is non-blocking.
-                loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let adopted = Connection::new(stream).is_ok_and(|conn| {
-                                crate::connection::adopt(
-                                    &mut connections,
-                                    &mut reactor,
-                                    &mut ready,
-                                    conn,
-                                    |c| c,
-                                )
-                            });
-                            if adopted {
-                                metrics.note_connection();
-                                did_work = true;
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                        Err(_) => {
-                            // Persistent accept errors (EMFILE under a
-                            // connection storm) keep the listener
-                            // level-ready; back off briefly so the
-                            // instance does not hot-spin accept→fail.
-                            std::thread::sleep(Duration::from_millis(1));
-                            break;
-                        }
+                // Accept everything pending: kernel-accepted fds from the
+                // uring backend, or accept(2) until WouldBlock elsewhere.
+                drain_accepts(&listener, &mut reactor, LISTENER_TOKEN, &mut accepted);
+                for stream in accepted.drain(..) {
+                    let adopted = Connection::new(stream).is_ok_and(|conn| {
+                        crate::connection::adopt(
+                            &mut connections,
+                            &mut reactor,
+                            &mut ready,
+                            conn,
+                            |c| c,
+                        )
+                    });
+                    if adopted {
+                        metrics.note_connection();
+                        did_work = true;
                     }
                 }
                 continue;

@@ -33,6 +33,10 @@ pub struct FrontendStats {
     pub events: AtomicU64,
     /// Blocking `wait` calls that timed out with nothing to do.
     pub idle_sleeps: AtomicU64,
+    /// Syscalls the backend issued (mutations + waits).  The io_uring
+    /// backend batches interest-list mutations into its waits, so this is
+    /// the counter the churn-storm ablation compares across front-ends.
+    pub syscalls: AtomicU64,
 }
 
 impl FrontendStats {
@@ -70,6 +74,16 @@ impl FrontendStats {
     /// Record a blocking wait that timed out empty.
     pub fn note_idle_sleep(&self) {
         self.idle_sleeps.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
+    }
+
+    /// Syscalls issued by the reactor backend so far.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed) // relaxed: diagnostic snapshot; tearing across counters is fine
+    }
+
+    /// Record `n` syscalls issued by the reactor backend.
+    pub fn note_syscalls(&self, n: u64) {
+        self.syscalls.fetch_add(n, Ordering::Relaxed); // relaxed: monotonic diagnostic counter; guards no data
     }
 }
 
@@ -158,6 +172,8 @@ pub struct StatsSnapshot {
     pub frontend_events: u64,
     /// Reactor waits that timed out empty.
     pub frontend_idle_sleeps: u64,
+    /// Syscalls issued by the reactor backends (mutations + waits).
+    pub frontend_syscalls: u64,
     /// Merged batch-pipeline counters across the table's server threads.
     pub batch: BatchStats,
     /// Summed inbound queue-depth sample across server threads.
@@ -288,6 +304,13 @@ impl ServerMetrics {
             "Reactor waits that timed out with nothing to do",
             &[],
             move || f.idle_sleeps(),
+        );
+        let f = Arc::clone(&frontend);
+        registry.counter_fn(
+            "cphash_frontend_syscalls_total",
+            "Syscalls issued by the reactor backends (mutations + waits)",
+            &[],
+            move || f.syscalls(),
         );
 
         let s = Arc::clone(&batch_sources);
@@ -450,6 +473,7 @@ impl ServerMetrics {
             frontend_wakeups: self.frontend.wakeups(),
             frontend_events: self.frontend.events(),
             frontend_idle_sleeps: self.frontend.idle_sleeps(),
+            frontend_syscalls: self.frontend.syscalls(),
             batch: self.batch_stats(),
             queue_depth: summed_queue_depth(&self.batch_sources),
             migration_chunks: self.migration.chunks_moved(),
@@ -664,6 +688,7 @@ mod tests {
         m.note_connection();
         m.frontend.note_wakeup(3);
         m.frontend.note_idle_sleep();
+        m.frontend.note_syscalls(9);
         m.migration.note_repartition(7, 700, 1);
         m.migration.set_pacer_rate(3.25);
         m.attach_partition_source(|| cphash::PartitionStats {
@@ -712,6 +737,11 @@ mod tests {
             unified.frontend_idle_sleeps,
             counter("cphash_frontend_idle_sleeps_total")
         );
+        assert_eq!(
+            unified.frontend_syscalls,
+            counter("cphash_frontend_syscalls_total")
+        );
+        assert_eq!(unified.frontend_syscalls, 9);
         assert_eq!(unified.batch.batches, counter("cphash_batch_rounds_total"));
         assert_eq!(unified.batch.ops, counter("cphash_batch_ops_total"));
         assert_eq!(

@@ -42,6 +42,10 @@ pub type RawFd = i32;
 /// Token reserved for the worker's [`Waker`] registration.
 pub const WAKER_TOKEN: usize = usize::MAX;
 
+/// Token reserved for a worker-owned listening socket (the sharded
+/// `SO_REUSEPORT` accept path, and the memcache instances' listeners).
+pub const LISTENER_TOKEN: usize = usize::MAX - 1;
+
 /// The raw descriptor of a socket-like object, for reactor registration.
 /// On non-Unix hosts (where only the poll backend runs and descriptors are
 /// never dereferenced) this is a `-1` stand-in.
@@ -64,6 +68,11 @@ pub enum FrontendKind {
     Epoll,
     /// Legacy busy-poll: scan every connection each loop iteration.
     Poll,
+    /// io_uring completion rings (Linux 5.11+): batched interest-list
+    /// mutations, multishot poll/accept, zero-syscall drains (see
+    /// [`crate::uring::IoUringReactor`]).  Falls back to epoll — logging
+    /// once — on kernels without io_uring.
+    Uring,
 }
 
 impl FrontendKind {
@@ -72,7 +81,10 @@ impl FrontendKind {
         match s {
             "epoll" => Ok(FrontendKind::Epoll),
             "poll" => Ok(FrontendKind::Poll),
-            other => Err(format!("unknown frontend {other:?} (expected epoll|poll)")),
+            "uring" | "io_uring" => Ok(FrontendKind::Uring),
+            other => Err(format!(
+                "unknown frontend {other:?} (expected epoll|poll|uring)"
+            )),
         }
     }
 
@@ -81,6 +93,7 @@ impl FrontendKind {
         match self {
             FrontendKind::Epoll => "epoll",
             FrontendKind::Poll => "poll",
+            FrontendKind::Uring => "uring",
         }
     }
 
@@ -128,6 +141,18 @@ pub fn reactor_available(kind: FrontendKind) -> bool {
                 false
             }
         }
+        FrontendKind::Uring => {
+            #[cfg(target_os = "linux")]
+            {
+                // A full constructor probe (syscall + required feature
+                // bits), plus the CPHASH_URING_DISABLE test hook.
+                !crate::uring::uring_disabled() && crate::uring::IoUringReactor::new().is_ok()
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                false
+            }
+        }
     }
 }
 
@@ -147,6 +172,28 @@ pub trait EventBackend {
     /// `timeout` of `None` polls without blocking; `Some(d)` may sleep up to
     /// `d` waiting for the first event.
     fn wait(&mut self, ready: &mut Vec<usize>, timeout: Option<Duration>) -> io::Result<usize>;
+
+    /// Start watching a *listening* socket under `token`.  Backends with
+    /// in-kernel accept (io_uring multishot) arm it here; everyone else
+    /// treats the listener as an ordinary readable descriptor and the
+    /// caller accepts via `accept(2)` when the token reports ready.
+    fn register_listener(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
+        self.register(fd, token, false)
+    }
+
+    /// Collect connections the backend accepted in-kernel for `token`.
+    /// Returns `true` when this backend owns accepting for the token (the
+    /// caller must **not** call `accept(2)`, even if `out` came back
+    /// empty); `false` means the caller accepts the ordinary way.
+    fn take_accepted(&mut self, _token: usize, _out: &mut Vec<RawFd>) -> bool {
+        false
+    }
+
+    /// Drain the backend's syscall counter: how many syscalls it issued
+    /// since the last drain.  The busy-poll backend never syscalls (0).
+    fn take_syscalls(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Linux readiness backend: one `epoll` instance per worker.
@@ -154,6 +201,8 @@ pub trait EventBackend {
 pub struct EpollReactor {
     epfd: RawFd,
     buf: Vec<libc::epoll_event>,
+    /// Syscalls issued since the last [`EventBackend::take_syscalls`] drain.
+    syscalls: u64,
 }
 
 #[cfg(target_os = "linux")]
@@ -168,6 +217,7 @@ impl EpollReactor {
         Ok(EpollReactor {
             epfd,
             buf: vec![libc::epoll_event { events: 0, u64: 0 }; 256],
+            syscalls: 1,
         })
     }
 
@@ -176,6 +226,7 @@ impl EpollReactor {
             events: libc::EPOLLIN | if writable { libc::EPOLLOUT } else { 0 },
             u64: token as u64,
         };
+        self.syscalls += 1;
         // SAFETY: epfd is a live epoll fd and `ev` outlives the call.
         let rc = unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
@@ -196,6 +247,7 @@ impl EventBackend for EpollReactor {
     }
 
     fn deregister(&mut self, fd: RawFd, _token: usize) -> io::Result<()> {
+        self.syscalls += 1;
         let rc =
             // SAFETY: EPOLL_CTL_DEL ignores the event argument; NULL is accepted.
             unsafe { libc::epoll_ctl(self.epfd, libc::EPOLL_CTL_DEL, fd, core::ptr::null_mut()) };
@@ -211,6 +263,7 @@ impl EventBackend for EpollReactor {
             Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
         };
         let n = loop {
+            self.syscalls += 1;
             // SAFETY: `buf` is live for the call and the length matches its capacity.
             let rc = unsafe {
                 libc::epoll_wait(
@@ -234,6 +287,10 @@ impl EventBackend for EpollReactor {
             ready.push(token as usize);
         }
         Ok(n)
+    }
+
+    fn take_syscalls(&mut self) -> u64 {
+        core::mem::take(&mut self.syscalls)
     }
 }
 
@@ -302,34 +359,68 @@ impl EventBackend for PollReactor {
 enum Backend {
     #[cfg(target_os = "linux")]
     Epoll(EpollReactor),
+    #[cfg(target_os = "linux")]
+    Uring(crate::uring::IoUringReactor),
     Poll(PollReactor),
 }
 
 /// A worker's reactor: the chosen backend plus shared front-end statistics.
 ///
-/// Requesting [`FrontendKind::Epoll`] on a host without epoll support
-/// transparently degrades to the poll backend; [`Reactor::kind`] reports
-/// what actually runs.
+/// Requesting [`FrontendKind::Uring`] on a kernel without io_uring logs
+/// once and degrades to epoll; requesting [`FrontendKind::Epoll`] on a
+/// host without epoll support transparently degrades to the poll backend.
+/// [`Reactor::kind`] reports what actually runs.
 pub struct Reactor {
     backend: Backend,
     stats: Arc<FrontendStats>,
 }
 
 impl Reactor {
-    /// Build a reactor of the requested kind, falling back to busy-poll when
-    /// the host cannot provide readiness notification.
+    /// Build a reactor of the requested kind, falling back (uring → epoll
+    /// → busy-poll) when the host cannot provide the requested mechanism.
     pub fn new(kind: FrontendKind, stats: Arc<FrontendStats>) -> Reactor {
-        let backend = match kind {
-            #[cfg(target_os = "linux")]
+        let backend = Self::build_backend(kind);
+        let mut reactor = Reactor { backend, stats };
+        // Fold setup-time syscalls into the stats from the start.
+        reactor.drain_syscalls();
+        reactor
+    }
+
+    #[cfg(target_os = "linux")]
+    fn build_backend(kind: FrontendKind) -> Backend {
+        match kind {
+            FrontendKind::Uring => match if crate::uring::uring_disabled() {
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "disabled by CPHASH_URING_DISABLE",
+                ))
+            } else {
+                crate::uring::IoUringReactor::new()
+            } {
+                Ok(u) => Backend::Uring(u),
+                Err(e) => {
+                    // One log line per process, not one per worker: every
+                    // worker of every server hits this on an old kernel.
+                    static FALLBACK_LOGGED: std::sync::Once = std::sync::Once::new();
+                    FALLBACK_LOGGED.call_once(|| {
+                        eprintln!(
+                            "cphash: io_uring front-end unavailable ({e}); falling back to epoll"
+                        );
+                    });
+                    Self::build_backend(FrontendKind::Epoll)
+                }
+            },
             FrontendKind::Epoll => match EpollReactor::new() {
                 Ok(e) => Backend::Epoll(e),
                 Err(_) => Backend::Poll(PollReactor::new()),
             },
-            #[cfg(not(target_os = "linux"))]
-            FrontendKind::Epoll => Backend::Poll(PollReactor::new()),
             FrontendKind::Poll => Backend::Poll(PollReactor::new()),
-        };
-        Reactor { backend, stats }
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn build_backend(_kind: FrontendKind) -> Backend {
+        Backend::Poll(PollReactor::new())
     }
 
     /// The kind actually running (after any fallback).
@@ -337,6 +428,8 @@ impl Reactor {
         match &self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll(_) => FrontendKind::Epoll,
+            #[cfg(target_os = "linux")]
+            Backend::Uring(_) => FrontendKind::Uring,
             Backend::Poll(_) => FrontendKind::Poll,
         }
     }
@@ -345,24 +438,54 @@ impl Reactor {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll(e) => e,
+            #[cfg(target_os = "linux")]
+            Backend::Uring(u) => u,
             Backend::Poll(p) => p,
+        }
+    }
+
+    /// Move the backend's syscall delta into the shared stats.
+    fn drain_syscalls(&mut self) {
+        let n = self.backend_mut().take_syscalls();
+        if n > 0 {
+            self.stats.note_syscalls(n);
         }
     }
 
     /// Start watching `fd` under `token` (read interest; `writable` adds
     /// write interest).
     pub fn register(&mut self, fd: RawFd, token: usize, writable: bool) -> io::Result<()> {
-        self.backend_mut().register(fd, token, writable)
+        let r = self.backend_mut().register(fd, token, writable);
+        self.drain_syscalls();
+        r
+    }
+
+    /// Start watching a listening socket under `token` (see
+    /// [`EventBackend::register_listener`]).
+    pub fn register_listener(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
+        let r = self.backend_mut().register_listener(fd, token);
+        self.drain_syscalls();
+        r
+    }
+
+    /// Collect in-kernel-accepted connections for `token` (see
+    /// [`EventBackend::take_accepted`]).
+    pub fn take_accepted(&mut self, token: usize, out: &mut Vec<RawFd>) -> bool {
+        self.backend_mut().take_accepted(token, out)
     }
 
     /// Change the interest set of a registered descriptor.
     pub fn rearm(&mut self, fd: RawFd, token: usize, writable: bool) -> io::Result<()> {
-        self.backend_mut().rearm(fd, token, writable)
+        let r = self.backend_mut().rearm(fd, token, writable);
+        self.drain_syscalls();
+        r
     }
 
     /// Stop watching `fd`.
     pub fn deregister(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
-        self.backend_mut().deregister(fd, token)
+        let r = self.backend_mut().deregister(fd, token);
+        self.drain_syscalls();
+        r
     }
 
     /// Wait for readiness, appending ready tokens to `ready` and updating
@@ -371,6 +494,7 @@ impl Reactor {
     pub fn wait(&mut self, ready: &mut Vec<usize>, timeout: Option<Duration>) -> io::Result<usize> {
         let blocking = timeout.is_some();
         let n = self.backend_mut().wait(ready, timeout)?;
+        self.drain_syscalls();
         if n > 0 {
             self.stats.note_wakeup(n as u64);
         } else if blocking {
@@ -400,7 +524,7 @@ impl Waker {
         let fd = match kind {
             #[cfg(target_os = "linux")]
             // SAFETY: eventfd takes no pointers; -1 on failure is kept as "no fd".
-            FrontendKind::Epoll => unsafe {
+            FrontendKind::Epoll | FrontendKind::Uring => unsafe {
                 libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK)
             },
             _ => -1,
@@ -462,9 +586,30 @@ mod tests {
     fn frontend_kind_parses_and_displays() {
         assert_eq!(FrontendKind::parse("epoll").unwrap(), FrontendKind::Epoll);
         assert_eq!(FrontendKind::parse("poll").unwrap(), FrontendKind::Poll);
-        assert!(FrontendKind::parse("uring").is_err());
+        assert_eq!(FrontendKind::parse("uring").unwrap(), FrontendKind::Uring);
+        assert_eq!(
+            FrontendKind::parse("io_uring").unwrap(),
+            FrontendKind::Uring
+        );
+        assert!(FrontendKind::parse("kqueue").is_err());
         assert_eq!(FrontendKind::Epoll.to_string(), "epoll");
         assert_eq!(FrontendKind::Poll.to_string(), "poll");
+        assert_eq!(FrontendKind::Uring.to_string(), "uring");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn uring_request_falls_back_to_epoll_when_disabled() {
+        // The disable hook makes ring setup fail exactly like a kernel
+        // without io_uring; the reactor must come up on epoll.
+        if std::env::var_os("CPHASH_URING_DISABLE").is_some() {
+            return; // leave a suite-wide override alone
+        }
+        std::env::set_var("CPHASH_URING_DISABLE", "1");
+        assert!(!reactor_available(FrontendKind::Uring));
+        let r = Reactor::new(FrontendKind::Uring, stats());
+        assert_eq!(r.kind(), FrontendKind::Epoll);
+        std::env::remove_var("CPHASH_URING_DISABLE");
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use bytes::BytesMut;
 use cphash_suite::kvproto::{encode_insert, encode_lookup, ResponseDecoder};
-use cphash_suite::kvserver::reactor::{reactor_available, FrontendKind};
+use cphash_suite::kvserver::reactor::{reactor_available, FrontendKind, Reactor};
 use cphash_suite::kvserver::{
-    CpServer, CpServerConfig, LockServer, LockServerConfig, MemcacheCluster, MemcacheConfig,
+    CpServer, CpServerConfig, FrontendStats, LockServer, LockServerConfig, MemcacheCluster,
+    MemcacheConfig,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -208,4 +209,54 @@ fn wakeups_bounded_by_activity_not_connection_count() {
     );
     drop(idle);
     server.shutdown();
+}
+
+/// ISSUE 10 capability fallback: a server explicitly configured for the
+/// io_uring front-end on a host whose kernel cannot provide it must come
+/// up on epoll and serve correctly — not crash, not refuse to start.  The
+/// `CPHASH_URING_DISABLE` hook makes io_uring look absent the same way a
+/// failed `io_uring_setup` would (the backend-selection path is shared).
+#[test]
+fn uring_request_without_kernel_support_serves_on_epoll() {
+    if std::env::var_os("CPHASH_URING_DISABLE").is_some() {
+        // A suite-wide override owns the variable; this test needs to
+        // control both its set and its removal.
+        eprintln!("skipping: CPHASH_URING_DISABLE already set");
+        return;
+    }
+    std::env::set_var("CPHASH_URING_DISABLE", "1");
+
+    // The capability probe reports uring unavailable...
+    assert!(
+        !reactor_available(FrontendKind::Uring),
+        "disable hook did not make io_uring look absent"
+    );
+    // ...a directly built reactor degrades instead of failing (to epoll,
+    // or further to the busy-poll backend on hosts without epoll)...
+    let reactor = Reactor::new(
+        FrontendKind::Uring,
+        std::sync::Arc::new(FrontendStats::default()),
+    );
+    assert_ne!(
+        reactor.kind(),
+        FrontendKind::Uring,
+        "reactor claims uring while the kernel has none"
+    );
+    drop(reactor);
+
+    // ...and a whole server asked for uring still starts and serves.
+    let mut server = CpServer::start(CpServerConfig {
+        client_threads: 2,
+        partitions: 2,
+        frontend: FrontendKind::Uring,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    for key in 0..50u64 {
+        roundtrip(addr, key);
+    }
+    server.shutdown();
+
+    std::env::remove_var("CPHASH_URING_DISABLE");
 }

@@ -1,10 +1,14 @@
 //! Minimal offline shim for the `libc` crate: the CPU-affinity pieces
-//! `cphash-affinity` uses plus the epoll/eventfd surface behind
-//! `cphash-kvserver`'s event-driven front-end, declared directly against
-//! the system C library (which std already links).
+//! `cphash-affinity` uses, the epoll/eventfd surface behind
+//! `cphash-kvserver`'s event-driven front-end, the raw io_uring syscall
+//! surface (setup/enter plus the mmap'd ring UAPI layouts) behind the
+//! uring front-end, and the socket calls the `SO_REUSEPORT` sharded
+//! accept path needs — all declared directly against the system C
+//! library (which std already links) or invoked via `syscall(2)`.
 
 #![allow(non_camel_case_types)]
 #![allow(non_snake_case)]
+#![allow(non_upper_case_globals)]
 
 /// C `int`.
 pub type c_int = i32;
@@ -18,6 +22,12 @@ pub type size_t = usize;
 pub type ssize_t = isize;
 /// `pid_t` as on Linux.
 pub type pid_t = i32;
+/// C `long` (the syscall-number / return type of `syscall(2)` on Linux).
+pub type c_long = i64;
+/// `off_t` as on 64-bit Linux (mmap file offset).
+pub type off_t = i64;
+/// `socklen_t` as on Linux.
+pub type socklen_t = u32;
 
 /// `cpu_set_t`: a 1024-bit CPU mask, as glibc defines it.
 #[repr(C)]
@@ -120,6 +130,341 @@ extern "C" {
     pub fn close(fd: c_int) -> c_int;
 }
 
+// ---------------------------------------------------------------------------
+// mmap (the io_uring SQ/CQ rings live in shared kernel/user memory).
+// ---------------------------------------------------------------------------
+
+/// `mmap` protection: pages may be read.
+pub const PROT_READ: c_int = 0x1;
+/// `mmap` protection: pages may be written.
+pub const PROT_WRITE: c_int = 0x2;
+/// `mmap` flag: updates are shared with the kernel (required for rings).
+pub const MAP_SHARED: c_int = 0x01;
+/// `mmap` flag: pre-fault the mapping so the hot path never page-faults.
+pub const MAP_POPULATE: c_int = 0x8000;
+/// `mmap` failure sentinel (`(void *)-1`).
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Map `length` bytes of `fd` at `offset` into the address space.
+    pub fn mmap(
+        addr: *mut c_void,
+        length: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmap a region established by `mmap`.
+    pub fn munmap(addr: *mut c_void, length: size_t) -> c_int;
+    /// Raw indirect system call (glibc sets `errno` on failure, so
+    /// `io::Error::last_os_error()` works after a -1 return).
+    pub fn syscall(num: c_long, ...) -> c_long;
+}
+
+// ---------------------------------------------------------------------------
+// io_uring (Linux >= 5.1): raw syscall numbers, the UAPI ring layouts, and
+// thin wrappers over `syscall(2)` — the shim's epoll bindings' moral
+// equivalent for the completion-based front-end.  Layouts match
+// `<linux/io_uring.h>` on x86-64.
+// ---------------------------------------------------------------------------
+
+/// `io_uring_setup(2)` syscall number on x86-64.
+pub const SYS_io_uring_setup: c_long = 425;
+/// `io_uring_enter(2)` syscall number on x86-64.
+pub const SYS_io_uring_enter: c_long = 426;
+
+/// Offsets into the SQ ring mapping (`struct io_sqring_offsets`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_sqring_offsets {
+    /// Byte offset of the SQ head index.
+    pub head: u32,
+    /// Byte offset of the SQ tail index.
+    pub tail: u32,
+    /// Byte offset of the ring mask (entries - 1).
+    pub ring_mask: u32,
+    /// Byte offset of the ring size.
+    pub ring_entries: u32,
+    /// Byte offset of the SQ flags word.
+    pub flags: u32,
+    /// Byte offset of the dropped-submission counter.
+    pub dropped: u32,
+    /// Byte offset of the SQE index array.
+    pub array: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved (ring address for `IORING_SETUP_NO_MMAP`; unused here).
+    pub user_addr: u64,
+}
+
+/// Offsets into the CQ ring mapping (`struct io_cqring_offsets`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_cqring_offsets {
+    /// Byte offset of the CQ head index.
+    pub head: u32,
+    /// Byte offset of the CQ tail index.
+    pub tail: u32,
+    /// Byte offset of the ring mask (entries - 1).
+    pub ring_mask: u32,
+    /// Byte offset of the ring size.
+    pub ring_entries: u32,
+    /// Byte offset of the overflow counter.
+    pub overflow: u32,
+    /// Byte offset of the CQE array itself.
+    pub cqes: u32,
+    /// Byte offset of the CQ flags word.
+    pub flags: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved (ring address for `IORING_SETUP_NO_MMAP`; unused here).
+    pub user_addr: u64,
+}
+
+/// Setup parameters exchanged with `io_uring_setup(2)`
+/// (`struct io_uring_params`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_uring_params {
+    /// Number of SQ entries (kernel output; rounded-up power of two).
+    pub sq_entries: u32,
+    /// Number of CQ entries (kernel output).
+    pub cq_entries: u32,
+    /// `IORING_SETUP_*` flags (input).
+    pub flags: u32,
+    /// SQPOLL thread CPU (unused without `IORING_SETUP_SQPOLL`).
+    pub sq_thread_cpu: u32,
+    /// SQPOLL idle time (unused without `IORING_SETUP_SQPOLL`).
+    pub sq_thread_idle: u32,
+    /// `IORING_FEAT_*` capability bits (kernel output).
+    pub features: u32,
+    /// Shared async-worker ring fd (unused here).
+    pub wq_fd: u32,
+    /// Reserved.
+    pub resv: [u32; 3],
+    /// SQ ring field offsets (kernel output).
+    pub sq_off: io_sqring_offsets,
+    /// CQ ring field offsets (kernel output).
+    pub cq_off: io_cqring_offsets,
+}
+
+/// One submission queue entry (`struct io_uring_sqe`, 64 bytes).  The
+/// kernel header nests unions; this shim flattens them to the fields the
+/// reactor uses (`op_flags` overlays `poll32_events` / `accept_flags` /
+/// `rw_flags`, `addr` overlays `addr` / `off2`), which is layout-identical
+/// for every opcode we submit.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_uring_sqe {
+    /// Operation (`IORING_OP_*`).
+    pub opcode: u8,
+    /// Per-SQE flags (`IOSQE_*`).
+    pub flags: u8,
+    /// Priority, or `IORING_ACCEPT_MULTISHOT` for accept SQEs.
+    pub ioprio: u16,
+    /// Target file descriptor.
+    pub fd: i32,
+    /// File offset, or the second address (accept `addrlen` pointer).
+    pub off: u64,
+    /// Buffer/record address (accept `sockaddr` pointer; poll: unused).
+    pub addr: u64,
+    /// Buffer length, or `IORING_POLL_ADD_MULTI` for poll SQEs.
+    pub len: u32,
+    /// Opcode-specific flags (poll events, accept flags, rw flags...).
+    pub op_flags: u32,
+    /// Caller cookie, echoed verbatim in the matching CQE.
+    pub user_data: u64,
+    /// Registered-buffer index (unused here).
+    pub buf_index: u16,
+    /// Personality (unused here).
+    pub personality: u16,
+    /// Splice source fd (unused here).
+    pub splice_fd_in: i32,
+    /// Third address (unused here).
+    pub addr3: u64,
+    /// Padding to 64 bytes.
+    pub __pad2: u64,
+}
+
+/// One completion queue entry (`struct io_uring_cqe`, 16 bytes).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_uring_cqe {
+    /// The submitting SQE's `user_data` cookie.
+    pub user_data: u64,
+    /// Result: op-specific count/fd on success, negated errno on failure.
+    pub res: i32,
+    /// `IORING_CQE_F_*` flags (`F_MORE` = multishot stays armed).
+    pub flags: u32,
+}
+
+/// Extended wait argument for `IORING_ENTER_EXT_ARG`
+/// (`struct io_uring_getevents_arg`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_uring_getevents_arg {
+    /// Signal mask pointer (0 = none).
+    pub sigmask: u64,
+    /// Size of the signal mask.
+    pub sigmask_sz: u32,
+    /// Padding.
+    pub pad: u32,
+    /// Pointer to a `__kernel_timespec` wait bound (0 = wait forever).
+    pub ts: u64,
+}
+
+/// 64-bit timespec as the kernel UAPI defines it
+/// (`struct __kernel_timespec`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct __kernel_timespec {
+    /// Seconds.
+    pub tv_sec: i64,
+    /// Nanoseconds.
+    pub tv_nsec: i64,
+}
+
+/// `mmap` offset selecting the SQ ring.
+pub const IORING_OFF_SQ_RING: off_t = 0;
+/// `mmap` offset selecting the CQ ring.
+pub const IORING_OFF_CQ_RING: off_t = 0x8000000;
+/// `mmap` offset selecting the SQE array.
+pub const IORING_OFF_SQES: off_t = 0x10000000;
+
+/// No-op SQE (plumbing tests).
+pub const IORING_OP_NOP: u8 = 0;
+/// Arm a poll on a descriptor.
+pub const IORING_OP_POLL_ADD: u8 = 6;
+/// Cancel an armed poll by `user_data`.
+pub const IORING_OP_POLL_REMOVE: u8 = 7;
+/// Timeout operation (unused: waits use `EXT_ARG` instead).
+pub const IORING_OP_TIMEOUT: u8 = 11;
+/// Accept a connection on a listening socket.
+pub const IORING_OP_ACCEPT: u8 = 13;
+/// Cancel an inflight SQE by `user_data`.
+pub const IORING_OP_ASYNC_CANCEL: u8 = 14;
+
+/// Poll stays armed across events, reporting each via `CQE_F_MORE`
+/// (goes in `io_uring_sqe.len`; Linux >= 5.13).
+pub const IORING_POLL_ADD_MULTI: u32 = 1 << 0;
+/// Accept stays armed across connections (goes in `io_uring_sqe.ioprio`;
+/// Linux >= 5.19).
+pub const IORING_ACCEPT_MULTISHOT: u16 = 1 << 0;
+/// CQE flag: the multishot op that produced this CQE is still armed.
+pub const IORING_CQE_F_MORE: u32 = 1 << 1;
+
+/// `io_uring_enter` flag: also wait for `min_complete` completions.
+pub const IORING_ENTER_GETEVENTS: c_uint = 1 << 0;
+/// `io_uring_enter` flag: `arg` is an `io_uring_getevents_arg`.
+pub const IORING_ENTER_EXT_ARG: c_uint = 1 << 3;
+
+/// Feature: SQ and CQ rings share one mapping (Linux >= 5.4).
+pub const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+/// Feature: completions are never dropped on CQ overflow (Linux >= 5.5).
+pub const IORING_FEAT_NODROP: u32 = 1 << 1;
+/// Feature: `IORING_ENTER_EXT_ARG` timed waits (Linux >= 5.11).
+pub const IORING_FEAT_EXT_ARG: u32 = 1 << 8;
+
+/// Create an io_uring instance: returns the ring fd, or -1 with `errno`
+/// set (glibc's `syscall` wrapper handles errno translation).
+///
+/// # Safety
+/// `params` must point to a valid `io_uring_params`; the kernel writes
+/// its output fields through it.
+#[cfg(target_os = "linux")]
+pub unsafe fn io_uring_setup(entries: u32, params: *mut io_uring_params) -> c_int {
+    // SAFETY: forwarded to the raw syscall; caller upholds the pointer
+    // contract above.
+    unsafe { syscall(SYS_io_uring_setup, entries as c_long, params) as c_int }
+}
+
+/// Submit and/or wait on an io_uring: returns the number of SQEs
+/// consumed, or -1 with `errno` set.
+///
+/// # Safety
+/// `fd` must be a live io_uring fd whose mapped rings stay valid for the
+/// duration of the call; `arg`/`argsz` must describe a valid
+/// `io_uring_getevents_arg` when `IORING_ENTER_EXT_ARG` is set (null/0
+/// otherwise).
+#[cfg(target_os = "linux")]
+pub unsafe fn io_uring_enter(
+    fd: c_int,
+    to_submit: c_uint,
+    min_complete: c_uint,
+    flags: c_uint,
+    arg: *const c_void,
+    argsz: size_t,
+) -> c_int {
+    // SAFETY: forwarded to the raw syscall; caller upholds the fd/arg
+    // contract above.
+    unsafe {
+        syscall(
+            SYS_io_uring_enter,
+            fd as c_long,
+            to_submit as c_long,
+            min_complete as c_long,
+            flags as c_long,
+            arg,
+            argsz as c_long,
+        ) as c_int
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sockets (the SO_REUSEPORT sharded-accept path builds its listener set
+// below the std API, which exposes no setsockopt-before-bind hook).
+// ---------------------------------------------------------------------------
+
+/// IPv4 address family.
+pub const AF_INET: c_int = 2;
+/// Stream (TCP) socket type.
+pub const SOCK_STREAM: c_int = 1;
+/// `socket` type flag: close-on-exec.
+pub const SOCK_CLOEXEC: c_int = 0x80000;
+/// `setsockopt` level for socket-level options.
+pub const SOL_SOCKET: c_int = 1;
+/// Allow rebinding a recently-used local address.
+pub const SO_REUSEADDR: c_int = 2;
+/// Allow multiple sockets to bind one address: the kernel load-balances
+/// incoming connections across them.
+pub const SO_REUSEPORT: c_int = 15;
+
+/// IPv4 socket address (`struct sockaddr_in`), 16 bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct sockaddr_in {
+    /// Address family (`AF_INET`).
+    pub sin_family: u16,
+    /// Port in network byte order.
+    pub sin_port: u16,
+    /// IPv4 address in network byte order.
+    pub sin_addr: u32,
+    /// Padding to `struct sockaddr` size.
+    pub sin_zero: [u8; 8],
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Create a socket; returns its file descriptor or -1.
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    /// Set a socket option.
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
+    /// Bind a socket to a local address.
+    pub fn bind(fd: c_int, addr: *const c_void, addrlen: socklen_t) -> c_int;
+    /// Mark a bound socket as accepting connections.
+    pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+    /// Retrieve the local address of a bound socket.
+    pub fn getsockname(fd: c_int, addr: *mut c_void, addrlen: *mut socklen_t) -> c_int;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +530,161 @@ mod tests {
             assert_eq!(epoll_ctl(ep, EPOLL_CTL_DEL, efd, core::ptr::null_mut()), 0);
             assert_eq!(close(efd), 0);
             assert_eq!(close(ep), 0);
+        }
+    }
+
+    #[test]
+    fn io_uring_uapi_layouts_match_kernel_sizes() {
+        assert_eq!(std::mem::size_of::<io_uring_sqe>(), 64);
+        assert_eq!(std::mem::size_of::<io_uring_cqe>(), 16);
+        assert_eq!(std::mem::size_of::<io_sqring_offsets>(), 40);
+        assert_eq!(std::mem::size_of::<io_cqring_offsets>(), 40);
+        assert_eq!(std::mem::size_of::<io_uring_params>(), 120);
+        assert_eq!(std::mem::size_of::<io_uring_getevents_arg>(), 24);
+        assert_eq!(std::mem::size_of::<__kernel_timespec>(), 16);
+        assert_eq!(std::mem::size_of::<sockaddr_in>(), 16);
+    }
+
+    /// Full raw-syscall round trip: set up a ring, map SQ/CQ/SQEs, arm a
+    /// poll on a signalled eventfd, submit+wait with one enter, and reap
+    /// the matching CQE.  Skips (rather than fails) on kernels without
+    /// io_uring so the shim tests pass everywhere the reactor's runtime
+    /// fallback would engage.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn io_uring_poll_round_trip() {
+        unsafe {
+            let mut params = io_uring_params::default();
+            let ring = io_uring_setup(8, &mut params);
+            if ring < 0 {
+                eprintln!("skipping io_uring_poll_round_trip: io_uring_setup unavailable");
+                return;
+            }
+            assert!(params.features & IORING_FEAT_SINGLE_MMAP != 0);
+
+            let sq_len = (params.sq_off.array as usize)
+                + params.sq_entries as usize * std::mem::size_of::<u32>();
+            let cq_len = (params.cq_off.cqes as usize)
+                + params.cq_entries as usize * std::mem::size_of::<io_uring_cqe>();
+            let ring_len = sq_len.max(cq_len);
+            let rings = mmap(
+                core::ptr::null_mut(),
+                ring_len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_POPULATE,
+                ring,
+                IORING_OFF_SQ_RING,
+            );
+            assert!(rings != MAP_FAILED, "ring mmap failed");
+            let sqes_len = params.sq_entries as usize * std::mem::size_of::<io_uring_sqe>();
+            let sqes = mmap(
+                core::ptr::null_mut(),
+                sqes_len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_POPULATE,
+                ring,
+                IORING_OFF_SQES,
+            );
+            assert!(sqes != MAP_FAILED, "sqe mmap failed");
+
+            let base = rings as *mut u8;
+            let sq_tail = base.add(params.sq_off.tail as usize) as *mut u32;
+            let sq_mask = *(base.add(params.sq_off.ring_mask as usize) as *const u32);
+            let sq_array = base.add(params.sq_off.array as usize) as *mut u32;
+            let cq_head = base.add(params.cq_off.head as usize) as *mut u32;
+            let cq_tail = base.add(params.cq_off.tail as usize) as *const u32;
+            let cqes = base.add(params.cq_off.cqes as usize) as *const io_uring_cqe;
+            let cq_mask = *(base.add(params.cq_off.ring_mask as usize) as *const u32);
+
+            // Arm a poll on an already-signalled eventfd.
+            let efd = eventfd(1, EFD_CLOEXEC);
+            assert!(efd >= 0);
+            let slot = *sq_tail & sq_mask;
+            let sqe = (sqes as *mut io_uring_sqe).add(slot as usize);
+            *sqe = io_uring_sqe {
+                opcode: IORING_OP_POLL_ADD,
+                fd: efd,
+                op_flags: EPOLLIN,
+                user_data: 0xFEED_F00D,
+                ..Default::default()
+            };
+            *sq_array.add(slot as usize) = slot;
+            // Release the tail so the kernel sees the SQE (the test thread
+            // is also the submitter, so a volatile store + the syscall's
+            // own barrier suffice here).
+            core::ptr::write_volatile(sq_tail, (*sq_tail).wrapping_add(1));
+
+            let n = io_uring_enter(ring, 1, 1, IORING_ENTER_GETEVENTS, core::ptr::null(), 0);
+            assert_eq!(n, 1, "io_uring_enter consumed the SQE");
+
+            let head = core::ptr::read_volatile(cq_head);
+            let tail = core::ptr::read_volatile(cq_tail);
+            assert!(tail.wrapping_sub(head) >= 1, "one completion expected");
+            let cqe = *cqes.add((head & cq_mask) as usize);
+            assert_eq!(cqe.user_data, 0xFEED_F00D);
+            assert!(cqe.res > 0 && (cqe.res as u32 & EPOLLIN) != 0);
+            core::ptr::write_volatile(cq_head, head.wrapping_add(1));
+
+            assert_eq!(close(efd), 0);
+            assert_eq!(munmap(sqes, sqes_len), 0);
+            assert_eq!(munmap(rings, ring_len), 0);
+            assert_eq!(close(ring), 0);
+        }
+    }
+
+    /// Two SO_REUSEPORT listeners on one port: build both below std,
+    /// then hand them to `TcpListener` and connect through the kernel's
+    /// load balancer.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn so_reuseport_dual_bind() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::FromRawFd;
+
+        unsafe fn reuseport_listener(port: u16) -> c_int {
+            // SAFETY: raw socket calls on a freshly created fd; the
+            // sockaddr_in is a valid 16-byte POD.
+            unsafe {
+                let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                assert!(fd >= 0, "socket failed");
+                let one: c_int = 1;
+                assert_eq!(
+                    setsockopt(
+                        fd,
+                        SOL_SOCKET,
+                        SO_REUSEPORT,
+                        (&one as *const c_int).cast(),
+                        std::mem::size_of::<c_int>() as socklen_t,
+                    ),
+                    0
+                );
+                let addr = sockaddr_in {
+                    sin_family: AF_INET as u16,
+                    sin_port: port.to_be(),
+                    sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+                    sin_zero: [0; 8],
+                };
+                assert_eq!(
+                    bind(
+                        fd,
+                        (&addr as *const sockaddr_in).cast(),
+                        std::mem::size_of::<sockaddr_in>() as socklen_t,
+                    ),
+                    0,
+                    "bind failed"
+                );
+                assert_eq!(listen(fd, 16), 0);
+                fd
+            }
+        }
+
+        unsafe {
+            let a = TcpListener::from_raw_fd(reuseport_listener(0));
+            let port = a.local_addr().unwrap().port();
+            let b = TcpListener::from_raw_fd(reuseport_listener(port));
+            let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            drop(stream);
+            drop((a, b));
         }
     }
 }
